@@ -1,0 +1,146 @@
+// Command cde-client is a live CDE client: it compiles the published
+// interface description of a running SDE (or static) server, lists the
+// interface, and can invoke methods with arguments given on the command
+// line. On a "Non Existent Method" reply it shows the reactive update the
+// CDE performed — the Figure 9 experience in terminal form.
+//
+// Usage:
+//
+//	cde-client -wsdl URL            [method arg...]
+//	cde-client -idl URL -ior URL    [method arg...]
+//
+// Arguments are parsed against the method's current signature: int32/int64
+// as decimal, float32/float64 as decimal floats, booleans as true/false,
+// chars as single characters, everything else as strings.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"livedev/internal/cde"
+	"livedev/internal/dyn"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	wsdlURL := flag.String("wsdl", "", "WSDL document URL (SOAP mode)")
+	idlURL := flag.String("idl", "", "CORBA-IDL document URL (CORBA mode)")
+	iorURL := flag.String("ior", "", "stringified IOR URL (CORBA mode)")
+	flag.Parse()
+
+	var client *cde.Client
+	var err error
+	switch {
+	case *wsdlURL != "":
+		client, err = cde.NewSOAPClient(*wsdlURL, nil)
+	case *idlURL != "" && *iorURL != "":
+		client, err = cde.NewCORBAClient(*idlURL, *iorURL, nil)
+	default:
+		fmt.Fprintln(os.Stderr, "cde-client: need -wsdl URL, or -idl URL and -ior URL")
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cde-client:", err)
+		return 1
+	}
+	defer func() { _ = client.Close() }()
+
+	iface := client.Interface()
+	fmt.Printf("connected over %s; server interface (%d methods):\n", client.Technology(), len(iface.Methods))
+	for _, m := range iface.Methods {
+		fmt.Println("  ", m)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		return 0
+	}
+	method := args[0]
+	sig, ok := iface.Lookup(method)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cde-client: method %s is not on the current interface\n", method)
+		return 1
+	}
+	if len(args)-1 != len(sig.Params) {
+		fmt.Fprintf(os.Stderr, "cde-client: %s takes %d arguments, got %d\n", method, len(sig.Params), len(args)-1)
+		return 2
+	}
+	vals := make([]dyn.Value, len(sig.Params))
+	for i, p := range sig.Params {
+		v, err := parseArg(args[1+i], p.Type)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cde-client: argument %s: %v\n", p.Name, err)
+			return 2
+		}
+		vals[i] = v
+	}
+
+	result, err := client.Call(method, vals...)
+	if err != nil {
+		var stale *cde.StaleMethodError
+		if errors.As(err, &stale) {
+			fmt.Printf("server says %q is stale; interface view refreshed to descriptor version %d:\n",
+				method, stale.RefreshedDescriptorVersion)
+			for _, m := range client.Interface().Methods {
+				fmt.Println("  ", m)
+			}
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "cde-client:", err)
+		return 1
+	}
+	fmt.Println(result)
+	return 0
+}
+
+func parseArg(s string, t *dyn.Type) (dyn.Value, error) {
+	switch t.Kind() {
+	case dyn.KindBoolean:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		return dyn.BoolValue(b), nil
+	case dyn.KindChar:
+		r := []rune(s)
+		if len(r) != 1 {
+			return dyn.Value{}, fmt.Errorf("char argument must be one character")
+		}
+		return dyn.CharValue(r[0]), nil
+	case dyn.KindInt32:
+		i, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		return dyn.Int32Value(int32(i)), nil
+	case dyn.KindInt64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		return dyn.Int64Value(i), nil
+	case dyn.KindFloat32:
+		f, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		return dyn.Float32Value(float32(f)), nil
+	case dyn.KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		return dyn.Float64Value(f), nil
+	case dyn.KindString:
+		return dyn.StringValue(s), nil
+	default:
+		return dyn.Value{}, fmt.Errorf("cannot parse %s arguments from the command line", t)
+	}
+}

@@ -1,0 +1,101 @@
+// Command ifdump fetches a published interface description (WSDL or
+// CORBA-IDL) from an SDE Interface Server, compiles it the way a CDE
+// client would, and prints both the raw document and the resolved method
+// signatures with their version headers — a debugging window into the
+// publication protocol.
+//
+// Usage:
+//
+//	ifdump -wsdl URL
+//	ifdump -idl URL [-iface NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"livedev/internal/idl"
+	"livedev/internal/ifsvr"
+	"livedev/internal/wsdl"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	wsdlURL := flag.String("wsdl", "", "WSDL document URL")
+	idlURL := flag.String("idl", "", "CORBA-IDL document URL")
+	ifaceName := flag.String("iface", "", "interface name to resolve (IDL mode; default: the only interface)")
+	raw := flag.Bool("raw", false, "print the raw document too")
+	flag.Parse()
+
+	switch {
+	case *wsdlURL != "":
+		return dumpWSDL(*wsdlURL, *raw)
+	case *idlURL != "":
+		return dumpIDL(*idlURL, *ifaceName, *raw)
+	default:
+		fmt.Fprintln(os.Stderr, "ifdump: need -wsdl URL or -idl URL")
+		return 2
+	}
+}
+
+func dumpWSDL(url string, raw bool) int {
+	doc, err := ifsvr.Fetch(nil, url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump:", err)
+		return 1
+	}
+	fmt.Printf("document version %d (descriptor version %d)\n", doc.Version, doc.DescriptorVersion)
+	if raw {
+		fmt.Println(doc.Content)
+	}
+	parsed, err := wsdl.Parse([]byte(doc.Content))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump: compiling WSDL:", err)
+		return 1
+	}
+	fmt.Printf("service %s at %s\n", parsed.ServiceName, parsed.Endpoint)
+	for _, m := range parsed.Methods {
+		fmt.Println("  ", m)
+	}
+	return 0
+}
+
+func dumpIDL(url, ifaceName string, raw bool) int {
+	doc, err := ifsvr.Fetch(nil, url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump:", err)
+		return 1
+	}
+	fmt.Printf("document version %d (descriptor version %d)\n", doc.Version, doc.DescriptorVersion)
+	if raw {
+		fmt.Println(doc.Content)
+	}
+	parsed, err := idl.Parse(doc.Content)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump: parsing IDL:", err)
+		return 1
+	}
+	if ifaceName == "" {
+		if len(parsed.Interfaces) != 1 {
+			fmt.Fprintf(os.Stderr, "ifdump: module %s has %d interfaces; pick one with -iface\n",
+				parsed.Module, len(parsed.Interfaces))
+			return 2
+		}
+		ifaceName = parsed.Interfaces[0].Name
+	}
+	desc, err := idl.Resolve(parsed, ifaceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump: resolving IDL:", err)
+		return 1
+	}
+	fmt.Printf("module %s, interface %s (repository id %s)\n",
+		parsed.Module, ifaceName, parsed.RepositoryID(ifaceName))
+	for _, m := range desc.Methods {
+		fmt.Println("  ", m)
+	}
+	return 0
+}

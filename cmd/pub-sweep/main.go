@@ -1,0 +1,50 @@
+// Command pub-sweep explores the Section 5.6 publication-strategy design
+// space: change-driven publication, periodic polling, and the paper's
+// stable-timeout mechanism, replayed over a deterministic developer edit
+// trace in virtual time.
+//
+// Usage:
+//
+//	pub-sweep [-seed N] [-bursts N] [-stale-latency]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"livedev/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	seed := flag.Int64("seed", 1, "edit-trace seed")
+	bursts := flag.Int("bursts", 20, "edit bursts in the developer trace")
+	staleLat := flag.Bool("stale-latency", false, "also measure Section 5.7 forced-publication latency")
+	genCost := flag.Duration("gen-cost", 25*time.Millisecond, "synthetic interface-generation cost for -stale-latency")
+	flag.Parse()
+
+	cfg := experiments.DefaultSweep(*seed)
+	cfg.Trace.Bursts = *bursts
+	results, err := experiments.RunSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pub-sweep:", err)
+		return 1
+	}
+	fmt.Print(experiments.FormatSweep(results))
+
+	if *staleLat {
+		fmt.Println()
+		stale, err := experiments.RunStaleLatency(*genCost, 10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pub-sweep:", err)
+			return 1
+		}
+		fmt.Print(experiments.FormatStale(stale))
+	}
+	return 0
+}

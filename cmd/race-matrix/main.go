@@ -1,0 +1,18 @@
+// Command race-matrix regenerates the paper's Figures 7 and 8: the
+// consistency matrices of publication/update interleavings under active
+// publishing (only 3 of 9 combinations let the client developer see the
+// interface change behind an error) and under the reactive protocol of
+// Sections 5.7 and 6 (all 16 combinations are consistent).
+package main
+
+import (
+	"fmt"
+
+	"livedev/internal/raceplan"
+)
+
+func main() {
+	fmt.Print(raceplan.Render(raceplan.ActivePublishing))
+	fmt.Println()
+	fmt.Print(raceplan.Render(raceplan.ReactivePublishing))
+}

@@ -1,0 +1,36 @@
+// Command rtt-bench regenerates the paper's Table 1: mean round-trip time
+// of RMI calls for SDE and static servers over SOAP and CORBA.
+//
+// Usage:
+//
+//	rtt-bench [-calls N] [-payload BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"livedev/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	calls := flag.Int("calls", 100, "RMI calls per configuration (the paper used 100)")
+	payload := flag.Int("payload", 64, "echoed string payload size in bytes")
+	flag.Parse()
+
+	rows, err := experiments.RunTable1(experiments.Table1Config{
+		Calls:        *calls,
+		PayloadBytes: *payload,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+		return 1
+	}
+	fmt.Print(experiments.FormatTable1(rows))
+	return 0
+}

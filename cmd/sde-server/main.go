@@ -1,0 +1,163 @@
+// Command sde-server runs a live SDE server: it registers a calculator
+// class with both the SOAP and CORBA subsystems, prints the published
+// interface URLs, and (with -live) keeps mutating the server interface the
+// way a developer editing the class would, so connected cde-client
+// processes can observe live updates and stale-call recovery.
+//
+// Usage:
+//
+//	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-live] [-duration D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	ifaceAddr := flag.String("iface", "127.0.0.1:0", "interface-server listen address")
+	soapAddr := flag.String("soap", "127.0.0.1:0", "SOAP endpoint listen address")
+	corbaAddr := flag.String("corba", "127.0.0.1:0", "CORBA endpoint listen address")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "publication stability timeout (Section 5.6)")
+	live := flag.Bool("live", false, "keep editing the server interface live")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	flag.Parse()
+
+	mgr, err := core.NewManager(core.Config{
+		InterfaceAddr: *ifaceAddr,
+		SOAPAddr:      *soapAddr,
+		CORBAAddr:     *corbaAddr,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	defer func() { _ = mgr.Close() }()
+
+	class := dyn.NewClass("Calc")
+	addID, err := class.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	if _, err := class.AddMethod(dyn.MethodSpec{
+		Name:        "greet",
+		Params:      []dyn.Param{{Name: "name", Type: dyn.StringT}},
+		Result:      dyn.StringT,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.StringValue("hello, " + args[0].Str()), nil
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+
+	soapSrv, err := mgr.Register(class, core.TechSOAP)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	if _, err := soapSrv.CreateInstance(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+
+	// A second class serves the same logic over CORBA (one manager slot
+	// per class).
+	corbaClass := dyn.NewClass("CalcCorba")
+	if _, err := corbaClass.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	corbaSrv, err := mgr.Register(corbaClass, core.TechCORBA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	if _, err := corbaSrv.CreateInstance(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	cs := corbaSrv.(*core.CORBAServer)
+
+	fmt.Println("SDE server running")
+	fmt.Println("  WSDL:", soapSrv.InterfaceURL())
+	fmt.Println("  SOAP endpoint:", soapSrv.(*core.SOAPServer).Endpoint())
+	fmt.Println("  IDL: ", cs.InterfaceURL())
+	fmt.Println("  IOR: ", cs.IORURL())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	step := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return 0
+		case <-deadline:
+			return 0
+		case <-ticker.C:
+			if !*live {
+				continue
+			}
+			// A developer editing the class: rename add back and forth and
+			// evolve greet's behaviour.
+			step++
+			var err error
+			if step%2 == 1 {
+				err = class.RenameMethod(addID, "plus")
+			} else {
+				err = class.RenameMethod(addID, "add")
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "live edit:", err)
+				continue
+			}
+			fmt.Printf("live edit %d applied; interface version now %d (publishes after %v of stability)\n",
+				step, class.InterfaceVersion(), *timeout)
+			if !strings.Contains(os.Getenv("SDE_QUIET"), "1") {
+				st := soapSrv.Publisher().Stats()
+				fmt.Printf("  publisher: %d published, %d skipped, %d forced\n",
+					st.Published, st.SkippedCurrent, st.Forced)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Bridge: the paper's future-work feature (Section 8) — interchange the
+// communication technology while live development is taking place. A live
+// CORBA inventory server is fronted by a SOAP bridge; a plain SOAP client
+// consumes it; the server developer renames a method mid-session and the
+// change propagates through the bridge with the recency guarantee intact.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"livedev"
+	"livedev/internal/bridge"
+	"livedev/internal/cde"
+	"livedev/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bridge:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A CORBA inventory service under live development.
+	inv := livedev.NewClass("Inventory")
+	stock := map[string]int32{"widget": 12, "gadget": 3}
+	lookupID, err := inv.AddMethod(livedev.MethodSpec{
+		Name:        "lookup",
+		Params:      []livedev.Param{{Name: "sku", Type: livedev.StringType}},
+		Result:      livedev.Int32Type,
+		Distributed: true,
+		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
+			n, ok := stock[args[0].Str()]
+			if !ok {
+				return livedev.Value{}, fmt.Errorf("unknown sku %q", args[0].Str())
+			}
+			return livedev.Int32(n), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	mgr, err := livedev.NewManager(livedev.Config{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mgr.Close() }()
+	srv, err := mgr.Register(inv, livedev.TechCORBA)
+	if err != nil {
+		return err
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		return err
+	}
+	cs := srv.(*core.CORBAServer)
+	fmt.Println("CORBA inventory server up; IDL at", cs.InterfaceURL())
+
+	// The bridge consumes the CORBA server through a CDE client and
+	// fronts it as a Web Service with a derived, live WSDL.
+	backend, err := cde.NewCORBAClient(cs.InterfaceURL(), cs.IORURL(), nil)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = backend.Close() }()
+	front := bridge.NewSOAPFront("InventoryWS", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() { _ = front.Close() }()
+	fmt.Println("SOAP bridge up; WSDL at", front.WSDLURL())
+
+	// A pure SOAP client — it has no idea CORBA is behind the curtain.
+	webClient, err := livedev.ConnectSOAP(front.WSDLURL())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = webClient.Close() }()
+
+	n, err := webClient.Call("lookup", livedev.Str("widget"))
+	if err != nil {
+		return err
+	}
+	fmt.Println("SOAP client: lookup(widget) =", n, " (served over IIOP behind the bridge)")
+
+	// Live edit on the CORBA server while the SOAP client is attached.
+	if err := inv.RenameMethod(lookupID, "stockOf"); err != nil {
+		return err
+	}
+	srv.Publisher().PublishNow()
+	srv.Publisher().WaitIdle()
+	fmt.Println("server developer renamed lookup -> stockOf on the CORBA server")
+
+	_, err = webClient.Call("lookup", livedev.Str("widget"))
+	if !errors.Is(err, livedev.ErrStaleMethod) {
+		return fmt.Errorf("expected stale-method error through the bridge, got %v", err)
+	}
+	fmt.Println("SOAP client: stale call detected; bridged interface refreshed:")
+	for _, m := range webClient.Interface().Methods {
+		fmt.Println("  ", m)
+	}
+
+	n, err = webClient.Call("stockOf", livedev.Str("gadget"))
+	if err != nil {
+		return err
+	}
+	fmt.Println("SOAP client: stockOf(gadget) =", n)
+	return nil
+}

@@ -1,0 +1,172 @@
+// Mailservice: the "medium-sized mail service application" the paper's
+// conclusion describes building with CDE and SDE. A Mail class with
+// composite types (a Message struct, message sequences) is served over
+// SOAP and evolved live: while clients send and fetch mail, the developer
+// adds a search method, and connected clients pick it up without
+// restarting.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"livedev"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mailservice:", err)
+		os.Exit(1)
+	}
+}
+
+// mailbox is the server-side state; the dynamic class's method bodies
+// close over it (in JPie this state would live in dynamic fields).
+type mailbox struct {
+	mu   sync.Mutex
+	msgs map[string][]livedev.Value // user -> messages
+}
+
+func run() error {
+	message := livedev.MustStructOf("Message",
+		livedev.StructField{Name: "from", Type: livedev.StringType},
+		livedev.StructField{Name: "to", Type: livedev.StringType},
+		livedev.StructField{Name: "body", Type: livedev.StringType},
+		livedev.StructField{Name: "id", Type: livedev.Int64Type},
+	)
+	box := &mailbox{msgs: make(map[string][]livedev.Value)}
+	var nextID int64
+
+	mail := livedev.NewClass("Mail")
+	if _, err := mail.AddMethod(livedev.MethodSpec{
+		Name:        "send",
+		Params:      []livedev.Param{{Name: "m", Type: message}},
+		Result:      livedev.Int64Type,
+		Distributed: true,
+		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
+			m := args[0]
+			to, _ := m.Field("to")
+			box.mu.Lock()
+			defer box.mu.Unlock()
+			nextID++
+			from, _ := m.Field("from")
+			body, _ := m.Field("body")
+			stored, err := livedev.Struct(message, from, to, body, livedev.Int64(nextID))
+			if err != nil {
+				return livedev.Value{}, err
+			}
+			box.msgs[to.Str()] = append(box.msgs[to.Str()], stored)
+			return livedev.Int64(nextID), nil
+		},
+	}); err != nil {
+		return err
+	}
+	if _, err := mail.AddMethod(livedev.MethodSpec{
+		Name:        "fetch",
+		Params:      []livedev.Param{{Name: "user", Type: livedev.StringType}},
+		Result:      livedev.SequenceOf(message),
+		Distributed: true,
+		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
+			box.mu.Lock()
+			defer box.mu.Unlock()
+			return livedev.Sequence(message, box.msgs[args[0].Str()]...)
+		},
+	}); err != nil {
+		return err
+	}
+
+	mgr, err := livedev.NewManager(livedev.Config{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mgr.Close() }()
+	srv, err := mgr.Register(mail, livedev.TechSOAP)
+	if err != nil {
+		return err
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		return err
+	}
+	fmt.Println("mail service WSDL:", srv.InterfaceURL())
+
+	alice, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = alice.Close() }()
+	bob, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = bob.Close() }()
+
+	// Alice sends Bob two messages.
+	for _, body := range []string{"lunch at noon?", "bring the IDL spec"} {
+		m, err := livedev.Struct(message,
+			livedev.Str("alice"), livedev.Str("bob"), livedev.Str(body), livedev.Int64(0))
+		if err != nil {
+			return err
+		}
+		id, err := alice.Call("send", m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("alice sent message %v\n", id)
+	}
+
+	// Bob fetches his mailbox.
+	inbox, err := bob.Call("fetch", livedev.Str("bob"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob has %d messages:\n", inbox.Len())
+	for i := 0; i < inbox.Len(); i++ {
+		from, _ := inbox.Index(i).Field("from")
+		body, _ := inbox.Index(i).Field("body")
+		fmt.Printf("  %d. from %v: %v\n", i+1, from, body)
+	}
+
+	// Live evolution: the developer adds full-text search while the
+	// service is up and clients are connected.
+	if _, err := mail.AddMethod(livedev.MethodSpec{
+		Name: "search",
+		Params: []livedev.Param{
+			{Name: "user", Type: livedev.StringType},
+			{Name: "needle", Type: livedev.StringType},
+		},
+		Result:      livedev.SequenceOf(message),
+		Distributed: true,
+		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
+			box.mu.Lock()
+			defer box.mu.Unlock()
+			var hits []livedev.Value
+			for _, m := range box.msgs[args[0].Str()] {
+				body, _ := m.Field("body")
+				if strings.Contains(body.Str(), args[1].Str()) {
+					hits = append(hits, m)
+				}
+			}
+			return livedev.Sequence(message, hits...)
+		},
+	}); err != nil {
+		return err
+	}
+	srv.Publisher().PublishNow() // developer hits "publish now" in the SDE Manager Interface
+	srv.Publisher().WaitIdle()
+	fmt.Println("developer added search() live; WSDL republished")
+
+	// Bob's client discovers the new method on demand — no restart.
+	hits, err := bob.Call("search", livedev.Str("bob"), livedev.Str("IDL"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob searched for %q: %d hit(s)\n", "IDL", hits.Len())
+	for i := 0; i < hits.Len(); i++ {
+		body, _ := hits.Index(i).Field("body")
+		fmt.Println("  match:", body)
+	}
+	return nil
+}

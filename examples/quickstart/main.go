@@ -1,0 +1,98 @@
+// Quickstart: build a live SOAP server from a dynamic class, connect a
+// live client, change the server's interface while both run, and watch the
+// client recover through the paper's reactive-update protocol.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"livedev"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Define a dynamic class with one distributed method. In JPie this
+	// is the class editor with the 'distributed' modifier checked
+	// (paper Figure 3); here it is an API call.
+	calc := livedev.NewClass("Calc")
+	addID, err := calc.AddMethod(livedev.MethodSpec{
+		Name:        "add",
+		Params:      []livedev.Param{{Name: "a", Type: livedev.Int32Type}, {Name: "b", Type: livedev.Int32Type}},
+		Result:      livedev.Int32Type,
+		Distributed: true,
+		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
+			return livedev.Int32(args[0].Int32() + args[1].Int32()), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// 2. The SDE Manager automates deployment: registering the class
+	// creates the WSDL generator, call handler and publisher, and
+	// immediately publishes the interface description.
+	mgr, err := livedev.NewManager(livedev.Config{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mgr.Close() }()
+
+	srv, err := mgr.Register(calc, livedev.TechSOAP)
+	if err != nil {
+		return err
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		return err
+	}
+	fmt.Println("WSDL published at:", srv.InterfaceURL())
+
+	// 3. A CDE client compiles the WSDL into live stubs.
+	client, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+
+	sum, err := client.Call("add", livedev.Int32(20), livedev.Int32(22))
+	if err != nil {
+		return err
+	}
+	fmt.Println("add(20, 22) =", sum)
+
+	// 4. Live development: rename the method while client and server are
+	// both running and connected.
+	if err := calc.RenameMethod(addID, "plus"); err != nil {
+		return err
+	}
+	fmt.Println("server developer renamed add -> plus (server keeps running)")
+
+	// 5. The client's next call with the old name triggers the paper's
+	// Section 5.7 + Section 6 protocol: the server force-publishes the
+	// current WSDL before faulting, and the client refreshes its view
+	// before surfacing the error.
+	_, err = client.Call("add", livedev.Int32(1), livedev.Int32(2))
+	if !errors.Is(err, livedev.ErrStaleMethod) {
+		return fmt.Errorf("expected a stale-method error, got %v", err)
+	}
+	fmt.Println("stale call detected; client view refreshed:")
+	for _, m := range client.Interface().Methods {
+		fmt.Println("  ", m)
+	}
+
+	// 6. Normal execution resumes under the new name.
+	sum, err = client.Call("plus", livedev.Int32(20), livedev.Int32(22))
+	if err != nil {
+		return err
+	}
+	fmt.Println("plus(20, 22) =", sum)
+	return nil
+}

@@ -1,0 +1,332 @@
+// Package bridge implements the paper's future-work feature (Section 8):
+// "the ability to interchange the technology being used to communicate
+// between the client and the server while live development and information
+// exchange is taking place. Although some SOAP to CORBA bridging
+// technologies offer static bridging capabilities, we feel that live
+// modification will result in a more fluid development experience."
+//
+// A bridge fronts a live server of one technology with an endpoint of the
+// other: a SOAPFront exposes a CORBA server as a Web Service (publishing a
+// WSDL derived from the backend's live interface); a CORBAFront exposes a
+// SOAP server as a CORBA object (publishing IDL + IOR). Unlike the static
+// bridges the paper cites (Orbix/Artix), the bridge is *live*: its view of
+// the backend interface refreshes through the same reactive protocol the
+// CDE uses, so server-side edits propagate through the bridge to clients
+// of the other technology, including the "Non Existent Method" recency
+// guarantee.
+package bridge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/dyn"
+	"livedev/internal/idl"
+	"livedev/internal/ifsvr"
+	"livedev/internal/ior"
+	"livedev/internal/orb"
+	"livedev/internal/soap"
+	"livedev/internal/wsdl"
+)
+
+// SOAPFront exposes a backend (normally a CORBA CDE client) as a SOAP
+// endpoint with a live WSDL document.
+type SOAPFront struct {
+	backend *cde.Client
+	name    string
+
+	iface    *ifsvr.Server
+	wsdlPath string
+
+	srv      *http.Server
+	ln       net.Listener
+	endpoint string
+	done     chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSOAPFront bridges the backend client under the given service name.
+// The front owns its own Interface Server instance for the derived WSDL.
+func NewSOAPFront(name string, backend *cde.Client) *SOAPFront {
+	return &SOAPFront{
+		backend:  backend,
+		name:     name,
+		iface:    ifsvr.New(),
+		wsdlPath: "/wsdl/" + name + ".wsdl",
+	}
+}
+
+// Start listens on the two addresses (endpoint and interface server) and
+// publishes the initial WSDL derived from the backend's current interface.
+func (f *SOAPFront) Start(endpointAddr, ifaceAddr string) error {
+	if _, err := f.iface.Start(ifaceAddr); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", endpointAddr)
+	if err != nil {
+		_ = f.iface.Close()
+		return fmt.Errorf("bridge: listen %s: %w", endpointAddr, err)
+	}
+	f.ln = ln
+	f.endpoint = "http://" + ln.Addr().String() + "/"
+	f.srv = &http.Server{Handler: f, ReadHeaderTimeout: 10 * time.Second}
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		_ = f.srv.Serve(ln)
+	}()
+	f.republish()
+	return nil
+}
+
+// Endpoint returns the bridged SOAP endpoint URL.
+func (f *SOAPFront) Endpoint() string { return f.endpoint }
+
+// WSDLURL returns the URL of the bridge's derived WSDL document.
+func (f *SOAPFront) WSDLURL() string { return f.iface.BaseURL() + f.wsdlPath }
+
+// republish regenerates the bridge's WSDL from the backend's current
+// interface view — the live half of live bridging.
+func (f *SOAPFront) republish() {
+	desc := f.backend.Interface()
+	desc.ClassName = f.name
+	doc := wsdl.Generate(desc, f.endpoint)
+	text, err := doc.XML()
+	if err != nil {
+		return
+	}
+	f.iface.PublishVersioned(f.wsdlPath, "text/xml", text, f.backend.Versions().Descriptor)
+}
+
+// Refresh re-fetches the backend interface and republishes the WSDL.
+func (f *SOAPFront) Refresh() error {
+	if err := f.backend.Refresh(); err != nil {
+		return err
+	}
+	f.republish()
+	return nil
+}
+
+// ServeHTTP translates SOAP requests into backend calls.
+func (f *SOAPFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		f.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
+		return
+	}
+	req, err := soap.ParseRequest(body)
+	if err != nil {
+		f.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
+		return
+	}
+	sig, ok := f.backend.Interface().Lookup(req.Method)
+	if !ok || len(req.Params) != len(sig.Params) {
+		f.staleFault(w, req.Method)
+		return
+	}
+	args := make([]dyn.Value, len(sig.Params))
+	for i, p := range sig.Params {
+		v, err := soap.DecodeValue(req.Params[i], p.Type)
+		if err != nil {
+			f.staleFault(w, req.Method)
+			return
+		}
+		args[i] = v
+	}
+	result, err := f.backend.Call(req.Method, args...)
+	switch {
+	case err == nil:
+		env, encErr := soap.BuildResponse("urn:"+f.name, req.Method, result)
+		if encErr != nil {
+			f.fault(w, &soap.Fault{Code: "soap:Server", String: "encoding error"})
+			return
+		}
+		w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+		_, _ = io.WriteString(w, env)
+	case errors.Is(err, cde.ErrStaleMethod), errors.Is(err, cde.ErrNoSuchStub):
+		// The backend already refreshed the client view; mirror the
+		// change into our published WSDL before faulting, preserving the
+		// recency guarantee across the bridge.
+		f.republish()
+		f.fault(w, &soap.Fault{Code: "soap:Server", String: soap.FaultNonExistentMethod,
+			Detail: "bridged method " + req.Method + " is not on the current backend interface"})
+	default:
+		f.fault(w, &soap.Fault{Code: "soap:Server", String: err.Error()})
+	}
+}
+
+// staleFault handles calls the bridge's own view cannot resolve: refresh
+// the view (and WSDL), then report Non Existent Method.
+func (f *SOAPFront) staleFault(w http.ResponseWriter, method string) {
+	_ = f.Refresh()
+	f.fault(w, &soap.Fault{Code: "soap:Server", String: soap.FaultNonExistentMethod,
+		Detail: "bridged method " + method + " is not on the current backend interface"})
+}
+
+func (f *SOAPFront) fault(w http.ResponseWriter, flt *soap.Fault) {
+	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = io.WriteString(w, soap.BuildFault(flt))
+}
+
+// Close shuts the bridge down (the backend client is not closed; the
+// caller owns it).
+func (f *SOAPFront) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	var err error
+	if f.srv != nil {
+		err = f.srv.Close()
+		<-f.done
+	}
+	if e := f.iface.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// CORBAFront exposes a backend (normally a SOAP CDE client) as a CORBA
+// object with live IDL + IOR documents.
+type CORBAFront struct {
+	backend *cde.Client
+	name    string
+
+	iface   *ifsvr.Server
+	idlPath string
+	iorPath string
+
+	orbSrv *orb.ServerORB
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewCORBAFront bridges the backend client under the given interface name.
+func NewCORBAFront(name string, backend *cde.Client) *CORBAFront {
+	return &CORBAFront{
+		backend: backend,
+		name:    name,
+		iface:   ifsvr.New(),
+		idlPath: "/idl/" + name + ".idl",
+		iorPath: "/ior/" + name + ".ior",
+	}
+}
+
+// Start listens on the two addresses and publishes the initial IDL and IOR.
+func (f *CORBAFront) Start(orbAddr, ifaceAddr string) error {
+	if _, err := f.iface.Start(ifaceAddr); err != nil {
+		return err
+	}
+	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", f.name, f.name)
+	f.orbSrv = orb.NewServerORB(typeID, []byte(f.name), &bridgeTarget{front: f})
+	ref, err := f.orbSrv.Listen(orbAddr)
+	if err != nil {
+		_ = f.iface.Close()
+		return err
+	}
+	f.iface.Publish(f.iorPath, "text/plain", ref.String())
+	f.republish()
+	return nil
+}
+
+// IDLURL returns the URL of the bridge's derived IDL document.
+func (f *CORBAFront) IDLURL() string { return f.iface.BaseURL() + f.idlPath }
+
+// IORURL returns the URL of the bridge object's IOR.
+func (f *CORBAFront) IORURL() string { return f.iface.BaseURL() + f.iorPath }
+
+// IOR returns the bridge object's reference (valid after Start).
+func (f *CORBAFront) IOR() (ior.IOR, error) {
+	doc, err := f.iface.Get(f.iorPath)
+	if err != nil {
+		return ior.IOR{}, err
+	}
+	return ior.ParseString(doc.Content)
+}
+
+func (f *CORBAFront) republish() {
+	desc := f.backend.Interface()
+	desc.ClassName = f.name
+	doc, err := idl.Generate(desc)
+	if err != nil {
+		return
+	}
+	f.iface.PublishVersioned(f.idlPath, "text/plain", idl.Print(doc), f.backend.Versions().Descriptor)
+}
+
+// Refresh re-fetches the backend interface and republishes the IDL.
+func (f *CORBAFront) Refresh() error {
+	if err := f.backend.Refresh(); err != nil {
+		return err
+	}
+	f.republish()
+	return nil
+}
+
+// Close shuts the bridge down.
+func (f *CORBAFront) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	var err error
+	if f.orbSrv != nil {
+		err = f.orbSrv.Close()
+	}
+	if e := f.iface.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// bridgeTarget adapts the backend client to the server ORB's DSI surface.
+type bridgeTarget struct {
+	front *CORBAFront
+}
+
+var _ orb.DSITarget = (*bridgeTarget)(nil)
+
+// LookupOperation implements orb.DSITarget against the backend view.
+func (t *bridgeTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
+	return t.front.backend.Interface().Lookup(op)
+}
+
+// InvokeOperation implements orb.DSITarget by forwarding over the backend.
+func (t *bridgeTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+	v, err := t.front.backend.Call(op, args...)
+	if err == nil {
+		return v, nil
+	}
+	if errors.Is(err, cde.ErrStaleMethod) || errors.Is(err, cde.ErrNoSuchStub) {
+		// Map the bridged staleness onto the CORBA-side protocol: the ORB
+		// will call OperationMissing and reply BAD_OPERATION.
+		return dyn.Value{}, fmt.Errorf("%w: bridged backend: %v", dyn.ErrNoSuchMethod, err)
+	}
+	return dyn.Value{}, err
+}
+
+// OperationMissing implements orb.DSITarget: refresh the backend view and
+// republish the IDL before the BAD_OPERATION reply goes out.
+func (t *bridgeTarget) OperationMissing(string) {
+	_ = t.front.Refresh()
+}

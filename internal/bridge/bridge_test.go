@@ -1,0 +1,265 @@
+package bridge
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+	"livedev/internal/soap"
+)
+
+// newFailingSpec is a distributed method whose body always errors.
+func newFailingSpec() dyn.MethodSpec {
+	return dyn.MethodSpec{
+		Name:        "explode",
+		Result:      dyn.StringT,
+		Distributed: true,
+		Body: func(*dyn.Instance, []dyn.Value) (dyn.Value, error) {
+			return dyn.Value{}, errors.New("backend detonated")
+		},
+	}
+}
+
+// soapStringType avoids importing dyn in edge_test for one constant.
+func soapStringType() *dyn.Type { return dyn.StringT }
+
+// startCORBABackend runs a live SDE CORBA server and returns a CDE client
+// bound to it (the bridge's backend) plus the class for live edits.
+func startCORBABackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
+	t.Helper()
+	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mgr.Close() })
+
+	class := dyn.NewClass("Inv")
+	if _, err := class.AddMethod(dyn.MethodSpec{
+		Name:        "lookup",
+		Params:      []dyn.Param{{Name: "skuCode", Type: dyn.StringT}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(int32(len(args[0].Str()))), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mgr.Register(class, core.TechCORBA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	cs := srv.(*core.CORBAServer)
+	backend, err := cde.NewCORBAClient(cs.InterfaceURL(), cs.IORURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = backend.Close() })
+	return backend, class, srv
+}
+
+// startSOAPBackend runs a live SDE SOAP server and returns a CDE client
+// bound to it.
+func startSOAPBackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
+	t.Helper()
+	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = mgr.Close() })
+
+	class := dyn.NewClass("Inv")
+	if _, err := class.AddMethod(dyn.MethodSpec{
+		Name:        "lookup",
+		Params:      []dyn.Param{{Name: "skuCode", Type: dyn.StringT}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(int32(len(args[0].Str()))), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mgr.Register(class, core.TechSOAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	backend, err := cde.NewSOAPClient(srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = backend.Close() })
+	return backend, class, srv
+}
+
+// TestSOAPFrontBridgesCORBA: a SOAP client talks, through the bridge, to a
+// live CORBA server.
+func TestSOAPFrontBridgesCORBA(t *testing.T) {
+	backend, _, _ := startCORBABackend(t)
+	front := NewSOAPFront("InvBridge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// A plain CDE SOAP client consumes the bridge like any Web Service.
+	soapClient, err := cde.NewSOAPClient(front.WSDLURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer soapClient.Close()
+
+	got, err := soapClient.Call("lookup", dyn.StringValue("ABC-123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 7 {
+		t.Errorf("lookup = %v", got)
+	}
+	if soapClient.Technology() != "SOAP" || backend.Technology() != "CORBA" {
+		t.Error("bridge should span technologies")
+	}
+}
+
+// TestSOAPFrontLiveEditPropagates: a server-side rename crosses the bridge
+// with the recency guarantee intact.
+func TestSOAPFrontLiveEditPropagates(t *testing.T) {
+	backend, class, srv := startCORBABackend(t)
+	front := NewSOAPFront("InvBridge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	soapClient, err := cde.NewSOAPClient(front.WSDLURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer soapClient.Close()
+
+	// Rename on the CORBA server while the SOAP client is connected
+	// through the bridge.
+	id, _ := class.MethodIDByName("lookup")
+	if err := class.RenameMethod(id, "find"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publisher().PublishNow()
+	srv.Publisher().WaitIdle()
+
+	// The SOAP client's stale call crosses two protocol layers and still
+	// arrives as the standard stale-method experience, with the bridge's
+	// WSDL already refreshed by delivery time.
+	_, err = soapClient.Call("lookup", dyn.StringValue("x"))
+	if !errors.Is(err, cde.ErrStaleMethod) {
+		t.Fatalf("bridged stale call: %v", err)
+	}
+	if _, ok := soapClient.Interface().Lookup("find"); !ok {
+		t.Error("rename must be visible through the bridge after the stale call")
+	}
+	got, err := soapClient.Call("find", dyn.StringValue("AB"))
+	if err != nil || got.Int32() != 2 {
+		t.Errorf("find = %v, %v", got, err)
+	}
+}
+
+// TestCORBAFrontBridgesSOAP: a CORBA client talks, through the bridge, to
+// a live SOAP server.
+func TestCORBAFrontBridgesSOAP(t *testing.T) {
+	backend, _, _ := startSOAPBackend(t)
+	front := NewCORBAFront("InvBridge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	corbaClient, err := cde.NewCORBAClient(front.IDLURL(), front.IORURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corbaClient.Close()
+
+	got, err := corbaClient.Call("lookup", dyn.StringValue("WXYZ"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 4 {
+		t.Errorf("lookup = %v", got)
+	}
+	if _, err := front.IOR(); err != nil {
+		t.Errorf("IOR(): %v", err)
+	}
+}
+
+// TestCORBAFrontLiveEditPropagates: the reverse direction of the live
+// propagation test.
+func TestCORBAFrontLiveEditPropagates(t *testing.T) {
+	backend, class, srv := startSOAPBackend(t)
+	front := NewCORBAFront("InvBridge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	corbaClient, err := cde.NewCORBAClient(front.IDLURL(), front.IORURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corbaClient.Close()
+
+	id, _ := class.MethodIDByName("lookup")
+	if err := class.RenameMethod(id, "find"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publisher().PublishNow()
+	srv.Publisher().WaitIdle()
+
+	_, err = corbaClient.Call("lookup", dyn.StringValue("x"))
+	if !errors.Is(err, cde.ErrStaleMethod) {
+		t.Fatalf("bridged stale call: %v", err)
+	}
+	if _, ok := corbaClient.Interface().Lookup("find"); !ok {
+		t.Error("rename must be visible through the bridge after the stale call")
+	}
+	got, err := corbaClient.Call("find", dyn.StringValue("ABCDE"))
+	if err != nil || got.Int32() != 5 {
+		t.Errorf("find = %v, %v", got, err)
+	}
+}
+
+// TestSOAPFrontMalformedAndUnknown: transport-level edge cases.
+func TestSOAPFrontMalformedAndUnknown(t *testing.T) {
+	backend, _, _ := startCORBABackend(t)
+	front := NewSOAPFront("InvBridge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	client := &soap.Client{Endpoint: front.Endpoint(), ServiceNS: "urn:InvBridge"}
+	_, err := client.Call("ghost", nil, dyn.Int32T)
+	if !soap.IsNonExistentMethod(err) {
+		t.Errorf("unknown bridged method: %v", err)
+	}
+	// Wrong arity is treated as stale-signature per the protocol.
+	_, err = client.Call("lookup", []soap.NamedValue{
+		{Name: "a", Value: dyn.Int32Value(1)}, {Name: "b", Value: dyn.Int32Value(2)},
+	}, dyn.Int32T)
+	if !soap.IsNonExistentMethod(err) {
+		t.Errorf("wrong arity through bridge: %v", err)
+	}
+	if err := front.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package bridge
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"livedev/internal/soap"
+)
+
+func TestSOAPFrontStartErrors(t *testing.T) {
+	backend, _, _ := startCORBABackend(t)
+	front := NewSOAPFront("X", backend)
+	if err := front.Start("127.0.0.1:0", "999.999.999.999:0"); err == nil {
+		t.Error("bad interface address should fail")
+	}
+	front2 := NewSOAPFront("X", backend)
+	if err := front2.Start("999.999.999.999:0", "127.0.0.1:0"); err == nil {
+		t.Error("bad endpoint address should fail")
+	}
+	// Close before start is a no-op.
+	front3 := NewSOAPFront("X", backend)
+	if err := front3.Close(); err != nil {
+		t.Errorf("close before start: %v", err)
+	}
+}
+
+func TestCORBAFrontStartErrors(t *testing.T) {
+	backend, _, _ := startSOAPBackend(t)
+	front := NewCORBAFront("X", backend)
+	if err := front.Start("127.0.0.1:0", "999.999.999.999:0"); err == nil {
+		t.Error("bad interface address should fail")
+	}
+	front2 := NewCORBAFront("X", backend)
+	if err := front2.Start("999.999.999.999:0", "127.0.0.1:0"); err == nil {
+		t.Error("bad ORB address should fail")
+	}
+	front3 := NewCORBAFront("X", backend)
+	if err := front3.Close(); err != nil {
+		t.Errorf("close before start: %v", err)
+	}
+	if _, err := front3.IOR(); err == nil {
+		t.Error("IOR before start should fail")
+	}
+}
+
+func TestSOAPFrontTransportEdges(t *testing.T) {
+	backend, _, _ := startCORBABackend(t)
+	front := NewSOAPFront("Edge", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// GET is rejected.
+	resp, err := http.Get(front.Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(front.Endpoint(), "text/xml", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	parsed, err := soap.ParseResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Fault == nil || parsed.Fault.String != soap.FaultMalformedRequest {
+		t.Errorf("fault = %+v", parsed.Fault)
+	}
+
+	// Refresh is callable directly (the bridge operator's manual resync).
+	if err := front.Refresh(); err != nil {
+		t.Errorf("refresh: %v", err)
+	}
+}
+
+func TestSOAPFrontForwardsAppErrors(t *testing.T) {
+	backend, class, srv := startCORBABackend(t)
+	front := NewSOAPFront("Err", backend)
+	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+
+	// Add a failing method to the backend and publish.
+	if _, err := class.AddMethod(newFailingSpec()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Publisher().PublishNow()
+	srv.Publisher().WaitIdle()
+	if err := front.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &soap.Client{Endpoint: front.Endpoint(), ServiceNS: "urn:Err"}
+	_, err := client.Call("explode", nil, soapStringType())
+	if err == nil || !strings.Contains(err.Error(), "backend detonated") {
+		t.Errorf("bridged app error = %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package cde
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"livedev/internal/dyn"
+	"livedev/internal/idl"
+	"livedev/internal/ifsvr"
+	"livedev/internal/ior"
+	"livedev/internal/orb"
+	"livedev/internal/soap"
+	"livedev/internal/wsdl"
+)
+
+// soapBackend is the Apache-Axis-equivalent client plumbing: WSDL compiler
+// plus SOAP-over-HTTP invocation (paper Figure 1).
+type soapBackend struct {
+	wsdlURL    string
+	httpClient *http.Client
+
+	mu     sync.RWMutex
+	caller *soap.Client
+}
+
+var _ Backend = (*soapBackend)(nil)
+
+// NewSOAPClient builds a CDE client from the WSDL document published at
+// wsdlURL. httpClient may be nil.
+func NewSOAPClient(wsdlURL string, httpClient *http.Client) (*Client, error) {
+	return NewClient(&soapBackend{wsdlURL: wsdlURL, httpClient: httpClient})
+}
+
+// Technology implements Backend.
+func (b *soapBackend) Technology() string { return "SOAP" }
+
+// FetchInterface implements Backend: fetch the WSDL, compile it, and
+// (re)target the SOAP caller at the advertised endpoint.
+func (b *soapBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
+	doc, err := ifsvr.Fetch(b.httpClient, b.wsdlURL)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	parsed, err := wsdl.Parse([]byte(doc.Content))
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: compiling WSDL: %w", err)
+	}
+	b.mu.Lock()
+	b.caller = &soap.Client{
+		Endpoint:   parsed.Endpoint,
+		ServiceNS:  parsed.TargetNS,
+		HTTPClient: b.httpClient,
+	}
+	b.mu.Unlock()
+	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// Invoke implements Backend.
+func (b *soapBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	b.mu.RLock()
+	caller := b.caller
+	b.mu.RUnlock()
+	if caller == nil {
+		return dyn.Value{}, errors.New("cde: SOAP backend not initialized")
+	}
+	if len(args) != len(sig.Params) {
+		return dyn.Value{}, fmt.Errorf("cde: %s takes %d arguments, got %d", sig.Name, len(sig.Params), len(args))
+	}
+	named := make([]soap.NamedValue, len(args))
+	for i, a := range args {
+		if !a.Type().Equal(sig.Params[i].Type) {
+			return dyn.Value{}, fmt.Errorf("cde: %s parameter %s wants %s, got %s",
+				sig.Name, sig.Params[i].Name, sig.Params[i].Type, a.Type())
+		}
+		named[i] = soap.NamedValue{Name: sig.Params[i].Name, Value: a}
+	}
+	return caller.Call(sig.Name, named, sig.Result)
+}
+
+// IsStale implements Backend.
+func (b *soapBackend) IsStale(err error) bool { return soap.IsNonExistentMethod(err) }
+
+// Close implements Backend.
+func (b *soapBackend) Close() error { return nil }
+
+// corbaBackend is the OpenORB-DII-equivalent client plumbing: IDL compiler,
+// IOR bootstrap, IIOP invocation (paper Figure 2).
+type corbaBackend struct {
+	idlURL     string
+	iorURL     string
+	httpClient *http.Client
+
+	mu    sync.Mutex
+	conn  *orb.ClientORB
+	iface string // interface name from the IOR type id
+}
+
+var _ Backend = (*corbaBackend)(nil)
+
+// NewCORBAClient builds a CDE client from the CORBA-IDL document and
+// stringified IOR published at the given URLs. httpClient may be nil.
+func NewCORBAClient(idlURL, iorURL string, httpClient *http.Client) (*Client, error) {
+	return NewClient(&corbaBackend{idlURL: idlURL, iorURL: iorURL, httpClient: httpClient})
+}
+
+// Technology implements Backend.
+func (b *corbaBackend) Technology() string { return "CORBA" }
+
+// interfaceNameFromTypeID extracts "Calc" from "IDL:CalcModule/Calc:1.0".
+func interfaceNameFromTypeID(typeID string) (string, error) {
+	s, ok := strings.CutPrefix(typeID, "IDL:")
+	if !ok {
+		return "", fmt.Errorf("cde: unexpected repository id %q", typeID)
+	}
+	s, _, ok = strings.Cut(s, ":")
+	if !ok {
+		return "", fmt.Errorf("cde: unexpected repository id %q", typeID)
+	}
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	if s == "" {
+		return "", fmt.Errorf("cde: unexpected repository id %q", typeID)
+	}
+	return s, nil
+}
+
+// connect dials the server ORB if not yet connected, using the published
+// IOR (Figure 2 step 1).
+func (b *corbaBackend) connect() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.conn != nil {
+		return nil
+	}
+	doc, err := ifsvr.Fetch(b.httpClient, b.iorURL)
+	if err != nil {
+		return err
+	}
+	ref, err := ior.ParseString(doc.Content)
+	if err != nil {
+		return fmt.Errorf("cde: parsing IOR: %w", err)
+	}
+	name, err := interfaceNameFromTypeID(ref.TypeID)
+	if err != nil {
+		return err
+	}
+	conn, err := orb.DialIOR(ref)
+	if err != nil {
+		return fmt.Errorf("cde: initializing client ORB: %w", err)
+	}
+	b.conn = conn
+	b.iface = name
+	return nil
+}
+
+// FetchInterface implements Backend: fetch and compile the CORBA-IDL
+// document (Figure 2's IDL compiler).
+func (b *corbaBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
+	if err := b.connect(); err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	doc, err := ifsvr.Fetch(b.httpClient, b.idlURL)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	parsed, err := idl.Parse(doc.Content)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: compiling IDL: %w", err)
+	}
+	b.mu.Lock()
+	name := b.iface
+	b.mu.Unlock()
+	desc, err := idl.Resolve(parsed, name)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: resolving IDL: %w", err)
+	}
+	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// Invoke implements Backend via DII.
+func (b *corbaBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	b.mu.Lock()
+	conn := b.conn
+	b.mu.Unlock()
+	if conn == nil {
+		return dyn.Value{}, errors.New("cde: CORBA backend not connected")
+	}
+	return conn.Invoke(sig, args)
+}
+
+// IsStale implements Backend.
+func (b *corbaBackend) IsStale(err error) bool {
+	return errors.Is(err, orb.ErrNonExistentMethod)
+}
+
+// Close implements Backend.
+func (b *corbaBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.conn == nil {
+		return nil
+	}
+	err := b.conn.Close()
+	b.conn = nil
+	return err
+}

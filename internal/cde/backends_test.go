@@ -1,0 +1,215 @@
+package cde
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"livedev/internal/dyn"
+	"livedev/internal/idl"
+	"livedev/internal/ifsvr"
+	"livedev/internal/ior"
+	"livedev/internal/orb"
+	"livedev/internal/wsdl"
+)
+
+// startIfsvr publishes the given documents and returns the base URL.
+func startIfsvr(t *testing.T, docs map[string]string) string {
+	t.Helper()
+	s := ifsvr.New()
+	for path, content := range docs {
+		s.Publish(path, "text/plain", content)
+	}
+	base, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return base
+}
+
+func validWSDL(t *testing.T) string {
+	t.Helper()
+	c := dyn.NewClass("Svc")
+	if _, err := c.AddMethod(dyn.MethodSpec{Name: "op", Result: dyn.Int32T, Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := wsdl.Generate(c.Interface(), "http://127.0.0.1:1/Svc").XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func TestSOAPBackendFetchFailures(t *testing.T) {
+	// Unreachable interface server.
+	if _, err := NewSOAPClient("http://127.0.0.1:1/wsdl", nil); err == nil {
+		t.Error("unreachable WSDL URL should fail")
+	}
+	// 404.
+	base := startIfsvr(t, nil)
+	if _, err := NewSOAPClient(base+"/missing.wsdl", nil); err == nil {
+		t.Error("missing WSDL should fail")
+	}
+	// Unparseable WSDL.
+	base2 := startIfsvr(t, map[string]string{"/bad.wsdl": "<not-wsdl/>"})
+	if _, err := NewSOAPClient(base2+"/bad.wsdl", nil); err == nil {
+		t.Error("non-WSDL document should fail")
+	}
+}
+
+func TestSOAPBackendEndpointUnreachable(t *testing.T) {
+	// Valid WSDL advertising a dead endpoint: construction succeeds (the
+	// interface is compiled), calls fail cleanly.
+	base := startIfsvr(t, map[string]string{"/svc.wsdl": validWSDL(t)})
+	client, err := NewSOAPClient(base+"/svc.wsdl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Call("op"); err == nil {
+		t.Error("call to a dead endpoint should fail")
+	}
+}
+
+func TestSOAPBackendArgChecks(t *testing.T) {
+	base := startIfsvr(t, map[string]string{"/svc.wsdl": validWSDL(t)})
+	client, err := NewSOAPClient(base+"/svc.wsdl", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Arity is checked client-side before any network traffic.
+	if _, err := client.Call("op", dyn.Int32Value(1)); err == nil {
+		t.Error("arity mismatch should fail client-side")
+	}
+}
+
+func TestSOAPBackendInvokeBeforeFetch(t *testing.T) {
+	b := &soapBackend{wsdlURL: "http://unused/"}
+	if _, err := b.Invoke(dyn.MethodSig{Name: "x"}, nil); err == nil {
+		t.Error("invoke before FetchInterface should fail")
+	}
+	if b.Technology() != "SOAP" {
+		t.Error("Technology")
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestCORBABackendFetchFailures(t *testing.T) {
+	// Missing IOR document.
+	base := startIfsvr(t, nil)
+	if _, err := NewCORBAClient(base+"/x.idl", base+"/x.ior", nil); err == nil {
+		t.Error("missing IOR should fail")
+	}
+	// Unparseable IOR.
+	base2 := startIfsvr(t, map[string]string{"/x.ior": "garbage"})
+	if _, err := NewCORBAClient(base2+"/x.idl", base2+"/x.ior", nil); err == nil {
+		t.Error("garbage IOR should fail")
+	}
+	// IOR with a bad repository id.
+	badID := ior.New("NOPREFIX", "127.0.0.1", 1, []byte("k"))
+	base3 := startIfsvr(t, map[string]string{"/x.ior": badID.String()})
+	if _, err := NewCORBAClient(base3+"/x.idl", base3+"/x.ior", nil); err == nil {
+		t.Error("bad repository id should fail")
+	}
+	// IOR pointing at a dead endpoint.
+	deadRef := ior.New("IDL:Mod/Svc:1.0", "127.0.0.1", 1, []byte("k"))
+	base4 := startIfsvr(t, map[string]string{"/x.ior": deadRef.String()})
+	if _, err := NewCORBAClient(base4+"/x.idl", base4+"/x.ior", nil); err == nil {
+		t.Error("dead ORB endpoint should fail")
+	}
+}
+
+func TestCORBABackendIDLFailures(t *testing.T) {
+	// A live ORB endpoint but broken IDL documents.
+	class := dyn.NewClass("Svc")
+	if _, err := class.AddMethod(dyn.MethodSpec{Name: "op", Result: dyn.Int32T, Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	target := &testTarget{in: class.NewInstance()}
+	srv := orb.NewServerORB("IDL:SvcModule/Svc:1.0", []byte("svc"), target)
+	ref, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// IDL missing entirely.
+	base := startIfsvr(t, map[string]string{"/svc.ior": ref.String()})
+	if _, err := NewCORBAClient(base+"/svc.idl", base+"/svc.ior", nil); err == nil {
+		t.Error("missing IDL should fail")
+	}
+
+	// IDL that does not parse.
+	base2 := startIfsvr(t, map[string]string{
+		"/svc.ior": ref.String(),
+		"/svc.idl": "not idl at all {",
+	})
+	if _, err := NewCORBAClient(base2+"/svc.idl", base2+"/svc.ior", nil); err == nil {
+		t.Error("unparseable IDL should fail")
+	}
+
+	// IDL whose module lacks the interface the IOR names.
+	base3 := startIfsvr(t, map[string]string{
+		"/svc.ior": ref.String(),
+		"/svc.idl": "module SvcModule { interface Other { void f(); }; };",
+	})
+	if _, err := NewCORBAClient(base3+"/svc.idl", base3+"/svc.ior", nil); err == nil {
+		t.Error("interface mismatch should fail")
+	}
+
+	// A correct document set works.
+	doc, err := idl.Generate(class.Interface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base4 := startIfsvr(t, map[string]string{
+		"/svc.ior": ref.String(),
+		"/svc.idl": idl.Print(doc),
+	})
+	client, err := NewCORBAClient(base4+"/svc.idl", base4+"/svc.ior", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Call("op"); err != nil {
+		t.Errorf("valid setup should call: %v", err)
+	}
+}
+
+func TestCORBABackendInvokeBeforeConnect(t *testing.T) {
+	b := &corbaBackend{idlURL: "http://unused/", iorURL: "http://unused/"}
+	if _, err := b.Invoke(dyn.MethodSig{Name: "x"}, nil); err == nil {
+		t.Error("invoke before connect should fail")
+	}
+	if b.Technology() != "CORBA" {
+		t.Error("Technology")
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("close before connect: %v", err)
+	}
+}
+
+// testTarget is a minimal DSI target for the failure-injection tests.
+type testTarget struct{ in *dyn.Instance }
+
+func (t *testTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
+	return t.in.Class().Interface().Lookup(op)
+}
+
+func (t *testTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+	v, err := t.in.InvokeDistributed(op, args...)
+	if err != nil && errors.Is(err, dyn.ErrNoBody) {
+		// The failure-injection class has no bodies; answer statically so
+		// the happy-path assertion can pass.
+		if strings.HasPrefix(op, "op") {
+			return dyn.Int32Value(7), nil
+		}
+	}
+	return v, err
+}
+
+func (t *testTarget) OperationMissing(string) {}

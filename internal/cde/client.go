@@ -1,0 +1,314 @@
+// Package cde implements the paper's Client Development Environment
+// (Section 2.3 and [1]): the client half of live, simultaneous
+// client-server development. A Client fetches the published interface
+// description (WSDL or CORBA-IDL + IOR) from the SDE's Interface Server,
+// builds a live stub set from it, and invokes server methods by name with
+// dyn values. When the server replies "Non Existent Method" — which the
+// Section 5.7 protocol guarantees happens only after the published
+// interface is current — the client updates its view of the server
+// interface *before* delivering the exception to the calling code, so the
+// developer always sees the signature change that caused the failure
+// (Section 6, Figure 9). The JPie debugger analogue records the failed call
+// and supports 'try again'.
+package cde
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"livedev/internal/dyn"
+)
+
+// ErrStaleMethod is the sentinel wrapped by *StaleMethodError.
+var ErrStaleMethod = errors.New("cde: method is stale on the server")
+
+// ErrNoSuchStub reports a call to a method absent from the client's current
+// view of the server interface (even after a refresh).
+var ErrNoSuchStub = errors.New("cde: no stub for method")
+
+// StaleMethodError is delivered to the caller after a "Non Existent Method"
+// reply. By the time the caller sees it, the client's interface view has
+// already been reactively updated, and RefreshedDescriptorVersion records
+// the interface version that view came from — the quantity the Section 6
+// recency guarantee bounds from below.
+type StaleMethodError struct {
+	Method string
+	// RefreshedDescriptorVersion is the descriptor version of the client's
+	// post-refresh interface view.
+	RefreshedDescriptorVersion uint64
+	// Cause is the transport-level error (SOAP fault / CORBA exception).
+	Cause error
+}
+
+// Error implements error.
+func (e *StaleMethodError) Error() string {
+	return fmt.Sprintf("cde: method %s is not part of the current server interface (client view updated to descriptor version %d): %v",
+		e.Method, e.RefreshedDescriptorVersion, e.Cause)
+}
+
+// Unwrap makes errors.Is(err, ErrStaleMethod) work and preserves the cause.
+func (e *StaleMethodError) Unwrap() []error { return []error{ErrStaleMethod, e.Cause} }
+
+// Backend is the technology-specific client plumbing (Axis for SOAP,
+// OpenORB DII for CORBA in the paper; our soap and orb packages here).
+type Backend interface {
+	// FetchInterface retrieves and compiles the published interface
+	// description, returning the descriptor, the document publish version,
+	// and the descriptor version it was generated from.
+	FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error)
+	// Invoke performs the remote call against sig.
+	Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error)
+	// IsStale reports whether err is this technology's "Non Existent
+	// Method" signal.
+	IsStale(err error) bool
+	// Technology names the backend ("SOAP", "CORBA").
+	Technology() string
+	// Close releases connections.
+	Close() error
+}
+
+// DocVersions carries the two version counters of a published document.
+type DocVersions struct {
+	// Doc is the Interface Server publish count.
+	Doc uint64
+	// Descriptor is the interface-descriptor version the document was
+	// generated from.
+	Descriptor uint64
+}
+
+// ClientStats counts client activity.
+type ClientStats struct {
+	// Calls counts successful remote calls.
+	Calls uint64
+	// StaleFaults counts "Non Existent Method" replies (each triggers a
+	// reactive interface refresh).
+	StaleFaults uint64
+	// Refreshes counts interface fetches (initial, reactive, and manual).
+	Refreshes uint64
+}
+
+// Client is a live CDE client bound to one server.
+type Client struct {
+	backend Backend
+
+	mu       sync.RWMutex
+	iface    dyn.InterfaceDescriptor
+	versions DocVersions
+	stats    ClientStats
+
+	debugger *Debugger
+
+	refreshMu sync.Mutex // serializes concurrent reactive refreshes
+}
+
+// NewClient wraps a backend and performs the initial interface fetch —
+// step (1) of Figures 1 and 2.
+func NewClient(backend Backend) (*Client, error) {
+	c := &Client{backend: backend}
+	c.debugger = &Debugger{client: c}
+	if err := c.Refresh(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Technology reports the backend technology.
+func (c *Client) Technology() string { return c.backend.Technology() }
+
+// Interface returns the client's current view of the server interface.
+func (c *Client) Interface() dyn.InterfaceDescriptor {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.iface
+}
+
+// Versions returns the versions of the interface document the current view
+// came from.
+func (c *Client) Versions() DocVersions {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions
+}
+
+// Stats returns a snapshot of the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// Debugger returns the client's debugger.
+func (c *Client) Debugger() *Debugger { return c.debugger }
+
+// Refresh re-fetches the published interface description and rebuilds the
+// stub set — the "regular update" edge of Figure 8. The view never moves
+// backwards: a fetch racing a newer fetch is discarded by comparing
+// document versions.
+func (c *Client) Refresh() error {
+	desc, vers, err := c.backend.FetchInterface()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Refreshes++
+	if vers.Doc >= c.versions.Doc {
+		c.iface = desc
+		c.versions = vers
+	}
+	return nil
+}
+
+// Call invokes a server method by name. The signature is resolved against
+// the client's current interface view; arguments are type-checked against
+// it; and the reactive-update protocol of Section 6 runs on "Non Existent
+// Method" replies: refresh first, then deliver a *StaleMethodError, which
+// is also recorded with the debugger.
+func (c *Client) Call(method string, args ...dyn.Value) (dyn.Value, error) {
+	c.mu.RLock()
+	sig, ok := c.iface.Lookup(method)
+	c.mu.RUnlock()
+	if !ok {
+		// The local view may predate a server-side addition: refresh once.
+		if err := c.Refresh(); err != nil {
+			return dyn.Value{}, err
+		}
+		c.mu.RLock()
+		sig, ok = c.iface.Lookup(method)
+		c.mu.RUnlock()
+		if !ok {
+			return dyn.Value{}, fmt.Errorf("%w: %s", ErrNoSuchStub, method)
+		}
+	}
+
+	result, err := c.backend.Invoke(sig, args)
+	if err == nil {
+		c.mu.Lock()
+		c.stats.Calls++
+		c.mu.Unlock()
+		return result, nil
+	}
+	if !c.backend.IsStale(err) {
+		return dyn.Value{}, err
+	}
+
+	// Section 6: "when a 'Non existent Method' exception is received by
+	// the client backend, the client view of the server interface is
+	// updated to the currently published one. Then, the exception is sent
+	// to the dynamic class that made the original RMI call."
+	c.refreshMu.Lock()
+	refreshErr := c.Refresh()
+	c.refreshMu.Unlock()
+
+	c.mu.Lock()
+	c.stats.StaleFaults++
+	ver := c.versions.Descriptor
+	c.mu.Unlock()
+
+	staleErr := &StaleMethodError{Method: method, RefreshedDescriptorVersion: ver, Cause: err}
+	if refreshErr != nil {
+		staleErr.Cause = errors.Join(err, fmt.Errorf("reactive refresh failed: %w", refreshErr))
+	}
+	c.debugger.record(method, args, staleErr)
+	return dyn.Value{}, staleErr
+}
+
+// AutoRefresh starts periodically refreshing the interface view (the
+// "regular update" path) and returns a stop function that blocks until the
+// refresher goroutine exits.
+func (c *Client) AutoRefresh(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				_ = c.Refresh()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
+}
+
+// Close releases the backend.
+func (c *Client) Close() error { return c.backend.Close() }
+
+// Exception is a failed call recorded by the debugger (Figure 9).
+type Exception struct {
+	Method string
+	Args   []dyn.Value
+	Err    error
+	// SignatureNow is the method's signature in the client's post-refresh
+	// interface view, if the method still exists — what the debugger shows
+	// the developer so "the server interface change is clearly visible".
+	SignatureNow *dyn.MethodSig
+}
+
+// Debugger is the JPie-debugger analogue: it records stale-call exceptions,
+// invokes an optional prompt hook (the paper's dialog of Figure 9), and
+// supports the 'try again' feature: re-execute the call, which picks up the
+// refreshed signature and resumes normal execution if the developer (or the
+// server developer) resolved the mismatch.
+type Debugger struct {
+	client *Client
+
+	mu     sync.Mutex
+	last   *Exception
+	prompt func(Exception)
+}
+
+// SetPrompt installs a hook called synchronously whenever an exception is
+// recorded.
+func (d *Debugger) SetPrompt(f func(Exception)) {
+	d.mu.Lock()
+	d.prompt = f
+	d.mu.Unlock()
+}
+
+// Last returns the most recently recorded exception.
+func (d *Debugger) Last() (Exception, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.last == nil {
+		return Exception{}, false
+	}
+	return *d.last, true
+}
+
+func (d *Debugger) record(method string, args []dyn.Value, err error) {
+	ex := Exception{Method: method, Args: args, Err: err}
+	if sig, ok := d.client.Interface().Lookup(method); ok {
+		ex.SignatureNow = &sig
+	}
+	d.mu.Lock()
+	d.last = &ex
+	prompt := d.prompt
+	d.mu.Unlock()
+	if prompt != nil {
+		prompt(ex)
+	}
+}
+
+// TryAgain re-executes the last failed call with its original arguments. If
+// the server developer restored a compatible signature, execution resumes
+// normally (Section 6's 'try again' flow).
+func (d *Debugger) TryAgain() (dyn.Value, error) {
+	d.mu.Lock()
+	ex := d.last
+	d.mu.Unlock()
+	if ex == nil {
+		return dyn.Value{}, errors.New("cde: no failed call to retry")
+	}
+	return d.client.Call(ex.Method, ex.Args...)
+}

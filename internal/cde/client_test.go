@@ -1,0 +1,380 @@
+package cde
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"livedev/internal/dyn"
+)
+
+// fakeBackend is a scriptable Backend: it serves interface descriptors from
+// a versioned store and dispatches invocations to a function.
+type fakeBackend struct {
+	mu       sync.Mutex
+	desc     dyn.InterfaceDescriptor
+	vers     DocVersions
+	fetchErr error
+	invoke   func(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error)
+	fetches  int
+	staleErr error // the error that counts as "Non Existent Method"
+	closed   bool
+}
+
+var _ Backend = (*fakeBackend)(nil)
+
+var errFakeStale = errors.New("fake: non existent method")
+
+func newFakeBackend() *fakeBackend {
+	b := &fakeBackend{staleErr: errFakeStale}
+	b.setInterface(descWith("ping"))
+	return b
+}
+
+func descWith(methods ...string) dyn.InterfaceDescriptor {
+	c := dyn.NewClass("Svc")
+	for _, m := range methods {
+		_, _ = c.AddMethod(dyn.MethodSpec{
+			Name:        m,
+			Result:      dyn.StringT,
+			Distributed: true,
+		})
+	}
+	return c.Interface()
+}
+
+func (b *fakeBackend) setInterface(d dyn.InterfaceDescriptor) {
+	b.mu.Lock()
+	b.desc = d
+	b.vers.Doc++
+	b.vers.Descriptor++
+	b.mu.Unlock()
+}
+
+func (b *fakeBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fetches++
+	if b.fetchErr != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, b.fetchErr
+	}
+	return b.desc, b.vers, nil
+}
+
+func (b *fakeBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	b.mu.Lock()
+	fn := b.invoke
+	b.mu.Unlock()
+	if fn != nil {
+		return fn(sig, args)
+	}
+	return dyn.StringValue("pong"), nil
+}
+
+func (b *fakeBackend) IsStale(err error) bool { return errors.Is(err, errFakeStale) }
+func (b *fakeBackend) Technology() string     { return "FAKE" }
+func (b *fakeBackend) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	return nil
+}
+
+func TestNewClientFetchesInterface(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Interface().Lookup("ping"); !ok {
+		t.Error("initial interface should contain ping")
+	}
+	if c.Technology() != "FAKE" {
+		t.Error("Technology()")
+	}
+	if c.Versions().Doc != 1 {
+		t.Errorf("versions = %+v", c.Versions())
+	}
+}
+
+func TestNewClientFetchFailure(t *testing.T) {
+	b := newFakeBackend()
+	b.fetchErr = errors.New("interface server down")
+	if _, err := NewClient(b); err == nil {
+		t.Error("NewClient should fail when the initial fetch fails")
+	}
+}
+
+func TestCallSuccess(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Call("ping")
+	if err != nil || v.Str() != "pong" {
+		t.Errorf("Call = %v, %v", v, err)
+	}
+	if c.Stats().Calls != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestCallUnknownMethodRefreshesOnce(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The server gained a method the client has not seen: Call must
+	// refresh and find it.
+	b.setInterface(descWith("ping", "added"))
+	if _, err := c.Call("added"); err != nil {
+		t.Errorf("Call(added) after server-side addition: %v", err)
+	}
+
+	// A genuinely unknown method fails with ErrNoSuchStub after refresh.
+	if _, err := c.Call("ghost"); !errors.Is(err, ErrNoSuchStub) {
+		t.Errorf("Call(ghost) = %v", err)
+	}
+}
+
+func TestStaleCallRefreshesBeforeDelivery(t *testing.T) {
+	// The Section 6 client algorithm: when the server says "Non Existent
+	// Method", the client's interface view is updated BEFORE the exception
+	// reaches the caller.
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Server renames ping→pong and will reject ping calls as stale.
+	b.setInterface(descWith("pong"))
+	b.invoke = func(sig dyn.MethodSig, _ []dyn.Value) (dyn.Value, error) {
+		if sig.Name == "ping" {
+			return dyn.Value{}, errFakeStale
+		}
+		return dyn.StringValue("ok"), nil
+	}
+
+	_, err = c.Call("ping")
+	var stale *StaleMethodError
+	if !errors.As(err, &stale) {
+		t.Fatalf("Call(ping) = %v, want StaleMethodError", err)
+	}
+	if !errors.Is(err, ErrStaleMethod) {
+		t.Error("errors.Is(err, ErrStaleMethod) should hold")
+	}
+	if !errors.Is(err, errFakeStale) {
+		t.Error("cause should be preserved in the chain")
+	}
+	// By delivery time the view shows the rename.
+	if _, ok := c.Interface().Lookup("pong"); !ok {
+		t.Error("client view must be refreshed before the exception is delivered")
+	}
+	if _, ok := c.Interface().Lookup("ping"); ok {
+		t.Error("stale method must be gone from the refreshed view")
+	}
+	if stale.RefreshedDescriptorVersion != c.Versions().Descriptor {
+		t.Error("error must carry the refreshed descriptor version")
+	}
+	if c.Stats().StaleFaults != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+	if stale.Error() == "" {
+		t.Error("Error() empty")
+	}
+}
+
+func TestDebuggerRecordsAndTryAgain(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var prompted []Exception
+	c.Debugger().SetPrompt(func(ex Exception) { prompted = append(prompted, ex) })
+
+	if _, ok := c.Debugger().Last(); ok {
+		t.Error("no exception should be recorded yet")
+	}
+	if _, err := c.Debugger().TryAgain(); err == nil {
+		t.Error("TryAgain with no failure should error")
+	}
+
+	// Fail a call; the debugger records it and prompts.
+	var failing sync.Mutex
+	shouldFail := true
+	b.invoke = func(sig dyn.MethodSig, _ []dyn.Value) (dyn.Value, error) {
+		failing.Lock()
+		defer failing.Unlock()
+		if shouldFail && sig.Name == "ping" {
+			return dyn.Value{}, errFakeStale
+		}
+		return dyn.StringValue("recovered"), nil
+	}
+	if _, err := c.Call("ping"); !errors.Is(err, ErrStaleMethod) {
+		t.Fatalf("Call = %v", err)
+	}
+	if len(prompted) != 1 || prompted[0].Method != "ping" {
+		t.Fatalf("prompted = %+v", prompted)
+	}
+	ex, ok := c.Debugger().Last()
+	if !ok || ex.Method != "ping" {
+		t.Fatalf("Last = %+v, %v", ex, ok)
+	}
+	// ping still exists in the (unchanged) interface, so the debugger
+	// shows its current signature.
+	if ex.SignatureNow == nil || ex.SignatureNow.Name != "ping" {
+		t.Errorf("SignatureNow = %+v", ex.SignatureNow)
+	}
+
+	// The server developer "changes the method signature back": try again
+	// resumes normal execution (Section 6's try-again flow).
+	failing.Lock()
+	shouldFail = false
+	failing.Unlock()
+	v, err := c.Debugger().TryAgain()
+	if err != nil || v.Str() != "recovered" {
+		t.Errorf("TryAgain = %v, %v", v, err)
+	}
+}
+
+func TestRefreshNeverMovesBackwards(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v1 := c.Versions()
+
+	b.setInterface(descWith("ping", "more"))
+	if err := c.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	v2 := c.Versions()
+	if v2.Doc <= v1.Doc {
+		t.Fatal("refresh should advance the doc version")
+	}
+	// Simulate an old in-flight fetch result arriving late: serving a
+	// stale document must not regress the view. We emulate by dropping the
+	// backend's version below the client's.
+	b.mu.Lock()
+	b.desc = descWith("ping")
+	b.vers = DocVersions{Doc: v2.Doc - 1, Descriptor: v2.Descriptor - 1}
+	b.mu.Unlock()
+	if err := c.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Versions().Doc != v2.Doc {
+		t.Error("client view must not move backwards")
+	}
+	if _, ok := c.Interface().Lookup("more"); !ok {
+		t.Error("newer view must be retained")
+	}
+}
+
+func TestNonStaleErrorsPassThrough(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	appErr := errors.New("database on fire")
+	b.invoke = func(dyn.MethodSig, []dyn.Value) (dyn.Value, error) {
+		return dyn.Value{}, appErr
+	}
+	_, err = c.Call("ping")
+	if !errors.Is(err, appErr) {
+		t.Errorf("Call = %v", err)
+	}
+	if errors.Is(err, ErrStaleMethod) {
+		t.Error("app errors must not look stale")
+	}
+	if c.Stats().StaleFaults != 0 {
+		t.Error("app errors must not count as stale faults")
+	}
+}
+
+func TestAutoRefresh(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stop := c.AutoRefresh(5 * time.Millisecond)
+	b.setInterface(descWith("ping", "fresh"))
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, ok := c.Interface().Lookup("fresh"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("auto refresh never picked up the new interface")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestStaleWithFailedRefreshStillDeliversStaleError(t *testing.T) {
+	b := newFakeBackend()
+	c, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	b.invoke = func(dyn.MethodSig, []dyn.Value) (dyn.Value, error) {
+		return dyn.Value{}, errFakeStale
+	}
+	b.mu.Lock()
+	b.fetchErr = fmt.Errorf("interface server unreachable")
+	b.mu.Unlock()
+
+	_, err = c.Call("ping")
+	if !errors.Is(err, ErrStaleMethod) {
+		t.Fatalf("Call = %v", err)
+	}
+	var stale *StaleMethodError
+	if !errors.As(err, &stale) {
+		t.Fatal("want StaleMethodError")
+	}
+	if stale.Cause == nil {
+		t.Error("cause should mention the refresh failure")
+	}
+}
+
+func TestInterfaceNameFromTypeID(t *testing.T) {
+	cases := map[string]string{
+		"IDL:CalcModule/Calc:1.0": "Calc",
+		"IDL:Mail:1.0":            "Mail",
+		"IDL:a/b/C:2.3":           "C",
+	}
+	for in, want := range cases {
+		got, err := interfaceNameFromTypeID(in)
+		if err != nil || got != want {
+			t.Errorf("interfaceNameFromTypeID(%q) = %q, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "Calc:1.0", "IDL:", "IDL::1.0", "IDL:Mod/:1.0", "IDL:NoColon"} {
+		if _, err := interfaceNameFromTypeID(bad); err == nil {
+			t.Errorf("interfaceNameFromTypeID(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package cdr implements the OMG Common Data Representation, the binary
+// encoding CORBA's GIOP messages carry. It supports both byte orders,
+// CDR's natural alignment rules (primitives align to their size relative to
+// the start of the stream), strings with trailing NUL, sequences, structs,
+// and nested encapsulations (used by IORs and tagged profiles). Value-level
+// marshalling for the dyn type system lives in value.go.
+package cdr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ByteOrder selects the encoding endianness. CDR tags messages and
+// encapsulations with a flag octet: 0 = big-endian, 1 = little-endian.
+type ByteOrder byte
+
+// Byte-order flag values as they appear on the wire.
+const (
+	BigEndian    ByteOrder = 0
+	LittleEndian ByteOrder = 1
+)
+
+func (o ByteOrder) order() binary.ByteOrder {
+	if o == LittleEndian {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+func (o ByteOrder) appendOrder() binary.AppendByteOrder {
+	if o == LittleEndian {
+		return binary.LittleEndian
+	}
+	return binary.BigEndian
+}
+
+// String returns "big-endian" or "little-endian".
+func (o ByteOrder) String() string {
+	if o == LittleEndian {
+		return "little-endian"
+	}
+	return "big-endian"
+}
+
+// Encoder serializes values into a CDR stream. Alignment is computed
+// relative to the start of the stream, so an Encoder corresponds to one
+// GIOP message body or one encapsulation. The zero Encoder encodes
+// big-endian from offset 0; use NewEncoder to pick the byte order.
+type Encoder struct {
+	buf   []byte
+	order ByteOrder
+}
+
+// NewEncoder returns an encoder using the given byte order.
+func NewEncoder(order ByteOrder) *Encoder {
+	return &Encoder{order: order}
+}
+
+// Order returns the encoder's byte order.
+func (e *Encoder) Order() ByteOrder { return e.order }
+
+// Bytes returns the encoded stream. The returned slice aliases the
+// encoder's buffer; it is valid until the next Write call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current stream length in octets.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// align pads the stream with zero octets so the next write lands on a
+// multiple of n (n in {1,2,4,8}).
+func (e *Encoder) align(n int) {
+	for len(e.buf)%n != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// WriteOctet appends a raw octet.
+func (e *Encoder) WriteOctet(b byte) { e.buf = append(e.buf, b) }
+
+// WriteOctets appends raw octets with no alignment or count prefix.
+func (e *Encoder) WriteOctets(b []byte) { e.buf = append(e.buf, b...) }
+
+// WriteBool encodes a boolean as one octet (0 or 1).
+func (e *Encoder) WriteBool(v bool) {
+	if v {
+		e.WriteOctet(1)
+	} else {
+		e.WriteOctet(0)
+	}
+}
+
+// WriteChar encodes a CORBA char. CDR chars are single octets; runes
+// outside Latin-1 are rejected by the caller (see value.go).
+func (e *Encoder) WriteChar(c byte) { e.WriteOctet(c) }
+
+// WriteUShort encodes an unsigned short with 2-octet alignment.
+func (e *Encoder) WriteUShort(v uint16) {
+	e.align(2)
+	e.buf = e.order.appendOrder().AppendUint16(e.buf, v)
+}
+
+// WriteShort encodes a signed short.
+func (e *Encoder) WriteShort(v int16) { e.WriteUShort(uint16(v)) }
+
+// WriteULong encodes an unsigned long (32 bits) with 4-octet alignment.
+func (e *Encoder) WriteULong(v uint32) {
+	e.align(4)
+	e.buf = e.order.appendOrder().AppendUint32(e.buf, v)
+}
+
+// WriteLong encodes a signed long (32 bits).
+func (e *Encoder) WriteLong(v int32) { e.WriteULong(uint32(v)) }
+
+// WriteULongLong encodes an unsigned long long (64 bits) with 8-octet
+// alignment.
+func (e *Encoder) WriteULongLong(v uint64) {
+	e.align(8)
+	e.buf = e.order.appendOrder().AppendUint64(e.buf, v)
+}
+
+// WriteLongLong encodes a signed long long (64 bits).
+func (e *Encoder) WriteLongLong(v int64) { e.WriteULongLong(uint64(v)) }
+
+// WriteFloat encodes an IEEE-754 single-precision float.
+func (e *Encoder) WriteFloat(v float32) { e.WriteULong(math.Float32bits(v)) }
+
+// WriteDouble encodes an IEEE-754 double-precision float.
+func (e *Encoder) WriteDouble(v float64) { e.WriteULongLong(math.Float64bits(v)) }
+
+// WriteString encodes a CDR string: ulong length including the trailing
+// NUL, then the octets, then NUL.
+func (e *Encoder) WriteString(s string) {
+	e.WriteULong(uint32(len(s) + 1))
+	e.buf = append(e.buf, s...)
+	e.buf = append(e.buf, 0)
+}
+
+// WriteOctetSeq encodes sequence<octet>: ulong count then raw octets.
+func (e *Encoder) WriteOctetSeq(b []byte) {
+	e.WriteULong(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// WriteEncapsulation writes a nested encapsulation: an octet sequence whose
+// first octet is the byte-order flag of the inner stream. build receives a
+// fresh encoder whose alignment starts at zero, per the CDR rules for
+// encapsulated data.
+func (e *Encoder) WriteEncapsulation(inner ByteOrder, build func(*Encoder) error) error {
+	ie := NewEncoder(inner)
+	ie.WriteOctet(byte(inner))
+	if err := build(ie); err != nil {
+		return fmt.Errorf("cdr: building encapsulation: %w", err)
+	}
+	e.WriteOctetSeq(ie.Bytes())
+	return nil
+}
+
+// EncodeEncapsulation returns a stand-alone encapsulation (flag octet +
+// body) such as the one inside a stringified IOR.
+func EncodeEncapsulation(order ByteOrder, build func(*Encoder) error) ([]byte, error) {
+	e := NewEncoder(order)
+	e.WriteOctet(byte(order))
+	if err := build(e); err != nil {
+		return nil, fmt.Errorf("cdr: building encapsulation: %w", err)
+	}
+	return e.Bytes(), nil
+}

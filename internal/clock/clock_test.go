@@ -1,0 +1,132 @@
+package clock
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	c := NewFake()
+	var order []int
+	c.AfterFunc(3*time.Second, func() { order = append(order, 3) })
+	c.AfterFunc(1*time.Second, func() { order = append(order, 1) })
+	c.AfterFunc(2*time.Second, func() { order = append(order, 2) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order = %v", order)
+	}
+	if c.PendingCount() != 0 {
+		t.Errorf("pending = %d", c.PendingCount())
+	}
+}
+
+func TestFakeAdvancePartial(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Int32
+	c.AfterFunc(10*time.Second, func() { fired.Add(1) })
+	c.Advance(9 * time.Second)
+	if fired.Load() != 0 {
+		t.Error("timer fired early")
+	}
+	if c.PendingCount() != 1 {
+		t.Error("timer should still be pending")
+	}
+	c.Advance(time.Second)
+	if fired.Load() != 1 {
+		t.Error("timer should have fired")
+	}
+}
+
+func TestFakeStop(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Int32
+	tm := c.AfterFunc(time.Second, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Error("Stop should report true before firing")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	c.Advance(2 * time.Second)
+	if fired.Load() != 0 {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestFakeStopAfterFire(t *testing.T) {
+	c := NewFake()
+	tm := c.AfterFunc(time.Second, func() {})
+	c.Advance(time.Second)
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestFakeCallbackCreatesTimer(t *testing.T) {
+	c := NewFake()
+	var second atomic.Int32
+	c.AfterFunc(time.Second, func() {
+		c.AfterFunc(time.Second, func() { second.Add(1) })
+	})
+	c.Advance(3 * time.Second)
+	if second.Load() != 1 {
+		t.Error("chained timer should fire within the same Advance window")
+	}
+}
+
+func TestFakeNowAdvances(t *testing.T) {
+	c := NewFake()
+	t0 := c.Now()
+	var seen time.Time
+	c.AfterFunc(time.Second, func() { seen = c.Now() })
+	c.Advance(5 * time.Second)
+	if got := c.Now().Sub(t0); got != 5*time.Second {
+		t.Errorf("Now advanced by %v", got)
+	}
+	if seen.Sub(t0) != time.Second {
+		t.Errorf("callback observed time %v after start", seen.Sub(t0))
+	}
+}
+
+func TestFakeDeadlines(t *testing.T) {
+	c := NewFake()
+	c.AfterFunc(2*time.Second, func() {})
+	c.AfterFunc(1*time.Second, func() {})
+	ds := c.Deadlines()
+	if len(ds) != 2 || !ds[0].Before(ds[1]) {
+		t.Errorf("deadlines = %v", ds)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var r Real
+	if r.Now().IsZero() {
+		t.Error("real Now is zero")
+	}
+	done := make(chan struct{})
+	tm := r.AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire should be false")
+	}
+}
+
+func TestFakeSameDeadlineFiresInCreationOrder(t *testing.T) {
+	c := NewFake()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"livedev/internal/dyn"
+	"livedev/internal/idl"
+	"livedev/internal/ior"
+	"livedev/internal/orb"
+)
+
+// CORBAServer is the CORBA subsystem bundle for one managed class
+// (Figure 5): an IDL Generator feeding the shared Interface Server via a DL
+// Publisher, a Server ORB (with DSI, so interface changes never require ORB
+// reinitialization — Section 5.2.2), and the published IOR.
+type CORBAServer struct {
+	mgr     *Manager
+	class   *dyn.Class
+	pub     *DLPublisher
+	target  *corbaTarget
+	orbSrv  *orb.ServerORB
+	ref     ior.IOR
+	idlPath string
+	iorPath string
+
+	mu       sync.Mutex
+	instance *dyn.Instance
+	closed   bool
+}
+
+var _ Server = (*CORBAServer)(nil)
+
+func newCORBAServer(m *Manager, class *dyn.Class) (*CORBAServer, error) {
+	s := &CORBAServer{
+		mgr:     m,
+		class:   class,
+		idlPath: "/idl/" + class.Name() + ".idl",
+		iorPath: "/ior/" + class.Name() + ".ior",
+	}
+	s.target = &corbaTarget{class: class}
+
+	publish := func(desc dyn.InterfaceDescriptor) error {
+		doc, err := idl.Generate(desc)
+		if err != nil {
+			return err
+		}
+		m.iface.PublishVersioned(s.idlPath, "text/plain", idl.Print(doc), desc.Version)
+		return nil
+	}
+	s.pub = NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+	s.target.pub = s.pub
+	s.target.activeOnly = m.cfg.ActivePublishingOnly
+
+	// The Server ORB is initialized by the CORBA End Point and the IOR is
+	// published via the Interface Server (Section 5.2.1).
+	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", class.Name(), class.Name())
+	s.orbSrv = orb.NewServerORB(typeID, []byte(class.Name()), s.target)
+	ref, err := s.orbSrv.Listen(m.cfg.CORBAAddr)
+	if err != nil {
+		s.pub.Close()
+		return nil, fmt.Errorf("core: starting server ORB: %w", err)
+	}
+	s.ref = ref
+	m.iface.Publish(s.iorPath, "text/plain", ref.String())
+
+	// "As soon as the class is created, a basic CORBA-IDL document is
+	// published" (Section 4).
+	s.pub.PublishNow()
+	s.pub.WaitIdle()
+	return s, nil
+}
+
+// Class implements Server.
+func (s *CORBAServer) Class() *dyn.Class { return s.class }
+
+// Technology implements Server.
+func (s *CORBAServer) Technology() Technology { return TechCORBA }
+
+// Publisher implements Server.
+func (s *CORBAServer) Publisher() *DLPublisher { return s.pub }
+
+// IOR returns the server object's interoperable object reference.
+func (s *CORBAServer) IOR() ior.IOR { return s.ref }
+
+// InterfaceURL implements Server: the CORBA-IDL document URL.
+func (s *CORBAServer) InterfaceURL() string {
+	return s.mgr.InterfaceBaseURL() + s.idlPath
+}
+
+// IORURL returns the URL the stringified IOR is published at.
+func (s *CORBAServer) IORURL() string {
+	return s.mgr.InterfaceBaseURL() + s.iorPath
+}
+
+// CallHandler returns the server's call handler.
+func (s *CORBAServer) CallHandler() CallHandler { return s.target }
+
+// HandlerStats returns the CORBA call handler's counters.
+func (s *CORBAServer) HandlerStats() CallStats { return s.target.Stats() }
+
+// CreateInstance implements Server.
+func (s *CORBAServer) CreateInstance() (*dyn.Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("core: server closed")
+	}
+	if s.instance != nil {
+		return nil, fmt.Errorf("core: class %s already has its instance (single-instance rule, Section 5.4)", s.class.Name())
+	}
+	in := s.class.NewInstance()
+	s.instance = in
+	s.target.Activate(in)
+	return in, nil
+}
+
+// Instance implements Server.
+func (s *CORBAServer) Instance() *dyn.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.instance
+}
+
+// Close implements Server.
+func (s *CORBAServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.orbSrv.Close()
+	s.pub.Close()
+	s.mgr.remove(s.class.Name())
+	return err
+}
+
+// errServerNotInitialized is returned (as a generic application exception)
+// for calls arriving before the instance exists — the CORBA analogue of the
+// SOAP subsystem's "Server not initialized" fault.
+var errServerNotInitialized = errors.New(FaultTextServerNotInitialized)
+
+// FaultTextServerNotInitialized is the message CORBA clients receive for
+// calls to a not-yet-initialized server.
+const FaultTextServerNotInitialized = "Server not initialized"
+
+// corbaTarget is the CORBA Call Handler: "a simple wrapper around the
+// Server ORB" (Section 5.2) implementing orb.DSITarget. It shares the
+// concurrency design of the SOAP handler: concurrent calls under the
+// read gate, stale-method handling under the write gate with forced
+// publication.
+type corbaTarget struct {
+	class      *dyn.Class
+	pub        *DLPublisher
+	activeOnly bool
+
+	gate     sync.RWMutex
+	instance *dyn.Instance
+
+	statsMu sync.Mutex
+	stats   CallStats
+}
+
+var _ orb.DSITarget = (*corbaTarget)(nil)
+var _ CallHandler = (*corbaTarget)(nil)
+
+// Activate implements CallHandler.
+func (t *corbaTarget) Activate(in *dyn.Instance) {
+	t.gate.Lock()
+	t.instance = in
+	t.gate.Unlock()
+}
+
+// Active implements CallHandler.
+func (t *corbaTarget) Active() bool {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	return t.instance != nil
+}
+
+// Stats returns a snapshot of the handler counters.
+func (t *corbaTarget) Stats() CallStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.stats
+}
+
+func (t *corbaTarget) count(f func(*CallStats)) {
+	t.statsMu.Lock()
+	f(&t.stats)
+	t.statsMu.Unlock()
+}
+
+// LookupOperation implements orb.DSITarget against the live interface.
+func (t *corbaTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
+	return t.class.Interface().Lookup(op)
+}
+
+// InvokeOperation implements orb.DSITarget.
+func (t *corbaTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+	t.gate.RLock()
+	in := t.instance
+	t.gate.RUnlock()
+	if in == nil {
+		t.count(func(s *CallStats) { s.Inactive++ })
+		return dyn.Value{}, errServerNotInitialized
+	}
+	v, err := in.InvokeDistributed(op, args...)
+	switch {
+	case err == nil:
+		t.count(func(s *CallStats) { s.Calls++ })
+	case errors.Is(err, dyn.ErrNoSuchMethod), errors.Is(err, dyn.ErrSignatureMismatch):
+		// counted in OperationMissing, which the ORB calls next
+	default:
+		t.count(func(s *CallStats) { s.AppFaults++ })
+	}
+	return v, err
+}
+
+// OperationMissing implements orb.DSITarget: the Section 5.7 protocol.
+// Incoming processing stalls on the write gate while the publisher is
+// forced current; only then does the ORB send the BAD_OPERATION ("Non
+// Existent Method") exception.
+func (t *corbaTarget) OperationMissing(string) {
+	t.count(func(s *CallStats) { s.StaleCalls++ })
+	t.gate.Lock()
+	if t.pub != nil && !t.activeOnly {
+		t.pub.EnsureCurrent()
+	}
+	t.gate.Unlock()
+}

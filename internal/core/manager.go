@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"livedev/internal/clock"
+	"livedev/internal/dyn"
+	"livedev/internal/ifsvr"
+)
+
+// Technology identifies an RMI technology integrated into the SDE.
+type Technology string
+
+// The technologies the initial SDE implementation supports (Section 2).
+const (
+	TechSOAP  Technology = "SOAP"
+	TechCORBA Technology = "CORBA"
+)
+
+// Server is the technology-independent view of one managed server class —
+// the SDEServer position in the Figure 6 hierarchy. SOAPServer and
+// CORBAServer implement it.
+type Server interface {
+	// Class returns the managed dynamic class.
+	Class() *dyn.Class
+	// Technology reports which RMI technology serves the class.
+	Technology() Technology
+	// Publisher returns the server's DL Publisher.
+	Publisher() *DLPublisher
+	// CreateInstance creates the single live instance and activates the
+	// call handler. It fails if an instance already exists (Section 5.4:
+	// "only a single instance of each dynamic class ... can be in
+	// existence at any given time").
+	CreateInstance() (*dyn.Instance, error)
+	// Instance returns the live instance (nil before CreateInstance).
+	Instance() *dyn.Instance
+	// InterfaceURL returns the HTTP URL of the published interface
+	// description (WSDL or CORBA-IDL).
+	InterfaceURL() string
+	// Close deactivates the server and releases its resources.
+	Close() error
+}
+
+// CallHandler is the communication backend of one technology (Figure 6):
+// it receives remote calls, translates them, and dispatches to the live
+// instance. It remains inactive — refusing calls — until the instance
+// exists (Section 5.1.3).
+type CallHandler interface {
+	// Activate binds the handler to the live instance.
+	Activate(in *dyn.Instance)
+	// Active reports whether an instance is bound.
+	Active() bool
+}
+
+// Config configures a Manager. The zero value listens on ephemeral
+// loopback ports with the default publication timeout and the real clock.
+type Config struct {
+	// InterfaceAddr is the Interface Server listen address.
+	InterfaceAddr string
+	// SOAPAddr is the SOAP endpoint HTTP listen address.
+	SOAPAddr string
+	// CORBAAddr is the listen address used for each CORBA server ORB.
+	CORBAAddr string
+	// Timeout is the publication stability timeout (Section 5.6).
+	Timeout time.Duration
+	// Clock drives publication timers; nil means the real clock.
+	Clock clock.Clock
+	// ActivePublishingOnly disables the Section 5.7 reactive publication
+	// on stale calls, leaving only the timer-driven path — the Figure 7
+	// baseline the paper argues against. It exists for the E2/E3 ablation
+	// experiments; production use should leave it false.
+	ActivePublishingOnly bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InterfaceAddr == "" {
+		c.InterfaceAddr = "127.0.0.1:0"
+	}
+	if c.SOAPAddr == "" {
+		c.SOAPAddr = "127.0.0.1:0"
+	}
+	if c.CORBAAddr == "" {
+		c.CORBAAddr = "127.0.0.1:0"
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	return c
+}
+
+// Manager is the SDE Manager: it "oversees the subsystem initialization and
+// acts as the central point of communication between the other components"
+// (Section 5.1). One Manager owns the shared Interface Server, the HTTP
+// server hosting SOAP endpoints, and the set of managed server classes.
+type Manager struct {
+	cfg Config
+
+	iface *ifsvr.Server
+
+	soapMux  *dynamicMux
+	soapSrv  *http.Server
+	soapLn   net.Listener
+	soapBase string
+	soapDone chan struct{}
+
+	mu      sync.Mutex
+	servers map[string]Server
+	closed  bool
+}
+
+// NewManager creates and starts a manager: the Interface Server and the
+// SOAP endpoint server begin listening immediately.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:     cfg,
+		iface:   ifsvr.New(),
+		soapMux: newDynamicMux(),
+		servers: make(map[string]Server),
+	}
+	if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
+		return nil, fmt.Errorf("core: starting interface server: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.SOAPAddr)
+	if err != nil {
+		_ = m.iface.Close()
+		return nil, fmt.Errorf("core: starting SOAP endpoint server: %w", err)
+	}
+	m.soapLn = ln
+	m.soapBase = "http://" + ln.Addr().String()
+	m.soapSrv = &http.Server{Handler: m.soapMux, ReadHeaderTimeout: 10 * time.Second}
+	m.soapDone = make(chan struct{})
+	go func() {
+		defer close(m.soapDone)
+		_ = m.soapSrv.Serve(ln)
+	}()
+	return m, nil
+}
+
+// InterfaceServer returns the shared Interface Server.
+func (m *Manager) InterfaceServer() *ifsvr.Server { return m.iface }
+
+// InterfaceBaseURL returns the Interface Server base URL.
+func (m *Manager) InterfaceBaseURL() string { return m.iface.BaseURL() }
+
+// SOAPBaseURL returns the base URL SOAP endpoints are mounted under.
+func (m *Manager) SOAPBaseURL() string { return m.soapBase }
+
+// Register creates a managed server of the given technology for class —
+// what happens when a JPie user extends SOAPServer or CORBAServer
+// (Section 4): the backend components are created and a basic interface
+// description is published immediately.
+func (m *Manager) Register(class *dyn.Class, tech Technology) (Server, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("core: manager closed")
+	}
+	if _, dup := m.servers[class.Name()]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: class %s is already managed", class.Name())
+	}
+	// Reserve the slot to serialize concurrent Register calls.
+	m.servers[class.Name()] = nil
+	m.mu.Unlock()
+
+	var srv Server
+	var err error
+	switch tech {
+	case TechSOAP:
+		srv, err = newSOAPServer(m, class)
+	case TechCORBA:
+		srv, err = newCORBAServer(m, class)
+	default:
+		err = fmt.Errorf("core: unsupported technology %q", tech)
+	}
+
+	m.mu.Lock()
+	if err != nil {
+		delete(m.servers, class.Name())
+	} else {
+		m.servers[class.Name()] = srv
+	}
+	m.mu.Unlock()
+	return srv, err
+}
+
+// Server returns the managed server for a class name.
+func (m *Manager) Server(className string) (Server, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.servers[className]
+	return s, ok && s != nil
+}
+
+// Servers returns all managed servers.
+func (m *Manager) Servers() []Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Server, 0, len(m.servers))
+	for _, s := range m.servers {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// remove drops a server from the registry (called by Server.Close).
+func (m *Manager) remove(className string) {
+	m.mu.Lock()
+	delete(m.servers, className)
+	m.mu.Unlock()
+}
+
+// Close shuts down every managed server, the SOAP endpoint server, and the
+// Interface Server.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	servers := make([]Server, 0, len(m.servers))
+	for _, s := range m.servers {
+		if s != nil {
+			servers = append(servers, s)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, s := range servers {
+		_ = s.Close()
+	}
+	err := m.soapSrv.Close()
+	<-m.soapDone
+	if e := m.iface.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// dynamicMux routes SOAP endpoint paths to handlers and supports removal
+// (http.ServeMux cannot unregister, and SDE servers come and go live).
+type dynamicMux struct {
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+}
+
+func newDynamicMux() *dynamicMux {
+	return &dynamicMux{handlers: make(map[string]http.Handler)}
+}
+
+func (d *dynamicMux) handle(path string, h http.Handler) {
+	d.mu.Lock()
+	d.handlers[path] = h
+	d.mu.Unlock()
+}
+
+func (d *dynamicMux) removeHandler(path string) {
+	d.mu.Lock()
+	delete(d.handlers, path)
+	d.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (d *dynamicMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	h, ok := d.handlers[r.URL.Path]
+	d.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	h.ServeHTTP(w, r)
+}

@@ -1,0 +1,143 @@
+package dyn
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Instance is a live object of a dynamic class. Method dispatch resolves
+// against the class's *current* method table on every call, so signature and
+// implementation edits take effect immediately on existing instances — the
+// JPie property the paper's live-development model depends on.
+type Instance struct {
+	class *Class
+
+	mu     sync.RWMutex
+	fields map[MemberID]Value
+}
+
+// Class returns the instance's dynamic class.
+func (in *Instance) Class() *Class { return in.class }
+
+// methodSnapshot captures what Invoke needs under the class read lock.
+type methodSnapshot struct {
+	id     MemberID
+	name   string
+	params []Param
+	result *Type
+	body   Body
+	dist   bool
+}
+
+func (c *Class) snapshotMethodByName(name string) (methodSnapshot, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m := c.methodByNameLocked(name)
+	if m == nil {
+		return methodSnapshot{}, false
+	}
+	return methodSnapshot{
+		id:     m.id,
+		name:   m.name,
+		params: append([]Param(nil), m.params...),
+		result: m.result,
+		body:   m.body,
+		dist:   m.distributed,
+	}, true
+}
+
+// Invoke calls the named method with the given arguments. Argument types are
+// checked against the method's current parameter list; the result is checked
+// against the current result type. The body runs outside any class lock, so
+// long-running methods do not block concurrent edits or other calls.
+func (in *Instance) Invoke(name string, args ...Value) (Value, error) {
+	return in.invoke(name, args, false)
+}
+
+// InvokeDistributed behaves like Invoke but only resolves methods carrying
+// the 'distributed' modifier — the dispatch rule the SDE call handlers use,
+// so that a method removed from the published interface is indistinguishable
+// from a deleted method to remote clients.
+func (in *Instance) InvokeDistributed(name string, args ...Value) (Value, error) {
+	return in.invoke(name, args, true)
+}
+
+func (in *Instance) invoke(name string, args []Value, distributedOnly bool) (Value, error) {
+	m, ok := in.class.snapshotMethodByName(name)
+	if !ok || (distributedOnly && !m.dist) {
+		return Value{}, fmt.Errorf("%w: %s.%s", ErrNoSuchMethod, in.class.Name(), name)
+	}
+	if len(args) != len(m.params) {
+		return Value{}, fmt.Errorf("%w: %s.%s takes %d arguments, got %d",
+			ErrSignatureMismatch, in.class.Name(), name, len(m.params), len(args))
+	}
+	for i, p := range m.params {
+		if !args[i].Type().Equal(p.Type) {
+			return Value{}, fmt.Errorf("%w: %s.%s parameter %s wants %s, got %s",
+				ErrSignatureMismatch, in.class.Name(), name, p.Name, p.Type, args[i].Type())
+		}
+	}
+	if m.body == nil {
+		return Value{}, fmt.Errorf("%w: %s.%s", ErrNoBody, in.class.Name(), name)
+	}
+	out, err := m.body(in, args)
+	if err != nil {
+		return Value{}, err
+	}
+	if !out.Type().Equal(m.result) {
+		return Value{}, fmt.Errorf("dyn: %s.%s returned %s, declared result is %s",
+			in.class.Name(), name, out.Type(), m.result)
+	}
+	return out, nil
+}
+
+// GetField reads an instance field by member ID. Fields never written read
+// as the zero value of their declared type — including fields added to the
+// class after the instance was created.
+func (in *Instance) GetField(id MemberID) (Value, error) {
+	t, ok := in.class.FieldType(id)
+	if !ok {
+		return Value{}, fmt.Errorf("%w: field %d", ErrNoSuchMember, id)
+	}
+	in.mu.RLock()
+	v, ok := in.fields[id]
+	in.mu.RUnlock()
+	if !ok {
+		return Zero(t), nil
+	}
+	return v, nil
+}
+
+// SetField writes an instance field; the value must match the field's
+// declared type.
+func (in *Instance) SetField(id MemberID, v Value) error {
+	t, ok := in.class.FieldType(id)
+	if !ok {
+		return fmt.Errorf("%w: field %d", ErrNoSuchMember, id)
+	}
+	if !v.Type().Equal(t) {
+		return fmt.Errorf("%w: field %d wants %s, got %s", ErrSignatureMismatch, id, t, v.Type())
+	}
+	in.mu.Lock()
+	in.fields[id] = v
+	in.mu.Unlock()
+	return nil
+}
+
+// GetFieldByName is a convenience wrapper resolving the field name first.
+func (in *Instance) GetFieldByName(name string) (Value, error) {
+	id, ok := in.class.FieldIDByName(name)
+	if !ok {
+		return Value{}, fmt.Errorf("%w: field %s", ErrNoSuchMember, name)
+	}
+	return in.GetField(id)
+}
+
+// SetFieldByName is a convenience wrapper resolving the field name first.
+func (in *Instance) SetFieldByName(name string, v Value) error {
+	id, ok := in.class.FieldIDByName(name)
+	if !ok {
+		return fmt.Errorf("%w: field %s", ErrNoSuchMember, name)
+	}
+	return in.SetField(id, v)
+}

@@ -1,0 +1,198 @@
+package dyn
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// editScript is a reproducible random edit sequence for property tests.
+type editScript struct {
+	seed  int64
+	steps int
+}
+
+// applyRandomEdit performs one random edit on the class, tolerating
+// expected failures (duplicate names, missing members).
+func applyRandomEdit(r *rand.Rand, c *Class, step int) {
+	// Collect current member IDs.
+	var methodIDs []MemberID
+	for _, name := range methodNames(c) {
+		if id, ok := c.MethodIDByName(name); ok {
+			methodIDs = append(methodIDs, id)
+		}
+	}
+	pick := func() (MemberID, bool) {
+		if len(methodIDs) == 0 {
+			return 0, false
+		}
+		return methodIDs[r.Intn(len(methodIDs))], true
+	}
+	types := []*Type{Int32T, Int64T, StringT, Float64T, Boolean, SequenceOf(Int32T)}
+	switch r.Intn(7) {
+	case 0:
+		_, _ = c.AddMethod(MethodSpec{
+			Name:        fmt.Sprintf("m%d_%d", step, r.Intn(10)),
+			Params:      []Param{{Name: "p", Type: types[r.Intn(len(types))]}},
+			Result:      types[r.Intn(len(types))],
+			Distributed: r.Intn(2) == 0,
+		})
+	case 1:
+		if id, ok := pick(); ok {
+			_ = c.RemoveMethod(id)
+		}
+	case 2:
+		if id, ok := pick(); ok {
+			_ = c.RenameMethod(id, fmt.Sprintf("r%d_%d", step, r.Intn(10)))
+		}
+	case 3:
+		if id, ok := pick(); ok {
+			n := r.Intn(3)
+			params := make([]Param, n)
+			for i := range params {
+				params[i] = Param{Name: fmt.Sprintf("p%d", i), Type: types[r.Intn(len(types))]}
+			}
+			_ = c.SetParams(id, params)
+		}
+	case 4:
+		if id, ok := pick(); ok {
+			_ = c.SetResult(id, types[r.Intn(len(types))])
+		}
+	case 5:
+		if id, ok := pick(); ok {
+			_ = c.SetDistributed(id, r.Intn(2) == 0)
+		}
+	case 6:
+		if r.Intn(2) == 0 {
+			_, _ = c.AddField(fmt.Sprintf("f%d_%d", step, r.Intn(10)), types[r.Intn(len(types))])
+		} else if id, ok := pick(); ok {
+			_ = c.SetBody(id, func(*Instance, []Value) (Value, error) { return VoidValue(), nil })
+		}
+	}
+}
+
+func methodNames(c *Class) []string {
+	// The descriptor only lists distributed methods; probe via interface
+	// plus known naming patterns is fragile, so track via reflection on
+	// the class: use the descriptor for distributed ones and additionally
+	// try recent names. Simplest robust approach: iterate the class's
+	// internal table through exported behaviour — the interface descriptor
+	// covers distributed methods; for the rest, the test only needs *some*
+	// member IDs, so distributed coverage is enough plus we keep IDs from
+	// successful adds implicitly by name probing.
+	var names []string
+	for _, m := range c.Interface().Methods {
+		names = append(names, m.Name)
+	}
+	return names
+}
+
+// TestUndoAllRestoresInitialInterface: apply a random edit script, then
+// undo everything — the distributed interface descriptor must equal the
+// initial one; redo everything — it must equal the final one. This is the
+// JPie property that makes history monitoring a sound basis for the
+// publisher.
+func TestUndoAllRestoresInitialInterface(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vs []reflect.Value, r *rand.Rand) {
+			vs[0] = reflect.ValueOf(editScript{seed: r.Int63(), steps: 5 + r.Intn(40)})
+		},
+	}
+	f := func(s editScript) bool {
+		c := NewClass("P")
+		// A seed method so edits have something to chew on.
+		if _, err := c.AddMethod(MethodSpec{Name: "seed", Result: Int32T, Distributed: true}); err != nil {
+			return false
+		}
+		initial := c.Interface().Hash()
+		initialDepth := c.History().UndoDepth()
+
+		r := rand.New(rand.NewSource(s.seed))
+		for i := 0; i < s.steps; i++ {
+			applyRandomEdit(r, c, i)
+		}
+		final := c.Interface().Hash()
+
+		// Undo back to the initial state.
+		for c.History().UndoDepth() > initialDepth {
+			if err := c.History().Undo(); err != nil {
+				return false
+			}
+		}
+		if c.Interface().Hash() != initial {
+			return false
+		}
+		// Redo forward to the final state.
+		for c.History().RedoDepth() > 0 {
+			if err := c.History().Redo(); err != nil {
+				return false
+			}
+		}
+		return c.Interface().Hash() == final
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterfaceVersionMonotoneUnderRandomEdits: interface versions never
+// decrease, even across undo (undo is itself a new change).
+func TestInterfaceVersionMonotoneUnderRandomEdits(t *testing.T) {
+	c := NewClass("Mono")
+	if _, err := c.AddMethod(MethodSpec{Name: "seed", Result: Int32T, Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	c.Subscribe(func(ev ChangeEvent) {
+		if ev.InterfaceVersion < last {
+			t.Errorf("interface version went backwards: %d -> %d", last, ev.InterfaceVersion)
+		}
+		last = ev.InterfaceVersion
+	})
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		applyRandomEdit(r, c, i)
+		if i%7 == 0 {
+			_ = c.History().Undo()
+		}
+		if i%11 == 0 {
+			_ = c.History().Redo()
+		}
+	}
+}
+
+// TestDescriptorHashMatchesEquality: two descriptors are Equal iff their
+// hashes match, across random classes.
+func TestDescriptorHashMatchesEquality(t *testing.T) {
+	build := func(seed int64, steps int) InterfaceDescriptor {
+		c := NewClass("H")
+		if _, err := c.AddMethod(MethodSpec{Name: "seed", Result: Int32T, Distributed: true}); err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < steps; i++ {
+			applyRandomEdit(r, c, i)
+		}
+		return c.Interface()
+	}
+	f := func(seed int64, stepsRaw uint8) bool {
+		steps := int(stepsRaw % 30)
+		d1 := build(seed, steps)
+		d2 := build(seed, steps) // same script → same interface
+		if !d1.Equal(d2) || d1.Hash() != d2.Hash() {
+			return false
+		}
+		d3 := build(seed+1, steps+1)
+		// Different scripts usually differ; when they do, hashes differ.
+		if d1.Equal(d3) != (d1.Hash() == d3.Hash()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

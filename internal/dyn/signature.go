@@ -1,0 +1,152 @@
+package dyn
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// MethodSig is the externally visible signature of one distributed method.
+type MethodSig struct {
+	Name   string
+	Params []Param
+	Result *Type
+}
+
+// Equal reports whether two signatures are identical.
+func (s MethodSig) Equal(o MethodSig) bool {
+	if s.Name != o.Name || len(s.Params) != len(o.Params) || !s.Result.Equal(o.Result) {
+		return false
+	}
+	for i := range s.Params {
+		// Parameter names are part of the published interface: WSDL
+		// message parts and IDL formal parameters both carry them.
+		if s.Params[i].Name != o.Params[i].Name || !s.Params[i].Type.Equal(o.Params[i].Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature, e.g. "add(a:int32,b:int32):int32".
+func (s MethodSig) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, p := range s.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Name)
+		b.WriteByte(':')
+		b.WriteString(p.Type.String())
+	}
+	b.WriteString("):")
+	b.WriteString(s.Result.String())
+	return b.String()
+}
+
+// InterfaceDescriptor is an immutable snapshot of a class's distributed
+// interface: the inputs to the WSDL and IDL generators. Methods are sorted
+// by name; Structs holds every user-defined struct type reachable from any
+// signature, sorted by name.
+type InterfaceDescriptor struct {
+	ClassName string
+	Version   uint64 // class interface version at snapshot time
+	Methods   []MethodSig
+	Structs   []*Type
+	hash      string
+}
+
+// Interface snapshots the class's current distributed interface.
+func (c *Class) Interface() InterfaceDescriptor {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.interfaceLocked()
+}
+
+func (c *Class) interfaceLocked() InterfaceDescriptor {
+	d := InterfaceDescriptor{ClassName: c.name, Version: c.ifaceVer}
+	for _, m := range c.methods {
+		if !m.distributed {
+			continue
+		}
+		d.Methods = append(d.Methods, MethodSig{
+			Name:   m.name,
+			Params: append([]Param(nil), m.params...),
+			Result: m.result,
+		})
+	}
+	sort.Slice(d.Methods, func(i, j int) bool { return d.Methods[i].Name < d.Methods[j].Name })
+	structs := make(map[string]*Type)
+	for _, m := range d.Methods {
+		CollectStructs(m.Result, structs)
+		for _, p := range m.Params {
+			CollectStructs(p.Type, structs)
+		}
+	}
+	for _, n := range SortedStructNames(structs) {
+		d.Structs = append(d.Structs, structs[n])
+	}
+	d.hash = d.computeHash()
+	return d
+}
+
+// interfaceHashLocked computes the hash of the current distributed
+// interface without building the full descriptor's sorted struct list.
+func (c *Class) interfaceHashLocked() string {
+	return c.interfaceLocked().hash
+}
+
+// Hash returns a deterministic digest of the descriptor. Two descriptors
+// with equal hashes describe the same published interface; the DL Publisher
+// compares hashes to decide whether the published document is stale.
+func (d InterfaceDescriptor) Hash() string {
+	if d.hash == "" {
+		return d.computeHash()
+	}
+	return d.hash
+}
+
+func (d InterfaceDescriptor) computeHash() string {
+	var b strings.Builder
+	b.WriteString(d.ClassName)
+	b.WriteByte('\n')
+	for _, m := range d.Methods {
+		b.WriteString(m.String())
+		b.WriteByte('\n')
+	}
+	for _, s := range d.Structs {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Lookup returns the signature of the named method, if present.
+func (d InterfaceDescriptor) Lookup(name string) (MethodSig, bool) {
+	for _, m := range d.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MethodSig{}, false
+}
+
+// StructByName returns the named struct type from the descriptor.
+func (d InterfaceDescriptor) StructByName(name string) (*Type, bool) {
+	for _, s := range d.Structs {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Equal reports whether two descriptors describe the same interface
+// (ignoring Version, which is bookkeeping, not interface content).
+func (d InterfaceDescriptor) Equal(o InterfaceDescriptor) bool {
+	return d.Hash() == o.Hash()
+}

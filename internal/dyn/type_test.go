@@ -1,0 +1,174 @@
+package dyn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveSingletons(t *testing.T) {
+	kinds := []Kind{KindVoid, KindBoolean, KindChar, KindInt32, KindInt64, KindFloat32, KindFloat64, KindString}
+	for _, k := range kinds {
+		p := Primitive(k)
+		if p == nil {
+			t.Fatalf("Primitive(%v) = nil", k)
+		}
+		if p.Kind() != k {
+			t.Errorf("Primitive(%v).Kind() = %v", k, p.Kind())
+		}
+		if p != Primitive(k) {
+			t.Errorf("Primitive(%v) is not a singleton", k)
+		}
+		if !p.IsPrimitive() {
+			t.Errorf("%v.IsPrimitive() = false", k)
+		}
+	}
+	if Primitive(KindStruct) != nil || Primitive(KindSequence) != nil || Primitive(KindInvalid) != nil {
+		t.Error("Primitive should return nil for non-primitive kinds")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindVoid: "void", KindBoolean: "boolean", KindChar: "char",
+		KindInt32: "int32", KindInt64: "int64", KindFloat32: "float32",
+		KindFloat64: "float64", KindString: "string", KindStruct: "struct",
+		KindSequence: "sequence", KindInvalid: "invalid", Kind(99): "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestStructOfValidation(t *testing.T) {
+	if _, err := StructOf(""); err == nil {
+		t.Error("unnamed struct should fail")
+	}
+	if _, err := StructOf("S", StructField{Name: "", Type: Int32T}); err == nil {
+		t.Error("unnamed field should fail")
+	}
+	if _, err := StructOf("S", StructField{Name: "a", Type: nil}); err == nil {
+		t.Error("untyped field should fail")
+	}
+	if _, err := StructOf("S", StructField{Name: "a", Type: Int32T}, StructField{Name: "a", Type: Int32T}); err == nil {
+		t.Error("duplicate field should fail")
+	}
+	s, err := StructOf("Point", StructField{Name: "x", Type: Float64T}, StructField{Name: "y", Type: Float64T})
+	if err != nil {
+		t.Fatalf("StructOf: %v", err)
+	}
+	if s.Kind() != KindStruct || s.Name() != "Point" || s.NumFields() != 2 {
+		t.Errorf("unexpected struct shape: %v", s)
+	}
+	f, ok := s.FieldByName("y")
+	if !ok || !f.Type.Equal(Float64T) {
+		t.Errorf("FieldByName(y) = %v, %v", f, ok)
+	}
+	if _, ok := s.FieldByName("z"); ok {
+		t.Error("FieldByName(z) should be absent")
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	p1 := MustStructOf("Point", StructField{Name: "x", Type: Float64T})
+	p2 := MustStructOf("Point", StructField{Name: "x", Type: Float64T})
+	p3 := MustStructOf("Point", StructField{Name: "x", Type: Float32T})
+	p4 := MustStructOf("Pt", StructField{Name: "x", Type: Float64T})
+	if !p1.Equal(p2) {
+		t.Error("structurally identical structs should be equal")
+	}
+	if p1.Equal(p3) {
+		t.Error("field type difference should break equality")
+	}
+	if p1.Equal(p4) {
+		t.Error("name difference should break equality")
+	}
+	if !SequenceOf(Int32T).Equal(SequenceOf(Int32T)) {
+		t.Error("same-element sequences should be equal")
+	}
+	if SequenceOf(Int32T).Equal(SequenceOf(Int64T)) {
+		t.Error("different-element sequences should differ")
+	}
+	if Int32T.Equal(nil) {
+		t.Error("non-nil type should not equal nil")
+	}
+	var nilT *Type
+	if nilT.Equal(Int32T) {
+		t.Error("nil type should not equal non-nil")
+	}
+	if !nilT.Equal(nil) {
+		t.Error("nil == nil pointer fast path")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	msg := MustStructOf("Message",
+		StructField{Name: "from", Type: StringT},
+		StructField{Name: "body", Type: StringT})
+	got := SequenceOf(msg).String()
+	want := "sequence<struct Message{from:string,body:string}>"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var nilT *Type
+	if nilT.String() != "<nil>" {
+		t.Errorf("nil type String() = %q", nilT.String())
+	}
+}
+
+func TestCollectStructs(t *testing.T) {
+	inner := MustStructOf("Inner", StructField{Name: "v", Type: Int32T})
+	outer := MustStructOf("Outer",
+		StructField{Name: "in", Type: inner},
+		StructField{Name: "items", Type: SequenceOf(inner)})
+	m := make(map[string]*Type)
+	CollectStructs(SequenceOf(outer), m)
+	if len(m) != 2 {
+		t.Fatalf("collected %d structs, want 2: %v", len(m), m)
+	}
+	if m["Inner"] != inner || m["Outer"] != outer {
+		t.Error("collected wrong struct types")
+	}
+	names := SortedStructNames(m)
+	if len(names) != 2 || names[0] != "Inner" || names[1] != "Outer" {
+		t.Errorf("SortedStructNames = %v", names)
+	}
+	// nil and primitive roots are no-ops.
+	CollectStructs(nil, m)
+	CollectStructs(Int32T, m)
+	if len(m) != 2 {
+		t.Error("nil/primitive roots should not add structs")
+	}
+}
+
+func TestFieldsReturnsCopy(t *testing.T) {
+	s := MustStructOf("S", StructField{Name: "a", Type: Int32T})
+	fs := s.Fields()
+	fs[0].Name = "mutated"
+	if s.Field(0).Name != "a" {
+		t.Error("Fields() must return a defensive copy")
+	}
+	if Int32T.Fields() != nil {
+		t.Error("Fields() on non-struct should be nil")
+	}
+}
+
+// TestSequenceOfEqualProperty: for random nesting depth, a sequence type
+// equals an independently constructed sequence type of the same shape.
+func TestSequenceOfEqualProperty(t *testing.T) {
+	f := func(depth uint8) bool {
+		d := int(depth % 6)
+		build := func() *Type {
+			t := Int64T
+			for i := 0; i < d; i++ {
+				t = SequenceOf(t)
+			}
+			return t
+		}
+		return build().Equal(build())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

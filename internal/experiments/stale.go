@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"livedev/internal/clock"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+	"livedev/internal/workload"
+)
+
+// StaleState names one of the four publisher states of the Section 5.7
+// forced-publication case analysis.
+type StaleState int
+
+// The four states a stale call can find the publisher in.
+const (
+	StateIdleCurrent StaleState = iota + 1
+	StateGenerating
+	StateTimerArmed
+	StateGeneratingAndTimer
+)
+
+// String names the state the way Section 5.7 describes it.
+func (s StaleState) String() string {
+	switch s {
+	case StateIdleCurrent:
+		return "idle+current"
+	case StateGenerating:
+		return "generating"
+	case StateTimerArmed:
+		return "timer-armed"
+	case StateGeneratingAndTimer:
+		return "generating+timer"
+	default:
+		return "unknown"
+	}
+}
+
+// StaleResult reports the forced-publication latency for one state.
+type StaleResult struct {
+	State StaleState
+	// GenCost is the injected cost of one generation.
+	GenCost time.Duration
+	// Latency summarizes EnsureCurrent round trips.
+	Latency workload.RTTStats
+	// ExpectedGenerations is the number of generations the Section 5.7
+	// protocol must wait for in this state (0, 1, 1, 2).
+	ExpectedGenerations int
+}
+
+// RunStaleLatency measures EnsureCurrent latency with the publisher driven
+// into each of the four Section 5.7 states, with a synthetic generation
+// cost (the paper calls generation "a relatively expensive operation").
+func RunStaleLatency(genCost time.Duration, samples int) ([]StaleResult, error) {
+	if samples <= 0 {
+		samples = 10
+	}
+	states := []struct {
+		state StaleState
+		gens  int
+	}{
+		{StateIdleCurrent, 0},
+		{StateGenerating, 1},
+		{StateTimerArmed, 1},
+		{StateGeneratingAndTimer, 2},
+	}
+	var out []StaleResult
+	for _, st := range states {
+		durations := make([]time.Duration, 0, samples)
+		for i := 0; i < samples; i++ {
+			d, err := measureStaleOnce(st.state, genCost)
+			if err != nil {
+				return nil, fmt.Errorf("state %s: %w", st.state, err)
+			}
+			durations = append(durations, d)
+		}
+		out = append(out, StaleResult{
+			State:               st.state,
+			GenCost:             genCost,
+			Latency:             workload.Summarize(durations),
+			ExpectedGenerations: st.gens,
+		})
+	}
+	return out, nil
+}
+
+func measureStaleOnce(state StaleState, genCost time.Duration) (time.Duration, error) {
+	class := dyn.NewClass("Stale")
+	id, err := class.AddMethod(dyn.MethodSpec{Name: "op", Result: dyn.Int32T, Distributed: true})
+	if err != nil {
+		return 0, err
+	}
+	genStarted := make(chan struct{}, 4)
+	publish := func(dyn.InterfaceDescriptor) error {
+		select {
+		case genStarted <- struct{}{}:
+		default:
+		}
+		time.Sleep(genCost)
+		return nil
+	}
+	// An hour-long timeout: the timer never fires on its own during the
+	// measurement, so the state we set up is the state EnsureCurrent sees.
+	p := core.NewDLPublisher(class, time.Hour, clock.Real{}, publish)
+	defer p.Close()
+
+	// Baseline publish so the idle state is also current.
+	p.PublishNow()
+	p.WaitIdle()
+	// Drain the baseline generation's start token so the signals below
+	// really correspond to the generation we set up.
+	for {
+		select {
+		case <-genStarted:
+			continue
+		default:
+		}
+		break
+	}
+
+	switch state {
+	case StateIdleCurrent:
+		// Nothing to do.
+	case StateGenerating:
+		if err := class.RenameMethod(id, "op2"); err != nil {
+			return 0, err
+		}
+		p.PublishNow() // cancels the timer, starts a generation
+		<-genStarted
+	case StateTimerArmed:
+		if err := class.RenameMethod(id, "op2"); err != nil {
+			return 0, err
+		}
+	case StateGeneratingAndTimer:
+		if err := class.RenameMethod(id, "op2"); err != nil {
+			return 0, err
+		}
+		p.PublishNow()
+		<-genStarted
+		if err := class.RenameMethod(id, "op3"); err != nil {
+			return 0, err // arms the timer during the generation
+		}
+	}
+
+	start := time.Now()
+	p.EnsureCurrent()
+	return time.Since(start), nil
+}
+
+// FormatStale renders the forced-publication latency table.
+func FormatStale(results []StaleResult) string {
+	var b strings.Builder
+	b.WriteString("Forced publication latency by publisher state (Section 5.7)\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s %6s\n", "state", "gen cost", "mean wait", "max wait", "gens")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-18s %12s %12s %12s %6d\n",
+			r.State, r.GenCost,
+			r.Latency.Mean.Round(time.Millisecond),
+			r.Latency.Max.Round(time.Millisecond),
+			r.ExpectedGenerations)
+	}
+	return b.String()
+}

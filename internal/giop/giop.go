@@ -1,0 +1,288 @@
+// Package giop implements the General Inter-ORB Protocol message layer
+// (GIOP 1.0): the framing CORBA requests and replies travel in over IIOP.
+// A message is a 12-octet header (magic "GIOP", version, byte-order flag,
+// message type, body size) followed by a CDR body. This package marshals
+// and unmarshals the header, the Request and Reply message headers, and
+// system-exception reply bodies; argument and result values are encoded by
+// the caller with package cdr against the interface's signatures.
+package giop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"livedev/internal/cdr"
+)
+
+// MsgType identifies a GIOP message.
+type MsgType byte
+
+// GIOP 1.0 message types (we use Request, Reply and CloseConnection).
+const (
+	MsgRequest         MsgType = 0
+	MsgReply           MsgType = 1
+	MsgCancelRequest   MsgType = 2
+	MsgLocateRequest   MsgType = 3
+	MsgLocateReply     MsgType = 4
+	MsgCloseConnection MsgType = 5
+	MsgMessageError    MsgType = 6
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "Request"
+	case MsgReply:
+		return "Reply"
+	case MsgCancelRequest:
+		return "CancelRequest"
+	case MsgLocateRequest:
+		return "LocateRequest"
+	case MsgLocateReply:
+		return "LocateReply"
+	case MsgCloseConnection:
+		return "CloseConnection"
+	case MsgMessageError:
+		return "MessageError"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// ReplyStatus is the GIOP reply status.
+type ReplyStatus uint32
+
+// GIOP 1.0 reply status values.
+const (
+	ReplyNoException     ReplyStatus = 0
+	ReplyUserException   ReplyStatus = 1
+	ReplySystemException ReplyStatus = 2
+	ReplyLocationForward ReplyStatus = 3
+)
+
+// String names the reply status.
+func (s ReplyStatus) String() string {
+	switch s {
+	case ReplyNoException:
+		return "NO_EXCEPTION"
+	case ReplyUserException:
+		return "USER_EXCEPTION"
+	case ReplySystemException:
+		return "SYSTEM_EXCEPTION"
+	case ReplyLocationForward:
+		return "LOCATION_FORWARD"
+	default:
+		return fmt.Sprintf("ReplyStatus(%d)", uint32(s))
+	}
+}
+
+// Protocol errors.
+var (
+	ErrBadMagic   = errors.New("giop: bad magic (not a GIOP message)")
+	ErrBadVersion = errors.New("giop: unsupported GIOP version")
+	ErrTooLarge   = errors.New("giop: message exceeds size limit")
+)
+
+// MaxMessageSize bounds accepted message bodies; a defence against
+// malformed or hostile size fields.
+const MaxMessageSize = 16 << 20
+
+var magic = [4]byte{'G', 'I', 'O', 'P'}
+
+// headerLen is the fixed GIOP message header length.
+const headerLen = 12
+
+// Message is one framed GIOP message: its type, the byte order its body is
+// encoded in, and the raw body octets (alignment relative to body start).
+//
+// Note on alignment: GIOP 1.0 computes CDR alignment from the start of the
+// 12-octet message header, and 12 ≡ 0 (mod 4) with only 8-octet alignment
+// differing. Like several production ORBs we re-base alignment at the body
+// start and make the first body field a ulong (request id), so the two
+// conventions agree for every field our headers emit.
+type Message struct {
+	Type  MsgType
+	Order cdr.ByteOrder
+	Body  []byte
+}
+
+// WriteMessage frames and writes a GIOP message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Body) > MaxMessageSize {
+		return fmt.Errorf("%w: %d octets", ErrTooLarge, len(m.Body))
+	}
+	hdr := make([]byte, 0, headerLen+len(m.Body))
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, 1, 0) // GIOP 1.0
+	hdr = append(hdr, byte(m.Order))
+	hdr = append(hdr, byte(m.Type))
+	he := cdr.NewEncoder(m.Order)
+	he.WriteULong(uint32(len(m.Body)))
+	hdr = append(hdr, he.Bytes()...)
+	hdr = append(hdr, m.Body...)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("giop: writing message: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed GIOP message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("giop: reading header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return Message{}, ErrBadMagic
+	}
+	if hdr[4] != 1 || hdr[5] != 0 {
+		return Message{}, fmt.Errorf("%w: %d.%d", ErrBadVersion, hdr[4], hdr[5])
+	}
+	var order cdr.ByteOrder
+	switch hdr[6] {
+	case 0:
+		order = cdr.BigEndian
+	case 1:
+		order = cdr.LittleEndian
+	default:
+		return Message{}, fmt.Errorf("giop: invalid byte-order flag %d", hdr[6])
+	}
+	msgType := MsgType(hdr[7])
+	sd := cdr.NewDecoder(hdr[8:12], order)
+	size, err := sd.ReadULong()
+	if err != nil {
+		return Message{}, fmt.Errorf("giop: reading size: %w", err)
+	}
+	if size > MaxMessageSize {
+		return Message{}, fmt.Errorf("%w: %d octets", ErrTooLarge, size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("giop: reading body: %w", err)
+	}
+	return Message{Type: msgType, Order: order, Body: body}, nil
+}
+
+// RequestHeader is the GIOP 1.0 request header. ServiceContext is omitted
+// from the struct (we always emit an empty sequence) because the SDE/CDE
+// protocol carries its metadata in reply bodies instead.
+type RequestHeader struct {
+	RequestID        uint32
+	ResponseExpected bool
+	ObjectKey        []byte
+	Operation        string
+	Principal        []byte
+}
+
+// EncodeRequest builds a Request message: header followed by the
+// already-encoded argument body produced by enc (may be nil for no args).
+func EncodeRequest(order cdr.ByteOrder, h RequestHeader, args func(*cdr.Encoder) error) (Message, error) {
+	e := cdr.NewEncoder(order)
+	e.WriteULong(0) // empty service context list
+	e.WriteULong(h.RequestID)
+	e.WriteBool(h.ResponseExpected)
+	e.WriteOctetSeq(h.ObjectKey)
+	e.WriteString(h.Operation)
+	e.WriteOctetSeq(h.Principal)
+	if args != nil {
+		if err := args(e); err != nil {
+			return Message{}, fmt.Errorf("giop: encoding request args: %w", err)
+		}
+	}
+	return Message{Type: MsgRequest, Order: order, Body: e.Bytes()}, nil
+}
+
+// DecodeRequest parses a Request body, returning the header and a decoder
+// positioned at the first argument.
+func DecodeRequest(m Message) (RequestHeader, *cdr.Decoder, error) {
+	if m.Type != MsgRequest {
+		return RequestHeader{}, nil, fmt.Errorf("giop: expected Request, got %s", m.Type)
+	}
+	d := cdr.NewDecoder(m.Body, m.Order)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: request service context: %w", err)
+	}
+	for i := uint32(0); i < nctx; i++ {
+		if _, err := d.ReadULong(); err != nil { // context id
+			return RequestHeader{}, nil, fmt.Errorf("giop: service context %d: %w", i, err)
+		}
+		if _, err := d.ReadOctetSeq(); err != nil { // context data
+			return RequestHeader{}, nil, fmt.Errorf("giop: service context %d: %w", i, err)
+		}
+	}
+	var h RequestHeader
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: request id: %w", err)
+	}
+	if h.ResponseExpected, err = d.ReadBool(); err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: response_expected: %w", err)
+	}
+	if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: object key: %w", err)
+	}
+	if h.Operation, err = d.ReadString(); err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: operation: %w", err)
+	}
+	if h.Principal, err = d.ReadOctetSeq(); err != nil {
+		return RequestHeader{}, nil, fmt.Errorf("giop: principal: %w", err)
+	}
+	return h, d, nil
+}
+
+// ReplyHeader is the GIOP 1.0 reply header.
+type ReplyHeader struct {
+	RequestID uint32
+	Status    ReplyStatus
+}
+
+// EncodeReply builds a Reply message with a body produced by result (may be
+// nil for void results or when the status carries no body).
+func EncodeReply(order cdr.ByteOrder, h ReplyHeader, result func(*cdr.Encoder) error) (Message, error) {
+	e := cdr.NewEncoder(order)
+	e.WriteULong(0) // empty service context list
+	e.WriteULong(h.RequestID)
+	e.WriteULong(uint32(h.Status))
+	if result != nil {
+		if err := result(e); err != nil {
+			return Message{}, fmt.Errorf("giop: encoding reply body: %w", err)
+		}
+	}
+	return Message{Type: MsgReply, Order: order, Body: e.Bytes()}, nil
+}
+
+// DecodeReply parses a Reply body, returning the header and a decoder
+// positioned at the result (or exception) body.
+func DecodeReply(m Message) (ReplyHeader, *cdr.Decoder, error) {
+	if m.Type != MsgReply {
+		return ReplyHeader{}, nil, fmt.Errorf("giop: expected Reply, got %s", m.Type)
+	}
+	d := cdr.NewDecoder(m.Body, m.Order)
+	nctx, err := d.ReadULong()
+	if err != nil {
+		return ReplyHeader{}, nil, fmt.Errorf("giop: reply service context: %w", err)
+	}
+	for i := uint32(0); i < nctx; i++ {
+		if _, err := d.ReadULong(); err != nil {
+			return ReplyHeader{}, nil, fmt.Errorf("giop: service context %d: %w", i, err)
+		}
+		if _, err := d.ReadOctetSeq(); err != nil {
+			return ReplyHeader{}, nil, fmt.Errorf("giop: service context %d: %w", i, err)
+		}
+	}
+	var h ReplyHeader
+	if h.RequestID, err = d.ReadULong(); err != nil {
+		return ReplyHeader{}, nil, fmt.Errorf("giop: reply request id: %w", err)
+	}
+	st, err := d.ReadULong()
+	if err != nil {
+		return ReplyHeader{}, nil, fmt.Errorf("giop: reply status: %w", err)
+	}
+	h.Status = ReplyStatus(st)
+	return h, d, nil
+}

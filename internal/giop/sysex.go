@@ -1,0 +1,85 @@
+package giop
+
+import (
+	"errors"
+	"fmt"
+
+	"livedev/internal/cdr"
+)
+
+// SystemException is a CORBA system exception as carried in a
+// SYSTEM_EXCEPTION reply body: repository id, minor code, completion
+// status. The SDE maps a call to a method missing from the live interface
+// onto BAD_OPERATION — CORBA's "Non Existent Method" — after forcing the
+// published IDL current (paper Section 5.7).
+type SystemException struct {
+	RepoID    string
+	Minor     uint32
+	Completed CompletionStatus
+}
+
+// CompletionStatus says how far the operation got before the exception.
+type CompletionStatus uint32
+
+// CORBA completion status values.
+const (
+	CompletedYes   CompletionStatus = 0
+	CompletedNo    CompletionStatus = 1
+	CompletedMaybe CompletionStatus = 2
+)
+
+// Standard repository IDs for the exceptions the SDE raises.
+const (
+	RepoBadOperation   = "IDL:omg.org/CORBA/BAD_OPERATION:1.0"
+	RepoMarshal        = "IDL:omg.org/CORBA/MARSHAL:1.0"
+	RepoNoImplement    = "IDL:omg.org/CORBA/NO_IMPLEMENT:1.0"
+	RepoObjectNotExist = "IDL:omg.org/CORBA/OBJECT_NOT_EXIST:1.0"
+	RepoUnknown        = "IDL:omg.org/CORBA/UNKNOWN:1.0"
+	RepoInitialize     = "IDL:omg.org/CORBA/INITIALIZE:1.0"
+)
+
+// Error implements error.
+func (se *SystemException) Error() string {
+	return fmt.Sprintf("CORBA system exception %s (minor=%d, completed=%d)", se.RepoID, se.Minor, se.Completed)
+}
+
+// Encode writes the exception body (repo id, minor, completion status).
+func (se *SystemException) Encode(e *cdr.Encoder) error {
+	e.WriteString(se.RepoID)
+	e.WriteULong(se.Minor)
+	e.WriteULong(uint32(se.Completed))
+	return nil
+}
+
+// DecodeSystemException reads a system-exception reply body.
+func DecodeSystemException(d *cdr.Decoder) (*SystemException, error) {
+	id, err := d.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("giop: system exception id: %w", err)
+	}
+	minor, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("giop: system exception minor: %w", err)
+	}
+	completed, err := d.ReadULong()
+	if err != nil {
+		return nil, fmt.Errorf("giop: system exception completion: %w", err)
+	}
+	return &SystemException{RepoID: id, Minor: minor, Completed: CompletionStatus(completed)}, nil
+}
+
+// AsSystemException unwraps err to a *SystemException if there is one.
+func AsSystemException(err error) (*SystemException, bool) {
+	var se *SystemException
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// IsBadOperation reports whether err is a BAD_OPERATION system exception —
+// the CORBA-side signal of the paper's "Non Existent Method" condition.
+func IsBadOperation(err error) bool {
+	se, ok := AsSystemException(err)
+	return ok && se.RepoID == RepoBadOperation
+}

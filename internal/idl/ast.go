@@ -1,0 +1,204 @@
+// Package idl implements the subset of the OMG CORBA Interface Definition
+// Language the paper's IDL-to-Java mapping permits: modules containing
+// struct definitions, sequence typedefs, and interfaces whose operations use
+// String, primitive types, and module-declared composite types. It provides
+// an AST, a lexer and recursive-descent parser, a canonical pretty-printer,
+// a generator producing IDL from a dyn.InterfaceDescriptor (the SDE's IDL
+// Generator component), and a resolver mapping parsed IDL back to dyn types
+// (the client-side "IDL compiler" of Figure 2).
+package idl
+
+import "fmt"
+
+// TypeKind classifies a TypeRef.
+type TypeKind int
+
+// Type reference kinds.
+const (
+	TypeInvalid TypeKind = iota
+	TypeVoid
+	TypeBoolean
+	TypeChar
+	TypeLong     // 32-bit signed
+	TypeLongLong // 64-bit signed
+	TypeFloat
+	TypeDouble
+	TypeString
+	TypeSequence // anonymous sequence<Elem>
+	TypeNamed    // reference to a struct or typedef by name
+)
+
+// TypeRef is a (possibly nested) type reference as written in IDL source.
+type TypeRef struct {
+	Kind TypeKind
+	Name string   // for TypeNamed
+	Elem *TypeRef // for TypeSequence
+}
+
+// Basic type reference singletons.
+var (
+	VoidRef     = TypeRef{Kind: TypeVoid}
+	BooleanRef  = TypeRef{Kind: TypeBoolean}
+	CharRef     = TypeRef{Kind: TypeChar}
+	LongRef     = TypeRef{Kind: TypeLong}
+	LongLongRef = TypeRef{Kind: TypeLongLong}
+	FloatRef    = TypeRef{Kind: TypeFloat}
+	DoubleRef   = TypeRef{Kind: TypeDouble}
+	StringRef   = TypeRef{Kind: TypeString}
+)
+
+// NamedRef returns a reference to a declared type.
+func NamedRef(name string) TypeRef { return TypeRef{Kind: TypeNamed, Name: name} }
+
+// SequenceRef returns an anonymous sequence type reference.
+func SequenceRef(elem TypeRef) TypeRef {
+	e := elem
+	return TypeRef{Kind: TypeSequence, Elem: &e}
+}
+
+// Equal reports structural equality of type references.
+func (t TypeRef) Equal(o TypeRef) bool {
+	if t.Kind != o.Kind || t.Name != o.Name {
+		return false
+	}
+	if t.Kind == TypeSequence {
+		return t.Elem.Equal(*o.Elem)
+	}
+	return true
+}
+
+// String renders the reference in IDL syntax.
+func (t TypeRef) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeBoolean:
+		return "boolean"
+	case TypeChar:
+		return "char"
+	case TypeLong:
+		return "long"
+	case TypeLongLong:
+		return "long long"
+	case TypeFloat:
+		return "float"
+	case TypeDouble:
+		return "double"
+	case TypeString:
+		return "string"
+	case TypeSequence:
+		return "sequence<" + t.Elem.String() + ">"
+	case TypeNamed:
+		return t.Name
+	default:
+		return "<invalid>"
+	}
+}
+
+// Direction is a parameter passing mode. The SDE's RMI model uses only `in`
+// parameters, but the parser accepts all three.
+type Direction int
+
+// Parameter directions.
+const (
+	DirIn Direction = iota + 1
+	DirOut
+	DirInOut
+)
+
+// String renders the direction keyword.
+func (d Direction) String() string {
+	switch d {
+	case DirIn:
+		return "in"
+	case DirOut:
+		return "out"
+	case DirInOut:
+		return "inout"
+	default:
+		return "<dir?>"
+	}
+}
+
+// Member is one struct member declaration.
+type Member struct {
+	Type TypeRef
+	Name string
+}
+
+// StructDef is a struct declaration inside the module.
+type StructDef struct {
+	Name    string
+	Members []Member
+}
+
+// Typedef aliases a (sequence) type under a new name.
+type Typedef struct {
+	Name string
+	Type TypeRef
+}
+
+// ParamDecl is one formal operation parameter.
+type ParamDecl struct {
+	Dir  Direction
+	Type TypeRef
+	Name string
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Result TypeRef
+	Params []ParamDecl
+}
+
+// InterfaceDef is an interface declaration inside the module.
+type InterfaceDef struct {
+	Name string
+	Ops  []Operation
+}
+
+// Document is a parsed or generated CORBA-IDL document: one module
+// containing typedefs, structs and interfaces, in declaration order.
+type Document struct {
+	Module     string
+	Typedefs   []Typedef
+	Structs    []StructDef
+	Interfaces []InterfaceDef
+}
+
+// Interface returns the named interface declaration.
+func (d *Document) Interface(name string) (InterfaceDef, bool) {
+	for _, i := range d.Interfaces {
+		if i.Name == name {
+			return i, true
+		}
+	}
+	return InterfaceDef{}, false
+}
+
+// Struct returns the named struct declaration.
+func (d *Document) Struct(name string) (StructDef, bool) {
+	for _, s := range d.Structs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StructDef{}, false
+}
+
+// TypedefByName returns the named typedef.
+func (d *Document) TypedefByName(name string) (Typedef, bool) {
+	for _, td := range d.Typedefs {
+		if td.Name == name {
+			return td, true
+		}
+	}
+	return Typedef{}, false
+}
+
+// RepositoryID returns the CORBA repository id for an interface in this
+// module, e.g. "IDL:CalcModule/Calc:1.0".
+func (d *Document) RepositoryID(iface string) string {
+	return fmt.Sprintf("IDL:%s/%s:1.0", d.Module, iface)
+}

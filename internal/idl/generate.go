@@ -1,0 +1,120 @@
+package idl
+
+import (
+	"fmt"
+
+	"livedev/internal/dyn"
+)
+
+// Generate builds the CORBA-IDL document for a class's distributed
+// interface — the job of the paper's IDL Generator component. The module is
+// named <ClassName>Module, the interface after the class. Struct types
+// referenced by signatures become struct declarations; sequence types used
+// in signatures become typedefs (classic IDL does not allow anonymous
+// sequences in operation signatures), named after their element type:
+// sequence<long> → LongSeq, sequence<Message> → MessageSeq, nested
+// sequences append further "Seq" suffixes.
+func Generate(desc dyn.InterfaceDescriptor) (*Document, error) {
+	doc := &Document{Module: desc.ClassName + "Module"}
+	seqNames := make(map[string]bool)
+
+	// Struct declarations first (members may themselves use sequences —
+	// anonymous sequences are permitted in struct members by our parser,
+	// but we typedef them too for fidelity).
+	for _, st := range desc.Structs {
+		var sd StructDef
+		sd.Name = st.Name()
+		for _, f := range st.Fields() {
+			ref, err := typeRefFor(doc, seqNames, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("idl: struct %s member %s: %w", st.Name(), f.Name, err)
+			}
+			sd.Members = append(sd.Members, Member{Type: ref, Name: f.Name})
+		}
+		doc.Structs = append(doc.Structs, sd)
+	}
+
+	iface := InterfaceDef{Name: desc.ClassName}
+	for _, m := range desc.Methods {
+		op := Operation{Name: m.Name}
+		res, err := typeRefFor(doc, seqNames, m.Result)
+		if err != nil {
+			return nil, fmt.Errorf("idl: operation %s result: %w", m.Name, err)
+		}
+		op.Result = res
+		for _, p := range m.Params {
+			ref, err := typeRefFor(doc, seqNames, p.Type)
+			if err != nil {
+				return nil, fmt.Errorf("idl: operation %s parameter %s: %w", m.Name, p.Name, err)
+			}
+			op.Params = append(op.Params, ParamDecl{Dir: DirIn, Type: ref, Name: p.Name})
+		}
+		iface.Ops = append(iface.Ops, op)
+	}
+	doc.Interfaces = append(doc.Interfaces, iface)
+	return doc, nil
+}
+
+// typeRefFor maps a dyn type to an IDL type reference, adding sequence
+// typedefs to doc as needed.
+func typeRefFor(doc *Document, seqNames map[string]bool, t *dyn.Type) (TypeRef, error) {
+	switch t.Kind() {
+	case dyn.KindVoid:
+		return VoidRef, nil
+	case dyn.KindBoolean:
+		return BooleanRef, nil
+	case dyn.KindChar:
+		return CharRef, nil
+	case dyn.KindInt32:
+		return LongRef, nil
+	case dyn.KindInt64:
+		return LongLongRef, nil
+	case dyn.KindFloat32:
+		return FloatRef, nil
+	case dyn.KindFloat64:
+		return DoubleRef, nil
+	case dyn.KindString:
+		return StringRef, nil
+	case dyn.KindStruct:
+		return NamedRef(t.Name()), nil
+	case dyn.KindSequence:
+		elemRef, err := typeRefFor(doc, seqNames, t.Elem())
+		if err != nil {
+			return TypeRef{}, err
+		}
+		name := seqTypedefName(t)
+		if !seqNames[name] {
+			seqNames[name] = true
+			doc.Typedefs = append(doc.Typedefs, Typedef{Name: name, Type: SequenceRef(elemRef)})
+		}
+		return NamedRef(name), nil
+	default:
+		return TypeRef{}, fmt.Errorf("no IDL mapping for kind %s", t.Kind())
+	}
+}
+
+// seqTypedefName produces LongSeq, MessageSeq, LongSeqSeq, ...
+func seqTypedefName(t *dyn.Type) string {
+	switch t.Kind() {
+	case dyn.KindBoolean:
+		return "Boolean"
+	case dyn.KindChar:
+		return "Char"
+	case dyn.KindInt32:
+		return "Long"
+	case dyn.KindInt64:
+		return "LongLong"
+	case dyn.KindFloat32:
+		return "Float"
+	case dyn.KindFloat64:
+		return "Double"
+	case dyn.KindString:
+		return "String"
+	case dyn.KindStruct:
+		return t.Name()
+	case dyn.KindSequence:
+		return seqTypedefName(t.Elem()) + "Seq"
+	default:
+		return "Unknown"
+	}
+}

@@ -1,0 +1,326 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+
+	"livedev/internal/dyn"
+)
+
+const sampleIDL = `
+// A mail service, in the paper's IDL subset.
+module MailModule {
+  struct Message {
+    string from;
+    string body;
+    long long id;
+  };
+  typedef sequence<Message> MessageSeq;
+  interface Mail {
+    void send(in Message m);
+    MessageSeq fetch(in string user, in long max);
+    long long count();
+    boolean flag(in char tag, in double weight, in float bias);
+    sequence<long> ids(in MessageSeq batch);
+  };
+};
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Module != "MailModule" {
+		t.Errorf("module = %q", doc.Module)
+	}
+	if len(doc.Structs) != 1 || doc.Structs[0].Name != "Message" || len(doc.Structs[0].Members) != 3 {
+		t.Errorf("structs = %+v", doc.Structs)
+	}
+	if len(doc.Typedefs) != 1 || doc.Typedefs[0].Name != "MessageSeq" {
+		t.Errorf("typedefs = %+v", doc.Typedefs)
+	}
+	iface, ok := doc.Interface("Mail")
+	if !ok || len(iface.Ops) != 5 {
+		t.Fatalf("interface = %+v, %v", iface, ok)
+	}
+	send := iface.Ops[0]
+	if send.Name != "send" || send.Result.Kind != TypeVoid || len(send.Params) != 1 ||
+		send.Params[0].Dir != DirIn || send.Params[0].Type.Name != "Message" {
+		t.Errorf("send = %+v", send)
+	}
+	fetch := iface.Ops[1]
+	if fetch.Result.Name != "MessageSeq" || len(fetch.Params) != 2 || fetch.Params[1].Type.Kind != TypeLong {
+		t.Errorf("fetch = %+v", fetch)
+	}
+	if iface.Ops[2].Result.Kind != TypeLongLong {
+		t.Errorf("count result = %+v", iface.Ops[2].Result)
+	}
+	ids := iface.Ops[4]
+	if ids.Result.Kind != TypeSequence || ids.Result.Elem.Kind != TypeLong {
+		t.Errorf("ids result = %+v", ids.Result)
+	}
+	if doc.RepositoryID("Mail") != "IDL:MailModule/Mail:1.0" {
+		t.Errorf("RepositoryID = %q", doc.RepositoryID("Mail"))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+module M { /* block
+   spanning lines */ interface I { void f(); }; };
+# pragma-ish line skipped
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Interface("I"); !ok {
+		t.Error("interface I missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                      // empty
+		`interface I {};`,                       // no module
+		`module M { interface I { void f(); };`, // missing closing brace
+		`module M { interface I { void f(); }; }`,                     // missing final semi
+		`module M { bogus B {}; };`,                                   // unknown declaration
+		`module M { struct S { void v; }; };`,                         // void member
+		`module M { typedef void V; };`,                               // void typedef
+		`module M { interface I { void f(in void v); }; };`,           // void param
+		`module M { interface I { void f(badword long x); }; };`,      // bad direction
+		`module M { interface I { void f(in sequence<void> v); }; };`, // seq of void
+		`module M { interface I { void f(in long module); }; };`,      // reserved name
+		`module M { interface I { void f(in unsigned long x); }; };`,  // unsupported kw
+		`module M { struct S { long a } };`,                           // missing member semi
+		`module M; `,                                                  // missing body
+		`module M { interface I { void f(in long a,); }; };`,          // trailing comma
+		`module M { /* unterminated`,                                  // bad comment
+		`module M { interface I { void f(); }; }; extra`,              // trailing junk
+		`module M { interface I { void @(); }; };`,                    // bad char
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	doc, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(doc)
+	doc2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparsing printed IDL: %v\n%s", err, text)
+	}
+	if Print(doc2) != text {
+		t.Errorf("print/parse not idempotent:\n%s\nvs\n%s", text, Print(doc2))
+	}
+}
+
+func newMailDescriptor(t *testing.T) dyn.InterfaceDescriptor {
+	t.Helper()
+	msg := dyn.MustStructOf("Message",
+		dyn.StructField{Name: "from", Type: dyn.StringT},
+		dyn.StructField{Name: "body", Type: dyn.StringT},
+		dyn.StructField{Name: "id", Type: dyn.Int64T},
+	)
+	c := dyn.NewClass("Mail")
+	mustAdd := func(spec dyn.MethodSpec) {
+		t.Helper()
+		if _, err := c.AddMethod(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(dyn.MethodSpec{Name: "send", Params: []dyn.Param{{Name: "m", Type: msg}}, Distributed: true})
+	mustAdd(dyn.MethodSpec{
+		Name:        "fetch",
+		Params:      []dyn.Param{{Name: "user", Type: dyn.StringT}, {Name: "max", Type: dyn.Int32T}},
+		Result:      dyn.SequenceOf(msg),
+		Distributed: true,
+	})
+	mustAdd(dyn.MethodSpec{Name: "count", Result: dyn.Int64T, Distributed: true})
+	mustAdd(dyn.MethodSpec{
+		Name:        "matrix",
+		Result:      dyn.SequenceOf(dyn.SequenceOf(dyn.Int32T)),
+		Distributed: true,
+	})
+	return c.Interface()
+}
+
+func TestGenerate(t *testing.T) {
+	desc := newMailDescriptor(t)
+	doc, err := Generate(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Module != "MailModule" {
+		t.Errorf("module = %q", doc.Module)
+	}
+	if _, ok := doc.Struct("Message"); !ok {
+		t.Error("Message struct missing")
+	}
+	// Sequence typedefs: MessageSeq, LongSeq, LongSeqSeq.
+	for _, want := range []string{"MessageSeq", "LongSeq", "LongSeqSeq"} {
+		if _, ok := doc.TypedefByName(want); !ok {
+			t.Errorf("typedef %s missing; have %+v", want, doc.Typedefs)
+		}
+	}
+	iface, ok := doc.Interface("Mail")
+	if !ok {
+		t.Fatal("interface Mail missing")
+	}
+	if len(iface.Ops) != 4 {
+		t.Fatalf("ops = %+v", iface.Ops)
+	}
+	// Methods arrive name-sorted from the descriptor.
+	if iface.Ops[0].Name != "count" || iface.Ops[3].Name != "send" {
+		t.Errorf("op order: %v", []string{iface.Ops[0].Name, iface.Ops[1].Name, iface.Ops[2].Name, iface.Ops[3].Name})
+	}
+	text := Print(doc)
+	if !strings.Contains(text, "typedef sequence<Message> MessageSeq;") {
+		t.Errorf("printed IDL missing typedef:\n%s", text)
+	}
+	if !strings.Contains(text, "MessageSeq fetch(in string user, in long max);") {
+		t.Errorf("printed IDL missing fetch:\n%s", text)
+	}
+}
+
+// The core fidelity property: generate IDL from a class, parse it back,
+// resolve it, and the interface descriptor hash matches the original.
+// This is what keeps SDE (server) and CDE (client) views consistent.
+func TestGenerateParseResolveRoundTrip(t *testing.T) {
+	desc := newMailDescriptor(t)
+	doc, err := Generate(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(Print(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Resolve(reparsed, "Mail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hash() != desc.Hash() {
+		t.Errorf("descriptor hash changed across generate/parse/resolve:\n got %v\nwant %v",
+			got.Methods, desc.Methods)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	doc, err := Parse(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(doc, "Nope"); err == nil {
+		t.Error("unknown interface should fail")
+	}
+
+	undeclared := `module M { interface I { void f(in Ghost g); }; };`
+	doc2, err := Parse(undeclared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(doc2, "I"); err == nil {
+		t.Error("undeclared type should fail")
+	}
+
+	recursive := `module M { struct S { S next; }; interface I { void f(in S s); }; };`
+	doc3, err := Parse(recursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(doc3, "I"); err == nil {
+		t.Error("recursive struct should fail")
+	}
+
+	outParam := `module M { interface I { void f(out long x); }; };`
+	doc4, err := Parse(outParam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(doc4, "I"); err == nil {
+		t.Error("out parameter should fail")
+	}
+
+	recursiveTypedef := `module M { typedef sequence<T> T; interface I { void f(in T t); }; };`
+	doc5, err := Parse(recursiveTypedef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resolve(doc5, "I"); err == nil {
+		t.Error("recursive typedef should fail")
+	}
+}
+
+func TestResolveTypedefChain(t *testing.T) {
+	src := `module M {
+	  typedef sequence<long> Longs;
+	  typedef Longs Numbers;
+	  interface I { Numbers get(); };
+	};`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := Resolve(doc, "I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dyn.SequenceOf(dyn.Int32T)
+	if !desc.Methods[0].Result.Equal(want) {
+		t.Errorf("resolved result = %v, want %v", desc.Methods[0].Result, want)
+	}
+}
+
+func TestTypeRefStringAndEqual(t *testing.T) {
+	if LongLongRef.String() != "long long" {
+		t.Error("long long rendering")
+	}
+	seq := SequenceRef(SequenceRef(LongRef))
+	if seq.String() != "sequence<sequence<long>>" {
+		t.Errorf("nested sequence rendering = %q", seq.String())
+	}
+	if !seq.Equal(SequenceRef(SequenceRef(LongRef))) {
+		t.Error("nested sequence equality")
+	}
+	if seq.Equal(SequenceRef(LongRef)) {
+		t.Error("different nesting should differ")
+	}
+	if NamedRef("A").Equal(NamedRef("B")) {
+		t.Error("different names should differ")
+	}
+	if (TypeRef{}).String() != "<invalid>" {
+		t.Error("invalid rendering")
+	}
+	if DirIn.String() != "in" || DirOut.String() != "out" || DirInOut.String() != "inout" {
+		t.Error("direction rendering")
+	}
+	if Direction(0).String() != "<dir?>" {
+		t.Error("invalid direction rendering")
+	}
+}
+
+func TestVoidOnlyAsResult(t *testing.T) {
+	// Void result parses fine and resolves to dyn.Void.
+	src := `module M { interface I { void f(); }; };`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := Resolve(doc, "I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Methods[0].Result.Kind() != dyn.KindVoid {
+		t.Error("void result should resolve to dyn.Void")
+	}
+}

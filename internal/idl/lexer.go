@@ -1,0 +1,180 @@
+package idl
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokLAngle // <
+	tokRAngle // >
+	tokSemi   // ;
+	tokComma  // ,
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokSemi:
+		return "';'"
+	case tokComma:
+		return "','"
+	default:
+		return "<token?>"
+	}
+}
+
+// token is one lexical token with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer tokenizes IDL source. It handles //-comments, /* */ comments, and
+// the #pragma lines some IDL compilers emit (skipped to end of line).
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("idl: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#': // preprocessor-style line; skip it
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+					l.pos++
+				}
+				continue
+			}
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+				end := l.pos + 2
+				for {
+					if end+1 >= len(l.src) {
+						return token{}, l.errf("unterminated block comment")
+					}
+					if l.src[end] == '\n' {
+						l.line++
+					}
+					if l.src[end] == '*' && l.src[end+1] == '/' {
+						break
+					}
+					end++
+				}
+				l.pos = end + 2
+				continue
+			}
+			return token{}, l.errf("unexpected '/'")
+		default:
+			return l.scanToken()
+		}
+	}
+}
+
+func (l *lexer) scanToken() (token, error) {
+	c := l.src[l.pos]
+	line := l.line
+	switch c {
+	case '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", line: line}, nil
+	case '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", line: line}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: line}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: line}, nil
+	case '<':
+		l.pos++
+		return token{kind: tokLAngle, text: "<", line: line}, nil
+	case '>':
+		l.pos++
+		return token{kind: tokRAngle, text: ">", line: line}, nil
+	case ';':
+		l.pos++
+		return token{kind: tokSemi, text: ";", line: line}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: line}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if !isIdentStart(r) {
+		return token{}, l.errf("unexpected character %q", r)
+	}
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

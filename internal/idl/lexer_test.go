@@ -1,0 +1,105 @@
+package idl
+
+import (
+	"livedev/internal/dyn"
+
+	"testing"
+)
+
+func TestLexerTokens(t *testing.T) {
+	lx := newLexer("module M { < > ( ) ; , }")
+	wantKinds := []tokenKind{
+		tokIdent, tokIdent, tokLBrace, tokLAngle, tokRAngle,
+		tokLParen, tokRParen, tokSemi, tokComma, tokRBrace, tokEOF,
+	}
+	for i, want := range wantKinds {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("token %d: %v", i, err)
+		}
+		if tok.kind != want {
+			t.Fatalf("token %d: got %v, want %v", i, tok.kind, want)
+		}
+	}
+}
+
+func TestLexerUnicodeIdentifiers(t *testing.T) {
+	// IDL identifiers are ASCII in the spec, but the lexer is permissive
+	// about letters; underscores are standard.
+	lx := newLexer("_under_score αβγ")
+	tok, err := lx.next()
+	if err != nil || tok.text != "_under_score" {
+		t.Fatalf("underscore ident: %q, %v", tok.text, err)
+	}
+	tok, err = lx.next()
+	if err != nil || tok.text != "αβγ" {
+		t.Fatalf("unicode ident: %q, %v", tok.text, err)
+	}
+}
+
+func TestLexerLineTracking(t *testing.T) {
+	lx := newLexer("a\nb\n\nc")
+	for _, want := range []int{1, 2, 4} {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.line != want {
+			t.Errorf("token %q on line %d, want %d", tok.text, tok.line, want)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"@", "/", "/* never closed"} {
+		lx := newLexer(src)
+		if _, err := lx.next(); err == nil {
+			t.Errorf("lexing %q should fail", src)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []tokenKind{tokEOF, tokIdent, tokLBrace, tokRBrace, tokLParen,
+		tokRParen, tokLAngle, tokRAngle, tokSemi, tokComma, tokenKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestPrintEmptyModule(t *testing.T) {
+	doc := &Document{Module: "Empty"}
+	text := Print(doc)
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("empty module round trip: %v\n%s", err, text)
+	}
+	if parsed.Module != "Empty" || len(parsed.Interfaces) != 0 {
+		t.Errorf("parsed = %+v", parsed)
+	}
+}
+
+func TestGenerateEmptyDescriptorIsMinimalDocument(t *testing.T) {
+	// The minimal CORBA-IDL document published at class-load time
+	// (Section 4): a module with an empty interface.
+	doc, err := Generate(newEmptyDescriptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(doc)
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("minimal document: %v\n%s", err, text)
+	}
+	iface, ok := parsed.Interface("Fresh")
+	if !ok || len(iface.Ops) != 0 {
+		t.Errorf("minimal interface = %+v, %v", iface, ok)
+	}
+}
+
+func newEmptyDescriptor() (d dyn.InterfaceDescriptor) {
+	d.ClassName = "Fresh"
+	return d
+}

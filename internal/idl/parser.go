@@ -1,0 +1,348 @@
+package idl
+
+import (
+	"fmt"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lx  *lexer
+	tok token // current token
+}
+
+// Parse parses one CORBA-IDL document (a single module).
+func Parse(src string) (*Document, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	doc, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after module", p.tok.kind)
+	}
+	return doc, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("idl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, found %s %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// expectKeyword consumes the identifier kw or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokIdent || p.tok.text != kw {
+		return p.errf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == kw
+}
+
+// reserved words that cannot be used as declaration names.
+var reserved = map[string]bool{
+	"module": true, "interface": true, "struct": true, "typedef": true,
+	"sequence": true, "void": true, "boolean": true, "char": true,
+	"long": true, "float": true, "double": true, "string": true,
+	"in": true, "out": true, "inout": true, "unsigned": true, "short": true,
+}
+
+func (p *parser) parseName(what string) (string, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	if reserved[t.text] {
+		return "", fmt.Errorf("idl: line %d: %q is a reserved word, cannot name a %s", t.line, t.text, what)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseModule() (*Document, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName("module")
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{Module: name}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		switch {
+		case p.atKeyword("struct"):
+			s, err := p.parseStruct()
+			if err != nil {
+				return nil, err
+			}
+			doc.Structs = append(doc.Structs, s)
+		case p.atKeyword("typedef"):
+			td, err := p.parseTypedef()
+			if err != nil {
+				return nil, err
+			}
+			doc.Typedefs = append(doc.Typedefs, td)
+		case p.atKeyword("interface"):
+			i, err := p.parseInterface()
+			if err != nil {
+				return nil, err
+			}
+			doc.Interfaces = append(doc.Interfaces, i)
+		default:
+			return nil, p.errf("expected struct, typedef or interface, found %q", p.tok.text)
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func (p *parser) parseStruct() (StructDef, error) {
+	if err := p.expectKeyword("struct"); err != nil {
+		return StructDef{}, err
+	}
+	name, err := p.parseName("struct")
+	if err != nil {
+		return StructDef{}, err
+	}
+	s := StructDef{Name: name}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return StructDef{}, err
+	}
+	for p.tok.kind != tokRBrace {
+		t, err := p.parseTypeRef()
+		if err != nil {
+			return StructDef{}, err
+		}
+		if t.Kind == TypeVoid {
+			return StructDef{}, p.errf("struct member cannot be void")
+		}
+		mname, err := p.parseName("struct member")
+		if err != nil {
+			return StructDef{}, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return StructDef{}, err
+		}
+		s.Members = append(s.Members, Member{Type: t, Name: mname})
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return StructDef{}, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return StructDef{}, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseTypedef() (Typedef, error) {
+	if err := p.expectKeyword("typedef"); err != nil {
+		return Typedef{}, err
+	}
+	t, err := p.parseTypeRef()
+	if err != nil {
+		return Typedef{}, err
+	}
+	if t.Kind == TypeVoid {
+		return Typedef{}, p.errf("cannot typedef void")
+	}
+	name, err := p.parseName("typedef")
+	if err != nil {
+		return Typedef{}, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return Typedef{}, err
+	}
+	return Typedef{Name: name, Type: t}, nil
+}
+
+func (p *parser) parseInterface() (InterfaceDef, error) {
+	if err := p.expectKeyword("interface"); err != nil {
+		return InterfaceDef{}, err
+	}
+	name, err := p.parseName("interface")
+	if err != nil {
+		return InterfaceDef{}, err
+	}
+	i := InterfaceDef{Name: name}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return InterfaceDef{}, err
+	}
+	for p.tok.kind != tokRBrace {
+		op, err := p.parseOperation()
+		if err != nil {
+			return InterfaceDef{}, err
+		}
+		i.Ops = append(i.Ops, op)
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return InterfaceDef{}, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return InterfaceDef{}, err
+	}
+	return i, nil
+}
+
+func (p *parser) parseOperation() (Operation, error) {
+	result, err := p.parseTypeRef()
+	if err != nil {
+		return Operation{}, err
+	}
+	name, err := p.parseName("operation")
+	if err != nil {
+		return Operation{}, err
+	}
+	op := Operation{Name: name, Result: result}
+	if _, err := p.expect(tokLParen); err != nil {
+		return Operation{}, err
+	}
+	for p.tok.kind != tokRParen {
+		if len(op.Params) > 0 {
+			if _, err := p.expect(tokComma); err != nil {
+				return Operation{}, err
+			}
+		}
+		var dir Direction
+		switch {
+		case p.atKeyword("in"):
+			dir = DirIn
+		case p.atKeyword("out"):
+			dir = DirOut
+		case p.atKeyword("inout"):
+			dir = DirInOut
+		default:
+			return Operation{}, p.errf("expected parameter direction (in/out/inout), found %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return Operation{}, err
+		}
+		t, err := p.parseTypeRef()
+		if err != nil {
+			return Operation{}, err
+		}
+		if t.Kind == TypeVoid {
+			return Operation{}, p.errf("parameter cannot be void")
+		}
+		pname, err := p.parseName("parameter")
+		if err != nil {
+			return Operation{}, err
+		}
+		op.Params = append(op.Params, ParamDecl{Dir: dir, Type: t, Name: pname})
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return Operation{}, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return Operation{}, err
+	}
+	return op, nil
+}
+
+// parseTypeRef parses a type reference: a basic type keyword, "long long",
+// "sequence<T>", or a declared name.
+func (p *parser) parseTypeRef() (TypeRef, error) {
+	if p.tok.kind != tokIdent {
+		return TypeRef{}, p.errf("expected a type, found %s", p.tok.kind)
+	}
+	switch p.tok.text {
+	case "void":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return VoidRef, nil
+	case "boolean":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return BooleanRef, nil
+	case "char":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return CharRef, nil
+	case "float":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return FloatRef, nil
+	case "double":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return DoubleRef, nil
+	case "string":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return StringRef, nil
+	case "long":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		if p.atKeyword("long") {
+			if err := p.advance(); err != nil {
+				return TypeRef{}, err
+			}
+			return LongLongRef, nil
+		}
+		return LongRef, nil
+	case "sequence":
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		if _, err := p.expect(tokLAngle); err != nil {
+			return TypeRef{}, err
+		}
+		elem, err := p.parseTypeRef()
+		if err != nil {
+			return TypeRef{}, err
+		}
+		if elem.Kind == TypeVoid {
+			return TypeRef{}, p.errf("sequence element cannot be void")
+		}
+		if _, err := p.expect(tokRAngle); err != nil {
+			return TypeRef{}, err
+		}
+		return SequenceRef(elem), nil
+	default:
+		if reserved[p.tok.text] {
+			return TypeRef{}, p.errf("unsupported type keyword %q", p.tok.text)
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return TypeRef{}, err
+		}
+		return NamedRef(name), nil
+	}
+}

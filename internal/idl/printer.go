@@ -1,0 +1,43 @@
+package idl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the document as canonical CORBA-IDL text. Print and Parse
+// are inverse up to formatting: Parse(Print(d)) reproduces d.
+func Print(d *Document) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s {\n", d.Module)
+	for _, s := range d.Structs {
+		fmt.Fprintf(&b, "  struct %s {\n", s.Name)
+		for _, m := range s.Members {
+			fmt.Fprintf(&b, "    %s %s;\n", m.Type, m.Name)
+		}
+		b.WriteString("  };\n")
+	}
+	for _, td := range d.Typedefs {
+		fmt.Fprintf(&b, "  typedef %s %s;\n", td.Type, td.Name)
+	}
+	for _, i := range d.Interfaces {
+		fmt.Fprintf(&b, "  interface %s {\n", i.Name)
+		for _, op := range i.Ops {
+			b.WriteString("    ")
+			b.WriteString(op.Result.String())
+			b.WriteByte(' ')
+			b.WriteString(op.Name)
+			b.WriteByte('(')
+			for j, p := range op.Params {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s %s %s", p.Dir, p.Type, p.Name)
+			}
+			b.WriteString(");\n")
+		}
+		b.WriteString("  };\n")
+	}
+	b.WriteString("};\n")
+	return b.String()
+}

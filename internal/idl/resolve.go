@@ -1,0 +1,137 @@
+package idl
+
+import (
+	"fmt"
+
+	"livedev/internal/dyn"
+)
+
+// Resolve maps the named interface of a parsed document back into dyn
+// method signatures — the client-side IDL compiler of Figure 2. It resolves
+// struct declarations and typedefs transitively, rejecting unknown names,
+// recursive struct definitions (unrepresentable in CDR without indirection),
+// and out/inout parameters (the SDE RMI model passes parameters by value).
+func Resolve(doc *Document, ifaceName string) (dyn.InterfaceDescriptor, error) {
+	iface, ok := doc.Interface(ifaceName)
+	if !ok {
+		return dyn.InterfaceDescriptor{}, fmt.Errorf("idl: interface %s not declared in module %s", ifaceName, doc.Module)
+	}
+	r := &resolver{doc: doc, structs: make(map[string]*dyn.Type), inProgress: make(map[string]bool)}
+
+	desc := dyn.InterfaceDescriptor{ClassName: ifaceName}
+	structSet := make(map[string]*dyn.Type)
+	for _, op := range iface.Ops {
+		sig := dyn.MethodSig{Name: op.Name}
+		res, err := r.resolveType(op.Result)
+		if err != nil {
+			return dyn.InterfaceDescriptor{}, fmt.Errorf("idl: operation %s result: %w", op.Name, err)
+		}
+		sig.Result = res
+		for _, p := range op.Params {
+			if p.Dir != DirIn {
+				return dyn.InterfaceDescriptor{}, fmt.Errorf("idl: operation %s parameter %s: only 'in' parameters are supported, got %s", op.Name, p.Name, p.Dir)
+			}
+			pt, err := r.resolveType(p.Type)
+			if err != nil {
+				return dyn.InterfaceDescriptor{}, fmt.Errorf("idl: operation %s parameter %s: %w", op.Name, p.Name, err)
+			}
+			sig.Params = append(sig.Params, dyn.Param{Name: p.Name, Type: pt})
+		}
+		desc.Methods = append(desc.Methods, sig)
+		dyn.CollectStructs(sig.Result, structSet)
+		for _, p := range sig.Params {
+			dyn.CollectStructs(p.Type, structSet)
+		}
+	}
+	// Keep methods name-sorted like dyn.Class.Interface does, so hashes of
+	// a generated-then-parsed interface match the original.
+	sortSigs(desc.Methods)
+	for _, n := range dyn.SortedStructNames(structSet) {
+		desc.Structs = append(desc.Structs, structSet[n])
+	}
+	return desc, nil
+}
+
+func sortSigs(sigs []dyn.MethodSig) {
+	for i := 1; i < len(sigs); i++ {
+		for j := i; j > 0 && sigs[j].Name < sigs[j-1].Name; j-- {
+			sigs[j], sigs[j-1] = sigs[j-1], sigs[j]
+		}
+	}
+}
+
+type resolver struct {
+	doc        *Document
+	structs    map[string]*dyn.Type // resolved cache
+	inProgress map[string]bool      // cycle detection
+}
+
+func (r *resolver) resolveType(t TypeRef) (*dyn.Type, error) {
+	switch t.Kind {
+	case TypeVoid:
+		return dyn.Void, nil
+	case TypeBoolean:
+		return dyn.Boolean, nil
+	case TypeChar:
+		return dyn.Char, nil
+	case TypeLong:
+		return dyn.Int32T, nil
+	case TypeLongLong:
+		return dyn.Int64T, nil
+	case TypeFloat:
+		return dyn.Float32T, nil
+	case TypeDouble:
+		return dyn.Float64T, nil
+	case TypeString:
+		return dyn.StringT, nil
+	case TypeSequence:
+		elem, err := r.resolveType(*t.Elem)
+		if err != nil {
+			return nil, err
+		}
+		if elem.Kind() == dyn.KindVoid {
+			return nil, fmt.Errorf("sequence of void")
+		}
+		return dyn.SequenceOf(elem), nil
+	case TypeNamed:
+		return r.resolveNamed(t.Name)
+	default:
+		return nil, fmt.Errorf("invalid type reference")
+	}
+}
+
+func (r *resolver) resolveNamed(name string) (*dyn.Type, error) {
+	if st, ok := r.structs[name]; ok {
+		return st, nil
+	}
+	if r.inProgress[name] {
+		return nil, fmt.Errorf("recursive type %s", name)
+	}
+	if sd, ok := r.doc.Struct(name); ok {
+		r.inProgress[name] = true
+		defer delete(r.inProgress, name)
+		fields := make([]dyn.StructField, 0, len(sd.Members))
+		for _, m := range sd.Members {
+			ft, err := r.resolveType(m.Type)
+			if err != nil {
+				return nil, fmt.Errorf("struct %s member %s: %w", name, m.Name, err)
+			}
+			if ft.Kind() == dyn.KindVoid {
+				return nil, fmt.Errorf("struct %s member %s: void member", name, m.Name)
+			}
+			fields = append(fields, dyn.StructField{Name: m.Name, Type: ft})
+		}
+		st, err := dyn.StructOf(name, fields...)
+		if err != nil {
+			return nil, err
+		}
+		r.structs[name] = st
+		return st, nil
+	}
+	if td, ok := r.doc.TypedefByName(name); ok {
+		r.inProgress[name] = true
+		defer delete(r.inProgress, name)
+		return r.resolveType(td.Type)
+	}
+	return nil, fmt.Errorf("undeclared type %s", name)
+}

@@ -1,0 +1,192 @@
+// Package ifsvr implements the paper's Interface Server: "a simple HTTP
+// server that publishes the WSDL documents to the public domain"
+// (Section 5.1) — and, shared by the CORBA subsystem for simplicity
+// (Section 5.2), the CORBA-IDL documents and IORs as well. Documents are
+// versioned; every response carries the document's version in the
+// X-Interface-Version header, which is what lets the CDE (and the
+// experiments) observe the recency guarantees of Sections 5.7 and 6.
+package ifsvr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// VersionHeader carries the published document version (publish count) on
+// HTTP responses.
+const VersionHeader = "X-Interface-Version"
+
+// DescriptorVersionHeader carries the interface-descriptor version the
+// document was generated from — the monotone version the Section 6 recency
+// guarantee is stated over.
+const DescriptorVersionHeader = "X-Descriptor-Version"
+
+// ErrNotFound reports a fetch of a never-published document.
+var ErrNotFound = errors.New("ifsvr: document not published")
+
+// Document is one published interface description.
+type Document struct {
+	// Content is the document text (WSDL, IDL, or stringified IOR).
+	Content string
+	// Version increments with each publication of this path.
+	Version uint64
+	// DescriptorVersion is the interface-descriptor version the document
+	// was generated from (0 for unversioned documents such as IORs).
+	DescriptorVersion uint64
+	// ContentType is the MIME type served.
+	ContentType string
+}
+
+// Server is the Interface Server. The zero value is usable as an in-memory
+// store; call Start to also serve documents over HTTP.
+type Server struct {
+	mu   sync.RWMutex
+	docs map[string]Document
+
+	httpSrv  *http.Server
+	listener net.Listener
+	baseURL  string
+	done     chan struct{}
+}
+
+// New returns an empty interface server.
+func New() *Server {
+	return &Server{docs: make(map[string]Document)}
+}
+
+// Publish stores content under path (e.g. "/wsdl/Mail") and returns the new
+// version. Republishing the same path bumps the version even if the content
+// is unchanged; the publisher avoids redundant publications itself.
+func (s *Server) Publish(path, contentType, content string) uint64 {
+	return s.PublishVersioned(path, contentType, content, 0)
+}
+
+// PublishVersioned is Publish carrying the interface-descriptor version the
+// document was generated from.
+func (s *Server) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.docs == nil {
+		s.docs = make(map[string]Document)
+	}
+	d := s.docs[path]
+	d.Content = content
+	d.ContentType = contentType
+	d.DescriptorVersion = descriptorVersion
+	d.Version++
+	s.docs[path] = d
+	return d.Version
+}
+
+// Get returns the current document at path.
+func (s *Server) Get(path string) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.docs[path]
+	if !ok {
+		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return d, nil
+}
+
+// Version returns the current version of path (0 if never published).
+func (s *Server) Version(path string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.docs[path].Version
+}
+
+// Paths returns all published paths (unordered).
+func (s *Server) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps := make([]string, 0, len(s.docs))
+	for p := range s.docs {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// ServeHTTP implements http.Handler: GET returns the document with its
+// version header.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	d, err := s.Get(r.URL.Path)
+	if err != nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", d.ContentType)
+	w.Header().Set(VersionHeader, strconv.FormatUint(d.Version, 10))
+	w.Header().Set(DescriptorVersionHeader, strconv.FormatUint(d.DescriptorVersion, 10))
+	_, _ = io.WriteString(w, d.Content)
+}
+
+// Start begins serving over HTTP on addr ("127.0.0.1:0" for an ephemeral
+// port) and returns the base URL, e.g. "http://127.0.0.1:41234".
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ifsvr: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.baseURL = "http://" + ln.Addr().String()
+	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return s.baseURL, nil
+}
+
+// BaseURL returns the server's base URL ("" before Start).
+func (s *Server) BaseURL() string { return s.baseURL }
+
+// Close stops the HTTP server (no-op if Start was never called).
+func (s *Server) Close() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Close()
+	<-s.done
+	return err
+}
+
+// Fetch retrieves a document over HTTP — the client-side counterpart used
+// by the CDE.
+func Fetch(client *http.Client, url string) (Document, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return Document{}, fmt.Errorf("ifsvr: fetching %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return Document{}, fmt.Errorf("ifsvr: fetching %s: HTTP %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return Document{}, fmt.Errorf("ifsvr: reading %s: %w", url, err)
+	}
+	ver, _ := strconv.ParseUint(strings.TrimSpace(resp.Header.Get(VersionHeader)), 10, 64)
+	dver, _ := strconv.ParseUint(strings.TrimSpace(resp.Header.Get(DescriptorVersionHeader)), 10, 64)
+	return Document{
+		Content:           string(data),
+		Version:           ver,
+		DescriptorVersion: dver,
+		ContentType:       resp.Header.Get("Content-Type"),
+	}, nil
+}

@@ -1,0 +1,101 @@
+package ifsvr
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func TestPublishGetVersioning(t *testing.T) {
+	s := New()
+	if _, err := s.Get("/wsdl/X"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing doc: %v", err)
+	}
+	if v := s.Publish("/wsdl/X", "text/xml", "<a/>"); v != 1 {
+		t.Errorf("first publish version = %d", v)
+	}
+	if v := s.PublishVersioned("/wsdl/X", "text/xml", "<b/>", 7); v != 2 {
+		t.Errorf("second publish version = %d", v)
+	}
+	d, err := s.Get("/wsdl/X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Content != "<b/>" || d.Version != 2 || d.DescriptorVersion != 7 || d.ContentType != "text/xml" {
+		t.Errorf("doc = %+v", d)
+	}
+	if s.Version("/wsdl/X") != 2 || s.Version("/nope") != 0 {
+		t.Error("Version()")
+	}
+	if len(s.Paths()) != 1 {
+		t.Errorf("paths = %v", s.Paths())
+	}
+}
+
+func TestZeroValueServerUsable(t *testing.T) {
+	var s Server
+	s.Publish("/p", "text/plain", "x")
+	if d, err := s.Get("/p"); err != nil || d.Content != "x" {
+		t.Errorf("zero-value server: %v, %v", d, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close without start: %v", err)
+	}
+}
+
+func TestHTTPServing(t *testing.T) {
+	s := New()
+	s.PublishVersioned("/idl/Calc.idl", "text/plain", "module CalcModule {};", 3)
+	base, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.BaseURL() != base {
+		t.Error("BaseURL mismatch")
+	}
+
+	doc, err := Fetch(nil, base+"/idl/Calc.idl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Content != "module CalcModule {};" || doc.Version != 1 || doc.DescriptorVersion != 3 {
+		t.Errorf("fetched = %+v", doc)
+	}
+
+	if _, err := Fetch(nil, base+"/missing"); err == nil {
+		t.Error("missing doc over HTTP should fail")
+	}
+
+	// Non-GET is rejected.
+	resp, err := http.Post(base+"/idl/Calc.idl", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestFetchConnectError(t *testing.T) {
+	if _, err := Fetch(nil, "http://127.0.0.1:1/none"); err == nil {
+		t.Error("unreachable fetch should fail")
+	}
+}
+
+func TestVersionsAreMonotonePerPath(t *testing.T) {
+	s := New()
+	var last uint64
+	for i := 0; i < 50; i++ {
+		v := s.Publish("/p", "text/plain", "content")
+		if v != last+1 {
+			t.Fatalf("version %d after %d", v, last)
+		}
+		last = v
+	}
+	// Independent path counts separately.
+	if v := s.Publish("/q", "text/plain", "c"); v != 1 {
+		t.Errorf("other path version = %d", v)
+	}
+}

@@ -1,0 +1,171 @@
+package iiop
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"livedev/internal/cdr"
+	"livedev/internal/giop"
+)
+
+// ErrConnClosed reports an invocation attempted on (or interrupted by) a
+// closed connection.
+var ErrConnClosed = errors.New("iiop: connection closed")
+
+// Conn is a client-side IIOP connection. Concurrent Invoke calls are
+// multiplexed over the single TCP stream by GIOP request ID.
+type Conn struct {
+	c net.Conn
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan giop.Message
+	closed  bool
+	readErr error
+
+	readerDone chan struct{}
+}
+
+// Dial opens an IIOP connection to addr ("host:port").
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iiop: dial %s: %w", addr, err)
+	}
+	conn := &Conn{
+		c:          c,
+		nextID:     1,
+		pending:    make(map[uint32]chan giop.Message),
+		readerDone: make(chan struct{}),
+	}
+	go conn.readLoop()
+	return conn, nil
+}
+
+func (cn *Conn) readLoop() {
+	defer close(cn.readerDone)
+	for {
+		msg, err := giop.ReadMessage(cn.c)
+		if err != nil {
+			cn.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
+			return
+		}
+		switch msg.Type {
+		case giop.MsgReply:
+			hdr, _, err := giop.DecodeReply(msg)
+			if err != nil {
+				cn.failAll(fmt.Errorf("iiop: undecodable reply: %w", err))
+				return
+			}
+			cn.mu.Lock()
+			ch, ok := cn.pending[hdr.RequestID]
+			if ok {
+				delete(cn.pending, hdr.RequestID)
+			}
+			cn.mu.Unlock()
+			if ok {
+				ch <- msg
+			}
+		case giop.MsgCloseConnection:
+			cn.failAll(ErrConnClosed)
+			return
+		case giop.MsgMessageError:
+			cn.failAll(errors.New("iiop: peer reported message error"))
+			return
+		default:
+			// Ignore unexpected message types from the server.
+		}
+	}
+}
+
+// failAll wakes every pending invoker with an error by closing their
+// channels after recording the error.
+func (cn *Conn) failAll(err error) {
+	cn.mu.Lock()
+	if cn.readErr == nil {
+		cn.readErr = err
+	}
+	pending := cn.pending
+	cn.pending = make(map[uint32]chan giop.Message)
+	cn.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Invoke sends a GIOP request for operation on objectKey, with arguments
+// encoded by args (may be nil), and waits for the matching reply. It
+// returns the reply header and a decoder positioned at the reply body.
+func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) (giop.ReplyHeader, *cdr.Decoder, error) {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return giop.ReplyHeader{}, nil, ErrConnClosed
+	}
+	if cn.readErr != nil {
+		err := cn.readErr
+		cn.mu.Unlock()
+		return giop.ReplyHeader{}, nil, err
+	}
+	id := cn.nextID
+	cn.nextID++
+	ch := make(chan giop.Message, 1)
+	cn.pending[id] = ch
+	cn.mu.Unlock()
+
+	req, err := giop.EncodeRequest(order, giop.RequestHeader{
+		RequestID:        id,
+		ResponseExpected: true,
+		ObjectKey:        append([]byte(nil), objectKey...),
+		Operation:        operation,
+	}, args)
+	if err != nil {
+		cn.abandon(id)
+		return giop.ReplyHeader{}, nil, err
+	}
+
+	cn.writeMu.Lock()
+	err = giop.WriteMessage(cn.c, req)
+	cn.writeMu.Unlock()
+	if err != nil {
+		cn.abandon(id)
+		return giop.ReplyHeader{}, nil, fmt.Errorf("iiop: sending request: %w", err)
+	}
+
+	msg, ok := <-ch
+	if !ok {
+		cn.mu.Lock()
+		err := cn.readErr
+		cn.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		return giop.ReplyHeader{}, nil, err
+	}
+	return giop.DecodeReply(msg)
+}
+
+func (cn *Conn) abandon(id uint32) {
+	cn.mu.Lock()
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+}
+
+// Close tears down the connection and joins the read loop. In-flight
+// invocations fail with ErrConnClosed.
+func (cn *Conn) Close() error {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.mu.Unlock()
+		return nil
+	}
+	cn.closed = true
+	cn.mu.Unlock()
+	err := cn.c.Close()
+	<-cn.readerDone
+	return err
+}

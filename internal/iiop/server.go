@@ -1,0 +1,172 @@
+// Package iiop implements the Internet Inter-ORB Protocol transport: GIOP
+// messages over TCP. The Server side accepts connections and dispatches
+// each Request to a Handler on its own goroutine (the paper's call handlers
+// are "completely multithreaded", Section 5.4); the Conn side is a client
+// connection that multiplexes concurrent requests by request ID.
+package iiop
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"livedev/internal/cdr"
+	"livedev/internal/giop"
+)
+
+// Handler processes one GIOP request and returns the reply message. args is
+// positioned at the first argument octet. Implementations must be safe for
+// concurrent use.
+type Handler interface {
+	HandleRequest(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
+
+// HandleRequest implements Handler.
+func (f HandlerFunc) HandleRequest(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	return f(h, args, order)
+}
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Server accepts IIOP connections and dispatches requests to a Handler.
+type Server struct {
+	handler Handler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server that will dispatch to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr ("host:port"; port 0 picks a free port)
+// and returns the bound address. Serving happens on background goroutines
+// owned by the server; Close joins them.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("iiop: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return nil, errors.New("iiop: server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		msg, err := giop.ReadMessage(conn)
+		if err != nil {
+			return // EOF, protocol error, or connection closed
+		}
+		switch msg.Type {
+		case giop.MsgRequest:
+			hdr, args, err := giop.DecodeRequest(msg)
+			if err != nil {
+				// Unparseable request header: signal and drop the conn.
+				writeMu.Lock()
+				_ = giop.WriteMessage(conn, giop.Message{Type: giop.MsgMessageError, Order: msg.Order})
+				writeMu.Unlock()
+				return
+			}
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				reply := s.handler.HandleRequest(hdr, args, msg.Order)
+				if !hdr.ResponseExpected {
+					return
+				}
+				writeMu.Lock()
+				defer writeMu.Unlock()
+				_ = giop.WriteMessage(conn, reply)
+			}()
+		case giop.MsgCloseConnection:
+			return
+		default:
+			// LocateRequest etc. are not needed by the SDE; reply with
+			// MessageError per GIOP for unexpected types.
+			writeMu.Lock()
+			_ = giop.WriteMessage(conn, giop.Message{Type: giop.MsgMessageError, Order: msg.Order})
+			writeMu.Unlock()
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and joins every serving
+// goroutine.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

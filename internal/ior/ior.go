@@ -1,0 +1,184 @@
+// Package ior implements CORBA Interoperable Object References: the
+// bootstrap datum a CORBA client needs (paper Figure 2 step 1). An IOR
+// carries a repository type id and tagged profiles; we implement the
+// TAG_INTERNET_IOP profile (IIOP version, host, port, object key) and the
+// standard "IOR:<hex of CDR encapsulation>" stringified form that the
+// paper's Interface Server publishes next to the CORBA-IDL document.
+package ior
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"livedev/internal/cdr"
+)
+
+// TagInternetIOP is the profile tag for IIOP profiles.
+const TagInternetIOP uint32 = 0
+
+// Prefix is the stringified-IOR prefix.
+const Prefix = "IOR:"
+
+// Parse errors.
+var (
+	ErrNotStringifiedIOR = errors.New("ior: missing IOR: prefix")
+	ErrBadHex            = errors.New("ior: invalid hex encoding")
+	ErrNoIIOPProfile     = errors.New("ior: no TAG_INTERNET_IOP profile")
+)
+
+// IIOPProfile locates an object on an IIOP endpoint.
+type IIOPProfile struct {
+	// Major.Minor IIOP version; we emit 1.0.
+	Major, Minor byte
+	Host         string
+	Port         uint16
+	ObjectKey    []byte
+}
+
+// Addr returns the host:port endpoint string.
+func (p IIOPProfile) Addr() string {
+	return net.JoinHostPort(p.Host, strconv.Itoa(int(p.Port)))
+}
+
+// IOR is an interoperable object reference: a type id plus at least one
+// IIOP profile. (Other tagged profiles are preserved opaquely on parse.)
+type IOR struct {
+	TypeID   string
+	Profiles []IIOPProfile
+	// Opaque holds non-IIOP profiles encountered during parsing, as
+	// (tag, raw octets) pairs, so re-encoding does not lose them.
+	Opaque []OpaqueProfile
+}
+
+// OpaqueProfile is a tagged profile this package does not interpret.
+type OpaqueProfile struct {
+	Tag  uint32
+	Data []byte
+}
+
+// New builds an IOR with a single IIOP 1.0 profile.
+func New(typeID, host string, port uint16, objectKey []byte) IOR {
+	return IOR{
+		TypeID: typeID,
+		Profiles: []IIOPProfile{{
+			Major: 1, Minor: 0,
+			Host: host, Port: port,
+			ObjectKey: append([]byte(nil), objectKey...),
+		}},
+	}
+}
+
+// Encode serializes the IOR body (type id + profile sequence) into e.
+func (r IOR) Encode(e *cdr.Encoder) error {
+	e.WriteString(r.TypeID)
+	e.WriteULong(uint32(len(r.Profiles) + len(r.Opaque)))
+	for _, p := range r.Profiles {
+		e.WriteULong(TagInternetIOP)
+		err := e.WriteEncapsulation(e.Order(), func(ie *cdr.Encoder) error {
+			ie.WriteOctet(p.Major)
+			ie.WriteOctet(p.Minor)
+			ie.WriteString(p.Host)
+			ie.WriteUShort(p.Port)
+			ie.WriteOctetSeq(p.ObjectKey)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("ior: encoding IIOP profile: %w", err)
+		}
+	}
+	for _, op := range r.Opaque {
+		e.WriteULong(op.Tag)
+		e.WriteOctetSeq(op.Data)
+	}
+	return nil
+}
+
+// Decode reads an IOR body from d.
+func Decode(d *cdr.Decoder) (IOR, error) {
+	var r IOR
+	typeID, err := d.ReadString()
+	if err != nil {
+		return IOR{}, fmt.Errorf("ior: type id: %w", err)
+	}
+	r.TypeID = typeID
+	n, err := d.ReadULong()
+	if err != nil {
+		return IOR{}, fmt.Errorf("ior: profile count: %w", err)
+	}
+	for i := uint32(0); i < n; i++ {
+		tag, err := d.ReadULong()
+		if err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d tag: %w", i, err)
+		}
+		blob, err := d.ReadOctetSeq()
+		if err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d data: %w", i, err)
+		}
+		if tag != TagInternetIOP {
+			r.Opaque = append(r.Opaque, OpaqueProfile{Tag: tag, Data: blob})
+			continue
+		}
+		pd, err := cdr.NewEncapsulationDecoder(blob)
+		if err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d encapsulation: %w", i, err)
+		}
+		var p IIOPProfile
+		if p.Major, err = pd.ReadOctet(); err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d version: %w", i, err)
+		}
+		if p.Minor, err = pd.ReadOctet(); err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d version: %w", i, err)
+		}
+		if p.Host, err = pd.ReadString(); err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d host: %w", i, err)
+		}
+		if p.Port, err = pd.ReadUShort(); err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d port: %w", i, err)
+		}
+		if p.ObjectKey, err = pd.ReadOctetSeq(); err != nil {
+			return IOR{}, fmt.Errorf("ior: profile %d object key: %w", i, err)
+		}
+		r.Profiles = append(r.Profiles, p)
+	}
+	return r, nil
+}
+
+// String returns the stringified form: "IOR:" + hex of a big-endian CDR
+// encapsulation of the IOR body.
+func (r IOR) String() string {
+	blob, err := cdr.EncodeEncapsulation(cdr.BigEndian, r.Encode)
+	if err != nil {
+		// Encode only fails on a failing builder; ours cannot fail.
+		return Prefix
+	}
+	return Prefix + hex.EncodeToString(blob)
+}
+
+// ParseString parses a stringified IOR.
+func ParseString(s string) (IOR, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, Prefix) {
+		return IOR{}, ErrNotStringifiedIOR
+	}
+	blob, err := hex.DecodeString(s[len(Prefix):])
+	if err != nil {
+		return IOR{}, fmt.Errorf("%w: %v", ErrBadHex, err)
+	}
+	d, err := cdr.NewEncapsulationDecoder(blob)
+	if err != nil {
+		return IOR{}, fmt.Errorf("ior: %w", err)
+	}
+	return Decode(d)
+}
+
+// FirstIIOP returns the first IIOP profile, the one clients connect to.
+func (r IOR) FirstIIOP() (IIOPProfile, error) {
+	if len(r.Profiles) == 0 {
+		return IIOPProfile{}, ErrNoIIOPProfile
+	}
+	return r.Profiles[0], nil
+}

@@ -1,0 +1,148 @@
+package ior
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"livedev/internal/cdr"
+)
+
+func TestStringifyParseRoundTrip(t *testing.T) {
+	r := New("IDL:Calc:1.0", "127.0.0.1", 9876, []byte("calc-object-key"))
+	s := r.String()
+	if !strings.HasPrefix(s, "IOR:") {
+		t.Fatalf("stringified = %q", s)
+	}
+	got, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TypeID != "IDL:Calc:1.0" {
+		t.Errorf("TypeID = %q", got.TypeID)
+	}
+	p, err := got.FirstIIOP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Host != "127.0.0.1" || p.Port != 9876 || string(p.ObjectKey) != "calc-object-key" {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.Major != 1 || p.Minor != 0 {
+		t.Errorf("IIOP version = %d.%d", p.Major, p.Minor)
+	}
+	if p.Addr() != "127.0.0.1:9876" {
+		t.Errorf("Addr() = %q", p.Addr())
+	}
+}
+
+func TestParseStringErrors(t *testing.T) {
+	if _, err := ParseString("not-an-ior"); !errors.Is(err, ErrNotStringifiedIOR) {
+		t.Errorf("prefix: %v", err)
+	}
+	if _, err := ParseString("IOR:zz"); !errors.Is(err, ErrBadHex) {
+		t.Errorf("hex: %v", err)
+	}
+	if _, err := ParseString("IOR:"); err == nil {
+		t.Error("empty body should fail")
+	}
+	// Whitespace tolerance (IORs are often pasted from files).
+	r := New("IDL:X:1.0", "h", 1, nil)
+	if _, err := ParseString("  " + r.String() + "\n"); err != nil {
+		t.Errorf("trimmed parse: %v", err)
+	}
+}
+
+func TestFirstIIOPMissing(t *testing.T) {
+	var r IOR
+	if _, err := r.FirstIIOP(); !errors.Is(err, ErrNoIIOPProfile) {
+		t.Errorf("FirstIIOP on empty: %v", err)
+	}
+}
+
+func TestOpaqueProfilesPreserved(t *testing.T) {
+	// Hand-build an IOR with one IIOP profile and one unknown profile.
+	blob, err := cdr.EncodeEncapsulation(cdr.BigEndian, func(e *cdr.Encoder) error {
+		e.WriteString("IDL:X:1.0")
+		e.WriteULong(2) // two profiles
+		e.WriteULong(TagInternetIOP)
+		if err := e.WriteEncapsulation(cdr.BigEndian, func(ie *cdr.Encoder) error {
+			ie.WriteOctet(1)
+			ie.WriteOctet(0)
+			ie.WriteString("host")
+			ie.WriteUShort(7)
+			ie.WriteOctetSeq([]byte("k"))
+			return nil
+		}); err != nil {
+			return err
+		}
+		e.WriteULong(99) // unknown tag
+		e.WriteOctetSeq([]byte{0xDE, 0xAD})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cdr.NewEncapsulationDecoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Profiles) != 1 || len(r.Opaque) != 1 {
+		t.Fatalf("profiles=%d opaque=%d", len(r.Profiles), len(r.Opaque))
+	}
+	if r.Opaque[0].Tag != 99 || !bytes.Equal(r.Opaque[0].Data, []byte{0xDE, 0xAD}) {
+		t.Errorf("opaque = %+v", r.Opaque[0])
+	}
+	// Re-encode keeps both profiles.
+	got, err := ParseString(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Profiles) != 1 || len(got.Opaque) != 1 {
+		t.Error("re-encoded IOR lost profiles")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	r := New("IDL:X:1.0", "host", 1, []byte("key"))
+	blob, err := cdr.EncodeEncapsulation(cdr.BigEndian, r.Encode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(blob); cut += 3 {
+		d, err := cdr.NewEncapsulationDecoder(blob[:cut])
+		if err != nil {
+			continue
+		}
+		if _, err := Decode(d); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+// Property: IOR round-trips through stringification for arbitrary hosts,
+// ports and keys.
+func TestIORRoundTripProperty(t *testing.T) {
+	f := func(host string, port uint16, key []byte) bool {
+		host = strings.ReplaceAll(host, "\x00", "")
+		r := New("IDL:Svc:1.0", host, port, key)
+		got, err := ParseString(r.String())
+		if err != nil {
+			return false
+		}
+		p, err := got.FirstIIOP()
+		if err != nil {
+			return false
+		}
+		return got.TypeID == "IDL:Svc:1.0" && p.Host == host && p.Port == port && bytes.Equal(p.ObjectKey, key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

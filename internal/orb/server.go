@@ -1,0 +1,171 @@
+// Package orb implements the CORBA Object Request Broker endpoints the
+// paper's CORBA subsystem builds on (Figure 5). The ServerORB uses the
+// Dynamic Skeleton Interface idea: it serves operations without static
+// knowledge of the object's interface, resolving each incoming operation
+// name against the *live* dynamic interface at dispatch time — which is
+// what lets the SDE change server methods and types without reinitializing
+// the ORB (Section 5.2.2). The ClientORB is a Dynamic Invocation Interface:
+// it invokes operations by name with signatures obtained from parsed IDL,
+// so the CDE can rebuild stubs live.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"livedev/internal/cdr"
+	"livedev/internal/dyn"
+	"livedev/internal/giop"
+	"livedev/internal/iiop"
+	"livedev/internal/ior"
+)
+
+// AppErrorRepoID is the repository id of the generic user exception the SDE
+// wraps server-side application errors in ("any exceptions thrown during
+// the invocation of the method call is wrapped in a generic exception
+// type", Section 5.2.3).
+const AppErrorRepoID = "IDL:SDE/ApplicationError:1.0"
+
+// AppError is a server-side application exception delivered to the client.
+type AppError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *AppError) Error() string { return "server application error: " + e.Message }
+
+// DSITarget is what a ServerORB dispatches to: the SDE's CORBA Call
+// Handler wraps the dynamic server instance in one. Implementations must be
+// safe for concurrent use.
+type DSITarget interface {
+	// LookupOperation reports the signature op has on the current live
+	// interface, or false if the operation does not exist (any more).
+	LookupOperation(op string) (dyn.MethodSig, bool)
+
+	// InvokeOperation invokes op with already-decoded arguments.
+	InvokeOperation(op string, args []dyn.Value) (dyn.Value, error)
+
+	// OperationMissing is called before a BAD_OPERATION ("Non Existent
+	// Method") reply is sent, so the SDE can force the published IDL
+	// current first (Section 5.7). It must block until the published
+	// interface is guaranteed current.
+	OperationMissing(op string)
+}
+
+// ServerORB is an IIOP server endpoint dispatching via DSI.
+type ServerORB struct {
+	typeID    string
+	objectKey []byte
+	target    DSITarget
+	srv       *iiop.Server
+	addr      net.Addr
+}
+
+// NewServerORB creates a server ORB for one object (the SDE keeps a single
+// instance per server class). typeID is the repository id placed in the
+// IOR; objectKey identifies the object on this endpoint.
+func NewServerORB(typeID string, objectKey []byte, target DSITarget) *ServerORB {
+	o := &ServerORB{
+		typeID:    typeID,
+		objectKey: append([]byte(nil), objectKey...),
+		target:    target,
+	}
+	o.srv = iiop.NewServer(iiop.HandlerFunc(o.handle))
+	return o
+}
+
+// Listen binds the ORB to addr ("host:port", port 0 for ephemeral) and
+// returns the IOR clients use to reach the object.
+func (o *ServerORB) Listen(addr string) (ior.IOR, error) {
+	a, err := o.srv.Listen(addr)
+	if err != nil {
+		return ior.IOR{}, err
+	}
+	o.addr = a
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok {
+		_ = o.srv.Close()
+		return ior.IOR{}, fmt.Errorf("orb: unexpected address type %T", a)
+	}
+	host := tcp.IP.String()
+	return ior.New(o.typeID, host, uint16(tcp.Port), o.objectKey), nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (o *ServerORB) Addr() net.Addr { return o.addr }
+
+// Close shuts the ORB down and joins its goroutines.
+func (o *ServerORB) Close() error { return o.srv.Close() }
+
+func (o *ServerORB) handle(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	sysEx := func(repoID string, minor uint32, completed giop.CompletionStatus) giop.Message {
+		se := &giop.SystemException{RepoID: repoID, Minor: minor, Completed: completed}
+		msg, err := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplySystemException}, se.Encode)
+		if err != nil {
+			return giop.Message{Type: giop.MsgMessageError, Order: order}
+		}
+		return msg
+	}
+
+	if string(h.ObjectKey) != string(o.objectKey) {
+		return sysEx(giop.RepoObjectNotExist, 1, giop.CompletedNo)
+	}
+
+	sig, ok := o.target.LookupOperation(h.Operation)
+	if !ok {
+		// The paper's reactive-publication step: make the published
+		// interface current, then report "Non Existent Method".
+		o.target.OperationMissing(h.Operation)
+		return sysEx(giop.RepoBadOperation, 1, giop.CompletedNo)
+	}
+
+	vals := make([]dyn.Value, len(sig.Params))
+	for i, p := range sig.Params {
+		v, err := cdr.DecodeValue(args, p.Type)
+		if err != nil {
+			// The arguments do not decode under the operation's *current*
+			// signature: the client encoded against a stale one. Section
+			// 5.6: "Client calls for stale method signatures may also
+			// trigger updates" — run the same forced-publication protocol
+			// as for a missing method, then report Non Existent Method.
+			o.target.OperationMissing(h.Operation)
+			return sysEx(giop.RepoBadOperation, 3, giop.CompletedNo)
+		}
+		vals[i] = v
+	}
+	if args.Remaining() > 0 {
+		// Leftover argument octets: the client's stale signature had more
+		// parameters than the current one. Same treatment.
+		o.target.OperationMissing(h.Operation)
+		return sysEx(giop.RepoBadOperation, 4, giop.CompletedNo)
+	}
+
+	result, err := o.target.InvokeOperation(h.Operation, vals)
+	switch {
+	case err == nil:
+		msg, encErr := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplyNoException},
+			func(e *cdr.Encoder) error { return cdr.EncodeValue(e, result) })
+		if encErr != nil {
+			return sysEx(giop.RepoMarshal, 2, giop.CompletedYes)
+		}
+		return msg
+	case errors.Is(err, dyn.ErrNoSuchMethod), errors.Is(err, dyn.ErrSignatureMismatch):
+		// The interface changed between lookup and invoke: same treatment
+		// as an unknown operation.
+		o.target.OperationMissing(h.Operation)
+		return sysEx(giop.RepoBadOperation, 2, giop.CompletedNo)
+	default:
+		// Application error → generic user exception with the message.
+		msg, encErr := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplyUserException},
+			func(e *cdr.Encoder) error {
+				e.WriteString(AppErrorRepoID)
+				e.WriteString(err.Error())
+				return nil
+			})
+		if encErr != nil {
+			return sysEx(giop.RepoUnknown, 1, giop.CompletedMaybe)
+		}
+		return msg
+	}
+}

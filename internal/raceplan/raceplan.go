@@ -1,0 +1,260 @@
+// Package raceplan reproduces Figures 7 and 8 of the paper: the
+// interleaving analysis of the server-interface update path against the
+// RMI call path during live, simultaneous client-server development.
+//
+// The scenario (common to both figures): the client sends a call to a
+// method whose signature the server developer has just changed; the server
+// processes the call against the new interface and sends a "Non Existent
+// Method" exception; the client displays the error to its developer. The
+// server's publication of the new interface description and the client's
+// stub update each race against this exchange.
+//
+// Figure 7 (active publishing) places the publication at one of three
+// independent points (1: before the call is processed, 2: between
+// processing and sending the exception, 3: after sending) and the client's
+// stub update at one of three points (i: while the call is in flight,
+// ii: between receiving and displaying the exception, iii: after
+// displaying). The combination is *consistent* — the developer can see the
+// interface change that explains the error — only if the update fetched a
+// post-change interface before the error was displayed. Only (1,i), (1,ii)
+// and (2,ii) qualify.
+//
+// Figure 8 (reactive publishing) adds the paper's two synchronization
+// points: the server forces publication before sending the exception
+// (Section 5.7), and the client forces an update after receiving it and
+// before displaying (Section 6). Then every combination of regular
+// publication points (1-4) and regular update points (i-iv) is consistent.
+package raceplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects the publication protocol under analysis.
+type Mode int
+
+// The two protocols the figures compare.
+const (
+	// ActivePublishing is Figure 7: publication and stub update happen at
+	// independent, unsynchronized points.
+	ActivePublishing Mode = iota + 1
+	// ReactivePublishing is Figure 8: the Section 5.7 + Section 6 forced
+	// publication/update points are added.
+	ReactivePublishing
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ActivePublishing:
+		return "active publishing (Figure 7)"
+	case ReactivePublishing:
+		return "reactive publishing (Figure 8)"
+	}
+	return "unknown mode"
+}
+
+// Fixed event times on the scenario timeline. The values only encode
+// ordering; they are abstract ticks, not wall-clock durations.
+const (
+	tSendCall      = 0  // client sends the RMI call
+	tChange        = 1  // server interface changes (old → new)
+	tPublish1      = 2  // publication point (1): before processing
+	tProcess       = 3  // server processes the call against the new interface
+	tPublish2      = 4  // publication point (2): before sending the exception
+	tForcedPublish = 5  // Section 5.7 forced publication (reactive mode)
+	tSendExc       = 6  // server sends "Non Existent Method"
+	tReceive       = 7  // client receives the exception
+	tForcedUpdate  = 8  // Section 6 reactive stub update (reactive mode)
+	tUpdateII      = 9  // update point (ii): after receipt, before display
+	tDisplay       = 10 // client displays the error to the developer
+	tUpdateIII     = 11 // update point (iii): after display
+	tPublish3      = 12 // publication point (3): after sending (arrives late)
+	tPublish4      = 13 // publication point (4): later still (Figure 8 adds a 4th)
+	tUpdateIV      = 14 // update point (iv): later still (Figure 8 adds a 4th)
+)
+
+// tUpdateI is update point (i): the call is in flight, the server has not
+// yet published at point 2. It lands between processing and publication
+// point 2, which is what makes (2,i) inconsistent in the paper's matrix.
+const tUpdateI = 3
+
+// PublishPoint is a regular publication point. Figure 7 uses 1-3;
+// Figure 8 shows 1-4.
+type PublishPoint int
+
+// UpdatePoint is a regular client stub update point. Figure 7 uses i-iii;
+// Figure 8 shows i-iv.
+type UpdatePoint int
+
+// String renders the publish point the way the figures label it.
+func (p PublishPoint) String() string { return fmt.Sprintf("(%d)", int(p)) }
+
+// String renders the update point the way the figures label it (roman).
+func (u UpdatePoint) String() string {
+	romans := []string{"", "i", "ii", "iii", "iv"}
+	if int(u) > 0 && int(u) < len(romans) {
+		return "(" + romans[u] + ")"
+	}
+	return fmt.Sprintf("(u%d)", int(u))
+}
+
+func publishTime(p PublishPoint) int {
+	switch p {
+	case 1:
+		return tPublish1
+	case 2:
+		return tPublish2
+	case 3:
+		return tPublish3
+	case 4:
+		return tPublish4
+	default:
+		return tPublish4
+	}
+}
+
+func updateTime(u UpdatePoint) int {
+	switch u {
+	case 1:
+		return tUpdateI
+	case 2:
+		return tUpdateII
+	case 3:
+		return tUpdateIII
+	case 4:
+		return tUpdateIV
+	default:
+		return tUpdateIV
+	}
+}
+
+// Outcome is the result of simulating one interleaving.
+type Outcome struct {
+	Publish PublishPoint
+	Update  UpdatePoint
+	// Consistent reports whether, at the moment the error was displayed,
+	// the client's stub view already reflected the interface change.
+	Consistent bool
+	// ViewAtDisplay is the interface version (0 = old, 1 = new) the client
+	// held when the error was displayed.
+	ViewAtDisplay int
+}
+
+// Simulate runs one interleaving of the scenario under the given mode.
+//
+// The simulation tracks the published document version over time and the
+// client's fetched view. A fetch at time t obtains the newest version
+// published strictly before t. The displayed error is "consistent" when
+// the client's view at display time includes the change (version 1).
+func Simulate(mode Mode, p PublishPoint, u UpdatePoint) Outcome {
+	// Publication events: (time, version). Version 0 is published before
+	// the scenario starts.
+	type pubEvent struct{ t, version int }
+	pubs := []pubEvent{{t: -1, version: 0}, {t: publishTime(p), version: 1}}
+	if mode == ReactivePublishing {
+		// Section 5.7: before sending the exception the server guarantees
+		// the published description is current.
+		pubs = append(pubs, pubEvent{t: tForcedPublish, version: 1})
+	}
+
+	publishedAt := func(t int) int {
+		v := 0
+		for _, pe := range pubs {
+			if pe.t < t && pe.version > v {
+				v = pe.version
+			}
+		}
+		return v
+	}
+
+	// Update events: fetch times.
+	fetches := []int{updateTime(u)}
+	if mode == ReactivePublishing {
+		// Section 6: on receiving "Non Existent Method" the client updates
+		// its view before the exception reaches the developer.
+		fetches = append(fetches, tForcedUpdate)
+	}
+
+	view := 0
+	for _, ft := range fetches {
+		if ft <= tDisplay {
+			if v := publishedAt(ft); v > view {
+				view = v
+			}
+		}
+	}
+	return Outcome{
+		Publish:       p,
+		Update:        u,
+		Consistent:    view >= 1,
+		ViewAtDisplay: view,
+	}
+}
+
+// MatrixSize returns the number of publish and update points the figure
+// for the mode enumerates (3×3 for Figure 7, 4×4 for Figure 8).
+func MatrixSize(mode Mode) (publishes, updates int) {
+	if mode == ReactivePublishing {
+		return 4, 4
+	}
+	return 3, 3
+}
+
+// Matrix simulates every combination for the mode, row-major by publish
+// point.
+func Matrix(mode Mode) [][]Outcome {
+	np, nu := MatrixSize(mode)
+	rows := make([][]Outcome, np)
+	for p := 1; p <= np; p++ {
+		row := make([]Outcome, nu)
+		for u := 1; u <= nu; u++ {
+			row[u-1] = Simulate(mode, PublishPoint(p), UpdatePoint(u))
+		}
+		rows[p-1] = row
+	}
+	return rows
+}
+
+// ConsistentCount returns how many combinations of the mode's matrix are
+// consistent, and the total number of combinations.
+func ConsistentCount(mode Mode) (consistent, total int) {
+	for _, row := range Matrix(mode) {
+		for _, o := range row {
+			total++
+			if o.Consistent {
+				consistent++
+			}
+		}
+	}
+	return consistent, total
+}
+
+// Render formats the matrix the way the paper narrates it, with ✓ for
+// consistent combinations.
+func Render(mode Mode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", mode)
+	m := Matrix(mode)
+	_, nu := MatrixSize(mode)
+	b.WriteString("           ")
+	for u := 1; u <= nu; u++ {
+		fmt.Fprintf(&b, "%8s", UpdatePoint(u))
+	}
+	b.WriteByte('\n')
+	for _, row := range m {
+		fmt.Fprintf(&b, "publish %s", row[0].Publish)
+		for _, o := range row {
+			mark := "✗"
+			if o.Consistent {
+				mark = "✓"
+			}
+			fmt.Fprintf(&b, "%8s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	c, tot := ConsistentCount(mode)
+	fmt.Fprintf(&b, "consistent: %d/%d\n", c, tot)
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package raceplan
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure7Matrix pins the paper's Figure 7 result exactly: "Only
+// combinations (1,i), (1,ii), and (2,ii) ensure that the client developer
+// is clearly able to see changes in the server interface."
+func TestFigure7Matrix(t *testing.T) {
+	good := map[[2]int]bool{
+		{1, 1}: true, // (1, i)
+		{1, 2}: true, // (1, ii)
+		{2, 2}: true, // (2, ii)
+	}
+	for p := 1; p <= 3; p++ {
+		for u := 1; u <= 3; u++ {
+			o := Simulate(ActivePublishing, PublishPoint(p), UpdatePoint(u))
+			want := good[[2]int{p, u}]
+			if o.Consistent != want {
+				t.Errorf("active (%d,%s): consistent = %v, want %v", p, UpdatePoint(u), o.Consistent, want)
+			}
+		}
+	}
+	c, total := ConsistentCount(ActivePublishing)
+	if c != 3 || total != 9 {
+		t.Errorf("active publishing: %d/%d consistent, want 3/9", c, total)
+	}
+}
+
+// TestFigure8Matrix pins Figure 8: "for any combinations of (1-4, i-iv)
+// the recency guarantees will be met."
+func TestFigure8Matrix(t *testing.T) {
+	for p := 1; p <= 4; p++ {
+		for u := 1; u <= 4; u++ {
+			o := Simulate(ReactivePublishing, PublishPoint(p), UpdatePoint(u))
+			if !o.Consistent {
+				t.Errorf("reactive (%d,%s): inconsistent", p, UpdatePoint(u))
+			}
+			if o.ViewAtDisplay != 1 {
+				t.Errorf("reactive (%d,%s): view at display = %d", p, UpdatePoint(u), o.ViewAtDisplay)
+			}
+		}
+	}
+	c, total := ConsistentCount(ReactivePublishing)
+	if c != 16 || total != 16 {
+		t.Errorf("reactive publishing: %d/%d consistent, want 16/16", c, total)
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	m7 := Matrix(ActivePublishing)
+	if len(m7) != 3 || len(m7[0]) != 3 {
+		t.Errorf("Figure 7 matrix is %dx%d", len(m7), len(m7[0]))
+	}
+	m8 := Matrix(ReactivePublishing)
+	if len(m8) != 4 || len(m8[0]) != 4 {
+		t.Errorf("Figure 8 matrix is %dx%d", len(m8), len(m8[0]))
+	}
+	for p, row := range m8 {
+		for u, o := range row {
+			if int(o.Publish) != p+1 || int(o.Update) != u+1 {
+				t.Errorf("matrix cell (%d,%d) mislabeled: %+v", p, u, o)
+			}
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(ActivePublishing)
+	if !strings.Contains(out, "consistent: 3/9") {
+		t.Errorf("Figure 7 render:\n%s", out)
+	}
+	out = Render(ReactivePublishing)
+	if !strings.Contains(out, "consistent: 16/16") {
+		t.Errorf("Figure 8 render:\n%s", out)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ActivePublishing.String() == "" || ReactivePublishing.String() == "" || Mode(99).String() == "" {
+		t.Error("Mode.String")
+	}
+	if UpdatePoint(1).String() != "(i)" || UpdatePoint(4).String() != "(iv)" {
+		t.Error("UpdatePoint.String")
+	}
+	if UpdatePoint(9).String() == "" {
+		t.Error("out-of-range UpdatePoint.String")
+	}
+	if PublishPoint(2).String() != "(2)" {
+		t.Error("PublishPoint.String")
+	}
+}
+
+// TestConsistencyIsMonotoneInSynchronization: adding the reactive
+// synchronization points never turns a consistent interleaving
+// inconsistent — the protocol strictly improves on active publishing.
+func TestConsistencyIsMonotoneInSynchronization(t *testing.T) {
+	for p := 1; p <= 3; p++ {
+		for u := 1; u <= 3; u++ {
+			a := Simulate(ActivePublishing, PublishPoint(p), UpdatePoint(u))
+			r := Simulate(ReactivePublishing, PublishPoint(p), UpdatePoint(u))
+			if a.Consistent && !r.Consistent {
+				t.Errorf("(%d,%d): reactive protocol regressed consistency", p, u)
+			}
+		}
+	}
+}

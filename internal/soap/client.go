@@ -1,0 +1,76 @@
+package soap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"livedev/internal/dyn"
+)
+
+// Client posts SOAP requests to one endpoint URL — the transport half of a
+// SOAP client stub (paper Figure 1, steps 2 and 3).
+type Client struct {
+	// Endpoint is the SOAP endpoint URL.
+	Endpoint string
+	// ServiceNS is the XML namespace RPC calls are made in.
+	ServiceNS string
+	// HTTPClient is used for transport; a default client with a timeout
+	// is used when nil.
+	HTTPClient *http.Client
+}
+
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+// Call performs one RPC: it builds the request envelope, POSTs it, parses
+// the response, and decodes the result against resultType. SOAP faults are
+// returned as *Fault errors.
+func (c *Client) Call(method string, params []NamedValue, resultType *dyn.Type) (dyn.Value, error) {
+	reqXML, err := BuildRequest(c.ServiceNS, method, params)
+	if err != nil {
+		return dyn.Value{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Endpoint, strings.NewReader(reqXML))
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("soap: building HTTP request: %w", err)
+	}
+	req.Header.Set("Content-Type", `text/xml; charset="utf-8"`)
+	req.Header.Set("SOAPAction", fmt.Sprintf("%q", c.ServiceNS+"#"+method))
+
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("soap: posting to %s: %w", c.Endpoint, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("soap: reading response: %w", err)
+	}
+	// SOAP 1.1 faults come back with HTTP 500; parse the envelope either way.
+	parsed, err := ParseResponse(data)
+	if err != nil {
+		if resp.StatusCode != http.StatusOK {
+			return dyn.Value{}, fmt.Errorf("soap: HTTP %d from %s", resp.StatusCode, c.Endpoint)
+		}
+		return dyn.Value{}, err
+	}
+	if parsed.Fault != nil {
+		return dyn.Value{}, parsed.Fault
+	}
+	if resultType == nil || resultType.Kind() == dyn.KindVoid {
+		return dyn.VoidValue(), nil
+	}
+	if parsed.Return == nil {
+		return dyn.Value{}, fmt.Errorf("soap: response for %s carries no return element", method)
+	}
+	return DecodeValue(parsed.Return, resultType)
+}

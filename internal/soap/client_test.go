@@ -1,0 +1,139 @@
+package soap
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"livedev/internal/dyn"
+)
+
+// echoServer answers SOAP requests per the handler function.
+func soapTestServer(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(handler)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientCallSuccess(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		req, err := ParseRequest(body)
+		if err != nil {
+			t.Errorf("server got unparseable request: %v", err)
+		}
+		if req.Method != "greet" {
+			t.Errorf("method = %q", req.Method)
+		}
+		if got := r.Header.Get("SOAPAction"); !strings.Contains(got, "greet") {
+			t.Errorf("SOAPAction = %q", got)
+		}
+		env, _ := BuildResponse("urn:S", "greet", dyn.StringValue("hello"))
+		_, _ = io.WriteString(w, env)
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	got, err := c.Call("greet", nil, dyn.StringT)
+	if err != nil || got.Str() != "hello" {
+		t.Errorf("Call = %v, %v", got, err)
+	}
+}
+
+func TestClientCallVoidResult(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		env, _ := BuildResponse("urn:S", "reset", dyn.VoidValue())
+		_, _ = io.WriteString(w, env)
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	got, err := c.Call("reset", nil, dyn.Void)
+	if err != nil || !got.IsVoid() {
+		t.Errorf("void call = %v, %v", got, err)
+	}
+	// nil result type behaves like void.
+	if _, err := c.Call("reset", nil, nil); err != nil {
+		t.Errorf("nil result type: %v", err)
+	}
+}
+
+func TestClientCallFaultWithHTTP500(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = io.WriteString(w, BuildFault(&Fault{Code: "soap:Server", String: FaultNonExistentMethod}))
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	_, err := c.Call("x", nil, dyn.Int32T)
+	if !IsNonExistentMethod(err) {
+		t.Errorf("fault = %v", err)
+	}
+}
+
+func TestClientCallHTTPErrorWithoutEnvelope(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "gateway exploded", http.StatusBadGateway)
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	_, err := c.Call("x", nil, dyn.Int32T)
+	if err == nil || !strings.Contains(err.Error(), "HTTP 502") {
+		t.Errorf("HTTP error = %v", err)
+	}
+}
+
+func TestClientCallGarbage200(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "this is not xml")
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	if _, err := c.Call("x", nil, dyn.Int32T); err == nil {
+		t.Error("garbage 200 should fail")
+	}
+}
+
+func TestClientCallMissingReturn(t *testing.T) {
+	srv := soapTestServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		// A response claiming success but with no return element, for a
+		// non-void result type.
+		env, _ := BuildResponse("urn:S", "x", dyn.VoidValue())
+		_, _ = io.WriteString(w, env)
+	})
+	c := &Client{Endpoint: srv.URL, ServiceNS: "urn:S"}
+	if _, err := c.Call("x", nil, dyn.Int32T); err == nil {
+		t.Error("missing return element should fail")
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := &Client{Endpoint: "http://127.0.0.1:1/", ServiceNS: "urn:S"}
+	if _, err := c.Call("x", nil, dyn.Int32T); err == nil {
+		t.Error("unreachable endpoint should fail")
+	}
+}
+
+func TestClientBadEndpointURL(t *testing.T) {
+	c := &Client{Endpoint: "://not-a-url", ServiceNS: "urn:S"}
+	if _, err := c.Call("x", nil, dyn.Int32T); err == nil {
+		t.Error("invalid URL should fail")
+	}
+}
+
+func TestXSDTypeNames(t *testing.T) {
+	msg := dyn.MustStructOf("M", dyn.StructField{Name: "a", Type: dyn.Int32T})
+	cases := map[*dyn.Type]string{
+		dyn.Boolean:         "xsd:boolean",
+		dyn.Char:            "xsd:string",
+		dyn.Int32T:          "xsd:int",
+		dyn.Int64T:          "xsd:long",
+		dyn.Float32T:        "xsd:float",
+		dyn.Float64T:        "xsd:double",
+		dyn.StringT:         "xsd:string",
+		dyn.SequenceOf(msg): "soapenc:Array",
+		msg:                 "tns:M",
+		dyn.Void:            "xsd:anyType",
+	}
+	for typ, want := range cases {
+		if got := xsdType(typ); got != want {
+			t.Errorf("xsdType(%v) = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+
+	"livedev/internal/dyn"
+)
+
+// SOAP 1.1 namespace URIs, emitted on envelopes for interoperability.
+const (
+	NSEnvelope = "http://schemas.xmlsoap.org/soap/envelope/"
+	NSXSI      = "http://www.w3.org/2001/XMLSchema-instance"
+	NSXSD      = "http://www.w3.org/2001/XMLSchema"
+	NSEncoding = "http://schemas.xmlsoap.org/soap/encoding/"
+)
+
+// The fault strings the paper's SOAP Call Handler sends (Section 5.1.3).
+const (
+	FaultServerNotInitialized = "Server not initialized"
+	FaultMalformedRequest     = "Malformed SOAP Request"
+	FaultNonExistentMethod    = "Non existent Method"
+)
+
+// Fault is a SOAP fault, used as the error type for all SOAP-level
+// failures a client observes.
+type Fault struct {
+	Code   string // "soap:Client" or "soap:Server"
+	String string // human-readable fault string
+	Detail string // optional detail text
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("SOAP fault %s: %s", f.Code, f.String)
+}
+
+// IsNonExistentMethod reports whether err is the "Non existent Method"
+// fault — the SOAP-side signal of the paper's stale-method condition.
+// Receiving it guarantees the server already republished a current WSDL.
+func IsNonExistentMethod(err error) bool {
+	var f *Fault
+	return errors.As(err, &f) && f.String == FaultNonExistentMethod
+}
+
+// NamedValue pairs a parameter name with its value for request encoding.
+type NamedValue struct {
+	Name  string
+	Value dyn.Value
+}
+
+// envelope wraps body content in a SOAP 1.1 envelope.
+func envelope(body ...*Node) *Node {
+	env := NewNode("soapenv:Envelope")
+	env.Attrs["xmlns:soapenv"] = NSEnvelope
+	env.Attrs["xmlns:xsi"] = NSXSI
+	env.Attrs["xmlns:xsd"] = NSXSD
+	env.Attrs["xmlns:soapenc"] = NSEncoding
+	b := env.Append(NewNode("soapenv:Body"))
+	for _, n := range body {
+		b.Append(n)
+	}
+	return env
+}
+
+// BuildRequest renders the SOAP request envelope for an RPC call: the body
+// holds one element named after the method, in the service namespace, with
+// one child element per parameter.
+func BuildRequest(serviceNS, method string, params []NamedValue) (string, error) {
+	call := NewNode("m:" + method)
+	call.Attrs["xmlns:m"] = serviceNS
+	for _, p := range params {
+		pn, err := EncodeValue(p.Name, p.Value)
+		if err != nil {
+			return "", fmt.Errorf("soap: encoding parameter %s: %w", p.Name, err)
+		}
+		call.Append(pn)
+	}
+	return envelope(call).Render(), nil
+}
+
+// Request is a parsed SOAP request: the method name and the raw parameter
+// elements, which the call handler decodes against the live signature.
+type Request struct {
+	Method string
+	Params []*Node
+}
+
+// ParseRequest extracts the RPC call from a request envelope.
+func ParseRequest(data []byte) (Request, error) {
+	root, err := ParseXML(data)
+	if err != nil {
+		return Request{}, err
+	}
+	if root.Name != "Envelope" {
+		return Request{}, fmt.Errorf("%w: root element is %s, want Envelope", ErrMalformedXML, root.Name)
+	}
+	body, ok := root.Child("Body")
+	if !ok {
+		return Request{}, fmt.Errorf("%w: no Body element", ErrMalformedXML)
+	}
+	if len(body.Children) != 1 {
+		return Request{}, fmt.Errorf("%w: Body must contain exactly one call element", ErrMalformedXML)
+	}
+	call := body.Children[0]
+	return Request{Method: call.Name, Params: call.Children}, nil
+}
+
+// BuildResponse renders the SOAP response envelope: <methodResponse> with a
+// single <return> element (omitted for void results).
+func BuildResponse(serviceNS, method string, result dyn.Value) (string, error) {
+	resp := NewNode("m:" + method + "Response")
+	resp.Attrs["xmlns:m"] = serviceNS
+	if result.Type().Kind() != dyn.KindVoid {
+		rn, err := EncodeValue("return", result)
+		if err != nil {
+			return "", fmt.Errorf("soap: encoding result: %w", err)
+		}
+		resp.Append(rn)
+	}
+	return envelope(resp).Render(), nil
+}
+
+// BuildFault renders a fault envelope.
+func BuildFault(f *Fault) string {
+	fn := NewNode("soapenv:Fault")
+	code := fn.Append(NewNode("faultcode"))
+	code.Text = f.Code
+	fs := fn.Append(NewNode("faultstring"))
+	fs.Text = f.String
+	if f.Detail != "" {
+		det := fn.Append(NewNode("detail"))
+		det.Text = f.Detail
+	}
+	return envelope(fn).Render()
+}
+
+// Response is a parsed SOAP response: either a result element or a fault.
+type Response struct {
+	// Method is the responding method name (without the "Response"
+	// suffix); empty for faults.
+	Method string
+	// Return is the result element; nil for void results and faults.
+	Return *Node
+	// Fault is non-nil if the envelope carried a fault.
+	Fault *Fault
+}
+
+// ParseResponse extracts the result or fault from a response envelope.
+func ParseResponse(data []byte) (Response, error) {
+	root, err := ParseXML(data)
+	if err != nil {
+		return Response{}, err
+	}
+	if root.Name != "Envelope" {
+		return Response{}, fmt.Errorf("%w: root element is %s, want Envelope", ErrMalformedXML, root.Name)
+	}
+	body, ok := root.Child("Body")
+	if !ok {
+		return Response{}, fmt.Errorf("%w: no Body element", ErrMalformedXML)
+	}
+	if len(body.Children) != 1 {
+		return Response{}, fmt.Errorf("%w: Body must contain exactly one element", ErrMalformedXML)
+	}
+	el := body.Children[0]
+	if el.Name == "Fault" {
+		f := &Fault{}
+		if c, ok := el.Child("faultcode"); ok {
+			f.Code = c.Text
+		}
+		if c, ok := el.Child("faultstring"); ok {
+			f.String = c.Text
+		}
+		if c, ok := el.Child("detail"); ok {
+			f.Detail = c.Text
+		}
+		return Response{Fault: f}, nil
+	}
+	const suffix = "Response"
+	if len(el.Name) <= len(suffix) || el.Name[len(el.Name)-len(suffix):] != suffix {
+		return Response{}, fmt.Errorf("%w: element %s is not a Response", ErrMalformedXML, el.Name)
+	}
+	resp := Response{Method: el.Name[:len(el.Name)-len(suffix)]}
+	if rn, ok := el.Child("return"); ok {
+		resp.Return = rn
+	}
+	return resp, nil
+}

@@ -1,0 +1,150 @@
+// Package soap implements the SOAP 1.1 subset Web Services built on Apache
+// Axis used in 2004: RPC/encoded envelopes over HTTP POST, faults with the
+// paper's exact fault strings ("Server not initialized", "Malformed SOAP
+// Request", "Non existent Method"), and an XML encoding of the dyn value
+// system (xsd primitive types, structs as element children, sequences as
+// <item> lists). Decoding is signature-driven: the expected dyn.Type comes
+// from the WSDL-described interface, so xsi:type attributes are emitted for
+// interoperability but not trusted on input.
+package soap
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Node is a generic XML element: dynamic documents (SOAP bodies whose shape
+// depends on live method signatures) are built and inspected as Node trees.
+type Node struct {
+	// Name is the local element name (namespace prefixes are stripped on
+	// parse; SOAP 1.1 RPC dispatch is by local name + declared namespace).
+	Name string
+	// Attrs holds attributes as local-name → value.
+	Attrs map[string]string
+	// Children are child elements, in document order.
+	Children []*Node
+	// Text is the concatenated character data directly under this element.
+	Text string
+}
+
+// NewNode returns an element with the given local name.
+func NewNode(name string) *Node {
+	return &Node{Name: name, Attrs: make(map[string]string)}
+}
+
+// Append adds a child element and returns it for chaining.
+func (n *Node) Append(child *Node) *Node {
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// Child returns the first child with the given local name.
+func (n *Node) Child(name string) (*Node, bool) {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Attr returns the attribute value for a local attribute name.
+func (n *Node) Attr(name string) string { return n.Attrs[name] }
+
+// ErrMalformedXML reports unparseable XML input.
+var ErrMalformedXML = errors.New("soap: malformed XML")
+
+// ParseXML parses a document into a Node tree, rooted at the single
+// top-level element.
+func ParseXML(data []byte) (*Node, error) {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	var root *Node
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			return nil, fmt.Errorf("%w: %v", ErrMalformedXML, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewNode(t.Name.Local)
+			for _, a := range t.Attr {
+				n.Attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("%w: multiple root elements", ErrMalformedXML)
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].Append(n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("%w: unbalanced end element", ErrMalformedXML)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("%w: no root element", ErrMalformedXML)
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("%w: unclosed elements", ErrMalformedXML)
+	}
+	return root, nil
+}
+
+// Render serializes the tree. Attributes are emitted in sorted order for
+// deterministic output; character data is escaped.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	// insertion sort; attribute counts are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteString(`="`)
+		_ = xml.EscapeText(b, []byte(n.Attrs[k]))
+		b.WriteByte('"')
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		_ = xml.EscapeText(b, []byte(n.Text))
+	}
+	for _, c := range n.Children {
+		c.render(b)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}

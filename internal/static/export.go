@@ -1,0 +1,58 @@
+package static
+
+import (
+	"fmt"
+
+	"livedev/internal/dyn"
+)
+
+// Export freezes a dynamic class instance's distributed interface into a
+// static operation table — the paper's Section 7 note: "At the end of the
+// development phase, the dynamic SDE server can be converted into a static
+// SOAP or CORBA server through JPie's built-in application export
+// mechanism." The exported operations dispatch to the instance through its
+// then-current method set; later edits to the dynamic class do NOT affect
+// the exported server (that is the point of exporting).
+func Export(in *dyn.Instance) ([]Op, error) {
+	if in == nil {
+		return nil, fmt.Errorf("static: cannot export a nil instance")
+	}
+	desc := in.Class().Interface()
+	ops := make([]Op, 0, len(desc.Methods))
+	for _, sig := range desc.Methods {
+		sig := sig
+		ops = append(ops, Op{
+			Name:   sig.Name,
+			Params: sig.Params,
+			Result: sig.Result,
+			Fn: func(args []dyn.Value) (dyn.Value, error) {
+				// Frozen dispatch: the exported operation keeps its
+				// export-time name even if the class renames it later.
+				return in.Invoke(sig.Name, args...)
+			},
+		})
+	}
+	return ops, nil
+}
+
+// ExportSOAP builds a static SOAP server from a dynamic instance's current
+// distributed interface.
+func ExportSOAP(in *dyn.Instance) (*SOAPServer, error) {
+	ops, err := Export(in)
+	if err != nil {
+		return nil, err
+	}
+	return NewSOAPServer("urn:"+in.Class().Name(), ops)
+}
+
+// ExportCORBA builds a static CORBA server from a dynamic instance's
+// current distributed interface.
+func ExportCORBA(in *dyn.Instance) (*CORBAServer, error) {
+	ops, err := Export(in)
+	if err != nil {
+		return nil, err
+	}
+	name := in.Class().Name()
+	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", name, name)
+	return NewCORBAServer(typeID, []byte(name), ops)
+}

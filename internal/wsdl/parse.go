@@ -1,0 +1,246 @@
+package wsdl
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"livedev/internal/dyn"
+)
+
+// Parse errors.
+var (
+	ErrNotWSDL = errors.New("wsdl: not a WSDL document")
+)
+
+// XML shapes for decoding; local names only, namespaces are conventional.
+type xDefinitions struct {
+	XMLName   xml.Name    `xml:"definitions"`
+	Name      string      `xml:"name,attr"`
+	TargetNS  string      `xml:"targetNamespace,attr"`
+	Types     xTypes      `xml:"types"`
+	Messages  []xMessage  `xml:"message"`
+	PortTypes []xPortType `xml:"portType"`
+	Services  []xService  `xml:"service"`
+}
+
+type xTypes struct {
+	Schemas []xSchema `xml:"schema"`
+}
+
+type xSchema struct {
+	ComplexTypes []xComplexType `xml:"complexType"`
+	SimpleTypes  []xSimpleType  `xml:"simpleType"`
+}
+
+type xComplexType struct {
+	Name     string    `xml:"name,attr"`
+	Sequence xSequence `xml:"sequence"`
+}
+
+type xSequence struct {
+	Elements []xElement `xml:"element"`
+}
+
+type xElement struct {
+	Name      string `xml:"name,attr"`
+	Type      string `xml:"type,attr"`
+	MaxOccurs string `xml:"maxOccurs,attr"`
+}
+
+type xSimpleType struct {
+	Name string `xml:"name,attr"`
+}
+
+type xMessage struct {
+	Name  string  `xml:"name,attr"`
+	Parts []xPart `xml:"part"`
+}
+
+type xPart struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xPortType struct {
+	Name       string       `xml:"name,attr"`
+	Operations []xOperation `xml:"operation"`
+}
+
+type xOperation struct {
+	Name   string  `xml:"name,attr"`
+	Input  xIORef  `xml:"input"`
+	Output *xIORef `xml:"output"`
+}
+
+type xIORef struct {
+	Message string `xml:"message,attr"`
+}
+
+type xService struct {
+	Name  string  `xml:"name,attr"`
+	Ports []xPort `xml:"port"`
+}
+
+type xPort struct {
+	Name    string   `xml:"name,attr"`
+	Address xAddress `xml:"address"`
+}
+
+type xAddress struct {
+	Location string `xml:"location,attr"`
+}
+
+// stripPrefix removes a namespace prefix from a QName reference.
+func stripPrefix(ref string) string {
+	if i := strings.IndexByte(ref, ':'); i >= 0 {
+		return ref[i+1:]
+	}
+	return ref
+}
+
+// Parse reads a WSDL document and resolves every operation's signature to
+// dyn types — the client-side WSDL compiler of Figure 1.
+func Parse(data []byte) (*Document, error) {
+	var defs xDefinitions
+	if err := xml.Unmarshal(data, &defs); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotWSDL, err)
+	}
+	if defs.XMLName.Local != "definitions" {
+		return nil, ErrNotWSDL
+	}
+	doc := &Document{
+		ServiceName: defs.Name,
+		TargetNS:    defs.TargetNS,
+	}
+	if doc.ServiceName == "" && len(defs.Services) > 0 {
+		doc.ServiceName = defs.Services[0].Name
+	}
+	for _, svc := range defs.Services {
+		for _, p := range svc.Ports {
+			if p.Address.Location != "" {
+				doc.Endpoint = p.Address.Location
+			}
+		}
+	}
+
+	// Index schema complex types by name.
+	complexTypes := make(map[string]xComplexType)
+	for _, sch := range defs.Types.Schemas {
+		for _, ct := range sch.ComplexTypes {
+			complexTypes[ct.Name] = ct
+		}
+	}
+	r := &typeResolver{complex: complexTypes, done: make(map[string]*dyn.Type), busy: make(map[string]bool)}
+
+	// Index messages by name.
+	messages := make(map[string]xMessage, len(defs.Messages))
+	for _, m := range defs.Messages {
+		messages[m.Name] = m
+	}
+
+	for _, pt := range defs.PortTypes {
+		for _, op := range pt.Operations {
+			sig := dyn.MethodSig{Name: op.Name, Result: dyn.Void}
+			inMsg, ok := messages[stripPrefix(op.Input.Message)]
+			if !ok {
+				return nil, fmt.Errorf("wsdl: operation %s references missing message %s", op.Name, op.Input.Message)
+			}
+			for _, part := range inMsg.Parts {
+				t, err := r.resolve(part.Type)
+				if err != nil {
+					return nil, fmt.Errorf("wsdl: operation %s parameter %s: %w", op.Name, part.Name, err)
+				}
+				sig.Params = append(sig.Params, dyn.Param{Name: part.Name, Type: t})
+			}
+			if op.Output != nil && op.Output.Message != "" {
+				outMsg, ok := messages[stripPrefix(op.Output.Message)]
+				if !ok {
+					return nil, fmt.Errorf("wsdl: operation %s references missing message %s", op.Name, op.Output.Message)
+				}
+				switch len(outMsg.Parts) {
+				case 0:
+					// void result
+				case 1:
+					t, err := r.resolve(outMsg.Parts[0].Type)
+					if err != nil {
+						return nil, fmt.Errorf("wsdl: operation %s result: %w", op.Name, err)
+					}
+					sig.Result = t
+				default:
+					return nil, fmt.Errorf("wsdl: operation %s has %d output parts; at most 1 supported", op.Name, len(outMsg.Parts))
+				}
+			}
+			doc.Methods = append(doc.Methods, sig)
+		}
+	}
+	sort.Slice(doc.Methods, func(i, j int) bool { return doc.Methods[i].Name < doc.Methods[j].Name })
+	return doc, nil
+}
+
+// typeResolver resolves WSDL type references to dyn types.
+type typeResolver struct {
+	complex map[string]xComplexType
+	done    map[string]*dyn.Type
+	busy    map[string]bool
+}
+
+func (r *typeResolver) resolve(ref string) (*dyn.Type, error) {
+	name := stripPrefix(ref)
+	switch name {
+	case "boolean":
+		return dyn.Boolean, nil
+	case "char":
+		return dyn.Char, nil
+	case "int":
+		return dyn.Int32T, nil
+	case "long":
+		return dyn.Int64T, nil
+	case "float":
+		return dyn.Float32T, nil
+	case "double":
+		return dyn.Float64T, nil
+	case "string":
+		return dyn.StringT, nil
+	}
+	if t, ok := r.done[name]; ok {
+		return t, nil
+	}
+	if r.busy[name] {
+		return nil, fmt.Errorf("recursive type %s", name)
+	}
+	ct, ok := r.complex[name]
+	if !ok {
+		return nil, fmt.Errorf("undeclared type %s", name)
+	}
+	r.busy[name] = true
+	defer delete(r.busy, name)
+
+	// Array form: single element named item with maxOccurs unbounded.
+	els := ct.Sequence.Elements
+	if len(els) == 1 && els[0].Name == "item" && els[0].MaxOccurs == "unbounded" {
+		elem, err := r.resolve(els[0].Type)
+		if err != nil {
+			return nil, fmt.Errorf("array %s: %w", name, err)
+		}
+		t := dyn.SequenceOf(elem)
+		r.done[name] = t
+		return t, nil
+	}
+	fields := make([]dyn.StructField, 0, len(els))
+	for _, el := range els {
+		ft, err := r.resolve(el.Type)
+		if err != nil {
+			return nil, fmt.Errorf("struct %s field %s: %w", name, el.Name, err)
+		}
+		fields = append(fields, dyn.StructField{Name: el.Name, Type: ft})
+	}
+	t, err := dyn.StructOf(name, fields...)
+	if err != nil {
+		return nil, err
+	}
+	r.done[name] = t
+	return t, nil
+}

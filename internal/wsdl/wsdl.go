@@ -1,0 +1,319 @@
+// Package wsdl implements the WSDL 1.1 subset the paper's SOAP subsystem
+// publishes: an rpc/encoded service description with an XSD schema for
+// user-defined complex types (structs and arrays), request/response
+// messages per distributed method, a portType, binding, and a service
+// element carrying the SOAP endpoint address. Generate is the SDE's WSDL
+// Generator component (Figure 4); Parse+Resolve form the client-side "WSDL
+// compiler" (Figure 1).
+//
+// Type mapping: dyn primitives map to xsd types (int32→xsd:int,
+// int64→xsd:long, ...); char maps to the schema simple type tns:char
+// (an xsd:string restriction) so that CORBA/SOAP signatures stay
+// interconvertible; structs map to named complexTypes with element fields;
+// sequences map to complexTypes named ArrayOf… whose single element "item"
+// has maxOccurs="unbounded". Array element naming follows the Axis
+// convention: ArrayOf_xsd_int, ArrayOfMessage, ArrayOfArrayOf_xsd_int.
+package wsdl
+
+import (
+	"fmt"
+	"sort"
+
+	"livedev/internal/dyn"
+	"livedev/internal/soap"
+)
+
+// WSDL/XSD namespace URIs.
+const (
+	NSWSDL     = "http://schemas.xmlsoap.org/wsdl/"
+	NSWSDLSOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+	NSXSD      = "http://www.w3.org/2001/XMLSchema"
+	NSSOAPEnc  = "http://schemas.xmlsoap.org/soap/encoding/"
+)
+
+// Document is an abstract WSDL document: everything the CDE needs to build
+// stubs. It is produced either by Generate (server side) or Parse (client
+// side).
+type Document struct {
+	// ServiceName is the service (and class) name.
+	ServiceName string
+	// TargetNS is the service namespace, "urn:<ServiceName>".
+	TargetNS string
+	// Endpoint is the SOAP endpoint URL ("" in a minimal document
+	// published before the call handler is active).
+	Endpoint string
+	// Methods are the operations, name-sorted, with resolved dyn types.
+	Methods []dyn.MethodSig
+}
+
+// Descriptor converts the document back to an interface descriptor whose
+// hash is comparable with the server class's descriptor.
+func (d *Document) Descriptor() dyn.InterfaceDescriptor {
+	desc := dyn.InterfaceDescriptor{ClassName: d.ServiceName, Methods: d.Methods}
+	structSet := make(map[string]*dyn.Type)
+	for _, m := range d.Methods {
+		dyn.CollectStructs(m.Result, structSet)
+		for _, p := range m.Params {
+			dyn.CollectStructs(p.Type, structSet)
+		}
+	}
+	for _, n := range dyn.SortedStructNames(structSet) {
+		desc.Structs = append(desc.Structs, structSet[n])
+	}
+	return desc
+}
+
+// Lookup returns the signature of the named operation.
+func (d *Document) Lookup(name string) (dyn.MethodSig, bool) {
+	for _, m := range d.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return dyn.MethodSig{}, false
+}
+
+// Generate builds the WSDL document for a class's distributed interface
+// with the given endpoint URL (may be empty for the minimal document the
+// SDE publishes at initialization, which contains the endpoint address but
+// no operations — here: operations from desc, endpoint as given).
+func Generate(desc dyn.InterfaceDescriptor, endpoint string) *Document {
+	methods := make([]dyn.MethodSig, len(desc.Methods))
+	copy(methods, desc.Methods)
+	return &Document{
+		ServiceName: desc.ClassName,
+		TargetNS:    "urn:" + desc.ClassName,
+		Endpoint:    endpoint,
+		Methods:     methods,
+	}
+}
+
+// xsdTypeName maps a dyn type to its WSDL type reference, registering any
+// needed complexType definitions in defs (name → *dyn.Type).
+func xsdTypeName(t *dyn.Type, defs map[string]*dyn.Type) (string, error) {
+	switch t.Kind() {
+	case dyn.KindBoolean:
+		return "xsd:boolean", nil
+	case dyn.KindChar:
+		return "tns:char", nil
+	case dyn.KindInt32:
+		return "xsd:int", nil
+	case dyn.KindInt64:
+		return "xsd:long", nil
+	case dyn.KindFloat32:
+		return "xsd:float", nil
+	case dyn.KindFloat64:
+		return "xsd:double", nil
+	case dyn.KindString:
+		return "xsd:string", nil
+	case dyn.KindStruct:
+		if _, ok := defs[t.Name()]; !ok {
+			defs[t.Name()] = t
+			for _, f := range t.Fields() {
+				if _, err := xsdTypeName(f.Type, defs); err != nil {
+					return "", err
+				}
+			}
+		}
+		return "tns:" + t.Name(), nil
+	case dyn.KindSequence:
+		inner, err := xsdTypeName(t.Elem(), defs)
+		if err != nil {
+			return "", err
+		}
+		name := arrayTypeName(inner)
+		if _, ok := defs[name]; !ok {
+			defs[name] = t
+		}
+		return "tns:" + name, nil
+	default:
+		return "", fmt.Errorf("wsdl: no mapping for kind %s", t.Kind())
+	}
+}
+
+// arrayTypeName builds Axis-style array type names from the element's
+// qualified reference: "xsd:int" → "ArrayOf_xsd_int", "tns:Message" →
+// "ArrayOfMessage", "tns:ArrayOf_xsd_int" → "ArrayOfArrayOf_xsd_int".
+func arrayTypeName(elemRef string) string {
+	switch {
+	case len(elemRef) > 4 && elemRef[:4] == "xsd:":
+		return "ArrayOf_xsd_" + elemRef[4:]
+	case len(elemRef) > 4 && elemRef[:4] == "tns:":
+		return "ArrayOf" + elemRef[4:]
+	default:
+		return "ArrayOf" + elemRef
+	}
+}
+
+// XML renders the document as WSDL 1.1 text.
+func (d *Document) XML() (string, error) {
+	defs := make(map[string]*dyn.Type)
+
+	root := soap.NewNode("wsdl:definitions")
+	root.Attrs["name"] = d.ServiceName
+	root.Attrs["targetNamespace"] = d.TargetNS
+	root.Attrs["xmlns:wsdl"] = NSWSDL
+	root.Attrs["xmlns:soap"] = NSWSDLSOAP
+	root.Attrs["xmlns:xsd"] = NSXSD
+	root.Attrs["xmlns:tns"] = d.TargetNS
+
+	// Pre-walk every signature to collect type definitions, and remember
+	// part type references.
+	type partRef struct{ name, ref string }
+	type opRefs struct {
+		in  []partRef
+		out []partRef // empty for void
+	}
+	ops := make(map[string]opRefs, len(d.Methods))
+	usesChar := false
+	var walk func(t *dyn.Type) (string, error)
+	walk = func(t *dyn.Type) (string, error) {
+		ref, err := xsdTypeName(t, defs)
+		if err != nil {
+			return "", err
+		}
+		if t.Kind() == dyn.KindChar {
+			usesChar = true
+		}
+		// char may be nested inside structs/sequences too.
+		switch t.Kind() {
+		case dyn.KindSequence:
+			if _, err := walk(t.Elem()); err != nil {
+				return "", err
+			}
+		case dyn.KindStruct:
+			for _, f := range t.Fields() {
+				if _, err := walk(f.Type); err != nil {
+					return "", err
+				}
+			}
+		}
+		return ref, nil
+	}
+	for _, m := range d.Methods {
+		var refs opRefs
+		for _, p := range m.Params {
+			ref, err := walk(p.Type)
+			if err != nil {
+				return "", fmt.Errorf("wsdl: operation %s parameter %s: %w", m.Name, p.Name, err)
+			}
+			refs.in = append(refs.in, partRef{p.Name, ref})
+		}
+		if m.Result.Kind() != dyn.KindVoid {
+			ref, err := walk(m.Result)
+			if err != nil {
+				return "", fmt.Errorf("wsdl: operation %s result: %w", m.Name, err)
+			}
+			refs.out = append(refs.out, partRef{"return", ref})
+		}
+		ops[m.Name] = refs
+	}
+
+	// <types> schema.
+	types := root.Append(soap.NewNode("wsdl:types"))
+	schema := types.Append(soap.NewNode("xsd:schema"))
+	schema.Attrs["targetNamespace"] = d.TargetNS
+	if usesChar {
+		st := schema.Append(soap.NewNode("xsd:simpleType"))
+		st.Attrs["name"] = "char"
+		re := st.Append(soap.NewNode("xsd:restriction"))
+		re.Attrs["base"] = "xsd:string"
+		ln := re.Append(soap.NewNode("xsd:length"))
+		ln.Attrs["value"] = "1"
+	}
+	names := make([]string, 0, len(defs))
+	for n := range defs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t := defs[n]
+		ct := schema.Append(soap.NewNode("xsd:complexType"))
+		ct.Attrs["name"] = n
+		seq := ct.Append(soap.NewNode("xsd:sequence"))
+		if t.Kind() == dyn.KindSequence {
+			item := seq.Append(soap.NewNode("xsd:element"))
+			item.Attrs["name"] = "item"
+			ref, err := xsdTypeName(t.Elem(), defs)
+			if err != nil {
+				return "", err
+			}
+			item.Attrs["type"] = ref
+			item.Attrs["minOccurs"] = "0"
+			item.Attrs["maxOccurs"] = "unbounded"
+			continue
+		}
+		for _, f := range t.Fields() {
+			el := seq.Append(soap.NewNode("xsd:element"))
+			el.Attrs["name"] = f.Name
+			ref, err := xsdTypeName(f.Type, defs)
+			if err != nil {
+				return "", err
+			}
+			el.Attrs["type"] = ref
+		}
+	}
+
+	// Messages.
+	for _, m := range d.Methods {
+		refs := ops[m.Name]
+		req := root.Append(soap.NewNode("wsdl:message"))
+		req.Attrs["name"] = m.Name + "Request"
+		for _, pr := range refs.in {
+			part := req.Append(soap.NewNode("wsdl:part"))
+			part.Attrs["name"] = pr.name
+			part.Attrs["type"] = pr.ref
+		}
+		resp := root.Append(soap.NewNode("wsdl:message"))
+		resp.Attrs["name"] = m.Name + "Response"
+		for _, pr := range refs.out {
+			part := resp.Append(soap.NewNode("wsdl:part"))
+			part.Attrs["name"] = pr.name
+			part.Attrs["type"] = pr.ref
+		}
+	}
+
+	// PortType.
+	pt := root.Append(soap.NewNode("wsdl:portType"))
+	pt.Attrs["name"] = d.ServiceName + "PortType"
+	for _, m := range d.Methods {
+		op := pt.Append(soap.NewNode("wsdl:operation"))
+		op.Attrs["name"] = m.Name
+		in := op.Append(soap.NewNode("wsdl:input"))
+		in.Attrs["message"] = "tns:" + m.Name + "Request"
+		out := op.Append(soap.NewNode("wsdl:output"))
+		out.Attrs["message"] = "tns:" + m.Name + "Response"
+	}
+
+	// Binding (rpc/encoded over HTTP).
+	binding := root.Append(soap.NewNode("wsdl:binding"))
+	binding.Attrs["name"] = d.ServiceName + "Binding"
+	binding.Attrs["type"] = "tns:" + d.ServiceName + "PortType"
+	sb := binding.Append(soap.NewNode("soap:binding"))
+	sb.Attrs["style"] = "rpc"
+	sb.Attrs["transport"] = "http://schemas.xmlsoap.org/soap/http"
+	for _, m := range d.Methods {
+		op := binding.Append(soap.NewNode("wsdl:operation"))
+		op.Attrs["name"] = m.Name
+		so := op.Append(soap.NewNode("soap:operation"))
+		so.Attrs["soapAction"] = d.TargetNS + "#" + m.Name
+		for _, dir := range []string{"input", "output"} {
+			dn := op.Append(soap.NewNode("wsdl:" + dir))
+			body := dn.Append(soap.NewNode("soap:body"))
+			body.Attrs["use"] = "encoded"
+			body.Attrs["namespace"] = d.TargetNS
+			body.Attrs["encodingStyle"] = NSSOAPEnc
+		}
+	}
+
+	// Service + port + endpoint address.
+	svc := root.Append(soap.NewNode("wsdl:service"))
+	svc.Attrs["name"] = d.ServiceName
+	port := svc.Append(soap.NewNode("wsdl:port"))
+	port.Attrs["name"] = d.ServiceName + "Port"
+	port.Attrs["binding"] = "tns:" + d.ServiceName + "Binding"
+	addr := port.Append(soap.NewNode("soap:address"))
+	addr.Attrs["location"] = d.Endpoint
+
+	return `<?xml version="1.0" encoding="UTF-8"?>` + "\n" + root.Render(), nil
+}

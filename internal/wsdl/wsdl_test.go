@@ -1,0 +1,226 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"livedev/internal/dyn"
+)
+
+func newMailClass(t *testing.T) *dyn.Class {
+	t.Helper()
+	msg := dyn.MustStructOf("Message",
+		dyn.StructField{Name: "from", Type: dyn.StringT},
+		dyn.StructField{Name: "body", Type: dyn.StringT},
+		dyn.StructField{Name: "id", Type: dyn.Int64T})
+	c := dyn.NewClass("Mail")
+	mustAdd := func(spec dyn.MethodSpec) {
+		t.Helper()
+		if _, err := c.AddMethod(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(dyn.MethodSpec{Name: "send", Params: []dyn.Param{{Name: "m", Type: msg}}, Distributed: true})
+	mustAdd(dyn.MethodSpec{
+		Name:        "fetch",
+		Params:      []dyn.Param{{Name: "user", Type: dyn.StringT}, {Name: "max", Type: dyn.Int32T}},
+		Result:      dyn.SequenceOf(msg),
+		Distributed: true,
+	})
+	mustAdd(dyn.MethodSpec{Name: "count", Result: dyn.Int64T, Distributed: true})
+	mustAdd(dyn.MethodSpec{
+		Name:        "tag",
+		Params:      []dyn.Param{{Name: "c", Type: dyn.Char}, {Name: "w", Type: dyn.Float64T}, {Name: "b", Type: dyn.Float32T}, {Name: "on", Type: dyn.Boolean}},
+		Result:      dyn.Char,
+		Distributed: true,
+	})
+	mustAdd(dyn.MethodSpec{
+		Name:        "matrix",
+		Result:      dyn.SequenceOf(dyn.SequenceOf(dyn.Int32T)),
+		Distributed: true,
+	})
+	mustAdd(dyn.MethodSpec{Name: "local", Result: dyn.Int32T}) // not distributed
+	return c
+}
+
+func TestGenerateXMLShape(t *testing.T) {
+	c := newMailClass(t)
+	doc := Generate(c.Interface(), "http://127.0.0.1:8080/Mail")
+	text, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`name="Mail"`,
+		`targetNamespace="urn:Mail"`,
+		`<xsd:complexType name="Message">`,
+		`<xsd:complexType name="ArrayOfMessage">`,
+		`<xsd:complexType name="ArrayOf_xsd_int">`,
+		`<xsd:complexType name="ArrayOfArrayOf_xsd_int">`,
+		`<xsd:simpleType name="char">`,
+		`<wsdl:message name="fetchRequest">`,
+		`<wsdl:part name="user" type="xsd:string"/>`,
+		`<wsdl:message name="sendResponse"/>`, // void → no parts
+		`<wsdl:portType name="MailPortType">`,
+		`soapAction="urn:Mail#fetch"`,
+		`<soap:address location="http://127.0.0.1:8080/Mail"/>`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WSDL missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "local") {
+		t.Error("non-distributed method leaked into WSDL")
+	}
+}
+
+func TestParseResolvesEndpointAndMethods(t *testing.T) {
+	c := newMailClass(t)
+	doc := Generate(c.Interface(), "http://127.0.0.1:9/Mail")
+	text, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.ServiceName != "Mail" || parsed.TargetNS != "urn:Mail" {
+		t.Errorf("identity = %q %q", parsed.ServiceName, parsed.TargetNS)
+	}
+	if parsed.Endpoint != "http://127.0.0.1:9/Mail" {
+		t.Errorf("endpoint = %q", parsed.Endpoint)
+	}
+	if len(parsed.Methods) != 5 {
+		t.Fatalf("methods = %d", len(parsed.Methods))
+	}
+	fetch, ok := parsed.Lookup("fetch")
+	if !ok {
+		t.Fatal("fetch missing")
+	}
+	if fetch.Result.Kind() != dyn.KindSequence || fetch.Result.Elem().Name() != "Message" {
+		t.Errorf("fetch result = %v", fetch.Result)
+	}
+	if _, ok := parsed.Lookup("nonexistent"); ok {
+		t.Error("bogus lookup should fail")
+	}
+}
+
+// The central fidelity property for the SOAP path: WSDL generate → parse
+// reproduces the interface descriptor hash, so the client's view and the
+// server's view compare equal.
+func TestGenerateParseRoundTripHash(t *testing.T) {
+	c := newMailClass(t)
+	desc := c.Interface()
+	doc := Generate(desc, "http://e/Mail")
+	text, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parsed.Descriptor().Hash(); got != desc.Hash() {
+		t.Errorf("hash mismatch after round trip:\n got methods %v\nwant methods %v",
+			parsed.Methods, desc.Methods)
+	}
+}
+
+func TestMinimalDocument(t *testing.T) {
+	// The minimal WSDL published at initialization: endpoint, no methods
+	// (paper Section 5.1.1 footnote).
+	c := dyn.NewClass("Fresh")
+	doc := Generate(c.Interface(), "http://127.0.0.1:1234/Fresh")
+	text, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Methods) != 0 {
+		t.Errorf("minimal document has %d methods", len(parsed.Methods))
+	}
+	if parsed.Endpoint != "http://127.0.0.1:1234/Fresh" {
+		t.Errorf("endpoint = %q", parsed.Endpoint)
+	}
+	if parsed.Descriptor().Hash() != c.Interface().Hash() {
+		t.Error("empty interface hash should round-trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("not xml at all <")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Parse([]byte("<other/>")); err == nil {
+		t.Error("non-WSDL root should fail")
+	}
+	// Operation referencing a missing message.
+	missing := `<definitions name="S" targetNamespace="urn:S" xmlns="http://schemas.xmlsoap.org/wsdl/">
+	  <portType name="P"><operation name="f"><input message="tns:ghost"/></operation></portType>
+	</definitions>`
+	if _, err := Parse([]byte(missing)); err == nil {
+		t.Error("missing message should fail")
+	}
+	// Part with undeclared complex type.
+	undeclared := `<definitions name="S" targetNamespace="urn:S" xmlns="http://schemas.xmlsoap.org/wsdl/">
+	  <message name="fRequest"><part name="x" type="tns:Ghost"/></message>
+	  <message name="fResponse"/>
+	  <portType name="P"><operation name="f"><input message="tns:fRequest"/><output message="tns:fResponse"/></operation></portType>
+	</definitions>`
+	if _, err := Parse([]byte(undeclared)); err == nil {
+		t.Error("undeclared type should fail")
+	}
+	// Multiple output parts.
+	multi := `<definitions name="S" targetNamespace="urn:S" xmlns="http://schemas.xmlsoap.org/wsdl/">
+	  <message name="fRequest"/>
+	  <message name="fResponse"><part name="a" type="xsd:int"/><part name="b" type="xsd:int"/></message>
+	  <portType name="P"><operation name="f"><input message="tns:fRequest"/><output message="tns:fResponse"/></operation></portType>
+	</definitions>`
+	if _, err := Parse([]byte(multi)); err == nil {
+		t.Error("multiple output parts should fail")
+	}
+	// Recursive complex type.
+	recursive := `<definitions name="S" targetNamespace="urn:S" xmlns="http://schemas.xmlsoap.org/wsdl/" xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <types><xsd:schema><xsd:complexType name="N"><xsd:sequence><xsd:element name="next" type="tns:N"/></xsd:sequence></xsd:complexType></xsd:schema></types>
+	  <message name="fRequest"><part name="x" type="tns:N"/></message>
+	  <message name="fResponse"/>
+	  <portType name="P"><operation name="f"><input message="tns:fRequest"/><output message="tns:fResponse"/></operation></portType>
+	</definitions>`
+	if _, err := Parse([]byte(recursive)); err == nil {
+		t.Error("recursive type should fail")
+	}
+}
+
+func TestStructOnlyReferencedInsideSequenceIsDeclared(t *testing.T) {
+	inner := dyn.MustStructOf("Inner", dyn.StructField{Name: "v", Type: dyn.Int32T})
+	outer := dyn.MustStructOf("Outer", dyn.StructField{Name: "items", Type: dyn.SequenceOf(inner)})
+	c := dyn.NewClass("Svc")
+	if _, err := c.AddMethod(dyn.MethodSpec{
+		Name:        "get",
+		Result:      outer,
+		Distributed: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := Generate(c.Interface(), "http://e/Svc").XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`name="Inner"`, `name="Outer"`, `name="ArrayOfInner"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WSDL missing %q", want)
+		}
+	}
+	parsed, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := parsed.Lookup("get")
+	if !ok || !got.Result.Equal(outer) {
+		t.Errorf("resolved get = %+v", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package livedev is a Go reproduction of "Supporting Live Development of
+// SOAP and CORBA Servers" (Pallemulle, Goldman, Morgan; WUCSE-2004-75 /
+// ICDCS 2005). It provides:
+//
+//   - a dynamic-class runtime (JPie's dynamic classes): classes whose
+//     method signatures and implementations change at run time, effective
+//     immediately on existing instances;
+//   - the SDE (Server Development Environment) middleware: automated
+//     deployment of SOAP and CORBA servers from dynamic classes, automated
+//     publication of WSDL / CORBA-IDL / IOR via an Interface Server, the
+//     stable-timeout publication algorithm, and reactive forced publication
+//     on stale client calls;
+//   - the CDE (Client Development Environment): live clients whose stubs
+//     are compiled from the published interface descriptions and refreshed
+//     reactively, with a debugger supporting 'try again';
+//   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
+//     DII/DSI ORBs) protocol stacks, built on the standard library only.
+//
+// The facade below re-exports the types a downstream user needs, so the
+// whole system is usable through this single import:
+//
+//	class := livedev.NewClass("Calc")
+//	class.AddMethod(livedev.MethodSpec{ ... Distributed: true ... })
+//	mgr, _ := livedev.NewManager(livedev.Config{})
+//	srv, _ := mgr.Register(class, livedev.TechSOAP)
+//	srv.CreateInstance()
+//	client, _ := livedev.ConnectSOAP(srv.InterfaceURL())
+//	sum, _ := client.Call("add", livedev.Int32(2), livedev.Int32(3))
+package livedev
+
+import (
+	"net/http"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+// Dynamic-class runtime types (the JPie substrate).
+type (
+	// Class is a dynamic class: a mutable set of methods and fields whose
+	// edits take effect immediately on live instances.
+	Class = dyn.Class
+	// Instance is a live object of a dynamic class.
+	Instance = dyn.Instance
+	// MethodSpec describes a method to add to a class.
+	MethodSpec = dyn.MethodSpec
+	// Param is a formal method parameter.
+	Param = dyn.Param
+	// Body is a method implementation.
+	Body = dyn.Body
+	// MemberID identifies a method or field across renames.
+	MemberID = dyn.MemberID
+	// Value is a dynamically typed value.
+	Value = dyn.Value
+	// Type describes a value type.
+	Type = dyn.Type
+	// StructField is a field of a struct type.
+	StructField = dyn.StructField
+	// MethodSig is an externally visible method signature.
+	MethodSig = dyn.MethodSig
+	// InterfaceDescriptor is a snapshot of a class's distributed interface.
+	InterfaceDescriptor = dyn.InterfaceDescriptor
+)
+
+// SDE middleware types.
+type (
+	// Manager is the SDE Manager owning the Interface Server and the
+	// managed server classes.
+	Manager = core.Manager
+	// Config configures a Manager.
+	Config = core.Config
+	// Server is a managed SOAP or CORBA server.
+	Server = core.Server
+	// Technology selects an RMI technology.
+	Technology = core.Technology
+	// DLPublisher runs the stable-timeout publication algorithm.
+	DLPublisher = core.DLPublisher
+	// PublisherStats counts publisher activity.
+	PublisherStats = core.PublisherStats
+)
+
+// CDE types.
+type (
+	// Client is a live CDE client.
+	Client = cde.Client
+	// Debugger records failed calls and supports TryAgain.
+	Debugger = cde.Debugger
+	// StaleMethodError reports a call to a method no longer on the server
+	// interface; the client's view has been refreshed by delivery time.
+	StaleMethodError = cde.StaleMethodError
+)
+
+// Technologies supported by the SDE.
+const (
+	TechSOAP  = core.TechSOAP
+	TechCORBA = core.TechCORBA
+)
+
+// Sentinel errors re-exported from the CDE.
+var (
+	// ErrStaleMethod matches StaleMethodError via errors.Is.
+	ErrStaleMethod = cde.ErrStaleMethod
+	// ErrNoSuchStub reports a call to a method absent from the client's
+	// interface view even after a refresh.
+	ErrNoSuchStub = cde.ErrNoSuchStub
+)
+
+// Predeclared primitive types.
+var (
+	VoidType    = dyn.Void
+	BooleanType = dyn.Boolean
+	CharType    = dyn.Char
+	Int32Type   = dyn.Int32T
+	Int64Type   = dyn.Int64T
+	Float32Type = dyn.Float32T
+	Float64Type = dyn.Float64T
+	StringType  = dyn.StringT
+)
+
+// NewClass creates an empty dynamic class.
+func NewClass(name string) *Class { return dyn.NewClass(name) }
+
+// NewManager creates and starts an SDE Manager.
+func NewManager(cfg Config) (*Manager, error) { return core.NewManager(cfg) }
+
+// ConnectSOAP builds a live client from a published WSDL document URL.
+func ConnectSOAP(wsdlURL string) (*Client, error) {
+	return cde.NewSOAPClient(wsdlURL, nil)
+}
+
+// ConnectSOAPWithHTTP is ConnectSOAP with a custom HTTP client.
+func ConnectSOAPWithHTTP(wsdlURL string, hc *http.Client) (*Client, error) {
+	return cde.NewSOAPClient(wsdlURL, hc)
+}
+
+// ConnectCORBA builds a live client from published CORBA-IDL and IOR URLs.
+func ConnectCORBA(idlURL, iorURL string) (*Client, error) {
+	return cde.NewCORBAClient(idlURL, iorURL, nil)
+}
+
+// Value constructors.
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return dyn.BoolValue(v) }
+
+// Char returns a char value.
+func Char(v rune) Value { return dyn.CharValue(v) }
+
+// Int32 returns an int32 value.
+func Int32(v int32) Value { return dyn.Int32Value(v) }
+
+// Int64 returns an int64 value.
+func Int64(v int64) Value { return dyn.Int64Value(v) }
+
+// Float32 returns a float32 value.
+func Float32(v float32) Value { return dyn.Float32Value(v) }
+
+// Float64 returns a float64 value.
+func Float64(v float64) Value { return dyn.Float64Value(v) }
+
+// Str returns a string value.
+func Str(v string) Value { return dyn.StringValue(v) }
+
+// Void returns the void value.
+func Void() Value { return dyn.VoidValue() }
+
+// StructOf declares a named struct type.
+func StructOf(name string, fields ...StructField) (*Type, error) {
+	return dyn.StructOf(name, fields...)
+}
+
+// MustStructOf is StructOf but panics on error.
+func MustStructOf(name string, fields ...StructField) *Type {
+	return dyn.MustStructOf(name, fields...)
+}
+
+// SequenceOf returns a sequence type.
+func SequenceOf(elem *Type) *Type { return dyn.SequenceOf(elem) }
+
+// Struct builds a struct value.
+func Struct(t *Type, fieldVals ...Value) (Value, error) {
+	return dyn.StructValue(t, fieldVals...)
+}
+
+// Sequence builds a sequence value.
+func Sequence(elem *Type, elems ...Value) (Value, error) {
+	return dyn.SequenceValue(elem, elems...)
+}
