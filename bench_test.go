@@ -83,6 +83,7 @@ func BenchmarkTable1_SDESOAP(b *testing.B) {
 	client := &soap.Client{Endpoint: srv.(*core.SOAPServer).Endpoint(), ServiceNS: "urn:B1"}
 	args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Call("echo", args, dyn.StringT); err != nil {
 			b.Fatal(err)
@@ -104,6 +105,7 @@ func BenchmarkTable1_StaticSOAP(b *testing.B) {
 	client := &soap.Client{Endpoint: endpoint, ServiceNS: "urn:B2"}
 	args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := client.Call("echo", args, dyn.StringT); err != nil {
 			b.Fatal(err)
@@ -133,6 +135,7 @@ func BenchmarkTable1_SDECORBA(b *testing.B) {
 	sig := echoSig()
 	args := []dyn.Value{dyn.StringValue(benchPayload)}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := conn.Invoke(sig, args); err != nil {
 			b.Fatal(err)
@@ -159,6 +162,7 @@ func BenchmarkTable1_StaticCORBA(b *testing.B) {
 	sig := echoSig()
 	args := []dyn.Value{dyn.StringValue(benchPayload)}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := conn.Invoke(sig, args); err != nil {
 			b.Fatal(err)
@@ -171,6 +175,7 @@ func BenchmarkTable1_StaticCORBA(b *testing.B) {
 // BenchmarkFigure7Matrix simulates the full active-publishing interleaving
 // matrix and checks the 3-of-9 consistency result each iteration.
 func BenchmarkFigure7Matrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, total := raceplan.ConsistentCount(raceplan.ActivePublishing)
 		if c != 3 || total != 9 {
@@ -182,6 +187,7 @@ func BenchmarkFigure7Matrix(b *testing.B) {
 // BenchmarkFigure8Matrix simulates the reactive-publishing matrix and
 // checks the all-consistent result each iteration.
 func BenchmarkFigure8Matrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c, total := raceplan.ConsistentCount(raceplan.ReactivePublishing)
 		if c != 16 || total != 16 {
@@ -200,6 +206,7 @@ func BenchmarkPublisherStrategies(b *testing.B) {
 	cfg.Timeouts = []time.Duration{200 * time.Millisecond, time.Second}
 	cfg.PollIntervals = []time.Duration{time.Second}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunSweep(cfg); err != nil {
 			b.Fatal(err)
@@ -218,6 +225,7 @@ func BenchmarkStaleCall_IdleCurrent(b *testing.B) {
 	p.PublishNow()
 	p.WaitIdle()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.EnsureCurrent()
 	}
@@ -234,6 +242,7 @@ func BenchmarkStaleCall_TimerArmed(b *testing.B) {
 	p.WaitIdle()
 	names := [2]string{"echoA", "echoB"}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := class.RenameMethod(id, names[i%2]); err != nil {
 			b.Fatal(err)
@@ -262,6 +271,7 @@ func BenchmarkRogueClientStorm(b *testing.B) {
 	client := &soap.Client{Endpoint: ss.Endpoint(), ServiceNS: "urn:BRogue"}
 	before := srv.Publisher().Stats().Generations
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := client.Call("nonexistent", nil, dyn.StringT)
 		if !soap.IsNonExistentMethod(err) {
@@ -283,6 +293,7 @@ func BenchmarkCallPath_DynInvoke(b *testing.B) {
 	in := class.NewInstance()
 	arg := dyn.StringValue(benchPayload)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := in.InvokeDistributed("echo", arg); err != nil {
 			b.Fatal(err)
@@ -294,6 +305,7 @@ func BenchmarkCallPath_DynInvoke(b *testing.B) {
 func BenchmarkCallPath_SOAPBuildRequest(b *testing.B) {
 	params := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := soap.BuildRequest("urn:B", "echo", params); err != nil {
 			b.Fatal(err)
@@ -310,6 +322,7 @@ func BenchmarkCallPath_SOAPParseRequest(b *testing.B) {
 	}
 	raw := []byte(env)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := soap.ParseRequest(raw); err != nil {
 			b.Fatal(err)
@@ -317,29 +330,38 @@ func BenchmarkCallPath_SOAPParseRequest(b *testing.B) {
 	}
 }
 
-// BenchmarkCallPath_CDREncode measures CDR argument encoding.
+// BenchmarkCallPath_CDREncode measures CDR argument encoding through the
+// pooled encoder lifecycle the transports use (GetEncoder → encode →
+// PutEncoder), so the number tracks the production encode path.
 func BenchmarkCallPath_CDREncode(b *testing.B) {
 	v := dyn.StringValue(benchPayload)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e := cdr.NewEncoder(cdr.BigEndian)
+		e := cdr.GetEncoder(cdr.BigEndian)
 		if err := cdr.EncodeValue(e, v); err != nil {
 			b.Fatal(err)
 		}
+		cdr.PutEncoder(e)
 	}
 }
 
-// BenchmarkCallPath_CDRDecode measures CDR argument decoding.
+// BenchmarkCallPath_CDRDecode measures CDR argument decoding with a reused
+// decoder over a caller-owned buffer (zero-copy string reads), the
+// allocation floor of the decode path.
 func BenchmarkCallPath_CDRDecode(b *testing.B) {
 	e := cdr.NewEncoder(cdr.BigEndian)
 	if err := cdr.EncodeValue(e, dyn.StringValue(benchPayload)); err != nil {
 		b.Fatal(err)
 	}
 	raw := e.Bytes()
+	var d cdr.Decoder
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d := cdr.NewDecoder(raw, cdr.BigEndian)
-		if _, err := cdr.DecodeValue(d, dyn.StringT); err != nil {
+		d.Reset(raw, cdr.BigEndian)
+		d.SetZeroCopy(true) // raw outlives every decoded value here
+		if _, err := cdr.DecodeValue(&d, dyn.StringT); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -350,6 +372,7 @@ func BenchmarkCallPath_CDRDecode(b *testing.B) {
 func BenchmarkCallPath_InterfaceLookup(b *testing.B) {
 	class := echoClass("BLookup")
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, ok := class.Interface().Lookup("echo"); !ok {
 			b.Fatal("lookup failed")
@@ -363,6 +386,7 @@ func BenchmarkCallPath_InterfaceLookup(b *testing.B) {
 func BenchmarkGenerate_WSDL(b *testing.B) {
 	desc := echoClass("BW").Interface()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		doc := wsdl.Generate(desc, "http://127.0.0.1:1/BW")
 		if _, err := doc.XML(); err != nil {
@@ -375,6 +399,7 @@ func BenchmarkGenerate_WSDL(b *testing.B) {
 func BenchmarkGenerate_IDL(b *testing.B) {
 	desc := echoClass("BI").Interface()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		doc, err := idl.Generate(desc)
 		if err != nil {
@@ -393,6 +418,7 @@ func BenchmarkCompile_WSDL(b *testing.B) {
 	}
 	raw := []byte(text)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := wsdl.Parse(raw); err != nil {
 			b.Fatal(err)
@@ -408,6 +434,7 @@ func BenchmarkCompile_IDL(b *testing.B) {
 	}
 	text := idl.Print(doc)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		parsed, err := idl.Parse(text)
 		if err != nil {
@@ -441,6 +468,7 @@ func BenchmarkLiveEditToRepublish(b *testing.B) {
 	id, _ := class.MethodIDByName("echo")
 	names := [2]string{"echoA", "echoB"}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := class.RenameMethod(id, names[i%2]); err != nil {
 			b.Fatal(err)
@@ -453,6 +481,7 @@ func BenchmarkLiveEditToRepublish(b *testing.B) {
 // BenchmarkRTTMeasurementOverhead quantifies the measurement harness's own
 // cost so Table 1 numbers can be interpreted.
 func BenchmarkRTTMeasurementOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.MeasureRTT(1, func() error { return nil }); err != nil {
 			b.Fatal(err)

@@ -1,18 +1,43 @@
 // Command rtt-bench regenerates the paper's Table 1: mean round-trip time
-// of RMI calls for SDE and static servers over SOAP and CORBA.
+// of RMI calls for SDE and static servers over SOAP and CORBA, plus the
+// allocation profile of each configuration.
+//
+// Besides the human-readable table it writes a machine-readable
+// BENCH_rtt.json (ns/op, B/op, allocs/op per Table 1 row) so the perf
+// trajectory of the invocation hot path can be tracked PR over PR.
 //
 // Usage:
 //
-//	rtt-bench [-calls N] [-payload BYTES]
+//	rtt-bench [-calls N] [-payload BYTES] [-json PATH]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"livedev/internal/experiments"
 )
+
+// benchRow is one Table 1 row in the JSON artifact, in go-bench units.
+type benchRow struct {
+	Config      string  `json:"config"`
+	PaperRTTMs  float64 `json:"paper_rtt_ms"`
+	NsPerOp     float64 `json:"ns_op"`
+	P50Ns       float64 `json:"p50_ns"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	N           int     `json:"n"`
+}
+
+type benchFile struct {
+	Schema  string     `json:"schema"`
+	Command string     `json:"command"`
+	Calls   int        `json:"calls"`
+	Payload int        `json:"payload_bytes"`
+	Rows    []benchRow `json:"rows"`
+}
 
 func main() {
 	os.Exit(run())
@@ -21,6 +46,7 @@ func main() {
 func run() int {
 	calls := flag.Int("calls", 100, "RMI calls per configuration (the paper used 100)")
 	payload := flag.Int("payload", 64, "echoed string payload size in bytes")
+	jsonPath := flag.String("json", "BENCH_rtt.json", "path for the machine-readable results (empty disables)")
 	flag.Parse()
 
 	rows, err := experiments.RunTable1(experiments.Table1Config{
@@ -32,5 +58,36 @@ func run() int {
 		return 1
 	}
 	fmt.Print(experiments.FormatTable1(rows))
+
+	if *jsonPath != "" {
+		out := benchFile{
+			Schema:  "livedev/rtt-bench/v1",
+			Command: "rtt-bench",
+			Calls:   *calls,
+			Payload: *payload,
+		}
+		for _, r := range rows {
+			out.Rows = append(out.Rows, benchRow{
+				Config:      r.Config,
+				PaperRTTMs:  float64(r.PaperRTT.Milliseconds()),
+				NsPerOp:     float64(r.Measured.Mean.Nanoseconds()),
+				P50Ns:       float64(r.Measured.P50.Nanoseconds()),
+				BytesPerOp:  r.BytesPerOp,
+				AllocsPerOp: r.AllocsPerOp,
+				N:           r.Measured.N,
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench: encoding json:", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench: writing json:", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 	return 0
 }

@@ -1,0 +1,3 @@
+module livedev
+
+go 1.24

@@ -1,0 +1,99 @@
+package cdr
+
+import (
+	"testing"
+
+	"livedev/internal/dyn"
+)
+
+// The hot-path allocation budgets pinned here are what the pooled
+// encoder/decoder lifecycle buys; a regression that reintroduces per-call
+// allocations fails these tests rather than silently eroding Table 1.
+
+func TestAllocs_EncodeDecodeRoundTrip(t *testing.T) {
+	v := dyn.StringValue("allocation-budget-payload-0123456789")
+
+	// Pooled encode: zero allocations once the pool is warm.
+	warm := GetEncoder(BigEndian)
+	if err := EncodeValue(warm, v); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), warm.Bytes()...)
+	PutEncoder(warm)
+
+	encAllocs := testing.AllocsPerRun(200, func() {
+		e := GetEncoder(BigEndian)
+		if err := EncodeValue(e, v); err != nil {
+			t.Fatal(err)
+		}
+		PutEncoder(e)
+	})
+	if encAllocs > 0 {
+		t.Errorf("pooled CDR encode allocates %.1f objects/op, budget is 0", encAllocs)
+	}
+
+	// Reused decoder, zero-copy reads over a caller-owned buffer: zero
+	// allocations.
+	var d Decoder
+	decAllocs := testing.AllocsPerRun(200, func() {
+		d.Reset(raw, BigEndian)
+		d.SetZeroCopy(true)
+		if _, err := DecodeValue(&d, dyn.StringT); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAllocs > 0 {
+		t.Errorf("zero-copy CDR decode allocates %.1f objects/op, budget is 0", decAllocs)
+	}
+
+	// Copying decode (the default used when values outlive the message
+	// buffer): exactly the one string copy.
+	copyAllocs := testing.AllocsPerRun(200, func() {
+		d.Reset(raw, BigEndian)
+		if _, err := DecodeValue(&d, dyn.StringT); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if copyAllocs > 1 {
+		t.Errorf("copying CDR decode allocates %.1f objects/op, budget is 1", copyAllocs)
+	}
+}
+
+// TestZeroCopyReadsAliasBuffer pins the documented sub-slice semantics: Ref
+// reads return views of the message buffer, plain reads return copies.
+func TestZeroCopyReadsAliasBuffer(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteOctetSeq([]byte{1, 2, 3})
+	e.WriteString("view")
+	buf := e.Bytes()
+
+	d := NewDecoder(buf, BigEndian)
+	seq, err := d.ReadOctetSeqRef()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq[0] = 9
+	d2 := NewDecoder(buf, BigEndian)
+	copied, err := d2.ReadOctetSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copied[0] != 9 {
+		t.Error("ReadOctetSeqRef should alias the buffer")
+	}
+	copied[0] = 7
+	d3 := NewDecoder(buf, BigEndian)
+	again, err := d3.ReadOctetSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != 9 {
+		t.Error("ReadOctetSeq should copy, not alias")
+	}
+
+	d3.SetZeroCopy(true)
+	s, err := d3.ReadString()
+	if err != nil || s != "view" {
+		t.Fatalf("zero-copy string = %q, %v", s, err)
+	}
+}

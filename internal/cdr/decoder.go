@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // ErrTruncated reports a read past the end of the CDR stream.
@@ -14,16 +15,40 @@ var ErrBadString = errors.New("cdr: malformed string")
 
 // Decoder reads values from a CDR stream produced by an Encoder (or by any
 // compliant ORB). Alignment is relative to the start of the stream.
+//
+// Copy discipline: the plain Read* methods return values that do not alias
+// the stream (strings and octet sequences are copied), so they stay valid
+// after the message buffer is recycled. The *Ref variants and zero-copy
+// mode (SetZeroCopy) return sub-slices of — or string views over — the
+// message buffer; they are valid only while the caller keeps that buffer
+// alive and unmodified, and must never be used together with pooled
+// message bodies that outlive the returned values.
 type Decoder struct {
-	buf   []byte
-	pos   int
-	order ByteOrder
+	buf      []byte
+	pos      int
+	order    ByteOrder
+	zeroCopy bool
 }
 
 // NewDecoder returns a decoder over buf using the given byte order.
 func NewDecoder(buf []byte, order ByteOrder) *Decoder {
 	return &Decoder{buf: buf, order: order}
 }
+
+// Reset re-points the decoder at a new stream, so a stack- or
+// struct-embedded Decoder value can be reused without allocating. Zero-copy
+// mode is cleared.
+func (d *Decoder) Reset(buf []byte, order ByteOrder) {
+	d.buf = buf
+	d.pos = 0
+	d.order = order
+	d.zeroCopy = false
+}
+
+// SetZeroCopy switches the string/octet-sequence reads to return views of
+// the underlying buffer instead of copies. Enable only when the caller owns
+// the message buffer for at least as long as the decoded values live.
+func (d *Decoder) SetZeroCopy(on bool) { d.zeroCopy = on }
 
 // NewEncapsulationDecoder interprets buf as an encapsulation: the first
 // octet is the byte-order flag, and alignment restarts after... at position
@@ -78,8 +103,11 @@ func (d *Decoder) ReadOctet() (byte, error) {
 	return b, nil
 }
 
-// ReadOctets reads n raw octets (copied).
+// ReadOctets reads n raw octets (copied, unless zero-copy mode is on).
 func (d *Decoder) ReadOctets(n int) ([]byte, error) {
+	if d.zeroCopy {
+		return d.ReadOctetsRef(n)
+	}
 	if n < 0 {
 		return nil, fmt.Errorf("cdr: negative octet count %d", n)
 	}
@@ -88,6 +116,20 @@ func (d *Decoder) ReadOctets(n int) ([]byte, error) {
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.pos:])
+	d.pos += n
+	return out, nil
+}
+
+// ReadOctetsRef reads n raw octets as a sub-slice of the message buffer —
+// no copy. The slice is valid only while the buffer is alive and unmodified.
+func (d *Decoder) ReadOctetsRef(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("cdr: negative octet count %d", n)
+	}
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	out := d.buf[d.pos : d.pos+n : d.pos+n]
 	d.pos += n
 	return out, nil
 }
@@ -167,7 +209,9 @@ func (d *Decoder) ReadDouble() (float64, error) {
 	return math.Float64frombits(v), err
 }
 
-// ReadString reads a CDR string (length includes the trailing NUL).
+// ReadString reads a CDR string (length includes the trailing NUL). The
+// returned string is a copy unless zero-copy mode is on, in which case it
+// is a view over the message buffer (see SetZeroCopy).
 func (d *Decoder) ReadString() (string, error) {
 	n, err := d.ReadULong()
 	if err != nil {
@@ -184,14 +228,31 @@ func (d *Decoder) ReadString() (string, error) {
 	if raw[len(raw)-1] != 0 {
 		return "", fmt.Errorf("%w: missing terminating NUL", ErrBadString)
 	}
-	return string(raw[:len(raw)-1]), nil
+	raw = raw[:len(raw)-1]
+	if d.zeroCopy {
+		if len(raw) == 0 {
+			return "", nil
+		}
+		return unsafe.String(&raw[0], len(raw)), nil
+	}
+	return string(raw), nil
 }
 
-// ReadOctetSeq reads sequence<octet>.
+// ReadOctetSeq reads sequence<octet> (copied, unless zero-copy mode is on).
 func (d *Decoder) ReadOctetSeq() ([]byte, error) {
 	n, err := d.ReadULong()
 	if err != nil {
 		return nil, err
 	}
 	return d.ReadOctets(int(n))
+}
+
+// ReadOctetSeqRef reads sequence<octet> as a sub-slice of the message
+// buffer — no copy, same validity rules as ReadOctetsRef.
+func (d *Decoder) ReadOctetSeqRef() ([]byte, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	return d.ReadOctetsRef(int(n))
 }

@@ -4,12 +4,31 @@
 // the start of the stream), strings with trailing NUL, sequences, structs,
 // and nested encapsulations (used by IORs and tagged profiles). Value-level
 // marshalling for the dyn type system lives in value.go.
+//
+// # Pooling and buffer-ownership invariants
+//
+// The invocation hot path reuses encoders through GetEncoder/PutEncoder.
+// The rules are:
+//
+//   - A pooled Encoder is owned exclusively by the goroutine that called
+//     GetEncoder until it is handed back with PutEncoder.
+//   - Bytes() aliases the encoder's internal buffer. Once PutEncoder is
+//     called, every slice previously obtained from Bytes() is invalid: the
+//     buffer will be overwritten by an unrelated message. Callers must
+//     either finish writing/copying the bytes before PutEncoder, or skip
+//     PutEncoder and let the encoder be garbage-collected.
+//   - PutEncoder must be called at most once per GetEncoder.
+//
+// Decoder sub-slice ("Ref") reads return views into the message buffer the
+// decoder was constructed over; they are valid only for as long as the
+// caller keeps that buffer alive and unmodified (see decoder.go).
 package cdr
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ByteOrder selects the encoding endianness. CDR tags messages and
@@ -28,6 +47,10 @@ func (o ByteOrder) order() binary.ByteOrder {
 	}
 	return binary.BigEndian
 }
+
+// Binary returns the encoding/binary byte order corresponding to the flag,
+// for callers (like the GIOP framer) that marshal fields directly.
+func (o ByteOrder) Binary() binary.ByteOrder { return o.order() }
 
 func (o ByteOrder) appendOrder() binary.AppendByteOrder {
 	if o == LittleEndian {
@@ -58,6 +81,58 @@ func NewEncoder(order ByteOrder) *Encoder {
 	return &Encoder{order: order}
 }
 
+// NewEncoderSize returns an encoder whose buffer is pre-grown to hold
+// sizeHint octets without reallocating.
+func NewEncoderSize(order ByteOrder, sizeHint int) *Encoder {
+	e := &Encoder{order: order}
+	e.Grow(sizeHint)
+	return e
+}
+
+// encoderPool recycles encoders (and, transitively, their grown buffers)
+// across messages. See the package comment for the ownership rules.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled encoder reset to the given byte order. The
+// buffer retains the capacity it grew to in previous uses, so steady-state
+// message encoding does not allocate.
+func GetEncoder(order ByteOrder) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.order = order
+	e.buf = e.buf[:0]
+	return e
+}
+
+// PutEncoder returns an encoder obtained from GetEncoder to the pool.
+// All slices obtained from e.Bytes() become invalid.
+func PutEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil // don't let one huge message pin memory in the pool
+	}
+	encoderPool.Put(e)
+}
+
+// maxPooledBuf bounds the buffer capacity kept alive by pooled encoders
+// and message-body pools.
+const maxPooledBuf = 1 << 20
+
+// Reset truncates the stream to empty, keeping the buffer capacity and
+// byte order, so the encoder can be reused for another message.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Grow ensures the buffer can hold n more octets without reallocating.
+func (e *Encoder) Grow(n int) {
+	if n <= cap(e.buf)-len(e.buf) {
+		return
+	}
+	grown := make([]byte, len(e.buf), len(e.buf)+n)
+	copy(grown, e.buf)
+	e.buf = grown
+}
+
 // Order returns the encoder's byte order.
 func (e *Encoder) Order() ByteOrder { return e.order }
 
@@ -68,11 +143,14 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the current stream length in octets.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// zeroPad provides alignment padding octets (CDR aligns to at most 8).
+var zeroPad [8]byte
+
 // align pads the stream with zero octets so the next write lands on a
 // multiple of n (n in {1,2,4,8}).
 func (e *Encoder) align(n int) {
-	for len(e.buf)%n != 0 {
-		e.buf = append(e.buf, 0)
+	if pad := len(e.buf) % n; pad != 0 {
+		e.buf = append(e.buf, zeroPad[:n-pad]...)
 	}
 }
 

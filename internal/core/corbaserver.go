@@ -41,12 +41,20 @@ func newCORBAServer(m *Manager, class *dyn.Class) (*CORBAServer, error) {
 	}
 	s.target = &corbaTarget{class: class}
 
+	// Generated IDL text is cached by interface hash, mirroring the WSDL
+	// path: republication of a previously seen interface skips generation.
+	docs := newDocCache()
 	publish := func(desc dyn.InterfaceDescriptor) error {
-		doc, err := idl.Generate(desc)
-		if err != nil {
-			return err
+		text, ok := docs.get(desc.Hash())
+		if !ok {
+			doc, err := idl.Generate(desc)
+			if err != nil {
+				return err
+			}
+			text = idl.Print(doc)
+			docs.put(desc.Hash(), text)
 		}
-		m.iface.PublishVersioned(s.idlPath, "text/plain", idl.Print(doc), desc.Version)
+		m.iface.PublishVersioned(s.idlPath, "text/plain", text, desc.Version)
 		return nil
 	}
 	s.pub = NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)

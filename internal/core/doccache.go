@@ -1,0 +1,50 @@
+package core
+
+import "sync"
+
+// docCache memoizes generated interface documents (WSDL or CORBA-IDL text)
+// keyed by the interface descriptor hash that produced them. The DL
+// Publisher regenerates a document every time it publishes; when the
+// developer's edits oscillate (rename A→B→A, undo/redo) or a forced
+// publication races a timer publication, the same interface is generated
+// repeatedly. Caching by hash makes republication of a previously seen
+// interface a map lookup instead of a full generator + serializer run.
+//
+// The cache is bounded: a small FIFO window of recent interfaces is all the
+// oscillation patterns need, and it keeps an edit-heavy session from
+// accumulating every interface it ever had.
+type docCache struct {
+	mu      sync.Mutex
+	entries map[string]string
+	order   []string // insertion order, for FIFO eviction
+	limit   int
+}
+
+// docCacheLimit is the number of distinct interface versions remembered per
+// managed server class.
+const docCacheLimit = 16
+
+func newDocCache() *docCache {
+	return &docCache{entries: make(map[string]string), limit: docCacheLimit}
+}
+
+func (c *docCache) get(hash string) (string, bool) {
+	c.mu.Lock()
+	doc, ok := c.entries[hash]
+	c.mu.Unlock()
+	return doc, ok
+}
+
+func (c *docCache) put(hash, doc string) {
+	c.mu.Lock()
+	if _, dup := c.entries[hash]; !dup {
+		if len(c.order) >= c.limit {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.entries[hash] = doc
+		c.order = append(c.order, hash)
+	}
+	c.mu.Unlock()
+}

@@ -42,11 +42,19 @@ func newSOAPServer(m *Manager, class *dyn.Class) (*SOAPServer, error) {
 	s.endpoint = m.SOAPBaseURL() + s.path
 	s.handler = newSOAPCallHandler(class, "urn:"+class.Name(), nil)
 
+	// Generated WSDL text is cached by interface hash: republication of an
+	// interface the class has had before (undo/redo, A→B→A edit cycles,
+	// forced publication racing the timer) skips the generator entirely.
+	docs := newDocCache()
 	publish := func(desc dyn.InterfaceDescriptor) error {
-		doc := wsdl.Generate(desc, s.endpoint)
-		text, err := doc.XML()
-		if err != nil {
-			return err
+		text, ok := docs.get(desc.Hash())
+		if !ok {
+			doc := wsdl.Generate(desc, s.endpoint)
+			var err error
+			if text, err = doc.XML(); err != nil {
+				return err
+			}
+			docs.put(desc.Hash(), text)
 		}
 		m.iface.PublishVersioned(s.wsdlPath, "text/xml", text, desc.Version)
 		return nil

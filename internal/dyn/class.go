@@ -3,6 +3,7 @@ package dyn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // MemberID identifies a method or field across renames and signature edits,
@@ -73,8 +74,21 @@ type Listener func(ChangeEvent)
 // Class is a dynamic class: a named, mutable collection of methods and
 // fields. All operations are safe for concurrent use. The zero value is not
 // usable; construct with NewClass.
+//
+// Dispatch concurrency model: edits serialize on c.mu, but the call path is
+// lock-free. Every committed edit rebuilds an immutable dispatch table
+// (name → method snapshot) and swaps it in atomically before the editing
+// call returns, so a call that starts after an edit returns is guaranteed
+// to see the edit — the paper's "edits take effect immediately" semantics —
+// while calls themselves take no mutex and do no linear scan.
 type Class struct {
 	name string
+
+	// dispatch is the copy-on-write method table read by Instance.Invoke.
+	dispatch atomic.Pointer[dispatchTable]
+	// ifaceCache is the current distributed-interface descriptor, rebuilt
+	// on every committed edit so per-call interface lookups are free.
+	ifaceCache atomic.Pointer[InterfaceDescriptor]
 
 	mu        sync.RWMutex
 	methods   []*method
@@ -90,6 +104,49 @@ type Class struct {
 	nextLis   int
 }
 
+// methodView is an immutable snapshot of one method, published in the
+// dispatch table. The params slice is never mutated after publication
+// (edits replace the whole record), so readers may alias it freely.
+type methodView struct {
+	id          MemberID
+	name        string
+	params      []Param
+	result      *Type
+	body        Body
+	distributed bool
+}
+
+// dispatchTable is the immutable name → method index swapped in whole on
+// every committed edit.
+type dispatchTable struct {
+	byName map[string]*methodView
+}
+
+var emptyDispatch = &dispatchTable{byName: map[string]*methodView{}}
+
+// rebuildDispatchLocked publishes a fresh dispatch table reflecting the
+// current method set. Caller holds c.mu.
+func (c *Class) rebuildDispatchLocked() {
+	if len(c.methods) == 0 {
+		c.dispatch.Store(emptyDispatch)
+		return
+	}
+	t := &dispatchTable{byName: make(map[string]*methodView, len(c.methods))}
+	for _, m := range c.methods {
+		// m.params is replaced wholesale by edits, never mutated in
+		// place, so the view can alias it.
+		t.byName[m.name] = &methodView{
+			id:          m.id,
+			name:        m.name,
+			params:      m.params,
+			result:      m.result,
+			body:        m.body,
+			distributed: m.distributed,
+		}
+	}
+	c.dispatch.Store(t)
+}
+
 // NewClass creates an empty dynamic class with the given name.
 func NewClass(name string) *Class {
 	c := &Class{
@@ -98,7 +155,10 @@ func NewClass(name string) *Class {
 		listeners: make(map[int]Listener),
 	}
 	c.history = newHistory(c)
-	c.ifaceHash = c.interfaceHashLocked()
+	c.dispatch.Store(emptyDispatch)
+	desc := c.interfaceLocked()
+	c.ifaceHash = desc.hash
+	c.ifaceCache.Store(&desc)
 	return c
 }
 
@@ -164,18 +224,24 @@ func (c *Class) notify(ev ChangeEvent) {
 }
 
 // commit finalizes an edit made while holding c.mu: bumps counters,
-// recomputes the interface hash, releases the lock, records the step on the
-// history stack (unless replaying), and notifies listeners.
+// recomputes the interface descriptor, swaps in the new dispatch table and
+// descriptor cache, releases the lock, records the step on the history
+// stack (unless replaying), and notifies listeners.
 //
-// The mutex must be held on entry; commit releases it.
+// The mutex must be held on entry; commit releases it. The dispatch table
+// and descriptor are published before the lock is released, so the edit is
+// visible to the lock-free call path before the editing call returns.
 func (c *Class) commit(op string, step *step, recording bool) ChangeEvent {
 	c.seq++
-	newHash := c.interfaceHashLocked()
-	affecting := newHash != c.ifaceHash
+	desc := c.interfaceLocked()
+	affecting := desc.hash != c.ifaceHash
 	if affecting {
-		c.ifaceHash = newHash
+		c.ifaceHash = desc.hash
 		c.ifaceVer++
 	}
+	desc.Version = c.ifaceVer
+	c.ifaceCache.Store(&desc)
+	c.rebuildDispatchLocked()
 	ev := ChangeEvent{
 		Class:              c,
 		Seq:                c.seq,
@@ -555,12 +621,11 @@ func (c *Class) removeField(id MemberID, recording bool) error {
 	return nil
 }
 
-// MethodIDByName returns the member ID of the named method.
+// MethodIDByName returns the member ID of the named method. It reads the
+// lock-free dispatch table, so it is safe on the call path.
 func (c *Class) MethodIDByName(name string) (MemberID, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	m := c.methodByNameLocked(name)
-	if m == nil {
+	m, ok := c.dispatch.Load().byName[name]
+	if !ok {
 		return 0, false
 	}
 	return m.id, true

@@ -57,10 +57,19 @@ type InterfaceDescriptor struct {
 	Methods   []MethodSig
 	Structs   []*Type
 	hash      string
+	// byName indexes Methods for O(1) Lookup; nil on hand-built
+	// descriptors (Lookup then falls back to the linear scan).
+	byName map[string]int
 }
 
-// Interface snapshots the class's current distributed interface.
+// Interface snapshots the class's current distributed interface. The
+// descriptor is rebuilt once per committed edit and cached, so this is a
+// single atomic load on the call path — handlers can consult the live
+// interface per request without paying for descriptor construction.
 func (c *Class) Interface() InterfaceDescriptor {
+	if d := c.ifaceCache.Load(); d != nil {
+		return *d
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.interfaceLocked()
@@ -89,14 +98,14 @@ func (c *Class) interfaceLocked() InterfaceDescriptor {
 	for _, n := range SortedStructNames(structs) {
 		d.Structs = append(d.Structs, structs[n])
 	}
+	if len(d.Methods) > 0 {
+		d.byName = make(map[string]int, len(d.Methods))
+		for i, m := range d.Methods {
+			d.byName[m.Name] = i
+		}
+	}
 	d.hash = d.computeHash()
 	return d
-}
-
-// interfaceHashLocked computes the hash of the current distributed
-// interface without building the full descriptor's sorted struct list.
-func (c *Class) interfaceHashLocked() string {
-	return c.interfaceLocked().hash
 }
 
 // Hash returns a deterministic digest of the descriptor. Two descriptors
@@ -127,6 +136,13 @@ func (d InterfaceDescriptor) computeHash() string {
 
 // Lookup returns the signature of the named method, if present.
 func (d InterfaceDescriptor) Lookup(name string) (MethodSig, bool) {
+	if d.byName != nil {
+		i, ok := d.byName[name]
+		if !ok {
+			return MethodSig{}, false
+		}
+		return d.Methods[i], true
+	}
 	for _, m := range d.Methods {
 		if m.Name == name {
 			return m, true

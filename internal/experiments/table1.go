@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +30,13 @@ type Table1Row struct {
 	PaperRTT time.Duration
 	// Measured summarizes our measured round trips.
 	Measured workload.RTTStats
+	// AllocsPerOp is the mean number of heap allocations per call,
+	// measured process-wide across the measurement rounds — client and
+	// in-process server side together, the full invocation pipeline.
+	AllocsPerOp float64
+	// BytesPerOp is the mean number of heap bytes allocated per call,
+	// measured the same way.
+	BytesPerOp float64
 }
 
 // Table1Config parameterizes the RTT experiment.
@@ -243,26 +251,45 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		}
 	}
 
-	// Interleaved measurement rounds.
+	// Interleaved measurement rounds. Heap-allocation deltas are sampled
+	// around each round: all four stacks run in this process, but only the
+	// configuration under measurement is exercising its client and server,
+	// so the process-wide delta attributes to it (modulo background noise,
+	// amortized by the interleaving).
 	const rounds = 10
 	perRound := cfg.Calls / rounds
 	if perRound == 0 {
 		perRound = 1
 	}
 	samples := make([][]time.Duration, len(setups))
+	mallocs := make([]uint64, len(setups))
+	allocBytes := make([]uint64, len(setups))
+	var ms runtime.MemStats
 	for r := 0; r < rounds; r++ {
 		for i, s := range setups {
+			runtime.ReadMemStats(&ms)
+			m0, b0 := ms.Mallocs, ms.TotalAlloc
 			part, err := workload.MeasureRTT(perRound, s.call)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", s.name, err)
 			}
+			runtime.ReadMemStats(&ms)
+			mallocs[i] += ms.Mallocs - m0
+			allocBytes[i] += ms.TotalAlloc - b0
 			samples[i] = append(samples[i], part...)
 		}
 	}
 
 	rows := make([]Table1Row, len(setups))
 	for i, s := range setups {
-		rows[i] = Table1Row{Config: s.name, PaperRTT: s.paperRTT, Measured: workload.Summarize(samples[i])}
+		n := float64(len(samples[i]))
+		rows[i] = Table1Row{
+			Config:      s.name,
+			PaperRTT:    s.paperRTT,
+			Measured:    workload.Summarize(samples[i]),
+			AllocsPerOp: float64(mallocs[i]) / n,
+			BytesPerOp:  float64(allocBytes[i]) / n,
+		}
 	}
 	return rows, nil
 }
@@ -272,15 +299,17 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 const warmupCalls = 20
 
 // FormatTable1 renders rows the way the paper prints Table 1, plus the
-// measured numbers and overhead ratios.
+// measured numbers, allocation profile, and overhead ratios.
 func FormatTable1(rows []Table1Row) string {
 	var b strings.Builder
 	b.WriteString("Table 1: RTT times for client-server communication\n")
-	fmt.Fprintf(&b, "%-22s %12s %14s %14s %10s\n", "Server/Client", "paper RTT", "measured mean", "measured p50", "n")
+	fmt.Fprintf(&b, "%-22s %12s %14s %14s %10s %12s %10s\n",
+		"Server/Client", "paper RTT", "measured mean", "measured p50", "n", "allocs/op", "B/op")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-22s %12s %14s %14s %10d\n",
+		fmt.Fprintf(&b, "%-22s %12s %14s %14s %10d %12.1f %10.0f\n",
 			r.Config, r.PaperRTT, r.Measured.Mean.Round(time.Microsecond),
-			r.Measured.P50.Round(time.Microsecond), r.Measured.N)
+			r.Measured.P50.Round(time.Microsecond), r.Measured.N,
+			r.AllocsPerOp, r.BytesPerOp)
 	}
 	if len(rows) == 4 {
 		soapOverhead := float64(rows[0].Measured.Mean) / float64(rows[1].Measured.Mean)

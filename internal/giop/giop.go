@@ -5,12 +5,30 @@
 // and unmarshals the header, the Request and Reply message headers, and
 // system-exception reply bodies; argument and result values are encoded by
 // the caller with package cdr against the interface's signatures.
+//
+// # Pooling and buffer-ownership invariants
+//
+// The hot path avoids per-message allocations in three places:
+//
+//   - WriteMessage assembles header + body in one pooled frame buffer and
+//     issues a single Write; the frame returns to the pool before
+//     WriteMessage returns, so callers never see it.
+//   - ReadMessagePooled reads the body into a pooled buffer. The returned
+//     Message owns that buffer until Recycle is called; after Recycle, the
+//     Body slice — and anything aliasing it, such as decoder sub-slice
+//     reads or the RequestHeader produced by DecodeRequest — is invalid.
+//   - EncodeRequest/EncodeReply encode into a pooled cdr.Encoder whose
+//     buffer the returned Message aliases; Recycle hands the encoder back.
+//
+// Recycle is optional (an unrecycled message is simply garbage-collected)
+// and must be called at most once, only after every alias of Body is dead.
 package giop
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"livedev/internal/cdr"
 )
@@ -106,30 +124,105 @@ type Message struct {
 	Type  MsgType
 	Order cdr.ByteOrder
 	Body  []byte
+
+	// Provenance of Body, for Recycle. Zero means Body is caller-owned
+	// (or nil) and Recycle is a no-op.
+	src messageSource
+	enc *cdr.Encoder // set when src == srcEncoder
 }
 
-// WriteMessage frames and writes a GIOP message.
+type messageSource uint8
+
+const (
+	srcCallerOwned messageSource = iota
+	srcBodyPool                  // Body came from the internal body pool
+	srcEncoder                   // Body aliases enc's buffer
+)
+
+// Recycle returns the message's body storage to its pool. It must be called
+// at most once, and only once nothing aliases Body anymore (decoders,
+// sub-slice reads, decoded headers). Calling it on a caller-owned message
+// is a no-op, so generic cleanup paths can call it unconditionally.
+func (m *Message) Recycle() {
+	switch m.src {
+	case srcBodyPool:
+		putBody(m.Body)
+	case srcEncoder:
+		cdr.PutEncoder(m.enc)
+	}
+	m.src = srcCallerOwned
+	m.enc = nil
+	m.Body = nil
+}
+
+// Disown detaches the message's body from its pool: Recycle becomes a
+// no-op and the Body slice is safe to retain indefinitely (it will simply
+// be garbage-collected). Used when a pooled message escapes to a caller
+// whose lifetime the transport cannot see.
+func (m *Message) Disown() {
+	m.src = srcCallerOwned
+	m.enc = nil
+}
+
+// framePool recycles the combined header+body write buffers.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// bodyPool recycles message-body buffers filled by ReadMessagePooled.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// maxPooledBuf bounds buffer capacity retained by the pools.
+const maxPooledBuf = 1 << 20
+
+func putBody(b []byte) {
+	if b == nil || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bodyPool.Put(&b)
+}
+
+// giopPrefix is the constant first six octets of every GIOP 1.0 header.
+var giopPrefix = [6]byte{'G', 'I', 'O', 'P', 1, 0}
+
+// WriteMessage frames and writes a GIOP message: header and body leave in a
+// single Write call (one syscall on a net.Conn), assembled in a pooled
+// frame buffer that never escapes.
 func WriteMessage(w io.Writer, m Message) error {
 	if len(m.Body) > MaxMessageSize {
 		return fmt.Errorf("%w: %d octets", ErrTooLarge, len(m.Body))
 	}
-	hdr := make([]byte, 0, headerLen+len(m.Body))
-	hdr = append(hdr, magic[:]...)
-	hdr = append(hdr, 1, 0) // GIOP 1.0
-	hdr = append(hdr, byte(m.Order))
-	hdr = append(hdr, byte(m.Type))
-	he := cdr.NewEncoder(m.Order)
-	he.WriteULong(uint32(len(m.Body)))
-	hdr = append(hdr, he.Bytes()...)
-	hdr = append(hdr, m.Body...)
-	if _, err := w.Write(hdr); err != nil {
+	fp := framePool.Get().(*[]byte)
+	frame := (*fp)[:0]
+	frame = append(frame, giopPrefix[:]...)
+	frame = append(frame, byte(m.Order), byte(m.Type))
+	frame = append(frame, 0, 0, 0, 0)
+	m.Order.Binary().PutUint32(frame[len(frame)-4:], uint32(len(m.Body)))
+	frame = append(frame, m.Body...)
+	_, err := w.Write(frame)
+	if cap(frame) <= maxPooledBuf {
+		*fp = frame
+		framePool.Put(fp)
+	}
+	if err != nil {
 		return fmt.Errorf("giop: writing message: %w", err)
 	}
 	return nil
 }
 
-// ReadMessage reads one framed GIOP message.
+// ReadMessage reads one framed GIOP message into a freshly allocated body
+// the caller owns outright.
 func ReadMessage(r io.Reader) (Message, error) {
+	return readMessage(r, false)
+}
+
+// ReadMessagePooled reads one framed GIOP message into a pooled body
+// buffer. The caller must call Recycle on the returned message once nothing
+// references its Body (see the package comment).
+func ReadMessagePooled(r io.Reader) (Message, error) {
+	return readMessage(r, true)
+}
+
+func readMessage(r io.Reader, pooled bool) (Message, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -153,24 +246,40 @@ func ReadMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("giop: invalid byte-order flag %d", hdr[6])
 	}
 	msgType := MsgType(hdr[7])
-	sd := cdr.NewDecoder(hdr[8:12], order)
-	size, err := sd.ReadULong()
-	if err != nil {
-		return Message{}, fmt.Errorf("giop: reading size: %w", err)
-	}
+	size := order.Binary().Uint32(hdr[8:12])
 	if size > MaxMessageSize {
 		return Message{}, fmt.Errorf("%w: %d octets", ErrTooLarge, size)
 	}
-	body := make([]byte, size)
+	var body []byte
+	src := srcCallerOwned
+	if pooled {
+		bp := bodyPool.Get().(*[]byte)
+		if cap(*bp) >= int(size) {
+			body = (*bp)[:size]
+		} else {
+			bodyPool.Put(bp)
+			body = make([]byte, size)
+		}
+		src = srcBodyPool
+	} else {
+		body = make([]byte, size)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		if src == srcBodyPool {
+			putBody(body)
+		}
 		return Message{}, fmt.Errorf("giop: reading body: %w", err)
 	}
-	return Message{Type: msgType, Order: order, Body: body}, nil
+	return Message{Type: msgType, Order: order, Body: body, src: src}, nil
 }
 
 // RequestHeader is the GIOP 1.0 request header. ServiceContext is omitted
 // from the struct (we always emit an empty sequence) because the SDE/CDE
 // protocol carries its metadata in reply bodies instead.
+//
+// When produced by DecodeRequest, ObjectKey and Principal are sub-slices of
+// the message body: they are valid only until the message is recycled and
+// must not be retained or mutated by handlers.
 type RequestHeader struct {
 	RequestID        uint32
 	ResponseExpected bool
@@ -181,8 +290,10 @@ type RequestHeader struct {
 
 // EncodeRequest builds a Request message: header followed by the
 // already-encoded argument body produced by enc (may be nil for no args).
+// The returned message's body lives in a pooled encoder; call Recycle once
+// it has been written (see the package comment).
 func EncodeRequest(order cdr.ByteOrder, h RequestHeader, args func(*cdr.Encoder) error) (Message, error) {
-	e := cdr.NewEncoder(order)
+	e := cdr.GetEncoder(order)
 	e.WriteULong(0) // empty service context list
 	e.WriteULong(h.RequestID)
 	e.WriteBool(h.ResponseExpected)
@@ -191,10 +302,11 @@ func EncodeRequest(order cdr.ByteOrder, h RequestHeader, args func(*cdr.Encoder)
 	e.WriteOctetSeq(h.Principal)
 	if args != nil {
 		if err := args(e); err != nil {
+			cdr.PutEncoder(e)
 			return Message{}, fmt.Errorf("giop: encoding request args: %w", err)
 		}
 	}
-	return Message{Type: MsgRequest, Order: order, Body: e.Bytes()}, nil
+	return Message{Type: MsgRequest, Order: order, Body: e.Bytes(), src: srcEncoder, enc: e}, nil
 }
 
 // DecodeRequest parses a Request body, returning the header and a decoder
@@ -223,13 +335,15 @@ func DecodeRequest(m Message) (RequestHeader, *cdr.Decoder, error) {
 	if h.ResponseExpected, err = d.ReadBool(); err != nil {
 		return RequestHeader{}, nil, fmt.Errorf("giop: response_expected: %w", err)
 	}
-	if h.ObjectKey, err = d.ReadOctetSeq(); err != nil {
+	// ObjectKey and Principal are transient routing metadata: sub-slice
+	// reads avoid two copies per request (see RequestHeader's doc comment).
+	if h.ObjectKey, err = d.ReadOctetSeqRef(); err != nil {
 		return RequestHeader{}, nil, fmt.Errorf("giop: object key: %w", err)
 	}
 	if h.Operation, err = d.ReadString(); err != nil {
 		return RequestHeader{}, nil, fmt.Errorf("giop: operation: %w", err)
 	}
-	if h.Principal, err = d.ReadOctetSeq(); err != nil {
+	if h.Principal, err = d.ReadOctetSeqRef(); err != nil {
 		return RequestHeader{}, nil, fmt.Errorf("giop: principal: %w", err)
 	}
 	return h, d, nil
@@ -242,18 +356,21 @@ type ReplyHeader struct {
 }
 
 // EncodeReply builds a Reply message with a body produced by result (may be
-// nil for void results or when the status carries no body).
+// nil for void results or when the status carries no body). The returned
+// message's body lives in a pooled encoder; call Recycle once it has been
+// written (see the package comment).
 func EncodeReply(order cdr.ByteOrder, h ReplyHeader, result func(*cdr.Encoder) error) (Message, error) {
-	e := cdr.NewEncoder(order)
+	e := cdr.GetEncoder(order)
 	e.WriteULong(0) // empty service context list
 	e.WriteULong(h.RequestID)
 	e.WriteULong(uint32(h.Status))
 	if result != nil {
 		if err := result(e); err != nil {
+			cdr.PutEncoder(e)
 			return Message{}, fmt.Errorf("giop: encoding reply body: %w", err)
 		}
 	}
-	return Message{Type: MsgReply, Order: order, Body: e.Bytes()}, nil
+	return Message{Type: MsgReply, Order: order, Body: e.Bytes(), src: srcEncoder, enc: e}, nil
 }
 
 // DecodeReply parses a Reply body, returning the header and a decoder

@@ -14,6 +14,19 @@ import (
 // closed connection.
 var ErrConnClosed = errors.New("iiop: connection closed")
 
+// callSlot is a pooled per-request rendezvous between Invoke and the read
+// loop. The channel carries exactly one message per registration: the
+// matching Reply, or a non-Reply sentinel meaning "connection failed, read
+// cn.readErr". Slots go back to the pool once that message is consumed, so
+// steady-state invocation allocates neither a channel nor a map of channels.
+type callSlot struct {
+	ch chan giop.Message
+}
+
+var slotPool = sync.Pool{
+	New: func() any { return &callSlot{ch: make(chan giop.Message, 1)} },
+}
+
 // Conn is a client-side IIOP connection. Concurrent Invoke calls are
 // multiplexed over the single TCP stream by GIOP request ID.
 type Conn struct {
@@ -23,7 +36,7 @@ type Conn struct {
 
 	mu      sync.Mutex
 	nextID  uint32
-	pending map[uint32]chan giop.Message
+	pending map[uint32]*callSlot
 	closed  bool
 	readErr error
 
@@ -39,7 +52,7 @@ func Dial(addr string) (*Conn, error) {
 	conn := &Conn{
 		c:          c,
 		nextID:     1,
-		pending:    make(map[uint32]chan giop.Message),
+		pending:    make(map[uint32]*callSlot),
 		readerDone: make(chan struct{}),
 	}
 	go conn.readLoop()
@@ -49,7 +62,7 @@ func Dial(addr string) (*Conn, error) {
 func (cn *Conn) readLoop() {
 	defer close(cn.readerDone)
 	for {
-		msg, err := giop.ReadMessage(cn.c)
+		msg, err := giop.ReadMessagePooled(cn.c)
 		if err != nil {
 			cn.failAll(fmt.Errorf("%w: %v", ErrConnClosed, err))
 			return
@@ -58,101 +71,190 @@ func (cn *Conn) readLoop() {
 		case giop.MsgReply:
 			hdr, _, err := giop.DecodeReply(msg)
 			if err != nil {
+				msg.Recycle()
 				cn.failAll(fmt.Errorf("iiop: undecodable reply: %w", err))
 				return
 			}
 			cn.mu.Lock()
-			ch, ok := cn.pending[hdr.RequestID]
+			slot, ok := cn.pending[hdr.RequestID]
 			if ok {
 				delete(cn.pending, hdr.RequestID)
 			}
 			cn.mu.Unlock()
 			if ok {
-				ch <- msg
+				slot.ch <- msg
+			} else {
+				msg.Recycle()
 			}
 		case giop.MsgCloseConnection:
+			msg.Recycle()
 			cn.failAll(ErrConnClosed)
 			return
 		case giop.MsgMessageError:
+			msg.Recycle()
 			cn.failAll(errors.New("iiop: peer reported message error"))
 			return
 		default:
 			// Ignore unexpected message types from the server.
+			msg.Recycle()
 		}
 	}
 }
 
-// failAll wakes every pending invoker with an error by closing their
-// channels after recording the error.
+// failSentinel is the non-Reply message failAll delivers to wake pending
+// invokers; on receiving it they consult cn.readErr.
+var failSentinel = giop.Message{Type: giop.MsgMessageError}
+
+// failAll wakes every pending invoker with an error by delivering the fail
+// sentinel after recording the error. Each slot's channel has space: a slot
+// receives at most one message per registration (reply routing removes it
+// from the map first).
 func (cn *Conn) failAll(err error) {
 	cn.mu.Lock()
 	if cn.readErr == nil {
 		cn.readErr = err
 	}
 	pending := cn.pending
-	cn.pending = make(map[uint32]chan giop.Message)
+	cn.pending = make(map[uint32]*callSlot)
 	cn.mu.Unlock()
-	for _, ch := range pending {
-		close(ch)
+	for _, slot := range pending {
+		slot.ch <- failSentinel
 	}
 }
 
-// Invoke sends a GIOP request for operation on objectKey, with arguments
-// encoded by args (may be nil), and waits for the matching reply. It
-// returns the reply header and a decoder positioned at the reply body.
-func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) (giop.ReplyHeader, *cdr.Decoder, error) {
+// register allocates a request ID and parks a pooled slot for its reply.
+func (cn *Conn) register() (uint32, *callSlot, error) {
+	slot := slotPool.Get().(*callSlot)
 	cn.mu.Lock()
 	if cn.closed {
 		cn.mu.Unlock()
-		return giop.ReplyHeader{}, nil, ErrConnClosed
+		slotPool.Put(slot)
+		return 0, nil, ErrConnClosed
 	}
 	if cn.readErr != nil {
 		err := cn.readErr
 		cn.mu.Unlock()
-		return giop.ReplyHeader{}, nil, err
+		slotPool.Put(slot)
+		return 0, nil, err
 	}
 	id := cn.nextID
 	cn.nextID++
-	ch := make(chan giop.Message, 1)
-	cn.pending[id] = ch
+	cn.pending[id] = slot
 	cn.mu.Unlock()
+	return id, slot, nil
+}
 
+// send encodes and writes the request message for an already-registered ID.
+func (cn *Conn) send(id uint32, objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) error {
+	// objectKey is encoded into the body before EncodeRequest returns, so
+	// no defensive copy is needed.
 	req, err := giop.EncodeRequest(order, giop.RequestHeader{
 		RequestID:        id,
 		ResponseExpected: true,
-		ObjectKey:        append([]byte(nil), objectKey...),
+		ObjectKey:        objectKey,
 		Operation:        operation,
 	}, args)
 	if err != nil {
-		cn.abandon(id)
-		return giop.ReplyHeader{}, nil, err
+		return err
 	}
-
 	cn.writeMu.Lock()
 	err = giop.WriteMessage(cn.c, req)
 	cn.writeMu.Unlock()
+	req.Recycle()
 	if err != nil {
-		cn.abandon(id)
-		return giop.ReplyHeader{}, nil, fmt.Errorf("iiop: sending request: %w", err)
+		return fmt.Errorf("iiop: sending request: %w", err)
 	}
+	return nil
+}
 
-	msg, ok := <-ch
-	if !ok {
+// await blocks until the slot delivers the reply (or the fail sentinel),
+// returning the slot to the pool when the message has been consumed is the
+// caller's job via recycleSlot.
+func (cn *Conn) await(slot *callSlot) (giop.Message, error) {
+	msg := <-slot.ch
+	if msg.Type != giop.MsgReply {
+		slotPool.Put(slot)
 		cn.mu.Lock()
 		err := cn.readErr
 		cn.mu.Unlock()
 		if err == nil {
 			err = ErrConnClosed
 		}
+		return giop.Message{}, err
+	}
+	slotPool.Put(slot)
+	return msg, nil
+}
+
+// Invoke sends a GIOP request for operation on objectKey, with arguments
+// encoded by args (may be nil), and waits for the matching reply. It
+// returns the reply header and a decoder positioned at the reply body. The
+// reply body is caller-owned (never recycled), so the decoder stays valid
+// indefinitely; latency-sensitive callers should prefer InvokeInto, which
+// recycles the body buffer.
+func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) (giop.ReplyHeader, *cdr.Decoder, error) {
+	id, slot, err := cn.register()
+	if err != nil {
 		return giop.ReplyHeader{}, nil, err
 	}
+	if err := cn.send(id, objectKey, operation, order, args); err != nil {
+		cn.abandon(id, slot)
+		return giop.ReplyHeader{}, nil, err
+	}
+	msg, err := cn.await(slot)
+	if err != nil {
+		return giop.ReplyHeader{}, nil, err
+	}
+	// Detach the body from the pool: the returned decoder outlives this
+	// call, so the buffer must not be reused under it.
+	msg.Disown()
 	return giop.DecodeReply(msg)
 }
 
-func (cn *Conn) abandon(id uint32) {
+// InvokeInto is Invoke with scoped reply ownership: reply is called with
+// the reply header and body decoder, and the pooled body buffer is recycled
+// as soon as reply returns. Values that must outlive the call have to be
+// copied inside reply (the plain cdr Read*/DecodeValue paths already copy).
+func (cn *Conn) InvokeInto(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error, reply func(giop.ReplyHeader, *cdr.Decoder) error) error {
+	id, slot, err := cn.register()
+	if err != nil {
+		return err
+	}
+	if err := cn.send(id, objectKey, operation, order, args); err != nil {
+		cn.abandon(id, slot)
+		return err
+	}
+	msg, err := cn.await(slot)
+	if err != nil {
+		return err
+	}
+	hdr, body, err := giop.DecodeReply(msg)
+	if err != nil {
+		msg.Recycle()
+		return err
+	}
+	err = reply(hdr, body)
+	msg.Recycle()
+	return err
+}
+
+// abandon unregisters a request that failed before (or instead of) waiting
+// for its reply. If the read loop already claimed the slot for delivery,
+// the message is guaranteed to arrive; consume it so the slot can be
+// pooled again.
+func (cn *Conn) abandon(id uint32, slot *callSlot) {
 	cn.mu.Lock()
-	delete(cn.pending, id)
+	_, present := cn.pending[id]
+	if present {
+		delete(cn.pending, id)
+	}
 	cn.mu.Unlock()
+	if !present {
+		// Reply or fail sentinel is in flight: drain it.
+		msg := <-slot.ch
+		msg.Recycle()
+	}
+	slotPool.Put(slot)
 }
 
 // Close tears down the connection and joins the read loop. In-flight

@@ -18,6 +18,11 @@ import (
 // Handler processes one GIOP request and returns the reply message. args is
 // positioned at the first argument octet. Implementations must be safe for
 // concurrent use.
+//
+// Buffer lifetime: the request header's ObjectKey/Principal slices and the
+// args decoder alias a pooled message buffer that is recycled after
+// HandleRequest returns and the reply is written. Handlers must not retain
+// them; decoded values (cdr.DecodeValue, Read* copies) are safe to keep.
 type Handler interface {
 	HandleRequest(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
 }
@@ -107,7 +112,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		msg, err := giop.ReadMessage(conn)
+		msg, err := giop.ReadMessagePooled(conn)
 		if err != nil {
 			return // EOF, protocol error, or connection closed
 		}
@@ -116,6 +121,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			hdr, args, err := giop.DecodeRequest(msg)
 			if err != nil {
 				// Unparseable request header: signal and drop the conn.
+				msg.Recycle()
 				writeMu.Lock()
 				_ = giop.WriteMessage(conn, giop.Message{Type: giop.MsgMessageError, Order: msg.Order})
 				writeMu.Unlock()
@@ -125,18 +131,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			go func() {
 				defer reqWG.Done()
 				reply := s.handler.HandleRequest(hdr, args, msg.Order)
+				// The handler is done with the request body (hdr and args
+				// alias it; decoded values are copies).
+				msg.Recycle()
 				if !hdr.ResponseExpected {
+					reply.Recycle()
 					return
 				}
 				writeMu.Lock()
-				defer writeMu.Unlock()
 				_ = giop.WriteMessage(conn, reply)
+				writeMu.Unlock()
+				reply.Recycle()
 			}()
 		case giop.MsgCloseConnection:
+			msg.Recycle()
 			return
 		default:
 			// LocateRequest etc. are not needed by the SDE; reply with
 			// MessageError per GIOP for unexpected types.
+			msg.Recycle()
 			writeMu.Lock()
 			_ = giop.WriteMessage(conn, giop.Message{Type: giop.MsgMessageError, Order: msg.Order})
 			writeMu.Unlock()

@@ -67,47 +67,54 @@ func (o *ClientORB) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, erro
 			return dyn.Value{}, fmt.Errorf("orb: %s parameter %s wants %s, got %s", sig.Name, p.Name, p.Type, args[i].Type())
 		}
 	}
-	hdr, body, err := o.conn.Invoke(o.objectKey, sig.Name, o.order, func(e *cdr.Encoder) error {
+	// InvokeInto scopes the reply body to the closure so the transport can
+	// recycle its buffer; everything extracted below (values, exception
+	// strings) is copied by the plain cdr read paths.
+	var result dyn.Value
+	err := o.conn.InvokeInto(o.objectKey, sig.Name, o.order, func(e *cdr.Encoder) error {
 		for _, a := range args {
 			if err := cdr.EncodeValue(e, a); err != nil {
 				return err
 			}
 		}
 		return nil
+	}, func(hdr giop.ReplyHeader, body *cdr.Decoder) error {
+		switch hdr.Status {
+		case giop.ReplyNoException:
+			v, err := cdr.DecodeValue(body, sig.Result)
+			if err != nil {
+				return fmt.Errorf("orb: decoding %s result: %w", sig.Name, err)
+			}
+			result = v
+			return nil
+		case giop.ReplyUserException:
+			repoID, err := body.ReadString()
+			if err != nil {
+				return fmt.Errorf("orb: decoding user exception: %w", err)
+			}
+			if repoID != AppErrorRepoID {
+				return fmt.Errorf("orb: unexpected user exception %s", repoID)
+			}
+			msg, err := body.ReadString()
+			if err != nil {
+				return fmt.Errorf("orb: decoding user exception message: %w", err)
+			}
+			return &AppError{Message: msg}
+		case giop.ReplySystemException:
+			se, err := giop.DecodeSystemException(body)
+			if err != nil {
+				return fmt.Errorf("orb: decoding system exception: %w", err)
+			}
+			if se.RepoID == giop.RepoBadOperation {
+				return fmt.Errorf("%w: %s: %w", ErrNonExistentMethod, sig.Name, se)
+			}
+			return se
+		default:
+			return fmt.Errorf("orb: unsupported reply status %s", hdr.Status)
+		}
 	})
 	if err != nil {
 		return dyn.Value{}, err
 	}
-	switch hdr.Status {
-	case giop.ReplyNoException:
-		v, err := cdr.DecodeValue(body, sig.Result)
-		if err != nil {
-			return dyn.Value{}, fmt.Errorf("orb: decoding %s result: %w", sig.Name, err)
-		}
-		return v, nil
-	case giop.ReplyUserException:
-		repoID, err := body.ReadString()
-		if err != nil {
-			return dyn.Value{}, fmt.Errorf("orb: decoding user exception: %w", err)
-		}
-		if repoID != AppErrorRepoID {
-			return dyn.Value{}, fmt.Errorf("orb: unexpected user exception %s", repoID)
-		}
-		msg, err := body.ReadString()
-		if err != nil {
-			return dyn.Value{}, fmt.Errorf("orb: decoding user exception message: %w", err)
-		}
-		return dyn.Value{}, &AppError{Message: msg}
-	case giop.ReplySystemException:
-		se, err := giop.DecodeSystemException(body)
-		if err != nil {
-			return dyn.Value{}, fmt.Errorf("orb: decoding system exception: %w", err)
-		}
-		if se.RepoID == giop.RepoBadOperation {
-			return dyn.Value{}, fmt.Errorf("%w: %s: %w", ErrNonExistentMethod, sig.Name, se)
-		}
-		return dyn.Value{}, se
-	default:
-		return dyn.Value{}, fmt.Errorf("orb: unsupported reply status %s", hdr.Status)
-	}
+	return result, nil
 }

@@ -1,0 +1,68 @@
+package soap
+
+import (
+	"testing"
+
+	"livedev/internal/dyn"
+)
+
+// Allocation budgets for the SOAP envelope hot path. The skeleton cache
+// plus pooled render buffers put BuildRequest at one allocation (the
+// returned string); the purpose-built parser holds a full
+// request-parse/response-parse to a small, pinned number of objects
+// (nodes, name/text strings). Budgets have a little headroom so unrelated
+// runtime changes don't flake, but a reintroduced per-call tree build or a
+// return to encoding/xml token streaming fails loudly.
+
+func TestAllocs_BuildRequest(t *testing.T) {
+	params := []NamedValue{{Name: "s", Value: dyn.StringValue("allocation-budget-payload-0123456789")}}
+	// Warm the skeleton cache and render pool.
+	if _, err := BuildRequest("urn:Alloc", "echo", params); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := BuildRequest("urn:Alloc", "echo", params); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("BuildRequest allocates %.1f objects/op, budget is 2", allocs)
+	}
+}
+
+func TestAllocs_ParseResponseRoundTrip(t *testing.T) {
+	env, err := BuildResponse("urn:Alloc", "echo", dyn.StringValue("allocation-budget-payload-0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(env)
+	allocs := testing.AllocsPerRun(200, func() {
+		resp, err := ParseResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeValue(resp.Return, dyn.StringT); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Parsed: 4 nodes + children slices + attr maps + uninterned
+	// name/attr/text strings. 25 is roughly half the encoding/xml cost.
+	if allocs > 25 {
+		t.Errorf("ParseResponse+DecodeValue allocates %.1f objects/op, budget is 25", allocs)
+	}
+}
+
+func TestAllocs_BuildResponse(t *testing.T) {
+	v := dyn.StringValue("allocation-budget-payload-0123456789")
+	if _, err := BuildResponse("urn:Alloc", "echo", v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := BuildResponse("urn:Alloc", "echo", v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("BuildResponse allocates %.1f objects/op, budget is 2", allocs)
+	}
+}

@@ -22,7 +22,19 @@ type Client struct {
 	HTTPClient *http.Client
 }
 
-var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+// defaultTransport is shared by every Client without an explicit
+// HTTPClient: a clone of http.DefaultTransport (keeping its proxy
+// environment support and dial/TLS timeouts) with a deep idle pool, so
+// repeated RPCs to the same endpoint reuse TCP connections instead of
+// re-dialling — the transport half of the invocation hot path.
+var defaultTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 32
+	return t
+}()
+
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second, Transport: defaultTransport}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {

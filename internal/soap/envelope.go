@@ -3,6 +3,8 @@ package soap
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"livedev/internal/dyn"
 )
@@ -49,34 +51,107 @@ type NamedValue struct {
 	Value dyn.Value
 }
 
-// envelope wraps body content in a SOAP 1.1 envelope.
-func envelope(body ...*Node) *Node {
-	env := NewNode("soapenv:Envelope")
-	env.Attrs["xmlns:soapenv"] = NSEnvelope
-	env.Attrs["xmlns:xsi"] = NSXSI
-	env.Attrs["xmlns:xsd"] = NSXSD
-	env.Attrs["xmlns:soapenc"] = NSEncoding
-	b := env.Append(NewNode("soapenv:Body"))
-	for _, n := range body {
-		b.Append(n)
+// envPrefix/envSuffix are the constant SOAP 1.1 envelope framing around the
+// body's single call element. The attribute order matches Render's sorted
+// attribute output, so cached-skeleton envelopes are byte-identical to
+// node-rendered ones.
+const (
+	envPrefix = `<soapenv:Envelope xmlns:soapenc="` + NSEncoding +
+		`" xmlns:soapenv="` + NSEnvelope +
+		`" xmlns:xsd="` + NSXSD +
+		`" xmlns:xsi="` + NSXSI +
+		`"><soapenv:Body>`
+	envSuffix = `</soapenv:Body></soapenv:Envelope>`
+)
+
+// callSkeleton is the cached constant text around a call (or response)
+// element's parameters: everything except the argument nodes themselves.
+type callSkeleton struct {
+	open      string // `<m:method xmlns:m="NS">`
+	selfClose string // `<m:method xmlns:m="NS"/>`
+	close     string // `</m:method>`
+}
+
+func newCallSkeleton(serviceNS, elem string) *callSkeleton {
+	var ns []byte
+	ns = appendEscaped(ns, serviceNS)
+	head := "<m:" + elem + ` xmlns:m="` + string(ns) + `"`
+	return &callSkeleton{
+		open:      head + ">",
+		selfClose: head + "/>",
+		close:     "</m:" + elem + ">",
 	}
-	return env
+}
+
+// Skeletons are cached per service namespace, then per method, so the hot
+// path reaches its skeleton with two lock-free map loads and no key
+// allocation. reqSkeletons caches request call elements, respSkeletons the
+// "<method>Response" elements. Each cache is bounded: once the process has
+// seen maxCachedSkeletons distinct (namespace, method) pairs, further pairs
+// get a freshly built skeleton per call instead of a cache slot, so a
+// long-lived server whose classes are renamed indefinitely (or a client
+// spraying distinct method names) cannot grow the cache without bound —
+// the hot, stable names it keeps are exactly the ones worth caching.
+type skeletonCache struct {
+	byNS sync.Map // serviceNS → *sync.Map (method → *callSkeleton)
+	size atomic.Int64
+}
+
+// maxCachedSkeletons bounds the total entries per skeleton cache.
+const maxCachedSkeletons = 1024
+
+var (
+	reqSkeletons  skeletonCache
+	respSkeletons skeletonCache
+)
+
+func (c *skeletonCache) get(serviceNS, method, suffix string) *callSkeleton {
+	perNSAny, ok := c.byNS.Load(serviceNS)
+	if !ok {
+		if c.size.Load() >= maxCachedSkeletons {
+			return newCallSkeleton(serviceNS, method+suffix)
+		}
+		perNSAny, _ = c.byNS.LoadOrStore(serviceNS, &sync.Map{})
+	}
+	perNS := perNSAny.(*sync.Map)
+	if sk, ok := perNS.Load(method); ok {
+		return sk.(*callSkeleton)
+	}
+	if c.size.Load() >= maxCachedSkeletons {
+		return newCallSkeleton(serviceNS, method+suffix)
+	}
+	sk, loaded := perNS.LoadOrStore(method, newCallSkeleton(serviceNS, method+suffix))
+	if !loaded {
+		c.size.Add(1)
+	}
+	return sk.(*callSkeleton)
 }
 
 // BuildRequest renders the SOAP request envelope for an RPC call: the body
 // holds one element named after the method, in the service namespace, with
-// one child element per parameter.
+// one child element per parameter. The envelope skeleton is cached per
+// (serviceNS, method); only the parameter elements are rendered per call.
 func BuildRequest(serviceNS, method string, params []NamedValue) (string, error) {
-	call := NewNode("m:" + method)
-	call.Attrs["xmlns:m"] = serviceNS
-	for _, p := range params {
-		pn, err := EncodeValue(p.Name, p.Value)
-		if err != nil {
-			return "", fmt.Errorf("soap: encoding parameter %s: %w", p.Name, err)
+	sk := reqSkeletons.get(serviceNS, method, "")
+	bp := getRenderBuf()
+	buf := append((*bp)[:0], envPrefix...)
+	var err error
+	if len(params) == 0 {
+		buf = append(buf, sk.selfClose...)
+	} else {
+		buf = append(buf, sk.open...)
+		for _, p := range params {
+			if buf, err = appendValue(buf, p.Name, p.Value); err != nil {
+				putRenderBuf(bp, buf)
+				return "", fmt.Errorf("soap: encoding parameter %s: %w", p.Name, err)
+			}
 		}
-		call.Append(pn)
+		buf = append(buf, sk.close...)
 	}
-	return envelope(call).Render(), nil
+	buf = append(buf, envSuffix...)
+	s := string(buf)
+	putRenderBuf(bp, buf)
+	return s, nil
 }
 
 // Request is a parsed SOAP request: the method name and the raw parameter
@@ -107,18 +182,27 @@ func ParseRequest(data []byte) (Request, error) {
 }
 
 // BuildResponse renders the SOAP response envelope: <methodResponse> with a
-// single <return> element (omitted for void results).
+// single <return> element (omitted for void results). Like BuildRequest, it
+// reuses a cached skeleton and renders only the result element per call.
 func BuildResponse(serviceNS, method string, result dyn.Value) (string, error) {
-	resp := NewNode("m:" + method + "Response")
-	resp.Attrs["xmlns:m"] = serviceNS
-	if result.Type().Kind() != dyn.KindVoid {
-		rn, err := EncodeValue("return", result)
-		if err != nil {
+	sk := respSkeletons.get(serviceNS, method, "Response")
+	bp := getRenderBuf()
+	buf := append((*bp)[:0], envPrefix...)
+	if result.Type().Kind() == dyn.KindVoid {
+		buf = append(buf, sk.selfClose...)
+	} else {
+		buf = append(buf, sk.open...)
+		var err error
+		if buf, err = appendValue(buf, "return", result); err != nil {
+			putRenderBuf(bp, buf)
 			return "", fmt.Errorf("soap: encoding result: %w", err)
 		}
-		resp.Append(rn)
+		buf = append(buf, sk.close...)
 	}
-	return envelope(resp).Render(), nil
+	buf = append(buf, envSuffix...)
+	s := string(buf)
+	putRenderBuf(bp, buf)
+	return s, nil
 }
 
 // BuildFault renders a fault envelope.
@@ -132,7 +216,13 @@ func BuildFault(f *Fault) string {
 		det := fn.Append(NewNode("detail"))
 		det.Text = f.Detail
 	}
-	return envelope(fn).Render()
+	bp := getRenderBuf()
+	buf := append((*bp)[:0], envPrefix...)
+	buf = fn.appendXML(buf)
+	buf = append(buf, envSuffix...)
+	s := string(buf)
+	putRenderBuf(bp, buf)
+	return s
 }
 
 // Response is a parsed SOAP response: either a result element or a fault.

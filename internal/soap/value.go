@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 
 	"livedev/internal/dyn"
 )
@@ -81,6 +82,91 @@ func EncodeValue(name string, v dyn.Value) (*Node, error) {
 		return nil, fmt.Errorf("soap: cannot encode kind %s", t.Kind())
 	}
 	return n, nil
+}
+
+// appendValue renders the element <name> carrying v directly into buf —
+// the streaming twin of EncodeValue + Render used on the envelope hot path.
+// Its output is byte-identical to rendering the EncodeValue node tree.
+func appendValue(buf []byte, name string, v dyn.Value) ([]byte, error) {
+	t := v.Type()
+	if t.Kind() == dyn.KindVoid {
+		buf = append(buf, '<')
+		buf = append(buf, name...)
+		return append(buf, '/', '>'), nil
+	}
+	buf = append(buf, '<')
+	buf = append(buf, name...)
+	buf = append(buf, ` xsi:type="`...)
+	buf = append(buf, xsdType(t)...)
+	buf = append(buf, '"')
+
+	closeElem := func(buf []byte) []byte {
+		buf = append(buf, '<', '/')
+		buf = append(buf, name...)
+		return append(buf, '>')
+	}
+	text := func(buf []byte, s string) []byte {
+		if s == "" {
+			return append(buf, '/', '>')
+		}
+		buf = append(buf, '>')
+		buf = appendEscaped(buf, s)
+		return closeElem(buf)
+	}
+
+	switch t.Kind() {
+	case dyn.KindBoolean:
+		buf = append(buf, '>')
+		buf = strconv.AppendBool(buf, v.Bool())
+		return closeElem(buf), nil
+	case dyn.KindChar:
+		var tmp [utf8.UTFMax]byte
+		n := utf8.EncodeRune(tmp[:], v.Char())
+		buf = append(buf, '>')
+		buf = appendEscaped(buf, string(tmp[:n]))
+		return closeElem(buf), nil
+	case dyn.KindInt32:
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, int64(v.Int32()), 10)
+		return closeElem(buf), nil
+	case dyn.KindInt64:
+		buf = append(buf, '>')
+		buf = strconv.AppendInt(buf, v.Int64(), 10)
+		return closeElem(buf), nil
+	case dyn.KindFloat32:
+		return text(buf, formatXSDFloat(float64(v.Float32()), 32)), nil
+	case dyn.KindFloat64:
+		return text(buf, formatXSDFloat(v.Float64(), 64)), nil
+	case dyn.KindString:
+		return text(buf, v.Str()), nil
+	case dyn.KindSequence:
+		if v.Len() == 0 {
+			return append(buf, '/', '>'), nil
+		}
+		buf = append(buf, '>')
+		var err error
+		for i := 0; i < v.Len(); i++ {
+			if buf, err = appendValue(buf, "item", v.Index(i)); err != nil {
+				return buf, err
+			}
+		}
+		return closeElem(buf), nil
+	case dyn.KindStruct:
+		if v.Len() == 0 {
+			return append(buf, '/', '>'), nil
+		}
+		buf = append(buf, '>')
+		var err error
+		for i := 0; i < v.Len(); i++ {
+			f := t.Field(i)
+			if buf, err = appendValue(buf, f.Name, v.Index(i)); err != nil {
+				return buf, fmt.Errorf("struct %s field %s: %w", t.Name(), f.Name, err)
+			}
+		}
+		return closeElem(buf), nil
+	default:
+		return buf, fmt.Errorf("soap: cannot encode kind %s", t.Kind())
+	}
 }
 
 // DecodeValue reads a value of the expected type from an element produced
