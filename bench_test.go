@@ -12,6 +12,7 @@
 package livedev_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"livedev/internal/dyn"
 	"livedev/internal/experiments"
 	"livedev/internal/idl"
+	"livedev/internal/jsonb"
 	"livedev/internal/orb"
 	"livedev/internal/raceplan"
 	"livedev/internal/soap"
@@ -165,6 +167,35 @@ func BenchmarkTable1_StaticCORBA(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := conn.Invoke(sig, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_SDEJSON measures the JSON-binding row added with the v2
+// binding seam: a live SDE JSON server called over JSON-POST.
+func BenchmarkTable1_SDEJSON(b *testing.B) {
+	core.RegisterBinding(jsonb.New())
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("B5"), core.Technology(jsonb.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	caller := &jsonb.Caller{Endpoint: srv.(*jsonb.Server).Endpoint()}
+	sig := echoSig()
+	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Call(ctx, sig, args); err != nil {
 			b.Fatal(err)
 		}
 	}

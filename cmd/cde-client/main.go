@@ -6,8 +6,14 @@
 //
 // Usage:
 //
-//	cde-client -wsdl URL            [method arg...]
-//	cde-client -idl URL -ior URL    [method arg...]
+//	cde-client -url URL [-binding NAME] [-timeout D]  [method arg...]
+//	cde-client -wsdl URL                              [method arg...]
+//	cde-client -idl URL -ior URL                      [method arg...]
+//
+// -url is the v2 entry point: any registered binding's interface-document
+// URL (WSDL, CORBA-IDL, IOR, JSON). The binding is sniffed from the
+// document, or forced with -binding. -timeout bounds each call. The -wsdl
+// and -idl/-ior forms remain for compatibility.
 //
 // Arguments are parsed against the method's current signature: int32/int64
 // as decimal, float32/float64 as decimal floats, booleans as true/false,
@@ -15,14 +21,17 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
+	"livedev"
 	"livedev/internal/cde"
 	"livedev/internal/dyn"
+	"livedev/internal/jsonb"
 )
 
 func main() {
@@ -30,20 +39,37 @@ func main() {
 }
 
 func run() int {
+	url := flag.String("url", "", "interface-document URL of any registered binding")
+	binding := flag.String("binding", "", "force a binding name instead of sniffing the document")
+	timeout := flag.Duration("timeout", 0, "per-call timeout (0 = none)")
 	wsdlURL := flag.String("wsdl", "", "WSDL document URL (SOAP mode)")
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL (CORBA mode)")
 	iorURL := flag.String("ior", "", "stringified IOR URL (CORBA mode)")
 	flag.Parse()
 
+	livedev.RegisterBinding(jsonb.New())
+
+	ctx := context.Background()
 	var client *cde.Client
 	var err error
 	switch {
+	case *url != "":
+		opts := []livedev.Option{livedev.WithTimeout(*timeout)}
+		if *binding != "" {
+			opts = append(opts, livedev.WithBinding(*binding))
+		}
+		if *iorURL != "" {
+			opts = append(opts, livedev.WithAuxURL(*iorURL))
+		}
+		client, err = livedev.Dial(ctx, *url, opts...)
 	case *wsdlURL != "":
-		client, err = cde.NewSOAPClient(*wsdlURL, nil)
+		client, err = livedev.Dial(ctx, *wsdlURL,
+			livedev.WithBinding("SOAP"), livedev.WithTimeout(*timeout))
 	case *idlURL != "" && *iorURL != "":
-		client, err = cde.NewCORBAClient(*idlURL, *iorURL, nil)
+		client, err = livedev.Dial(ctx, *idlURL,
+			livedev.WithBinding("CORBA"), livedev.WithAuxURL(*iorURL), livedev.WithTimeout(*timeout))
 	default:
-		fmt.Fprintln(os.Stderr, "cde-client: need -wsdl URL, or -idl URL and -ior URL")
+		fmt.Fprintln(os.Stderr, "cde-client: need -url URL (v2), -wsdl URL, or -idl URL and -ior URL")
 		return 2
 	}
 	if err != nil {
@@ -82,7 +108,7 @@ func run() int {
 		vals[i] = v
 	}
 
-	result, err := client.Call(method, vals...)
+	result, err := client.CallContext(ctx, method, vals...)
 	if err != nil {
 		var stale *cde.StaleMethodError
 		if errors.As(err, &stale) {

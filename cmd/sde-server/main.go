@@ -20,6 +20,7 @@ import (
 
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/jsonb"
 )
 
 func main() {
@@ -34,6 +35,8 @@ func run() int {
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	flag.Parse()
+
+	core.RegisterBinding(jsonb.New())
 
 	mgr, err := core.NewManager(core.Config{
 		InterfaceAddr: *ifaceAddr,
@@ -110,11 +113,39 @@ func run() int {
 	}
 	cs := corbaSrv.(*core.CORBAServer)
 
+	// A third class serves the same logic over the JSON binding, which is
+	// wired in through the registry — the server loop below treats it like
+	// the built-in pair.
+	jsonClass := dyn.NewClass("CalcJSON")
+	if _, err := jsonClass.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	jsonSrv, err := mgr.Register(jsonClass, core.Technology(jsonb.Name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	if _, err := jsonSrv.CreateInstance(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+
 	fmt.Println("SDE server running")
 	fmt.Println("  WSDL:", soapSrv.InterfaceURL())
 	fmt.Println("  SOAP endpoint:", soapSrv.(*core.SOAPServer).Endpoint())
 	fmt.Println("  IDL: ", cs.InterfaceURL())
 	fmt.Println("  IOR: ", cs.IORURL())
+	fmt.Println("  JSON doc:", jsonSrv.InterfaceURL())
+	fmt.Println("  JSON endpoint:", jsonSrv.(*jsonb.Server).Endpoint())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -91,7 +92,9 @@ func run() error {
 	fmt.Println("published IDL document:")
 	fmt.Print(indent(idlDoc.Content))
 
-	teller, err := livedev.ConnectCORBA(cs.InterfaceURL(), cs.IORURL())
+	// Dial sniffs the IDL document and derives the IOR URL from the
+	// /idl/ <-> /ior/ publication convention (WithAuxURL would override).
+	teller, err := livedev.Dial(context.Background(), cs.InterfaceURL())
 	if err != nil {
 		return err
 	}

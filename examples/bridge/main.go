@@ -3,6 +3,10 @@
 // CORBA inventory server is fronted by a SOAP bridge; a plain SOAP client
 // consumes it; the server developer renames a method mid-session and the
 // change propagates through the bridge with the recency guarantee intact.
+//
+// This example deliberately stays on the v1 API (ConnectSOAP, context-free
+// Call), doubling as compile-time coverage for the deprecated shims; see
+// examples/quickstart for the v2 Dial/CallContext style.
 package main
 
 import (

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -92,12 +93,15 @@ func run() error {
 	}
 	fmt.Println("mail service WSDL:", srv.InterfaceURL())
 
-	alice, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	// Two independent live clients dial the same published document; the
+	// SOAP binding is sniffed from the WSDL.
+	ctx := context.Background()
+	alice, err := livedev.Dial(ctx, srv.InterfaceURL(), livedev.WithTimeout(10*time.Second))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = alice.Close() }()
-	bob, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	bob, err := livedev.Dial(ctx, srv.InterfaceURL(), livedev.WithTimeout(10*time.Second))
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -55,14 +56,18 @@ func run() error {
 	}
 	fmt.Println("WSDL published at:", srv.InterfaceURL())
 
-	// 3. A CDE client compiles the WSDL into live stubs.
-	client, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	// 3. A CDE client compiles the WSDL into live stubs. Dial sniffs the
+	// document (a WSDL -> the SOAP binding); WithTimeout bounds every call
+	// that carries no deadline of its own.
+	ctx := context.Background()
+	client, err := livedev.Dial(ctx, srv.InterfaceURL(),
+		livedev.WithTimeout(5*time.Second))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = client.Close() }()
 
-	sum, err := client.Call("add", livedev.Int32(20), livedev.Int32(22))
+	sum, err := client.CallContext(ctx, "add", livedev.Int32(20), livedev.Int32(22))
 	if err != nil {
 		return err
 	}
@@ -79,7 +84,7 @@ func run() error {
 	// Section 5.7 + Section 6 protocol: the server force-publishes the
 	// current WSDL before faulting, and the client refreshes its view
 	// before surfacing the error.
-	_, err = client.Call("add", livedev.Int32(1), livedev.Int32(2))
+	_, err = client.CallContext(ctx, "add", livedev.Int32(1), livedev.Int32(2))
 	if !errors.Is(err, livedev.ErrStaleMethod) {
 		return fmt.Errorf("expected a stale-method error, got %v", err)
 	}
@@ -89,7 +94,7 @@ func run() error {
 	}
 
 	// 6. Normal execution resumes under the new name.
-	sum, err = client.Call("plus", livedev.Int32(20), livedev.Int32(22))
+	sum, err = client.CallContext(ctx, "plus", livedev.Int32(20), livedev.Int32(22))
 	if err != nil {
 		return err
 	}

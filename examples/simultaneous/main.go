@@ -5,6 +5,11 @@
 // either through the regular publication path (stable-timeout) or through
 // the reactive stale-call path, and the CDE debugger's 'try again'
 // resumes execution after the server developer restores a signature.
+//
+// This example deliberately stays on the v1 API (ConnectSOAP,
+// ConnectCORBA, context-free Call): it doubles as the compile-time proof
+// that the deprecated shims keep working. See examples/quickstart for the
+// v2 Dial/CallContext style.
 package main
 
 import (

@@ -17,6 +17,7 @@
 package bridge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -311,9 +312,11 @@ func (t *bridgeTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
 	return t.front.backend.Interface().Lookup(op)
 }
 
-// InvokeOperation implements orb.DSITarget by forwarding over the backend.
-func (t *bridgeTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
-	v, err := t.front.backend.Call(op, args...)
+// InvokeOperation implements orb.DSITarget by forwarding over the backend;
+// the CORBA-side request context governs the bridged call, so a cancelled
+// front-side caller aborts the backend round-trip too.
+func (t *bridgeTarget) InvokeOperation(ctx context.Context, op string, args []dyn.Value) (dyn.Value, error) {
+	v, err := t.front.backend.CallContext(ctx, op, args...)
 	if err == nil {
 		return v, nil
 	}

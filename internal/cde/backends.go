@@ -1,6 +1,7 @@
 package cde
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -16,10 +17,79 @@ import (
 	"livedev/internal/wsdl"
 )
 
+// The built-in SOAP and CORBA connectors register themselves so that
+// cde.Dial (and livedev.Dial) resolve them by name or document sniffing
+// exactly like any third-party binding.
+func init() {
+	RegisterConnector(Connector{
+		Name: "SOAP",
+		Match: DocMatch{
+			ContentTypes: []string{"text/xml", "application/wsdl+xml"},
+			PathSuffixes: []string{".wsdl"},
+			Content: func(doc string) bool {
+				return strings.Contains(doc, "<definitions") || strings.Contains(doc, ":definitions")
+			},
+		},
+		Connect: func(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
+			return NewClientContext(ctx,
+				&soapBackend{docs: NewDocSource(url, opts.HTTPClient, opts.Prefetched), httpClient: opts.HTTPClient}, opts)
+		},
+	})
+	RegisterConnector(Connector{
+		Name: "CORBA",
+		Match: DocMatch{
+			ContentTypes: []string{}, // IDL and IORs are published as text/plain, too generic to claim
+			PathSuffixes: []string{".idl", ".ior"},
+			Content: func(doc string) bool {
+				return strings.HasPrefix(doc, "IOR:") || strings.Contains(doc, "interface ")
+			},
+		},
+		Connect: connectCORBA,
+	})
+}
+
+// connectCORBA accepts either the IDL-document URL or the IOR URL as the
+// primary URL; the counterpart comes from opts.AuxURL or, failing that, the
+// SDE's publication path convention (/idl/Name.idl <-> /ior/Name.ior).
+func connectCORBA(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
+	// Classify the primary document the same way the sniffer does: suffix
+	// on the query-stripped path, with the fetched content ("IOR:" prefix)
+	// as the fallback signal for unconventional URLs.
+	path := url
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	isIOR := strings.HasSuffix(path, ".ior") ||
+		(opts.Prefetched != nil && strings.HasPrefix(opts.Prefetched.Content, "IOR:"))
+
+	idlURL, iorURL := url, opts.AuxURL
+	var seedIDL, seedIOR *ifsvr.Document
+	if isIOR {
+		idlURL, iorURL = opts.AuxURL, url
+		if idlURL == "" {
+			idlURL = strings.Replace(strings.TrimSuffix(path, ".ior")+".idl", "/ior/", "/idl/", 1)
+		}
+		seedIOR = opts.Prefetched
+	} else {
+		if iorURL == "" {
+			iorURL = strings.Replace(strings.TrimSuffix(path, ".idl")+".ior", "/idl/", "/ior/", 1)
+		}
+		seedIDL = opts.Prefetched
+	}
+	if idlURL == "" || iorURL == "" {
+		return nil, errors.New("cde: CORBA binding needs both IDL and IOR URLs")
+	}
+	b := &corbaBackend{
+		idlDocs: NewDocSource(idlURL, opts.HTTPClient, seedIDL),
+		iorDocs: NewDocSource(iorURL, opts.HTTPClient, seedIOR),
+	}
+	return NewClientContext(ctx, b, opts)
+}
+
 // soapBackend is the Apache-Axis-equivalent client plumbing: WSDL compiler
 // plus SOAP-over-HTTP invocation (paper Figure 1).
 type soapBackend struct {
-	wsdlURL    string
+	docs       *DocSource
 	httpClient *http.Client
 
 	mu     sync.RWMutex
@@ -31,7 +101,8 @@ var _ Backend = (*soapBackend)(nil)
 // NewSOAPClient builds a CDE client from the WSDL document published at
 // wsdlURL. httpClient may be nil.
 func NewSOAPClient(wsdlURL string, httpClient *http.Client) (*Client, error) {
-	return NewClient(&soapBackend{wsdlURL: wsdlURL, httpClient: httpClient})
+	return NewClientContext(context.Background(),
+		&soapBackend{docs: NewDocSource(wsdlURL, httpClient, nil), httpClient: httpClient}, nil)
 }
 
 // Technology implements Backend.
@@ -39,8 +110,8 @@ func (b *soapBackend) Technology() string { return "SOAP" }
 
 // FetchInterface implements Backend: fetch the WSDL, compile it, and
 // (re)target the SOAP caller at the advertised endpoint.
-func (b *soapBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
-	doc, err := ifsvr.Fetch(b.httpClient, b.wsdlURL)
+func (b *soapBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
+	doc, err := b.docs.Fetch(ctx)
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, err
 	}
@@ -59,7 +130,7 @@ func (b *soapBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, er
 }
 
 // Invoke implements Backend.
-func (b *soapBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+func (b *soapBackend) Invoke(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
 	b.mu.RLock()
 	caller := b.caller
 	b.mu.RUnlock()
@@ -77,7 +148,7 @@ func (b *soapBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, er
 		}
 		named[i] = soap.NamedValue{Name: sig.Params[i].Name, Value: a}
 	}
-	return caller.Call(sig.Name, named, sig.Result)
+	return caller.CallContext(ctx, sig.Name, named, sig.Result)
 }
 
 // IsStale implements Backend.
@@ -89,9 +160,8 @@ func (b *soapBackend) Close() error { return nil }
 // corbaBackend is the OpenORB-DII-equivalent client plumbing: IDL compiler,
 // IOR bootstrap, IIOP invocation (paper Figure 2).
 type corbaBackend struct {
-	idlURL     string
-	iorURL     string
-	httpClient *http.Client
+	idlDocs *DocSource
+	iorDocs *DocSource
 
 	mu    sync.Mutex
 	conn  *orb.ClientORB
@@ -103,7 +173,10 @@ var _ Backend = (*corbaBackend)(nil)
 // NewCORBAClient builds a CDE client from the CORBA-IDL document and
 // stringified IOR published at the given URLs. httpClient may be nil.
 func NewCORBAClient(idlURL, iorURL string, httpClient *http.Client) (*Client, error) {
-	return NewClient(&corbaBackend{idlURL: idlURL, iorURL: iorURL, httpClient: httpClient})
+	return NewClientContext(context.Background(), &corbaBackend{
+		idlDocs: NewDocSource(idlURL, httpClient, nil),
+		iorDocs: NewDocSource(iorURL, httpClient, nil),
+	}, nil)
 }
 
 // Technology implements Backend.
@@ -130,13 +203,13 @@ func interfaceNameFromTypeID(typeID string) (string, error) {
 
 // connect dials the server ORB if not yet connected, using the published
 // IOR (Figure 2 step 1).
-func (b *corbaBackend) connect() error {
+func (b *corbaBackend) connect(ctx context.Context) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.conn != nil {
 		return nil
 	}
-	doc, err := ifsvr.Fetch(b.httpClient, b.iorURL)
+	doc, err := b.iorDocs.Fetch(ctx)
 	if err != nil {
 		return err
 	}
@@ -148,7 +221,7 @@ func (b *corbaBackend) connect() error {
 	if err != nil {
 		return err
 	}
-	conn, err := orb.DialIOR(ref)
+	conn, err := orb.DialIORContext(ctx, ref)
 	if err != nil {
 		return fmt.Errorf("cde: initializing client ORB: %w", err)
 	}
@@ -159,11 +232,11 @@ func (b *corbaBackend) connect() error {
 
 // FetchInterface implements Backend: fetch and compile the CORBA-IDL
 // document (Figure 2's IDL compiler).
-func (b *corbaBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
-	if err := b.connect(); err != nil {
+func (b *corbaBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
+	if err := b.connect(ctx); err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, err
 	}
-	doc, err := ifsvr.Fetch(b.httpClient, b.idlURL)
+	doc, err := b.idlDocs.Fetch(ctx)
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, err
 	}
@@ -182,14 +255,14 @@ func (b *corbaBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, e
 }
 
 // Invoke implements Backend via DII.
-func (b *corbaBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+func (b *corbaBackend) Invoke(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
 	b.mu.Lock()
 	conn := b.conn
 	b.mu.Unlock()
 	if conn == nil {
 		return dyn.Value{}, errors.New("cde: CORBA backend not connected")
 	}
-	return conn.Invoke(sig, args)
+	return conn.InvokeContext(ctx, sig, args)
 }
 
 // IsStale implements Backend.

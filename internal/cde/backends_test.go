@@ -1,6 +1,7 @@
 package cde
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -86,8 +87,8 @@ func TestSOAPBackendArgChecks(t *testing.T) {
 }
 
 func TestSOAPBackendInvokeBeforeFetch(t *testing.T) {
-	b := &soapBackend{wsdlURL: "http://unused/"}
-	if _, err := b.Invoke(dyn.MethodSig{Name: "x"}, nil); err == nil {
+	b := &soapBackend{docs: NewDocSource("http://unused/", nil, nil)}
+	if _, err := b.Invoke(context.Background(), dyn.MethodSig{Name: "x"}, nil); err == nil {
 		t.Error("invoke before FetchInterface should fail")
 	}
 	if b.Technology() != "SOAP" {
@@ -181,8 +182,8 @@ func TestCORBABackendIDLFailures(t *testing.T) {
 }
 
 func TestCORBABackendInvokeBeforeConnect(t *testing.T) {
-	b := &corbaBackend{idlURL: "http://unused/", iorURL: "http://unused/"}
-	if _, err := b.Invoke(dyn.MethodSig{Name: "x"}, nil); err == nil {
+	b := &corbaBackend{idlDocs: NewDocSource("http://unused/", nil, nil), iorDocs: NewDocSource("http://unused/", nil, nil)}
+	if _, err := b.Invoke(context.Background(), dyn.MethodSig{Name: "x"}, nil); err == nil {
 		t.Error("invoke before connect should fail")
 	}
 	if b.Technology() != "CORBA" {
@@ -200,7 +201,7 @@ func (t *testTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
 	return t.in.Class().Interface().Lookup(op)
 }
 
-func (t *testTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+func (t *testTarget) InvokeOperation(_ context.Context, op string, args []dyn.Value) (dyn.Value, error) {
 	v, err := t.in.InvokeDistributed(op, args...)
 	if err != nil && errors.Is(err, dyn.ErrNoBody) {
 		// The failure-injection class has no bodies; answer statically so

@@ -1,18 +1,19 @@
 // Package cde implements the paper's Client Development Environment
 // (Section 2.3 and [1]): the client half of live, simultaneous
 // client-server development. A Client fetches the published interface
-// description (WSDL or CORBA-IDL + IOR) from the SDE's Interface Server,
-// builds a live stub set from it, and invokes server methods by name with
-// dyn values. When the server replies "Non Existent Method" — which the
-// Section 5.7 protocol guarantees happens only after the published
-// interface is current — the client updates its view of the server
-// interface *before* delivering the exception to the calling code, so the
-// developer always sees the signature change that caused the failure
-// (Section 6, Figure 9). The JPie debugger analogue records the failed call
-// and supports 'try again'.
+// description (WSDL, CORBA-IDL + IOR, or any registered binding's document)
+// from the SDE's Interface Server, builds a live stub set from it, and
+// invokes server methods by name with dyn values. When the server replies
+// "Non Existent Method" — which the Section 5.7 protocol guarantees happens
+// only after the published interface is current — the client updates its
+// view of the server interface *before* delivering the exception to the
+// calling code, so the developer always sees the signature change that
+// caused the failure (Section 6, Figure 9). The JPie debugger analogue
+// records the failed call and supports 'try again'.
 package cde
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,18 +53,20 @@ func (e *StaleMethodError) Error() string {
 func (e *StaleMethodError) Unwrap() []error { return []error{ErrStaleMethod, e.Cause} }
 
 // Backend is the technology-specific client plumbing (Axis for SOAP,
-// OpenORB DII for CORBA in the paper; our soap and orb packages here).
+// OpenORB DII for CORBA in the paper; our soap, orb, and jsonb packages
+// here). Both operations take the caller's context: cancellation must abort
+// the underlying transport exchange and surface an error wrapping ctx.Err().
 type Backend interface {
 	// FetchInterface retrieves and compiles the published interface
 	// description, returning the descriptor, the document publish version,
 	// and the descriptor version it was generated from.
-	FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error)
+	FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error)
 	// Invoke performs the remote call against sig.
-	Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error)
+	Invoke(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error)
 	// IsStale reports whether err is this technology's "Non Existent
 	// Method" signal.
 	IsStale(err error) bool
-	// Technology names the backend ("SOAP", "CORBA").
+	// Technology names the backend ("SOAP", "CORBA", "JSON", ...).
 	Technology() string
 	// Close releases connections.
 	Close() error
@@ -93,6 +96,10 @@ type ClientStats struct {
 type Client struct {
 	backend Backend
 
+	// callTimeout, when non-zero, bounds each call whose context carries no
+	// deadline of its own (the Dial WithTimeout option).
+	callTimeout time.Duration
+
 	mu       sync.RWMutex
 	iface    dyn.InterfaceDescriptor
 	versions DocVersions
@@ -106,9 +113,21 @@ type Client struct {
 // NewClient wraps a backend and performs the initial interface fetch —
 // step (1) of Figures 1 and 2.
 func NewClient(backend Backend) (*Client, error) {
+	return NewClientContext(context.Background(), backend, nil)
+}
+
+// NewClientContext is NewClient with a context governing the initial
+// interface fetch and per-client options (nil for defaults).
+func NewClientContext(ctx context.Context, backend Backend, opts *DialOptions) (*Client, error) {
 	c := &Client{backend: backend}
 	c.debugger = &Debugger{client: c}
-	if err := c.Refresh(); err != nil {
+	if opts != nil {
+		c.callTimeout = opts.Timeout
+		if opts.Prompt != nil {
+			c.debugger.SetPrompt(opts.Prompt)
+		}
+	}
+	if err := c.RefreshContext(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -142,12 +161,15 @@ func (c *Client) Stats() ClientStats {
 // Debugger returns the client's debugger.
 func (c *Client) Debugger() *Debugger { return c.debugger }
 
-// Refresh re-fetches the published interface description and rebuilds the
-// stub set — the "regular update" edge of Figure 8. The view never moves
-// backwards: a fetch racing a newer fetch is discarded by comparing
-// document versions.
-func (c *Client) Refresh() error {
-	desc, vers, err := c.backend.FetchInterface()
+// Refresh is RefreshContext with a background context.
+func (c *Client) Refresh() error { return c.RefreshContext(context.Background()) }
+
+// RefreshContext re-fetches the published interface description and
+// rebuilds the stub set — the "regular update" edge of Figure 8. The view
+// never moves backwards: a fetch racing a newer fetch is discarded by
+// comparing document versions.
+func (c *Client) RefreshContext(ctx context.Context) error {
+	desc, vers, err := c.backend.FetchInterface(ctx)
 	if err != nil {
 		return err
 	}
@@ -161,18 +183,41 @@ func (c *Client) Refresh() error {
 	return nil
 }
 
-// Call invokes a server method by name. The signature is resolved against
-// the client's current interface view; arguments are type-checked against
-// it; and the reactive-update protocol of Section 6 runs on "Non Existent
-// Method" replies: refresh first, then deliver a *StaleMethodError, which
-// is also recorded with the debugger.
+// Call is CallContext with a background context (bounded by the client's
+// default timeout, if one was configured).
+//
+// Deprecated: use CallContext so calls can carry deadlines and be
+// cancelled.
 func (c *Client) Call(method string, args ...dyn.Value) (dyn.Value, error) {
+	return c.CallContext(context.Background(), method, args...)
+}
+
+// CallContext invokes a server method by name. The signature is resolved
+// against the client's current interface view; arguments are type-checked
+// against it; and the reactive-update protocol of Section 6 runs on "Non
+// Existent Method" replies: refresh first, then deliver a
+// *StaleMethodError, which is also recorded with the debugger.
+//
+// Cancelling ctx (or exceeding its deadline, or the client's configured
+// default timeout when ctx carries no deadline) aborts the in-flight
+// exchange; the returned error wraps ctx.Err(), so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) hold.
+func (c *Client) CallContext(ctx context.Context, method string, args ...dyn.Value) (dyn.Value, error) {
+	if c.callTimeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.callTimeout)
+			defer cancel()
+		}
+	}
+
 	c.mu.RLock()
 	sig, ok := c.iface.Lookup(method)
 	c.mu.RUnlock()
 	if !ok {
 		// The local view may predate a server-side addition: refresh once.
-		if err := c.Refresh(); err != nil {
+		if err := c.RefreshContext(ctx); err != nil {
 			return dyn.Value{}, err
 		}
 		c.mu.RLock()
@@ -183,7 +228,7 @@ func (c *Client) Call(method string, args ...dyn.Value) (dyn.Value, error) {
 		}
 	}
 
-	result, err := c.backend.Invoke(sig, args)
+	result, err := c.backend.Invoke(ctx, sig, args)
 	if err == nil {
 		c.mu.Lock()
 		c.stats.Calls++
@@ -199,7 +244,7 @@ func (c *Client) Call(method string, args ...dyn.Value) (dyn.Value, error) {
 	// updated to the currently published one. Then, the exception is sent
 	// to the dynamic class that made the original RMI call."
 	c.refreshMu.Lock()
-	refreshErr := c.Refresh()
+	refreshErr := c.RefreshContext(ctx)
 	c.refreshMu.Unlock()
 
 	c.mu.Lock()
@@ -300,15 +345,20 @@ func (d *Debugger) record(method string, args []dyn.Value, err error) {
 	}
 }
 
-// TryAgain re-executes the last failed call with its original arguments. If
-// the server developer restored a compatible signature, execution resumes
-// normally (Section 6's 'try again' flow).
+// TryAgain is TryAgainContext with a background context.
 func (d *Debugger) TryAgain() (dyn.Value, error) {
+	return d.TryAgainContext(context.Background())
+}
+
+// TryAgainContext re-executes the last failed call with its original
+// arguments. If the server developer restored a compatible signature,
+// execution resumes normally (Section 6's 'try again' flow).
+func (d *Debugger) TryAgainContext(ctx context.Context) (dyn.Value, error) {
 	d.mu.Lock()
 	ex := d.last
 	d.mu.Unlock()
 	if ex == nil {
 		return dyn.Value{}, errors.New("cde: no failed call to retry")
 	}
-	return d.client.Call(ex.Method, ex.Args...)
+	return d.client.CallContext(ctx, ex.Method, ex.Args...)
 }

@@ -1,6 +1,7 @@
 package cde
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,7 +54,7 @@ func (b *fakeBackend) setInterface(d dyn.InterfaceDescriptor) {
 	b.mu.Unlock()
 }
 
-func (b *fakeBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, error) {
+func (b *fakeBackend) FetchInterface(context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.fetches++
@@ -63,7 +64,7 @@ func (b *fakeBackend) FetchInterface() (dyn.InterfaceDescriptor, DocVersions, er
 	return b.desc, b.vers, nil
 }
 
-func (b *fakeBackend) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+func (b *fakeBackend) Invoke(_ context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
 	b.mu.Lock()
 	fn := b.invoke
 	b.mu.Unlock()

@@ -1,0 +1,235 @@
+package cde
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"livedev/internal/ifsvr"
+)
+
+// DialOptions carries the cross-technology knobs of a Dial. The zero value
+// is usable; the livedev facade builds one from functional options.
+type DialOptions struct {
+	// HTTPClient is used for interface-document fetches and (by HTTP-based
+	// bindings) for calls. Nil means a default client.
+	HTTPClient *http.Client
+	// Timeout, when non-zero, bounds every call made through the resulting
+	// client whose context carries no deadline of its own.
+	Timeout time.Duration
+	// Binding forces the named binding, skipping document sniffing.
+	Binding string
+	// AuxURL is a binding-specific secondary document URL — the CORBA
+	// binding uses it for the stringified IOR when the primary URL is the
+	// IDL document (and vice versa). Bindings derive it by path convention
+	// when empty.
+	AuxURL string
+	// Prompt, when non-nil, is installed as the client debugger's hook:
+	// it is invoked synchronously for every recorded stale-call exception.
+	Prompt func(Exception)
+	// Prefetched, when non-nil, is the document already fetched from the
+	// primary URL — Dial's sniffing fetch sets it so the chosen
+	// connector's backend can seed its initial interface compilation
+	// instead of re-fetching the same document.
+	Prefetched *ifsvr.Document
+}
+
+// DocMatch describes how a binding's published interface documents can be
+// recognized, so Dial can pick a binding from the document alone.
+type DocMatch struct {
+	// ContentTypes lists MIME types (without parameters) the binding's
+	// interface documents are served with.
+	ContentTypes []string
+	// PathSuffixes lists URL path suffixes, e.g. ".wsdl", ".idl", ".json".
+	PathSuffixes []string
+	// Content reports whether the raw document text looks like this
+	// binding's interface description — the tie-breaker when types and
+	// suffixes are ambiguous.
+	Content func(doc string) bool
+}
+
+// ConnectFunc builds a live client from an interface-document URL.
+type ConnectFunc func(ctx context.Context, url string, opts *DialOptions) (*Client, error)
+
+// Connector is the client half of an RMI-technology binding: how to
+// recognize its interface documents and how to connect from one.
+type Connector struct {
+	// Name is the binding name ("SOAP", "CORBA", "JSON", ...).
+	Name string
+	// Match describes the binding's interface documents.
+	Match DocMatch
+	// Connect builds the client.
+	Connect ConnectFunc
+}
+
+var (
+	connMu     sync.RWMutex
+	connectors = make(map[string]Connector)
+)
+
+// RegisterConnector adds (or replaces) a connector in the process-wide
+// registry. It is typically called via livedev.RegisterBinding.
+func RegisterConnector(c Connector) {
+	if c.Name == "" || c.Connect == nil {
+		panic("cde: connector needs a name and a Connect func")
+	}
+	connMu.Lock()
+	connectors[c.Name] = c
+	connMu.Unlock()
+}
+
+// LookupConnector returns the named connector.
+func LookupConnector(name string) (Connector, bool) {
+	connMu.RLock()
+	defer connMu.RUnlock()
+	c, ok := connectors[name]
+	return c, ok
+}
+
+// ConnectorNames returns the registered binding names, sorted.
+func ConnectorNames() []string {
+	connMu.RLock()
+	names := make([]string, 0, len(connectors))
+	for n := range connectors {
+		names = append(names, n)
+	}
+	connMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// DocSource fetches one published interface document, optionally seeded
+// with a prefetched copy (Dial's sniffing fetch) that is consumed exactly
+// once — backends use it so connection establishment fetches each document
+// a single time. Safe for concurrent use.
+type DocSource struct {
+	url string
+	hc  *http.Client
+
+	mu   sync.Mutex
+	seed *ifsvr.Document
+}
+
+// NewDocSource returns a source for url. seed may be nil.
+func NewDocSource(url string, hc *http.Client, seed *ifsvr.Document) *DocSource {
+	return &DocSource{url: url, hc: hc, seed: seed}
+}
+
+// URL returns the document URL.
+func (s *DocSource) URL() string { return s.url }
+
+// Fetch returns the seeded document on the first call that finds one, and
+// fetches over HTTP otherwise.
+func (s *DocSource) Fetch(ctx context.Context) (ifsvr.Document, error) {
+	s.mu.Lock()
+	seed := s.seed
+	s.seed = nil
+	s.mu.Unlock()
+	if seed != nil {
+		return *seed, nil
+	}
+	return ifsvr.FetchContext(ctx, s.hc, s.url)
+}
+
+// Dial builds a live client from a published interface-document URL. Unless
+// opts.Binding names a binding explicitly, the document is fetched once and
+// each registered connector's DocMatch is scored against it — content type,
+// then path suffix, then content sniff — and the best match connects. When
+// opts.Timeout is set and ctx carries no deadline of its own, the whole
+// connection establishment (sniff fetch, binding connect, initial interface
+// fetch) is bounded by it, the same way later calls are.
+func Dial(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
+	if opts == nil {
+		opts = &DialOptions{}
+	}
+	if opts.Timeout > 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+			defer cancel()
+		}
+	}
+	if opts.Binding != "" {
+		c, ok := LookupConnector(opts.Binding)
+		if !ok {
+			return nil, fmt.Errorf("cde: no binding named %q registered (have %s)",
+				opts.Binding, strings.Join(ConnectorNames(), ", "))
+		}
+		return c.Connect(ctx, url, opts)
+	}
+
+	doc, err := ifsvr.FetchContext(ctx, opts.HTTPClient, url)
+	if err != nil {
+		return nil, fmt.Errorf("cde: fetching interface document: %w", err)
+	}
+	c, err := matchConnector(url, doc)
+	if err != nil {
+		return nil, err
+	}
+	// Copy before attaching the document: a caller-owned options struct
+	// must not carry this fetch into an unrelated later Dial.
+	seeded := *opts
+	seeded.Prefetched = &doc
+	return c.Connect(ctx, url, &seeded)
+}
+
+// matchConnector scores every registered connector against the fetched
+// document and returns the unique best match.
+func matchConnector(url string, doc ifsvr.Document) (Connector, error) {
+	contentType := doc.ContentType
+	if i := strings.IndexByte(contentType, ';'); i >= 0 {
+		contentType = contentType[:i]
+	}
+	contentType = strings.TrimSpace(contentType)
+	path := url
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+
+	connMu.RLock()
+	candidates := make([]Connector, 0, len(connectors))
+	for _, c := range connectors {
+		candidates = append(candidates, c)
+	}
+	connMu.RUnlock()
+
+	var best Connector
+	bestScore, ties := 0, 0
+	for _, c := range candidates {
+		score := 0
+		for _, ct := range c.Match.ContentTypes {
+			if strings.EqualFold(ct, contentType) {
+				score += 4
+				break
+			}
+		}
+		for _, suf := range c.Match.PathSuffixes {
+			if strings.HasSuffix(path, suf) {
+				score += 2
+				break
+			}
+		}
+		if c.Match.Content != nil && c.Match.Content(doc.Content) {
+			score++
+		}
+		switch {
+		case score > bestScore:
+			best, bestScore, ties = c, score, 1
+		case score == bestScore && score > 0:
+			ties++
+		}
+	}
+	if bestScore == 0 {
+		return Connector{}, fmt.Errorf("cde: no registered binding recognizes the document at %s (content type %q; registered: %s)",
+			url, doc.ContentType, strings.Join(ConnectorNames(), ", "))
+	}
+	if ties > 1 {
+		return Connector{}, fmt.Errorf("cde: document at %s is ambiguous between %d bindings; use an explicit binding option",
+			url, ties)
+	}
+	return best, nil
+}

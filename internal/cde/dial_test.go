@@ -1,0 +1,73 @@
+package cde
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"livedev/internal/ifsvr"
+)
+
+func TestMatchConnectorScoring(t *testing.T) {
+	// The built-in SOAP and CORBA connectors are registered by init().
+	cases := []struct {
+		name    string
+		url     string
+		doc     ifsvr.Document
+		want    string
+		wantErr bool
+	}{
+		{
+			name: "wsdl by content type and suffix",
+			url:  "http://host/wsdl/Calc.wsdl",
+			doc:  ifsvr.Document{ContentType: `text/xml; charset="utf-8"`, Content: `<definitions xmlns="..."/>`},
+			want: "SOAP",
+		},
+		{
+			name: "idl by suffix and content",
+			url:  "http://host/idl/Calc.idl",
+			doc:  ifsvr.Document{ContentType: "text/plain", Content: "module CalcModule { interface Calc {}; };"},
+			want: "CORBA",
+		},
+		{
+			name: "ior by suffix and prefix",
+			url:  "http://host/ior/Calc.ior",
+			doc:  ifsvr.Document{ContentType: "text/plain", Content: "IOR:0001"},
+			want: "CORBA",
+		},
+		{
+			name:    "unrecognizable document",
+			url:     "http://host/mystery.bin",
+			doc:     ifsvr.Document{ContentType: "application/octet-stream", Content: "\x00\x01"},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := matchConnector(tc.url, tc.doc)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("matched %s, want error", c.Name)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Name != tc.want {
+				t.Errorf("matched %s, want %s", c.Name, tc.want)
+			}
+		})
+	}
+}
+
+func TestDialUnknownBindingError(t *testing.T) {
+	_, err := Dial(context.Background(), "http://127.0.0.1:0/x", &DialOptions{Binding: "GOPHER"})
+	if err == nil || !strings.Contains(err.Error(), "GOPHER") {
+		t.Fatalf("want unknown-binding error naming GOPHER, got %v", err)
+	}
+	// The error lists what IS registered, to guide the caller.
+	if !strings.Contains(err.Error(), "SOAP") {
+		t.Errorf("error should list registered bindings: %v", err)
+	}
+}

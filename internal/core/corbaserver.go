@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,15 +58,15 @@ func newCORBAServer(m *Manager, class *dyn.Class) (*CORBAServer, error) {
 		m.iface.PublishVersioned(s.idlPath, "text/plain", text, desc.Version)
 		return nil
 	}
-	s.pub = NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+	s.pub = m.NewPublisher(class, publish)
 	s.target.pub = s.pub
-	s.target.activeOnly = m.cfg.ActivePublishingOnly
+	s.target.activeOnly = !m.ReactivePublication()
 
 	// The Server ORB is initialized by the CORBA End Point and the IOR is
 	// published via the Interface Server (Section 5.2.1).
 	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", class.Name(), class.Name())
 	s.orbSrv = orb.NewServerORB(typeID, []byte(class.Name()), s.target)
-	ref, err := s.orbSrv.Listen(m.cfg.CORBAAddr)
+	ref, err := s.orbSrv.Listen(m.CORBAAddr())
 	if err != nil {
 		s.pub.Close()
 		return nil, fmt.Errorf("core: starting server ORB: %w", err)
@@ -142,7 +143,7 @@ func (s *CORBAServer) Close() error {
 	s.mu.Unlock()
 	err := s.orbSrv.Close()
 	s.pub.Close()
-	s.mgr.remove(s.class.Name())
+	s.mgr.Unregister(s.class.Name())
 	return err
 }
 
@@ -207,14 +208,23 @@ func (t *corbaTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
 	return t.class.Interface().Lookup(op)
 }
 
-// InvokeOperation implements orb.DSITarget.
-func (t *corbaTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+// InvokeOperation implements orb.DSITarget. ctx is the request context
+// threaded up from the IIOP transport: a client whose invoking context was
+// cancelled (GIOP CancelRequest), a dropped connection, or ORB shutdown
+// cancels it, and the dispatch is skipped — the method body itself cannot
+// observe ctx (the dyn Body ABI is context-free by design; bodies are
+// developer-edited application code).
+func (t *corbaTarget) InvokeOperation(ctx context.Context, op string, args []dyn.Value) (dyn.Value, error) {
 	t.gate.RLock()
 	in := t.instance
 	t.gate.RUnlock()
 	if in == nil {
 		t.count(func(s *CallStats) { s.Inactive++ })
 		return dyn.Value{}, errServerNotInitialized
+	}
+	if err := ctx.Err(); err != nil {
+		// The caller is gone; don't run a method nobody will observe.
+		return dyn.Value{}, fmt.Errorf("core: call abandoned before dispatch: %w", err)
 	}
 	v, err := in.InvokeDistributed(op, args...)
 	switch {

@@ -238,8 +238,12 @@ func TestManagerListenFailure(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	cfg := Config{}.withDefaults()
-	if cfg.InterfaceAddr == "" || cfg.SOAPAddr == "" || cfg.CORBAAddr == "" {
+	if cfg.InterfaceAddr == "" || cfg.HTTPAddr == "" || cfg.CORBAAddr == "" {
 		t.Error("addresses should default")
+	}
+	// The deprecated SOAPAddr is honored when HTTPAddr is unset.
+	if got := (Config{SOAPAddr: "127.0.0.1:9999"}).withDefaults().HTTPAddr; got != "127.0.0.1:9999" {
+		t.Errorf("SOAPAddr should flow into HTTPAddr, got %q", got)
 	}
 	if cfg.Timeout != DefaultTimeout {
 		t.Error("timeout should default")

@@ -13,18 +13,23 @@ import (
 	"livedev/internal/ifsvr"
 )
 
-// Technology identifies an RMI technology integrated into the SDE.
+// Technology names an RMI technology integrated into the SDE. Since the
+// binding registry replaced the hardcoded enum it is simply the registered
+// binding's name; any string for which a Binding has been registered is
+// valid.
 type Technology string
 
-// The technologies the initial SDE implementation supports (Section 2).
+// Names of the two technologies the initial SDE implementation ships
+// (Section 2). Registered in binding.go through the same seam third-party
+// bindings use.
 const (
 	TechSOAP  Technology = "SOAP"
 	TechCORBA Technology = "CORBA"
 )
 
 // Server is the technology-independent view of one managed server class —
-// the SDEServer position in the Figure 6 hierarchy. SOAPServer and
-// CORBAServer implement it.
+// the SDEServer position in the Figure 6 hierarchy. SOAPServer,
+// CORBAServer, and every registered binding's server implement it.
 type Server interface {
 	// Class returns the managed dynamic class.
 	Class() *dyn.Class
@@ -40,7 +45,7 @@ type Server interface {
 	// Instance returns the live instance (nil before CreateInstance).
 	Instance() *dyn.Instance
 	// InterfaceURL returns the HTTP URL of the published interface
-	// description (WSDL or CORBA-IDL).
+	// description (WSDL, CORBA-IDL, or the binding's own format).
 	InterfaceURL() string
 	// Close deactivates the server and releases its resources.
 	Close() error
@@ -62,7 +67,13 @@ type CallHandler interface {
 type Config struct {
 	// InterfaceAddr is the Interface Server listen address.
 	InterfaceAddr string
-	// SOAPAddr is the SOAP endpoint HTTP listen address.
+	// HTTPAddr is the listen address of the shared HTTP endpoint server
+	// that HTTP-based bindings (SOAP, JSON) mount call handlers on.
+	HTTPAddr string
+	// SOAPAddr is the former name of HTTPAddr, honored when HTTPAddr is
+	// empty.
+	//
+	// Deprecated: set HTTPAddr.
 	SOAPAddr string
 	// CORBAAddr is the listen address used for each CORBA server ORB.
 	CORBAAddr string
@@ -81,8 +92,11 @@ func (c Config) withDefaults() Config {
 	if c.InterfaceAddr == "" {
 		c.InterfaceAddr = "127.0.0.1:0"
 	}
-	if c.SOAPAddr == "" {
-		c.SOAPAddr = "127.0.0.1:0"
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = c.SOAPAddr
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
 	}
 	if c.CORBAAddr == "" {
 		c.CORBAAddr = "127.0.0.1:0"
@@ -99,17 +113,18 @@ func (c Config) withDefaults() Config {
 // Manager is the SDE Manager: it "oversees the subsystem initialization and
 // acts as the central point of communication between the other components"
 // (Section 5.1). One Manager owns the shared Interface Server, the HTTP
-// server hosting SOAP endpoints, and the set of managed server classes.
+// server hosting HTTP-based call handlers, and the set of managed server
+// classes.
 type Manager struct {
 	cfg Config
 
 	iface *ifsvr.Server
 
-	soapMux  *dynamicMux
-	soapSrv  *http.Server
-	soapLn   net.Listener
-	soapBase string
-	soapDone chan struct{}
+	httpMux  *dynamicMux
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	httpBase string
+	httpDone chan struct{}
 
 	mu      sync.Mutex
 	servers map[string]Server
@@ -117,30 +132,30 @@ type Manager struct {
 }
 
 // NewManager creates and starts a manager: the Interface Server and the
-// SOAP endpoint server begin listening immediately.
+// HTTP endpoint server begin listening immediately.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:     cfg,
 		iface:   ifsvr.New(),
-		soapMux: newDynamicMux(),
+		httpMux: newDynamicMux(),
 		servers: make(map[string]Server),
 	}
 	if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
 		return nil, fmt.Errorf("core: starting interface server: %w", err)
 	}
-	ln, err := net.Listen("tcp", cfg.SOAPAddr)
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
 		_ = m.iface.Close()
-		return nil, fmt.Errorf("core: starting SOAP endpoint server: %w", err)
+		return nil, fmt.Errorf("core: starting HTTP endpoint server: %w", err)
 	}
-	m.soapLn = ln
-	m.soapBase = "http://" + ln.Addr().String()
-	m.soapSrv = &http.Server{Handler: m.soapMux, ReadHeaderTimeout: 10 * time.Second}
-	m.soapDone = make(chan struct{})
+	m.httpLn = ln
+	m.httpBase = "http://" + ln.Addr().String()
+	m.httpSrv = &http.Server{Handler: m.httpMux, ReadHeaderTimeout: 10 * time.Second}
+	m.httpDone = make(chan struct{})
 	go func() {
-		defer close(m.soapDone)
-		_ = m.soapSrv.Serve(ln)
+		defer close(m.httpDone)
+		_ = m.httpSrv.Serve(ln)
 	}()
 	return m, nil
 }
@@ -151,14 +166,51 @@ func (m *Manager) InterfaceServer() *ifsvr.Server { return m.iface }
 // InterfaceBaseURL returns the Interface Server base URL.
 func (m *Manager) InterfaceBaseURL() string { return m.iface.BaseURL() }
 
-// SOAPBaseURL returns the base URL SOAP endpoints are mounted under.
-func (m *Manager) SOAPBaseURL() string { return m.soapBase }
+// HTTPBaseURL returns the base URL that handlers mounted with MountHTTP are
+// served under.
+func (m *Manager) HTTPBaseURL() string { return m.httpBase }
 
-// Register creates a managed server of the given technology for class —
-// what happens when a JPie user extends SOAPServer or CORBAServer
-// (Section 4): the backend components are created and a basic interface
-// description is published immediately.
+// SOAPBaseURL is the former name of HTTPBaseURL.
+//
+// Deprecated: use HTTPBaseURL.
+func (m *Manager) SOAPBaseURL() string { return m.httpBase }
+
+// MountHTTP mounts a call handler on the shared HTTP endpoint server at
+// path. HTTP-based bindings use it so one listener serves every HTTP
+// technology.
+func (m *Manager) MountHTTP(path string, h http.Handler) { m.httpMux.handle(path, h) }
+
+// UnmountHTTP removes a handler mounted with MountHTTP.
+func (m *Manager) UnmountHTTP(path string) { m.httpMux.removeHandler(path) }
+
+// NewPublisher builds a DL Publisher for class wired to the manager's
+// configured stability timeout and clock, delivering documents via publish.
+// Bindings use it so every technology shares the Section 5.6 publication
+// behaviour (and its test clock) without reaching into the config.
+func (m *Manager) NewPublisher(class *dyn.Class, publish PublishFunc) *DLPublisher {
+	return NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+}
+
+// ReactivePublication reports whether stale calls must force the published
+// interface current before the "non-existent method" reply (true normally;
+// false under the ActivePublishingOnly ablation).
+func (m *Manager) ReactivePublication() bool { return !m.cfg.ActivePublishingOnly }
+
+// CORBAAddr returns the configured listen address for CORBA server ORBs.
+func (m *Manager) CORBAAddr() string { return m.cfg.CORBAAddr }
+
+// Register deploys class as a live server of the named technology — what
+// happens when a JPie user extends SOAPServer or CORBAServer (Section 4):
+// the binding's backend components are created and a basic interface
+// description is published immediately. The technology is resolved against
+// the process-wide binding registry, so technologies added with
+// RegisterBinding deploy exactly like the built-in pair.
 func (m *Manager) Register(class *dyn.Class, tech Technology) (Server, error) {
+	b, ok := LookupBinding(string(tech))
+	if !ok {
+		return nil, fmt.Errorf("core: no binding registered for technology %q (registered: %v)", tech, BindingNames())
+	}
+
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -172,16 +224,7 @@ func (m *Manager) Register(class *dyn.Class, tech Technology) (Server, error) {
 	m.servers[class.Name()] = nil
 	m.mu.Unlock()
 
-	var srv Server
-	var err error
-	switch tech {
-	case TechSOAP:
-		srv, err = newSOAPServer(m, class)
-	case TechCORBA:
-		srv, err = newCORBAServer(m, class)
-	default:
-		err = fmt.Errorf("core: unsupported technology %q", tech)
-	}
+	srv, err := b.Serve(m, class)
 
 	m.mu.Lock()
 	if err != nil {
@@ -214,14 +257,15 @@ func (m *Manager) Servers() []Server {
 	return out
 }
 
-// remove drops a server from the registry (called by Server.Close).
-func (m *Manager) remove(className string) {
+// Unregister drops a server from the registry. Binding Server
+// implementations call it from Close.
+func (m *Manager) Unregister(className string) {
 	m.mu.Lock()
 	delete(m.servers, className)
 	m.mu.Unlock()
 }
 
-// Close shuts down every managed server, the SOAP endpoint server, and the
+// Close shuts down every managed server, the HTTP endpoint server, and the
 // Interface Server.
 func (m *Manager) Close() error {
 	m.mu.Lock()
@@ -241,15 +285,15 @@ func (m *Manager) Close() error {
 	for _, s := range servers {
 		_ = s.Close()
 	}
-	err := m.soapSrv.Close()
-	<-m.soapDone
+	err := m.httpSrv.Close()
+	<-m.httpDone
 	if e := m.iface.Close(); err == nil {
 		err = e
 	}
 	return err
 }
 
-// dynamicMux routes SOAP endpoint paths to handlers and supports removal
+// dynamicMux routes endpoint paths to handlers and supports removal
 // (http.ServeMux cannot unregister, and SDE servers come and go live).
 type dynamicMux struct {
 	mu       sync.RWMutex

@@ -39,7 +39,7 @@ func newSOAPServer(m *Manager, class *dyn.Class) (*SOAPServer, error) {
 		path:     "/soap/" + class.Name(),
 		wsdlPath: "/wsdl/" + class.Name() + ".wsdl",
 	}
-	s.endpoint = m.SOAPBaseURL() + s.path
+	s.endpoint = m.HTTPBaseURL() + s.path
 	s.handler = newSOAPCallHandler(class, "urn:"+class.Name(), nil)
 
 	// Generated WSDL text is cached by interface hash: republication of an
@@ -59,16 +59,16 @@ func newSOAPServer(m *Manager, class *dyn.Class) (*SOAPServer, error) {
 		m.iface.PublishVersioned(s.wsdlPath, "text/xml", text, desc.Version)
 		return nil
 	}
-	s.pub = NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+	s.pub = m.NewPublisher(class, publish)
 	s.handler.pub = s.pub
-	s.handler.activeOnly = m.cfg.ActivePublishingOnly
+	s.handler.activeOnly = !m.ReactivePublication()
 
 	// "...creates the required backend components for deployment and
 	// immediately publishes a basic WSDL definition" (Section 4).
 	s.pub.PublishNow()
 	s.pub.WaitIdle()
 
-	m.soapMux.handle(s.path, s.handler)
+	m.MountHTTP(s.path, s.handler)
 	return s, nil
 }
 
@@ -127,9 +127,9 @@ func (s *SOAPServer) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	s.mgr.soapMux.removeHandler(s.path)
+	s.mgr.UnmountHTTP(s.path)
 	s.pub.Close()
-	s.mgr.remove(s.class.Name())
+	s.mgr.Unregister(s.class.Name())
 	return nil
 }
 
@@ -215,17 +215,24 @@ func writeOK(w http.ResponseWriter, envelope string) {
 }
 
 // ServeHTTP implements the request/response handling of Section 5.1.3.
+// The request body is read into a pooled buffer (the per-request io.ReadAll
+// was the largest remaining per-call allocation after PR 1): everything
+// decoded from it below — dyn values, method names — is copied by the soap
+// parser, so the buffer recycles as soon as the request is handled.
 func (h *SOAPCallHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	buf := soap.GetBodyBuffer()
+	defer soap.PutBodyBuffer(buf)
+	_, err := buf.ReadFrom(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
 		h.count(func(s *CallStats) { s.Malformed++ })
 		writeFault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
 		return
 	}
+	body := buf.Bytes()
 
 	h.gate.RLock()
 	in := h.instance

@@ -19,7 +19,8 @@ func TestTable1Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 {
+	// Four paper configurations plus the JSON binding-seam row.
+	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byName := map[string]workload.RTTStats{}

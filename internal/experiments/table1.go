@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -16,11 +17,18 @@ import (
 
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/jsonb"
 	"livedev/internal/orb"
 	"livedev/internal/soap"
 	"livedev/internal/static"
 	"livedev/internal/workload"
 )
+
+// The JSON binding is wired through the public registry — the Table 1
+// harness deploys it exactly like the built-in technologies.
+func init() {
+	core.RegisterBinding(jsonb.New())
+}
 
 // Table1Row is one row of the Table 1 reproduction.
 type Table1Row struct {
@@ -242,6 +250,43 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		})
 	}
 
+	// --- SDE JSON / static client (no paper analogue; the binding-seam
+	// row added with the v2 API) ---
+	{
+		mgr, err := core.NewManager(core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := mgr.Register(echoClass("EchoSDEJ"), core.Technology(jsonb.Name))
+		if err != nil {
+			_ = mgr.Close()
+			return nil, err
+		}
+		if _, err := srv.CreateInstance(); err != nil {
+			_ = mgr.Close()
+			return nil, err
+		}
+		js := srv.(*jsonb.Server)
+		caller := &jsonb.Caller{Endpoint: js.Endpoint(), HTTPClient: &http.Client{}}
+		sig := echoSig()
+		args := []dyn.Value{dyn.StringValue(payload)}
+		ctx := context.Background()
+		setups = append(setups, setup{
+			name: "SDE JSON/http", paperRTT: 0,
+			call: func() error {
+				got, err := caller.Call(ctx, sig, args)
+				if err != nil {
+					return err
+				}
+				if got.Str() != payload {
+					return fmt.Errorf("echo corrupted the payload")
+				}
+				return nil
+			},
+			teardown: func() { _ = mgr.Close() },
+		})
+	}
+
 	// Warm up every configuration.
 	for _, s := range setups {
 		for i := 0; i < warmupCalls; i++ {
@@ -306,12 +351,16 @@ func FormatTable1(rows []Table1Row) string {
 	fmt.Fprintf(&b, "%-22s %12s %14s %14s %10s %12s %10s\n",
 		"Server/Client", "paper RTT", "measured mean", "measured p50", "n", "allocs/op", "B/op")
 	for _, r := range rows {
+		paper := "—"
+		if r.PaperRTT > 0 {
+			paper = r.PaperRTT.String()
+		}
 		fmt.Fprintf(&b, "%-22s %12s %14s %14s %10d %12.1f %10.0f\n",
-			r.Config, r.PaperRTT, r.Measured.Mean.Round(time.Microsecond),
+			r.Config, paper, r.Measured.Mean.Round(time.Microsecond),
 			r.Measured.P50.Round(time.Microsecond), r.Measured.N,
 			r.AllocsPerOp, r.BytesPerOp)
 	}
-	if len(rows) == 4 {
+	if len(rows) >= 4 {
 		soapOverhead := float64(rows[0].Measured.Mean) / float64(rows[1].Measured.Mean)
 		corbaOverhead := float64(rows[2].Measured.Mean) / float64(rows[3].Measured.Mean)
 		paperSOAP := 0.58 / 0.53

@@ -349,6 +349,30 @@ func DecodeRequest(m Message) (RequestHeader, *cdr.Decoder, error) {
 	return h, d, nil
 }
 
+// EncodeCancelRequest builds a CancelRequest message for requestID — the
+// GIOP notification a client sends when it is no longer interested in the
+// reply (here: the invoking context was cancelled). The returned message's
+// body lives in a pooled encoder; call Recycle once it has been written.
+func EncodeCancelRequest(order cdr.ByteOrder, requestID uint32) Message {
+	e := cdr.GetEncoder(order)
+	e.WriteULong(requestID)
+	return Message{Type: MsgCancelRequest, Order: order, Body: e.Bytes(), src: srcEncoder, enc: e}
+}
+
+// DecodeCancelRequest parses a CancelRequest body, returning the request ID
+// the peer abandoned.
+func DecodeCancelRequest(m Message) (uint32, error) {
+	if m.Type != MsgCancelRequest {
+		return 0, fmt.Errorf("giop: expected CancelRequest, got %s", m.Type)
+	}
+	d := cdr.NewDecoder(m.Body, m.Order)
+	id, err := d.ReadULong()
+	if err != nil {
+		return 0, fmt.Errorf("giop: cancel request id: %w", err)
+	}
+	return id, nil
+}
+
 // ReplyHeader is the GIOP 1.0 reply header.
 type ReplyHeader struct {
 	RequestID uint32

@@ -8,6 +8,7 @@
 package ifsvr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -163,13 +164,22 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Fetch retrieves a document over HTTP — the client-side counterpart used
-// by the CDE.
+// Fetch is FetchContext with a background context.
 func Fetch(client *http.Client, url string) (Document, error) {
+	return FetchContext(context.Background(), client, url)
+}
+
+// FetchContext retrieves a document over HTTP — the client-side counterpart
+// used by the CDE. Cancelling ctx aborts the round-trip.
+func FetchContext(ctx context.Context, client *http.Client, url string) (Document, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	resp, err := client.Get(url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Document{}, fmt.Errorf("ifsvr: building request for %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return Document{}, fmt.Errorf("ifsvr: fetching %s: %w", url, err)
 	}

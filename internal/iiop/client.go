@@ -1,10 +1,12 @@
 package iiop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"livedev/internal/cdr"
 	"livedev/internal/giop"
@@ -27,6 +29,26 @@ var slotPool = sync.Pool{
 	New: func() any { return &callSlot{ch: make(chan giop.Message, 1)} },
 }
 
+// The pending-reply table is sharded by request ID so concurrent invokers
+// multiplexed over one connection do not serialize on a single map mutex:
+// register, reply routing, and abandon each lock only the shard the ID
+// hashes to. 16 shards comfortably exceeds the point where the shared-map
+// mutex stopped being the bottleneck (see BenchmarkConnInvokeParallel).
+const (
+	numShards = 16
+	shardMask = numShards - 1
+)
+
+// pendingShard is one slice of the pending-reply table. A nil map marks the
+// connection as failed: registrations that arrive after failAll swept the
+// shard observe the nil and report the recorded error instead of parking a
+// slot nothing will ever wake.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint32]*callSlot
+	_  [48]byte // pad to a cache line so shards don't false-share
+}
+
 // Conn is a client-side IIOP connection. Concurrent Invoke calls are
 // multiplexed over the single TCP stream by GIOP request ID.
 type Conn struct {
@@ -34,30 +56,41 @@ type Conn struct {
 
 	writeMu sync.Mutex
 
-	mu      sync.Mutex
-	nextID  uint32
-	pending map[uint32]*callSlot
+	nextID atomic.Uint32
+	shards [numShards]pendingShard
+
+	stateMu sync.Mutex
 	closed  bool
 	readErr error
 
 	readerDone chan struct{}
 }
 
-// Dial opens an IIOP connection to addr ("host:port").
+// Dial is DialContext with a background context.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext opens an IIOP connection to addr ("host:port"). The TCP
+// connect is bounded by ctx: cancellation or deadline expiry aborts it.
+func DialContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("iiop: dial %s: %w", addr, err)
 	}
 	conn := &Conn{
 		c:          c,
-		nextID:     1,
-		pending:    make(map[uint32]*callSlot),
 		readerDone: make(chan struct{}),
+	}
+	for i := range conn.shards {
+		conn.shards[i].m = make(map[uint32]*callSlot)
 	}
 	go conn.readLoop()
 	return conn, nil
 }
+
+func (cn *Conn) shard(id uint32) *pendingShard { return &cn.shards[id&shardMask] }
 
 func (cn *Conn) readLoop() {
 	defer close(cn.readerDone)
@@ -75,15 +108,17 @@ func (cn *Conn) readLoop() {
 				cn.failAll(fmt.Errorf("iiop: undecodable reply: %w", err))
 				return
 			}
-			cn.mu.Lock()
-			slot, ok := cn.pending[hdr.RequestID]
+			sh := cn.shard(hdr.RequestID)
+			sh.mu.Lock()
+			slot, ok := sh.m[hdr.RequestID]
 			if ok {
-				delete(cn.pending, hdr.RequestID)
+				delete(sh.m, hdr.RequestID)
 			}
-			cn.mu.Unlock()
+			sh.mu.Unlock()
 			if ok {
 				slot.ch <- msg
 			} else {
+				// Abandoned (cancelled context) or unknown: drop it.
 				msg.Recycle()
 			}
 		case giop.MsgCloseConnection:
@@ -106,41 +141,51 @@ func (cn *Conn) readLoop() {
 var failSentinel = giop.Message{Type: giop.MsgMessageError}
 
 // failAll wakes every pending invoker with an error by delivering the fail
-// sentinel after recording the error. Each slot's channel has space: a slot
+// sentinel after recording the error, and marks each shard dead (nil map) so
+// late registrations fail fast. Each slot's channel has space: a slot
 // receives at most one message per registration (reply routing removes it
 // from the map first).
 func (cn *Conn) failAll(err error) {
-	cn.mu.Lock()
+	cn.stateMu.Lock()
 	if cn.readErr == nil {
 		cn.readErr = err
 	}
-	pending := cn.pending
-	cn.pending = make(map[uint32]*callSlot)
-	cn.mu.Unlock()
-	for _, slot := range pending {
-		slot.ch <- failSentinel
+	cn.stateMu.Unlock()
+	for i := range cn.shards {
+		sh := &cn.shards[i]
+		sh.mu.Lock()
+		pending := sh.m
+		sh.m = nil
+		sh.mu.Unlock()
+		for _, slot := range pending {
+			slot.ch <- failSentinel
+		}
 	}
+}
+
+// deadErr reports why the connection is unusable.
+func (cn *Conn) deadErr() error {
+	cn.stateMu.Lock()
+	defer cn.stateMu.Unlock()
+	if cn.readErr != nil {
+		return cn.readErr
+	}
+	return ErrConnClosed
 }
 
 // register allocates a request ID and parks a pooled slot for its reply.
 func (cn *Conn) register() (uint32, *callSlot, error) {
 	slot := slotPool.Get().(*callSlot)
-	cn.mu.Lock()
-	if cn.closed {
-		cn.mu.Unlock()
+	id := cn.nextID.Add(1)
+	sh := cn.shard(id)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.mu.Unlock()
 		slotPool.Put(slot)
-		return 0, nil, ErrConnClosed
+		return 0, nil, cn.deadErr()
 	}
-	if cn.readErr != nil {
-		err := cn.readErr
-		cn.mu.Unlock()
-		slotPool.Put(slot)
-		return 0, nil, err
-	}
-	id := cn.nextID
-	cn.nextID++
-	cn.pending[id] = slot
-	cn.mu.Unlock()
+	sh.m[id] = slot
+	sh.mu.Unlock()
 	return id, slot, nil
 }
 
@@ -167,32 +212,54 @@ func (cn *Conn) send(id uint32, objectKey []byte, operation string, order cdr.By
 	return nil
 }
 
-// await blocks until the slot delivers the reply (or the fail sentinel),
-// returning the slot to the pool when the message has been consumed is the
-// caller's job via recycleSlot.
-func (cn *Conn) await(slot *callSlot) (giop.Message, error) {
-	msg := <-slot.ch
-	if msg.Type != giop.MsgReply {
+// await blocks until the slot delivers the reply (or the fail sentinel), or
+// ctx is cancelled. On cancellation the request is abandoned — a GIOP
+// CancelRequest is sent so the server can stop working on it, the eventual
+// reply (if any) is drained off-thread, and the returned error wraps
+// ctx.Err().
+func (cn *Conn) await(ctx context.Context, id uint32, order cdr.ByteOrder, slot *callSlot) (giop.Message, error) {
+	select {
+	case msg := <-slot.ch:
 		slotPool.Put(slot)
-		cn.mu.Lock()
-		err := cn.readErr
-		cn.mu.Unlock()
-		if err == nil {
-			err = ErrConnClosed
+		if msg.Type != giop.MsgReply {
+			return giop.Message{}, cn.deadErr()
 		}
-		return giop.Message{}, err
+		return msg, nil
+	case <-ctx.Done():
+		cn.cancelRequest(id, order)
+		cn.abandon(id, slot)
+		return giop.Message{}, fmt.Errorf("iiop: invocation aborted: %w", ctx.Err())
 	}
-	slotPool.Put(slot)
-	return msg, nil
+}
+
+// cancelRequest best-effort notifies the server that the reply for id is no
+// longer wanted. The write happens on a detached goroutine: the caller is
+// on the cancellation path and must return promptly even if the peer has
+// stopped draining its socket (a blocking write here would also wedge
+// writeMu for every other invoker). If the connection dies first the write
+// simply fails.
+func (cn *Conn) cancelRequest(id uint32, order cdr.ByteOrder) {
+	go func() {
+		msg := giop.EncodeCancelRequest(order, id)
+		cn.writeMu.Lock()
+		_ = giop.WriteMessage(cn.c, msg)
+		cn.writeMu.Unlock()
+		msg.Recycle()
+	}()
 }
 
 // Invoke sends a GIOP request for operation on objectKey, with arguments
-// encoded by args (may be nil), and waits for the matching reply. It
-// returns the reply header and a decoder positioned at the reply body. The
-// reply body is caller-owned (never recycled), so the decoder stays valid
-// indefinitely; latency-sensitive callers should prefer InvokeInto, which
-// recycles the body buffer.
-func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) (giop.ReplyHeader, *cdr.Decoder, error) {
+// encoded by args (may be nil), and waits for the matching reply. ctx
+// cancellation or deadline expiry aborts the wait (the connection stays
+// usable; the late reply is dropped when it arrives). It returns the reply
+// header and a decoder positioned at the reply body. The reply body is
+// caller-owned (never recycled), so the decoder stays valid indefinitely;
+// latency-sensitive callers should prefer InvokeInto, which recycles the
+// body buffer.
+func (cn *Conn) Invoke(ctx context.Context, objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error) (giop.ReplyHeader, *cdr.Decoder, error) {
+	if err := ctx.Err(); err != nil {
+		return giop.ReplyHeader{}, nil, fmt.Errorf("iiop: invocation aborted: %w", err)
+	}
 	id, slot, err := cn.register()
 	if err != nil {
 		return giop.ReplyHeader{}, nil, err
@@ -201,7 +268,7 @@ func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, 
 		cn.abandon(id, slot)
 		return giop.ReplyHeader{}, nil, err
 	}
-	msg, err := cn.await(slot)
+	msg, err := cn.await(ctx, id, order, slot)
 	if err != nil {
 		return giop.ReplyHeader{}, nil, err
 	}
@@ -215,7 +282,10 @@ func (cn *Conn) Invoke(objectKey []byte, operation string, order cdr.ByteOrder, 
 // the reply header and body decoder, and the pooled body buffer is recycled
 // as soon as reply returns. Values that must outlive the call have to be
 // copied inside reply (the plain cdr Read*/DecodeValue paths already copy).
-func (cn *Conn) InvokeInto(objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error, reply func(giop.ReplyHeader, *cdr.Decoder) error) error {
+func (cn *Conn) InvokeInto(ctx context.Context, objectKey []byte, operation string, order cdr.ByteOrder, args func(*cdr.Encoder) error, reply func(giop.ReplyHeader, *cdr.Decoder) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("iiop: invocation aborted: %w", err)
+	}
 	id, slot, err := cn.register()
 	if err != nil {
 		return err
@@ -224,7 +294,7 @@ func (cn *Conn) InvokeInto(objectKey []byte, operation string, order cdr.ByteOrd
 		cn.abandon(id, slot)
 		return err
 	}
-	msg, err := cn.await(slot)
+	msg, err := cn.await(ctx, id, order, slot)
 	if err != nil {
 		return err
 	}
@@ -239,20 +309,28 @@ func (cn *Conn) InvokeInto(objectKey []byte, operation string, order cdr.ByteOrd
 }
 
 // abandon unregisters a request that failed before (or instead of) waiting
-// for its reply. If the read loop already claimed the slot for delivery,
-// the message is guaranteed to arrive; consume it so the slot can be
-// pooled again.
+// for its reply. If the read loop (or failAll) already claimed the slot for
+// delivery, the message is guaranteed to arrive; drain it off-thread — an
+// abandoning caller, e.g. one whose context was cancelled mid-call against a
+// slow server, must not block on the server's schedule — and pool the slot
+// once consumed.
 func (cn *Conn) abandon(id uint32, slot *callSlot) {
-	cn.mu.Lock()
-	_, present := cn.pending[id]
-	if present {
-		delete(cn.pending, id)
+	sh := cn.shard(id)
+	sh.mu.Lock()
+	var present bool
+	if sh.m != nil {
+		if _, present = sh.m[id]; present {
+			delete(sh.m, id)
+		}
 	}
-	cn.mu.Unlock()
+	sh.mu.Unlock()
 	if !present {
-		// Reply or fail sentinel is in flight: drain it.
-		msg := <-slot.ch
-		msg.Recycle()
+		go func() {
+			msg := <-slot.ch
+			msg.Recycle()
+			slotPool.Put(slot)
+		}()
+		return
 	}
 	slotPool.Put(slot)
 }
@@ -260,13 +338,13 @@ func (cn *Conn) abandon(id uint32, slot *callSlot) {
 // Close tears down the connection and joins the read loop. In-flight
 // invocations fail with ErrConnClosed.
 func (cn *Conn) Close() error {
-	cn.mu.Lock()
+	cn.stateMu.Lock()
 	if cn.closed {
-		cn.mu.Unlock()
+		cn.stateMu.Unlock()
 		return nil
 	}
 	cn.closed = true
-	cn.mu.Unlock()
+	cn.stateMu.Unlock()
 	err := cn.c.Close()
 	<-cn.readerDone
 	return err

@@ -1,6 +1,7 @@
 package iiop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -14,7 +15,7 @@ import (
 // echoHandler replies with the request's string argument, doubled, and
 // status NO_EXCEPTION; unknown operations get BAD_OPERATION.
 func echoHandler() Handler {
-	return HandlerFunc(func(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	return HandlerFunc(func(_ context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		if h.Operation != "echo" {
 			se := &giop.SystemException{RepoID: giop.RepoBadOperation, Minor: 1, Completed: giop.CompletedNo}
 			msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplySystemException}, se.Encode)
@@ -55,7 +56,7 @@ func TestInvokeRoundTrip(t *testing.T) {
 	}
 	defer conn.Close()
 
-	h, body, err := conn.Invoke([]byte("obj"), "echo", cdr.BigEndian, func(e *cdr.Encoder) error {
+	h, body, err := conn.Invoke(context.Background(), []byte("obj"), "echo", cdr.BigEndian, func(e *cdr.Encoder) error {
 		e.WriteString("ab")
 		return nil
 	})
@@ -79,7 +80,7 @@ func TestInvokeSystemException(t *testing.T) {
 	}
 	defer conn.Close()
 
-	h, body, err := conn.Invoke(nil, "nonexistent", cdr.BigEndian, nil)
+	h, body, err := conn.Invoke(context.Background(), nil, "nonexistent", cdr.BigEndian, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestInvokeSystemException(t *testing.T) {
 func TestConcurrentInvocationsMultiplex(t *testing.T) {
 	// A slow handler forces replies to arrive out of order relative to
 	// request submission, exercising request-ID demultiplexing.
-	h := HandlerFunc(func(rh giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := HandlerFunc(func(_ context.Context, rh giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		n, _ := args.ReadLong()
 		if n%2 == 0 {
 			time.Sleep(10 * time.Millisecond)
@@ -124,7 +125,7 @@ func TestConcurrentInvocationsMultiplex(t *testing.T) {
 		wg.Add(1)
 		go func(n int32) {
 			defer wg.Done()
-			hdr, body, err := conn.Invoke(nil, "mul", cdr.LittleEndian, func(e *cdr.Encoder) error {
+			hdr, body, err := conn.Invoke(context.Background(), nil, "mul", cdr.LittleEndian, func(e *cdr.Encoder) error {
 				e.WriteLong(n)
 				return nil
 			})
@@ -159,7 +160,7 @@ func TestInvokeAfterClose(t *testing.T) {
 	if err := conn.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := conn.Invoke(nil, "echo", cdr.BigEndian, nil); !errors.Is(err, ErrConnClosed) {
+	if _, _, err := conn.Invoke(context.Background(), nil, "echo", cdr.BigEndian, nil); !errors.Is(err, ErrConnClosed) {
 		t.Errorf("invoke after close: %v", err)
 	}
 	// Idempotent close.
@@ -170,7 +171,7 @@ func TestInvokeAfterClose(t *testing.T) {
 
 func TestServerCloseUnblocksClients(t *testing.T) {
 	block := make(chan struct{})
-	h := HandlerFunc(func(rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := HandlerFunc(func(_ context.Context, rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		<-block
 		msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: rh.RequestID, Status: giop.ReplyNoException}, nil)
 		return msg
@@ -188,7 +189,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := conn.Invoke(nil, "hang", cdr.BigEndian, nil)
+		_, _, err := conn.Invoke(context.Background(), nil, "hang", cdr.BigEndian, nil)
 		done <- err
 	}()
 	time.Sleep(20 * time.Millisecond) // let the request reach the handler
@@ -230,7 +231,7 @@ func TestListenTwiceAfterClose(t *testing.T) {
 
 func TestOnewayRequestGetsNoReply(t *testing.T) {
 	called := make(chan struct{}, 1)
-	h := HandlerFunc(func(rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := HandlerFunc(func(_ context.Context, rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		called <- struct{}{}
 		msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: rh.RequestID, Status: giop.ReplyNoException}, nil)
 		return msg
@@ -260,7 +261,7 @@ func TestOnewayRequestGetsNoReply(t *testing.T) {
 	}
 	<-called
 
-	hdr, _, err := conn.Invoke(nil, "normal", cdr.BigEndian, nil)
+	hdr, _, err := conn.Invoke(context.Background(), nil, "normal", cdr.BigEndian, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

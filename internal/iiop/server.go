@@ -6,6 +6,7 @@
 package iiop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -19,20 +20,25 @@ import (
 // positioned at the first argument octet. Implementations must be safe for
 // concurrent use.
 //
+// ctx is the request's context: it is cancelled when the peer sends a GIOP
+// CancelRequest for this request ID (the client's invoking context was
+// cancelled), when the connection drops, or when the server shuts down.
+// Handlers may consult it to abandon work whose reply nobody will read.
+//
 // Buffer lifetime: the request header's ObjectKey/Principal slices and the
 // args decoder alias a pooled message buffer that is recycled after
 // HandleRequest returns and the reply is written. Handlers must not retain
 // them; decoded values (cdr.DecodeValue, Read* copies) are safe to keep.
 type Handler interface {
-	HandleRequest(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
+	HandleRequest(ctx context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
 }
 
 // HandlerFunc adapts a function to Handler.
-type HandlerFunc func(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
+type HandlerFunc func(ctx context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
 
 // HandleRequest implements Handler.
-func (f HandlerFunc) HandleRequest(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
-	return f(h, args, order)
+func (f HandlerFunc) HandleRequest(ctx context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	return f(ctx, h, args, order)
 }
 
 var _ Handler = (HandlerFunc)(nil)
@@ -108,9 +114,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// connCtx parents every request context on this connection; it dies with
+	// the connection (read loop exit), which includes server shutdown.
+	connCtx, connCancel := context.WithCancel(context.Background())
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
+	defer connCancel() // LIFO: cancel in-flight requests, then join them
+	// inflight maps request IDs to their cancel funcs so a CancelRequest
+	// from the peer aborts exactly the request it names.
+	var inflightMu sync.Mutex
+	inflight := make(map[uint32]context.CancelFunc)
 	for {
 		msg, err := giop.ReadMessagePooled(conn)
 		if err != nil {
@@ -127,14 +141,24 @@ func (s *Server) serveConn(conn net.Conn) {
 				writeMu.Unlock()
 				return
 			}
+			reqCtx, reqCancel := context.WithCancel(connCtx)
+			inflightMu.Lock()
+			inflight[hdr.RequestID] = reqCancel
+			inflightMu.Unlock()
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				reply := s.handler.HandleRequest(hdr, args, msg.Order)
+				reply := s.handler.HandleRequest(reqCtx, hdr, args, msg.Order)
+				id := hdr.RequestID
+				responseExpected := hdr.ResponseExpected
 				// The handler is done with the request body (hdr and args
 				// alias it; decoded values are copies).
 				msg.Recycle()
-				if !hdr.ResponseExpected {
+				inflightMu.Lock()
+				delete(inflight, id)
+				inflightMu.Unlock()
+				reqCancel()
+				if !responseExpected {
 					reply.Recycle()
 					return
 				}
@@ -143,6 +167,18 @@ func (s *Server) serveConn(conn net.Conn) {
 				writeMu.Unlock()
 				reply.Recycle()
 			}()
+		case giop.MsgCancelRequest:
+			id, err := giop.DecodeCancelRequest(msg)
+			msg.Recycle()
+			if err != nil {
+				continue // malformed cancel: ignore, it is advisory
+			}
+			inflightMu.Lock()
+			cancel := inflight[id]
+			inflightMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
 		case giop.MsgCloseConnection:
 			msg.Recycle()
 			return

@@ -1,0 +1,205 @@
+package jsonb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+	"livedev/internal/ifsvr"
+)
+
+// ErrNonExistentMethod is the client-visible form of the binding's
+// "non-existent method" error code. Receiving it guarantees the published
+// interface document is already current (Section 5.7), so the CDE reacts
+// by re-fetching it.
+var ErrNonExistentMethod = errors.New("jsonb: non-existent method")
+
+// AppError is a server-side application error delivered to the client.
+type AppError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *AppError) Error() string { return "server application error: " + e.Message }
+
+var defaultHTTPClient = &http.Client{Timeout: 30 * time.Second}
+
+// Caller posts calls to one endpoint URL — the transport half of a JSON
+// client stub (the analogue of soap.Client).
+type Caller struct {
+	// Endpoint is the JSON-POST endpoint URL.
+	Endpoint string
+	// HTTPClient is used for transport; a default client is used when nil.
+	HTTPClient *http.Client
+}
+
+func (c *Caller) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+// Call performs one RPC against sig. Cancelling ctx aborts the in-flight
+// HTTP round-trip and returns an error wrapping ctx.Err().
+func (c *Caller) Call(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	if len(args) != len(sig.Params) {
+		return dyn.Value{}, fmt.Errorf("jsonb: %s takes %d arguments, got %d", sig.Name, len(sig.Params), len(args))
+	}
+	wire := callRequest{Method: sig.Name, Args: make([]json.RawMessage, len(args))}
+	for i, a := range args {
+		if !a.Type().Equal(sig.Params[i].Type) {
+			return dyn.Value{}, fmt.Errorf("jsonb: %s parameter %s wants %s, got %s",
+				sig.Name, sig.Params[i].Name, sig.Params[i].Type, a.Type())
+		}
+		raw, err := EncodeValue(a)
+		if err != nil {
+			return dyn.Value{}, err
+		}
+		wire.Args[i] = raw
+	}
+	payload, err := json.Marshal(wire)
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("jsonb: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(payload))
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("jsonb: building HTTP request: %w", err)
+	}
+	req.Header.Set("Content-Type", ContentType)
+
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return dyn.Value{}, fmt.Errorf("jsonb: posting to %s: %w", c.Endpoint, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var parsed callResponse
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		return dyn.Value{}, fmt.Errorf("jsonb: reading response (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if parsed.Error != nil {
+		switch parsed.Error.Code {
+		case CodeNonExistentMethod:
+			return dyn.Value{}, fmt.Errorf("%w: %s", ErrNonExistentMethod, parsed.Error.Message)
+		case CodeApplication:
+			return dyn.Value{}, &AppError{Message: parsed.Error.Message}
+		default:
+			return dyn.Value{}, fmt.Errorf("jsonb: server error %s: %s", parsed.Error.Code, parsed.Error.Message)
+		}
+	}
+	if sig.Result == nil || sig.Result.Kind() == dyn.KindVoid {
+		return dyn.VoidValue(), nil
+	}
+	if parsed.Result == nil {
+		return dyn.Value{}, fmt.Errorf("jsonb: response for %s carries no result", sig.Name)
+	}
+	return DecodeValue(parsed.Result, sig.Result)
+}
+
+// backend implements cde.Backend over the JSON wire protocol.
+type backend struct {
+	docs       *cde.DocSource
+	httpClient *http.Client
+
+	mu     sync.RWMutex
+	caller *Caller
+}
+
+var _ cde.Backend = (*backend)(nil)
+
+// NewBackend returns a cde.Backend reading the interface document at
+// docURL. httpClient may be nil.
+func NewBackend(docURL string, httpClient *http.Client) cde.Backend {
+	return &backend{docs: cde.NewDocSource(docURL, httpClient, nil), httpClient: httpClient}
+}
+
+// Technology implements cde.Backend.
+func (b *backend) Technology() string { return Name }
+
+// FetchInterface implements cde.Backend: fetch the JSON interface document,
+// compile it, and (re)target the caller at the advertised endpoint.
+func (b *backend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, cde.DocVersions, error) {
+	doc, err := b.docs.Fetch(ctx)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
+	}
+	desc, endpoint, err := ParseDoc(doc.Content)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
+	}
+	desc.Version = doc.DescriptorVersion
+	b.mu.Lock()
+	b.caller = &Caller{Endpoint: endpoint, HTTPClient: b.httpClient}
+	b.mu.Unlock()
+	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// Invoke implements cde.Backend.
+func (b *backend) Invoke(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	b.mu.RLock()
+	caller := b.caller
+	b.mu.RUnlock()
+	if caller == nil {
+		return dyn.Value{}, errors.New("jsonb: backend not initialized")
+	}
+	return caller.Call(ctx, sig, args)
+}
+
+// IsStale implements cde.Backend.
+func (b *backend) IsStale(err error) bool { return errors.Is(err, ErrNonExistentMethod) }
+
+// Close implements cde.Backend.
+func (b *backend) Close() error { return nil }
+
+// Binding is the complete JSON/HTTP RMI technology: the server half
+// (core.Binding: Name + Serve) and the client half (Describe + Connect,
+// the cde.Connector shape). livedev.RegisterBinding accepts it directly.
+type Binding struct{}
+
+// New returns the binding.
+func New() Binding { return Binding{} }
+
+// Name implements core.Binding.
+func (Binding) Name() string { return Name }
+
+// Serve implements core.Binding.
+func (Binding) Serve(m *core.Manager, class *dyn.Class) (core.Server, error) {
+	return newServer(m, class)
+}
+
+// Describe reports how the binding's interface documents are recognized.
+func (Binding) Describe() cde.DocMatch {
+	return cde.DocMatch{
+		ContentTypes: []string{ContentType},
+		PathSuffixes: []string{".json"},
+		Content:      func(doc string) bool { return strings.Contains(doc, DocFormat) },
+	}
+}
+
+// Connect builds a live CDE client from the interface-document URL.
+func (Binding) Connect(ctx context.Context, url string, opts *cde.DialOptions) (*cde.Client, error) {
+	var hc *http.Client
+	var seed *ifsvr.Document
+	if opts != nil {
+		hc = opts.HTTPClient
+		seed = opts.Prefetched
+	}
+	b := &backend{docs: cde.NewDocSource(url, hc, seed), httpClient: hc}
+	return cde.NewClientContext(ctx, b, opts)
+}
+
+// Connector returns the client half as a cde.Connector, for callers wiring
+// the registries directly rather than through livedev.RegisterBinding.
+func Connector() cde.Connector {
+	b := Binding{}
+	return cde.Connector{Name: Name, Match: b.Describe(), Connect: b.Connect}
+}

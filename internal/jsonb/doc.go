@@ -1,0 +1,357 @@
+// Package jsonb is a third RMI-technology binding for the SDE/CDE: dynamic
+// classes served over JSON-POST HTTP, described by a machine-readable JSON
+// interface document. It exists to prove the binding seam the paper's
+// architecture implies — "an RMI technology with a describable interface"
+// — is real: the whole technology plugs in through livedev.RegisterBinding
+// (core.Binding + cde.Connector) with no edits to core dispatch, exactly
+// the way a third-party technology would.
+//
+// Wire protocol: POST {"method": "add", "args": [...]} to the endpoint;
+// the reply is {"result": ...} or {"error": {"code": ..., "message": ...}}.
+// The error code "non-existent-method" is the binding's form of the
+// paper's "Non Existent Method" exception and carries the same Section 5.7
+// guarantee: by the time the client sees it, the published interface
+// document is current.
+package jsonb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"livedev/internal/dyn"
+)
+
+// DocFormat identifies the interface-document format (and its version).
+const DocFormat = "livedev-json-binding/v1"
+
+// ContentType is the MIME type interface documents and calls use.
+const ContentType = "application/json"
+
+// Doc is the machine-readable interface description the binding publishes —
+// the JSON analogue of a WSDL or CORBA-IDL document.
+type Doc struct {
+	Format   string      `json:"format"`
+	Class    string      `json:"class"`
+	Endpoint string      `json:"endpoint"`
+	Methods  []MethodDoc `json:"methods"`
+	Structs  []StructDoc `json:"structs,omitempty"`
+}
+
+// MethodDoc describes one distributed method.
+type MethodDoc struct {
+	Name   string     `json:"name"`
+	Params []ParamDoc `json:"params"`
+	Result TypeDoc    `json:"result"`
+}
+
+// ParamDoc describes one formal parameter.
+type ParamDoc struct {
+	Name string  `json:"name"`
+	Type TypeDoc `json:"type"`
+}
+
+// StructDoc defines a named struct type referenced from signatures.
+type StructDoc struct {
+	Name   string     `json:"name"`
+	Fields []ParamDoc `json:"fields"`
+}
+
+// TypeDoc is the JSON rendering of a dyn.Type: primitives carry only the
+// kind; sequences nest their element; structs are referenced by name and
+// defined once in Doc.Structs.
+type TypeDoc struct {
+	Kind string   `json:"kind"`
+	Elem *TypeDoc `json:"elem,omitempty"`
+	Name string   `json:"name,omitempty"`
+}
+
+func typeDoc(t *dyn.Type) TypeDoc {
+	switch t.Kind() {
+	case dyn.KindSequence:
+		e := typeDoc(t.Elem())
+		return TypeDoc{Kind: "sequence", Elem: &e}
+	case dyn.KindStruct:
+		return TypeDoc{Kind: "struct", Name: t.Name()}
+	default:
+		return TypeDoc{Kind: t.Kind().String()}
+	}
+}
+
+// errUndefinedStruct marks a struct reference that is not resolvable yet —
+// ParseDoc's fixed-point pass retries those until the table is complete.
+var errUndefinedStruct = errors.New("jsonb: undefined struct type")
+
+var primitiveKinds = map[string]*dyn.Type{
+	"void":    dyn.Void,
+	"boolean": dyn.Boolean,
+	"char":    dyn.Char,
+	"int32":   dyn.Int32T,
+	"int64":   dyn.Int64T,
+	"float32": dyn.Float32T,
+	"float64": dyn.Float64T,
+	"string":  dyn.StringT,
+}
+
+// resolve turns a TypeDoc back into a dyn.Type against the document's
+// struct table.
+func (td TypeDoc) resolve(structs map[string]*dyn.Type) (*dyn.Type, error) {
+	switch td.Kind {
+	case "sequence":
+		if td.Elem == nil {
+			return nil, fmt.Errorf("jsonb: sequence type without element")
+		}
+		elem, err := td.Elem.resolve(structs)
+		if err != nil {
+			return nil, err
+		}
+		return dyn.SequenceOf(elem), nil
+	case "struct":
+		t, ok := structs[td.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w %q", errUndefinedStruct, td.Name)
+		}
+		return t, nil
+	default:
+		t, ok := primitiveKinds[td.Kind]
+		if !ok {
+			return nil, fmt.Errorf("jsonb: unknown type kind %q", td.Kind)
+		}
+		return t, nil
+	}
+}
+
+// GenerateDoc renders the interface document for desc served at endpoint.
+func GenerateDoc(desc dyn.InterfaceDescriptor, endpoint string) (string, error) {
+	d := Doc{Format: DocFormat, Class: desc.ClassName, Endpoint: endpoint}
+	for _, s := range desc.Structs {
+		sd := StructDoc{Name: s.Name()}
+		for _, f := range s.Fields() {
+			sd.Fields = append(sd.Fields, ParamDoc{Name: f.Name, Type: typeDoc(f.Type)})
+		}
+		d.Structs = append(d.Structs, sd)
+	}
+	for _, m := range desc.Methods {
+		md := MethodDoc{Name: m.Name, Result: typeDoc(m.Result), Params: []ParamDoc{}}
+		for _, p := range m.Params {
+			md.Params = append(md.Params, ParamDoc{Name: p.Name, Type: typeDoc(p.Type)})
+		}
+		d.Methods = append(d.Methods, md)
+	}
+	out, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("jsonb: encoding interface document: %w", err)
+	}
+	return string(out), nil
+}
+
+// ParseDoc compiles an interface document into a descriptor and the
+// advertised endpoint — the binding's stub compiler.
+func ParseDoc(text string) (dyn.InterfaceDescriptor, string, error) {
+	var d Doc
+	if err := json.Unmarshal([]byte(text), &d); err != nil {
+		return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: parsing interface document: %w", err)
+	}
+	if d.Format != DocFormat {
+		return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: unsupported document format %q", d.Format)
+	}
+	// The descriptor's struct list is sorted alphabetically, not in
+	// dependency order, so a struct may reference one defined later in the
+	// document. Resolve to a fixed point: each round builds every struct
+	// whose field types are all resolvable, deferring the rest; no
+	// progress in a round means a genuinely missing (or cyclic) type.
+	structs := make(map[string]*dyn.Type, len(d.Structs))
+	pending := d.Structs
+	for len(pending) > 0 {
+		var deferred []StructDoc
+		for _, sd := range pending {
+			fields := make([]dyn.StructField, 0, len(sd.Fields))
+			var undefined bool
+			for _, f := range sd.Fields {
+				ft, err := f.Type.resolve(structs)
+				if errors.Is(err, errUndefinedStruct) {
+					undefined = true
+					break
+				}
+				if err != nil {
+					return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: struct %s field %s: %w", sd.Name, f.Name, err)
+				}
+				fields = append(fields, dyn.StructField{Name: f.Name, Type: ft})
+			}
+			if undefined {
+				deferred = append(deferred, sd)
+				continue
+			}
+			st, err := dyn.StructOf(sd.Name, fields...)
+			if err != nil {
+				return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: struct %s: %w", sd.Name, err)
+			}
+			structs[sd.Name] = st
+		}
+		if len(deferred) == len(pending) {
+			sd := deferred[0]
+			return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: struct %s references undefined or cyclic struct types", sd.Name)
+		}
+		pending = deferred
+	}
+	desc := dyn.InterfaceDescriptor{ClassName: d.Class}
+	for _, sd := range d.Structs {
+		desc.Structs = append(desc.Structs, structs[sd.Name])
+	}
+	for _, md := range d.Methods {
+		sig := dyn.MethodSig{Name: md.Name}
+		var err error
+		if sig.Result, err = md.Result.resolve(structs); err != nil {
+			return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: method %s result: %w", md.Name, err)
+		}
+		for _, p := range md.Params {
+			pt, perr := p.Type.resolve(structs)
+			if perr != nil {
+				return dyn.InterfaceDescriptor{}, "", fmt.Errorf("jsonb: method %s param %s: %w", md.Name, p.Name, perr)
+			}
+			sig.Params = append(sig.Params, dyn.Param{Name: p.Name, Type: pt})
+		}
+		desc.Methods = append(desc.Methods, sig)
+	}
+	return desc, d.Endpoint, nil
+}
+
+// EncodeValue renders v as a JSON value: primitives map naturally (chars as
+// one-rune strings, int64 as a decimal string to dodge float64 precision),
+// structs as objects, sequences as arrays, void as null.
+func EncodeValue(v dyn.Value) (json.RawMessage, error) {
+	switch v.Type().Kind() {
+	case dyn.KindVoid:
+		return json.RawMessage("null"), nil
+	case dyn.KindBoolean:
+		return json.Marshal(v.Bool())
+	case dyn.KindChar:
+		return json.Marshal(string(v.Char()))
+	case dyn.KindInt32:
+		return json.Marshal(v.Int32())
+	case dyn.KindInt64:
+		return json.Marshal(strconv.FormatInt(v.Int64(), 10))
+	case dyn.KindFloat32:
+		return json.Marshal(v.Float32())
+	case dyn.KindFloat64:
+		return json.Marshal(v.Float64())
+	case dyn.KindString:
+		return json.Marshal(v.Str())
+	case dyn.KindSequence:
+		elems := make([]json.RawMessage, 0, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			e, err := EncodeValue(v.Index(i))
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		return json.Marshal(elems)
+	case dyn.KindStruct:
+		obj := make(map[string]json.RawMessage, v.Type().NumFields())
+		for _, f := range v.Type().Fields() {
+			fv, _ := v.Field(f.Name)
+			e, err := EncodeValue(fv)
+			if err != nil {
+				return nil, err
+			}
+			obj[f.Name] = e
+		}
+		return json.Marshal(obj)
+	default:
+		return nil, fmt.Errorf("jsonb: cannot encode %s values", v.Type())
+	}
+}
+
+// DecodeValue parses a JSON value against the expected dyn type.
+func DecodeValue(raw json.RawMessage, t *dyn.Type) (dyn.Value, error) {
+	switch t.Kind() {
+	case dyn.KindVoid:
+		return dyn.VoidValue(), nil
+	case dyn.KindBoolean:
+		var b bool
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding boolean: %w", err)
+		}
+		return dyn.BoolValue(b), nil
+	case dyn.KindChar:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding char: %w", err)
+		}
+		r := []rune(s)
+		if len(r) != 1 {
+			return dyn.Value{}, fmt.Errorf("jsonb: char value must be one rune, got %q", s)
+		}
+		return dyn.CharValue(r[0]), nil
+	case dyn.KindInt32:
+		var i int32
+		if err := json.Unmarshal(raw, &i); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding int32: %w", err)
+		}
+		return dyn.Int32Value(i), nil
+	case dyn.KindInt64:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding int64: %w", err)
+		}
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding int64: %w", err)
+		}
+		return dyn.Int64Value(i), nil
+	case dyn.KindFloat32:
+		var f float32
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding float32: %w", err)
+		}
+		return dyn.Float32Value(f), nil
+	case dyn.KindFloat64:
+		var f float64
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding float64: %w", err)
+		}
+		return dyn.Float64Value(f), nil
+	case dyn.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding string: %w", err)
+		}
+		return dyn.StringValue(s), nil
+	case dyn.KindSequence:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(raw, &elems); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding sequence: %w", err)
+		}
+		vals := make([]dyn.Value, 0, len(elems))
+		for _, e := range elems {
+			v, err := DecodeValue(e, t.Elem())
+			if err != nil {
+				return dyn.Value{}, err
+			}
+			vals = append(vals, v)
+		}
+		return dyn.SequenceValue(t.Elem(), vals...)
+	case dyn.KindStruct:
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &obj); err != nil {
+			return dyn.Value{}, fmt.Errorf("jsonb: decoding struct %s: %w", t.Name(), err)
+		}
+		fields := make([]dyn.Value, 0, t.NumFields())
+		for _, f := range t.Fields() {
+			fraw, ok := obj[f.Name]
+			if !ok {
+				return dyn.Value{}, fmt.Errorf("jsonb: struct %s missing field %s", t.Name(), f.Name)
+			}
+			fv, err := DecodeValue(fraw, f.Type)
+			if err != nil {
+				return dyn.Value{}, err
+			}
+			fields = append(fields, fv)
+		}
+		return dyn.StructValue(t, fields...)
+	default:
+		return dyn.Value{}, fmt.Errorf("jsonb: cannot decode %s values", t)
+	}
+}

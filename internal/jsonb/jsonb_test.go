@@ -1,0 +1,307 @@
+package jsonb
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+func init() {
+	// Wire the binding exactly the way livedev.RegisterBinding does —
+	// through the public registries, no core edits.
+	core.RegisterBinding(New())
+	cde.RegisterConnector(Connector())
+}
+
+func calcClass(t *testing.T) *dyn.Class {
+	t.Helper()
+	c := dyn.NewClass("JCalc")
+	_, err := c.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	point := dyn.MustStructOf("Point",
+		dyn.StructField{Name: "x", Type: dyn.Float64T},
+		dyn.StructField{Name: "y", Type: dyn.Float64T})
+	// "Box" sorts before "Point" in the descriptor's alphabetical struct
+	// list but references it — the document's struct resolution must not
+	// depend on definition order.
+	box := dyn.MustStructOf("Box",
+		dyn.StructField{Name: "p", Type: point},
+		dyn.StructField{Name: "label", Type: dyn.StringT})
+	c := dyn.NewClass("Geo")
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name:        "mid",
+		Params:      []dyn.Param{{Name: "a", Type: point}, {Name: "b", Type: point}},
+		Result:      dyn.SequenceOf(point),
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.SequenceValue(point, args[0], args[1])
+		},
+	})
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name:        "wrap",
+		Params:      []dyn.Param{{Name: "p", Type: point}},
+		Result:      box,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.StructValue(box, args[0], dyn.StringValue("b"))
+		},
+	})
+	desc := c.Interface()
+	text, err := GenerateDoc(desc, "http://example/json/Geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, endpoint, err := ParseDoc(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endpoint != "http://example/json/Geo" {
+		t.Errorf("endpoint = %q", endpoint)
+	}
+	if !got.Equal(desc) {
+		t.Errorf("descriptor round trip mismatch:\n got %v\nwant %v", got.Methods, desc.Methods)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	point := dyn.MustStructOf("P",
+		dyn.StructField{Name: "x", Type: dyn.Float64T},
+		dyn.StructField{Name: "n", Type: dyn.Int64T})
+	vals := []dyn.Value{
+		dyn.BoolValue(true),
+		dyn.CharValue('λ'),
+		dyn.Int32Value(-7),
+		dyn.Int64Value(1 << 60), // beyond float64 integer precision
+		dyn.Float32Value(1.5),
+		dyn.Float64Value(-2.25),
+		dyn.StringValue("héllo \"json\""),
+		dyn.MustStructValue(point, dyn.Float64Value(3.5), dyn.Int64Value(9)),
+		dyn.MustSequenceValue(dyn.Int32T, dyn.Int32Value(1), dyn.Int32Value(2)),
+		dyn.VoidValue(),
+	}
+	for _, v := range vals {
+		raw, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %s: %v", v.Type(), err)
+		}
+		got, err := DecodeValue(raw, v.Type())
+		if err != nil {
+			t.Fatalf("decode %s (%s): %v", v.Type(), raw, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("%s: round trip %v -> %s -> %v", v.Type(), v, raw, got)
+		}
+	}
+}
+
+func TestServeRegisterAndCall(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Technology() != core.Technology("JSON") {
+		t.Errorf("technology = %s", srv.Technology())
+	}
+
+	// Calls before CreateInstance must be refused.
+	ctx := context.Background()
+	client, err := cde.Dial(ctx, srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.CallContext(ctx, "add", dyn.Int32Value(1), dyn.Int32Value(2)); err == nil {
+		t.Fatal("call before CreateInstance should fail")
+	}
+
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.CallContext(ctx, "add", dyn.Int32Value(20), dyn.Int32Value(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 42 {
+		t.Errorf("add = %d", got.Int32())
+	}
+	if client.Technology() != "JSON" {
+		t.Errorf("client technology = %s", client.Technology())
+	}
+}
+
+func TestStaleCallRunsReactiveProtocol(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Minute}) // timer effectively never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	class := calcClass(t)
+	srv, err := mgr.Register(class, core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	client, err := cde.Dial(ctx, srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Rename the method; with a huge stability timeout the document stays
+	// stale until a client call forces it current (Section 5.7).
+	id, ok := class.MethodIDByName("add")
+	if !ok {
+		t.Fatal("no method id for add")
+	}
+	if err := class.RenameMethod(id, "plus"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = client.CallContext(ctx, "add", dyn.Int32Value(1), dyn.Int32Value(2))
+	var stale *cde.StaleMethodError
+	if !errors.As(err, &stale) {
+		t.Fatalf("want StaleMethodError, got %v", err)
+	}
+	// The client's view must already contain the rename.
+	if _, ok := client.Interface().Lookup("plus"); !ok {
+		t.Error("client view should have been reactively refreshed to contain plus")
+	}
+	got, err := client.CallContext(ctx, "plus", dyn.Int32Value(40), dyn.Int32Value(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 42 {
+		t.Errorf("plus = %d", got.Int32())
+	}
+}
+
+// TestDialFetchesDocumentOnce pins the connection-establishment fetch
+// count: the document Dial retrieves for binding sniffing seeds the
+// backend's initial interface compilation, so one GET suffices.
+func TestDialFetchesDocumentOnce(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A counting proxy in front of the interface document URL; calls go
+	// straight to the endpoint the document advertises, so only document
+	// fetches pass through here.
+	var fetches atomic.Int32
+	target := srv.InterfaceURL()
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fetches.Add(1)
+		resp, err := http.Get(target)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	defer proxy.Close()
+
+	client, err := cde.Dial(context.Background(), proxy.URL+"/doc.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := fetches.Load(); got != 1 {
+		t.Errorf("Dial fetched the interface document %d times, want 1", got)
+	}
+	if _, err := client.CallContext(context.Background(), "add", dyn.Int32Value(1), dyn.Int32Value(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancellationAbortsInFlightCall(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	c := dyn.NewClass("JSlow")
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name: "hang", Result: dyn.StringT, Distributed: true,
+		Body: func(_ *dyn.Instance, _ []dyn.Value) (dyn.Value, error) {
+			<-block
+			return dyn.StringValue("late"), nil
+		},
+	})
+	srv, err := mgr.Register(c, core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	client, err := cde.Dial(context.Background(), srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = client.CallContext(ctx, "hang")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, should be prompt", elapsed)
+	}
+}

@@ -1,0 +1,271 @@
+package jsonb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+// Name is the binding's registered technology name.
+const Name = "JSON"
+
+// Wire-protocol error codes.
+const (
+	// CodeNonExistentMethod is the binding's "Non Existent Method": the
+	// Section 5.7 protocol guarantees the published interface document is
+	// current by the time a client reads it.
+	CodeNonExistentMethod = "non-existent-method"
+	// CodeNotInitialized reports a call before the instance exists.
+	CodeNotInitialized = "not-initialized"
+	// CodeMalformed reports an unparseable request.
+	CodeMalformed = "malformed-request"
+	// CodeApplication wraps an error returned by the method body.
+	CodeApplication = "application-error"
+)
+
+// callRequest is one wire call.
+type callRequest struct {
+	Method string            `json:"method"`
+	Args   []json.RawMessage `json:"args"`
+}
+
+// callResponse is one wire reply.
+type callResponse struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *wireError      `json:"error,omitempty"`
+}
+
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Server is the JSON subsystem bundle for one managed class — the same
+// Figure 4/5 shape as the SOAP and CORBA bundles: a document generator
+// feeding the shared Interface Server via a DL Publisher, and a call
+// handler mounted on the manager's shared HTTP endpoint server. It is built
+// entirely from the Manager's public binding surface.
+type Server struct {
+	mgr      *core.Manager
+	class    *dyn.Class
+	pub      *core.DLPublisher
+	handler  *callHandler
+	endpoint string
+	path     string
+	docPath  string
+
+	mu       sync.Mutex
+	instance *dyn.Instance
+	closed   bool
+}
+
+var _ core.Server = (*Server)(nil)
+
+func newServer(m *core.Manager, class *dyn.Class) (*Server, error) {
+	s := &Server{
+		mgr:     m,
+		class:   class,
+		path:    "/json/" + class.Name(),
+		docPath: "/jsonif/" + class.Name() + ".json",
+	}
+	s.endpoint = m.HTTPBaseURL() + s.path
+	s.handler = &callHandler{class: class}
+
+	publish := func(desc dyn.InterfaceDescriptor) error {
+		text, err := GenerateDoc(desc, s.endpoint)
+		if err != nil {
+			return err
+		}
+		m.InterfaceServer().PublishVersioned(s.docPath, ContentType, text, desc.Version)
+		return nil
+	}
+	s.pub = m.NewPublisher(class, publish)
+	s.handler.pub = s.pub
+	s.handler.reactive = m.ReactivePublication()
+
+	// Publish the basic interface document immediately, like the built-in
+	// bindings (Section 4).
+	s.pub.PublishNow()
+	s.pub.WaitIdle()
+
+	m.MountHTTP(s.path, s.handler)
+	return s, nil
+}
+
+// Class implements core.Server.
+func (s *Server) Class() *dyn.Class { return s.class }
+
+// Technology implements core.Server.
+func (s *Server) Technology() core.Technology { return core.Technology(Name) }
+
+// Publisher implements core.Server.
+func (s *Server) Publisher() *core.DLPublisher { return s.pub }
+
+// Endpoint returns the JSON-POST endpoint URL.
+func (s *Server) Endpoint() string { return s.endpoint }
+
+// InterfaceURL implements core.Server: the JSON interface document URL.
+func (s *Server) InterfaceURL() string {
+	return s.mgr.InterfaceBaseURL() + s.docPath
+}
+
+// CreateInstance implements core.Server.
+func (s *Server) CreateInstance() (*dyn.Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("jsonb: server closed")
+	}
+	if s.instance != nil {
+		return nil, fmt.Errorf("jsonb: class %s already has its instance (single-instance rule, Section 5.4)", s.class.Name())
+	}
+	in := s.class.NewInstance()
+	s.instance = in
+	s.handler.Activate(in)
+	return in, nil
+}
+
+// Instance implements core.Server.
+func (s *Server) Instance() *dyn.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.instance
+}
+
+// Close implements core.Server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.mgr.UnmountHTTP(s.path)
+	s.pub.Close()
+	s.mgr.Unregister(s.class.Name())
+	return nil
+}
+
+// callHandler is the binding's Call Handler, with the same concurrency
+// design as the built-in pair: concurrent requests under a read gate, the
+// stale path under the write gate with forced publication (Section 5.7).
+type callHandler struct {
+	class    *dyn.Class
+	pub      *core.DLPublisher
+	reactive bool
+
+	gate     sync.RWMutex
+	instance *dyn.Instance
+}
+
+var _ core.CallHandler = (*callHandler)(nil)
+var _ http.Handler = (*callHandler)(nil)
+
+// Activate implements core.CallHandler.
+func (h *callHandler) Activate(in *dyn.Instance) {
+	h.gate.Lock()
+	h.instance = in
+	h.gate.Unlock()
+}
+
+// Active implements core.CallHandler.
+func (h *callHandler) Active() bool {
+	h.gate.RLock()
+	defer h.gate.RUnlock()
+	return h.instance != nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp callResponse) {
+	w.Header().Set("Content-Type", ContentType)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, callResponse{Error: &wireError{Code: code, Message: msg}})
+}
+
+// ServeHTTP handles one call. The request context (cancelled when the
+// client goes away) gates dispatch.
+func (h *callHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "JSON endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req callRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeMalformed, err.Error())
+		return
+	}
+
+	h.gate.RLock()
+	in := h.instance
+	if in == nil {
+		h.gate.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, CodeNotInitialized, "server not initialized")
+		return
+	}
+
+	// Resolve against the live interface, not any cached view.
+	sig, ok := h.class.Interface().Lookup(req.Method)
+	if !ok || len(req.Args) != len(sig.Params) {
+		h.gate.RUnlock()
+		h.staleCall(w, req.Method)
+		return
+	}
+	args := make([]dyn.Value, len(sig.Params))
+	for i, p := range sig.Params {
+		v, err := DecodeValue(req.Args[i], p.Type)
+		if err != nil {
+			// Encoded against a stale signature: same protocol as a
+			// missing method (Section 5.6).
+			h.gate.RUnlock()
+			h.staleCall(w, req.Method)
+			return
+		}
+		args[i] = v
+	}
+
+	if err := r.Context().Err(); err != nil {
+		// The caller is gone; skip work nobody will observe.
+		h.gate.RUnlock()
+		return
+	}
+	result, err := in.InvokeDistributed(req.Method, args...)
+	h.gate.RUnlock()
+
+	switch {
+	case err == nil:
+		raw, encErr := EncodeValue(result)
+		if encErr != nil {
+			writeError(w, http.StatusInternalServerError, CodeApplication, encErr.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, callResponse{Result: raw})
+	case errors.Is(err, dyn.ErrNoSuchMethod), errors.Is(err, dyn.ErrSignatureMismatch):
+		// Interface changed between lookup and dispatch.
+		h.staleCall(w, req.Method)
+	default:
+		writeError(w, http.StatusInternalServerError, CodeApplication, err.Error())
+	}
+}
+
+// staleCall implements the Section 5.7 server algorithm: stall incoming
+// processing (write gate), force the published interface document current,
+// then report "non-existent method" and resume.
+func (h *callHandler) staleCall(w http.ResponseWriter, method string) {
+	h.gate.Lock()
+	if h.pub != nil && h.reactive {
+		h.pub.EnsureCurrent()
+	}
+	h.gate.Unlock()
+	writeError(w, http.StatusNotFound, CodeNonExistentMethod,
+		"method "+method+" is not part of the current server interface")
+}

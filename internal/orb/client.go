@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,14 +27,19 @@ type ClientORB struct {
 	order     cdr.ByteOrder
 }
 
-// DialIOR connects to the object an IOR designates (paper Figure 2: the IOR
-// initializes the client ORB).
+// DialIOR is DialIORContext with a background context.
 func DialIOR(r ior.IOR) (*ClientORB, error) {
+	return DialIORContext(context.Background(), r)
+}
+
+// DialIORContext connects to the object an IOR designates (paper Figure 2:
+// the IOR initializes the client ORB). The TCP connect is bounded by ctx.
+func DialIORContext(ctx context.Context, r ior.IOR) (*ClientORB, error) {
 	p, err := r.FirstIIOP()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := iiop.Dial(p.Addr())
+	conn, err := iiop.DialContext(ctx, p.Addr())
 	if err != nil {
 		return nil, err
 	}
@@ -51,14 +57,24 @@ func (o *ClientORB) TypeID() string { return o.typeID }
 // Close tears down the connection.
 func (o *ClientORB) Close() error { return o.conn.Close() }
 
-// Invoke performs a dynamic invocation: arguments are type-checked against
-// sig, encoded in CDR, and the result is decoded per sig.Result.
+// Invoke is InvokeContext with a background context.
+//
+// Deprecated: use InvokeContext so the call can be cancelled.
+func (o *ClientORB) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+	return o.InvokeContext(context.Background(), sig, args)
+}
+
+// InvokeContext performs a dynamic invocation: arguments are type-checked
+// against sig, encoded in CDR, and the result is decoded per sig.Result.
+// Cancelling ctx aborts the in-flight IIOP invocation (a GIOP CancelRequest
+// is sent, the eventual reply is dropped) and returns an error wrapping
+// ctx.Err().
 //
 // Error space: ErrNonExistentMethod (wrapping the BAD_OPERATION system
 // exception) when the operation is gone from the live interface; *AppError
 // for server application exceptions; *giop.SystemException for other
-// system exceptions; transport errors otherwise.
-func (o *ClientORB) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
+// system exceptions; context and transport errors otherwise.
+func (o *ClientORB) InvokeContext(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
 	if len(args) != len(sig.Params) {
 		return dyn.Value{}, fmt.Errorf("orb: %s takes %d arguments, got %d", sig.Name, len(sig.Params), len(args))
 	}
@@ -71,7 +87,7 @@ func (o *ClientORB) Invoke(sig dyn.MethodSig, args []dyn.Value) (dyn.Value, erro
 	// recycle its buffer; everything extracted below (values, exception
 	// strings) is copied by the plain cdr read paths.
 	var result dyn.Value
-	err := o.conn.InvokeInto(o.objectKey, sig.Name, o.order, func(e *cdr.Encoder) error {
+	err := o.conn.InvokeInto(ctx, o.objectKey, sig.Name, o.order, func(e *cdr.Encoder) error {
 		for _, a := range args {
 			if err := cdr.EncodeValue(e, a); err != nil {
 				return err

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestClientEncodeErrorFailsLocally(t *testing.T) {
 // TestClientRejectsUnknownUserException: a user exception with an
 // unexpected repository id is surfaced as an error, not silently decoded.
 func TestClientRejectsUnknownUserException(t *testing.T) {
-	h := iiop.HandlerFunc(func(rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := iiop.HandlerFunc(func(_ context.Context, rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: rh.RequestID, Status: giop.ReplyUserException},
 			func(e *cdr.Encoder) error {
 				e.WriteString("IDL:Custom/Weird:1.0")
@@ -72,7 +73,7 @@ func TestClientRejectsUnknownUserException(t *testing.T) {
 // TestClientRejectsUnsupportedReplyStatus: LOCATION_FORWARD is not
 // implemented; the client reports it instead of misinterpreting the body.
 func TestClientRejectsUnsupportedReplyStatus(t *testing.T) {
-	h := iiop.HandlerFunc(func(rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := iiop.HandlerFunc(func(_ context.Context, rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: rh.RequestID, Status: giop.ReplyLocationForward}, nil)
 		return msg
 	})
@@ -98,7 +99,7 @@ func TestClientRejectsUnsupportedReplyStatus(t *testing.T) {
 // TestClientRejectsTruncatedResult: a NO_EXCEPTION reply whose body does
 // not decode to the declared result type fails cleanly.
 func TestClientRejectsTruncatedResult(t *testing.T) {
-	h := iiop.HandlerFunc(func(rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+	h := iiop.HandlerFunc(func(_ context.Context, rh giop.RequestHeader, _ *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 		msg, _ := giop.EncodeReply(order, giop.ReplyHeader{RequestID: rh.RequestID, Status: giop.ReplyNoException},
 			func(e *cdr.Encoder) error {
 				e.WriteOctet(1) // not a valid int64

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,7 @@ func (t *classTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
 	return t.in.Class().Interface().Lookup(op)
 }
 
-func (t *classTarget) InvokeOperation(op string, args []dyn.Value) (dyn.Value, error) {
+func (t *classTarget) InvokeOperation(_ context.Context, op string, args []dyn.Value) (dyn.Value, error) {
 	return t.in.InvokeDistributed(op, args...)
 }
 

@@ -10,6 +10,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -43,8 +44,11 @@ type DSITarget interface {
 	// interface, or false if the operation does not exist (any more).
 	LookupOperation(op string) (dyn.MethodSig, bool)
 
-	// InvokeOperation invokes op with already-decoded arguments.
-	InvokeOperation(op string, args []dyn.Value) (dyn.Value, error)
+	// InvokeOperation invokes op with already-decoded arguments. ctx is
+	// the request context: it is cancelled when the client abandons the
+	// call (GIOP CancelRequest), the connection drops, or the ORB shuts
+	// down; implementations may use it to skip work nobody will observe.
+	InvokeOperation(ctx context.Context, op string, args []dyn.Value) (dyn.Value, error)
 
 	// OperationMissing is called before a BAD_OPERATION ("Non Existent
 	// Method") reply is sent, so the SDE can force the published IDL
@@ -98,7 +102,7 @@ func (o *ServerORB) Addr() net.Addr { return o.addr }
 // Close shuts the ORB down and joins its goroutines.
 func (o *ServerORB) Close() error { return o.srv.Close() }
 
-func (o *ServerORB) handle(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+func (o *ServerORB) handle(ctx context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 	sysEx := func(repoID string, minor uint32, completed giop.CompletionStatus) giop.Message {
 		se := &giop.SystemException{RepoID: repoID, Minor: minor, Completed: completed}
 		msg, err := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplySystemException}, se.Encode)
@@ -141,7 +145,7 @@ func (o *ServerORB) handle(h giop.RequestHeader, args *cdr.Decoder, order cdr.By
 		return sysEx(giop.RepoBadOperation, 4, giop.CompletedNo)
 	}
 
-	result, err := o.target.InvokeOperation(h.Operation, vals)
+	result, err := o.target.InvokeOperation(ctx, h.Operation, vals)
 	switch {
 	case err == nil:
 		msg, encErr := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplyNoException},

@@ -1,10 +1,13 @@
 package soap
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"livedev/internal/dyn"
@@ -43,15 +46,48 @@ func (c *Client) httpClient() *http.Client {
 	return defaultHTTPClient
 }
 
-// Call performs one RPC: it builds the request envelope, POSTs it, parses
-// the response, and decodes the result against resultType. SOAP faults are
-// returned as *Fault errors.
+// bodyPool holds reusable buffers for HTTP bodies (responses here, requests
+// on the server side): reading a body per call was the largest remaining
+// per-call allocation after the envelope work moved to pooled buffers.
+var bodyPool = sync.Pool{
+	New: func() any { return bytes.NewBuffer(make([]byte, 0, 4<<10)) },
+}
+
+// GetBodyBuffer returns a pooled buffer for reading an HTTP body into.
+func GetBodyBuffer() *bytes.Buffer {
+	b := bodyPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBodyBuffer recycles a buffer obtained from GetBodyBuffer. The caller
+// must be done with every sub-slice of its contents: decoded dyn values are
+// copies and safe, parsed xmltree nodes are not.
+func PutBodyBuffer(b *bytes.Buffer) {
+	// Oversized one-off bodies would pin their memory in the pool forever.
+	if b.Cap() > 1<<20 {
+		return
+	}
+	bodyPool.Put(b)
+}
+
+// Call is CallContext with a background context.
+//
+// Deprecated: use CallContext so the round-trip can be cancelled.
 func (c *Client) Call(method string, params []NamedValue, resultType *dyn.Type) (dyn.Value, error) {
+	return c.CallContext(context.Background(), method, params, resultType)
+}
+
+// CallContext performs one RPC: it builds the request envelope, POSTs it,
+// parses the response, and decodes the result against resultType. SOAP
+// faults are returned as *Fault errors. Cancelling ctx aborts the in-flight
+// HTTP round-trip and returns an error wrapping ctx.Err().
+func (c *Client) CallContext(ctx context.Context, method string, params []NamedValue, resultType *dyn.Type) (dyn.Value, error) {
 	reqXML, err := BuildRequest(c.ServiceNS, method, params)
 	if err != nil {
 		return dyn.Value{}, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.Endpoint, strings.NewReader(reqXML))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, strings.NewReader(reqXML))
 	if err != nil {
 		return dyn.Value{}, fmt.Errorf("soap: building HTTP request: %w", err)
 	}
@@ -63,12 +99,15 @@ func (c *Client) Call(method string, params []NamedValue, resultType *dyn.Type) 
 		return dyn.Value{}, fmt.Errorf("soap: posting to %s: %w", c.Endpoint, err)
 	}
 	defer func() { _ = resp.Body.Close() }()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
+	buf := GetBodyBuffer()
+	defer PutBodyBuffer(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, 16<<20)); err != nil {
 		return dyn.Value{}, fmt.Errorf("soap: reading response: %w", err)
 	}
 	// SOAP 1.1 faults come back with HTTP 500; parse the envelope either way.
-	parsed, err := ParseResponse(data)
+	// Everything extracted below (the decoded result value, fault strings)
+	// is copied out of the pooled buffer before it is recycled.
+	parsed, err := ParseResponse(buf.Bytes())
 	if err != nil {
 		if resp.StatusCode != http.StatusOK {
 			return dyn.Value{}, fmt.Errorf("soap: HTTP %d from %s", resp.StatusCode, c.Endpoint)

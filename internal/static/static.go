@@ -8,6 +8,7 @@
 package static
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,12 +102,13 @@ func (s *SOAPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
+	buf := soap.GetBodyBuffer()
+	defer soap.PutBodyBuffer(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, 16<<20)); err != nil {
 		s.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
 		return
 	}
-	req, err := soap.ParseRequest(body)
+	req, err := soap.ParseRequest(buf.Bytes())
 	if err != nil {
 		s.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
 		return
@@ -198,7 +200,7 @@ func (s *CORBAServer) Start(addr string) (ior.IOR, error) {
 	return ior.New(s.typeID, tcp.IP.String(), uint16(tcp.Port), s.objectKey), nil
 }
 
-func (s *CORBAServer) handle(h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
+func (s *CORBAServer) handle(_ context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message {
 	sysEx := func(repoID string) giop.Message {
 		se := &giop.SystemException{RepoID: repoID, Minor: 1, Completed: giop.CompletedNo}
 		msg, err := giop.EncodeReply(order, giop.ReplyHeader{RequestID: h.RequestID, Status: giop.ReplySystemException}, se.Encode)

@@ -6,34 +6,64 @@
 //     method signatures and implementations change at run time, effective
 //     immediately on existing instances;
 //   - the SDE (Server Development Environment) middleware: automated
-//     deployment of SOAP and CORBA servers from dynamic classes, automated
-//     publication of WSDL / CORBA-IDL / IOR via an Interface Server, the
-//     stable-timeout publication algorithm, and reactive forced publication
-//     on stale client calls;
+//     deployment of servers from dynamic classes over any registered RMI
+//     technology, automated publication of interface descriptions (WSDL /
+//     CORBA-IDL / IOR / JSON) via an Interface Server, the stable-timeout
+//     publication algorithm, and reactive forced publication on stale
+//     client calls;
 //   - the CDE (Client Development Environment): live clients whose stubs
 //     are compiled from the published interface descriptions and refreshed
 //     reactively, with a debugger supporting 'try again';
 //   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
-//     DII/DSI ORBs) protocol stacks, built on the standard library only.
+//     DII/DSI ORBs) protocol stacks, built on the standard library only,
+//     plus a JSON/HTTP binding implemented purely against the public
+//     binding seam.
 //
-// The facade below re-exports the types a downstream user needs, so the
-// whole system is usable through this single import:
+// # The v2 API: Dial, options, bindings
+//
+// The facade re-exports the types a downstream user needs, so the whole
+// system is usable through this single import. Calls are context-first —
+// deadlines and cancellation propagate through the client, the wire
+// protocol, and into server dispatch:
 //
 //	class := livedev.NewClass("Calc")
 //	class.AddMethod(livedev.MethodSpec{ ... Distributed: true ... })
 //	mgr, _ := livedev.NewManager(livedev.Config{})
 //	srv, _ := mgr.Register(class, livedev.TechSOAP)
 //	srv.CreateInstance()
-//	client, _ := livedev.ConnectSOAP(srv.InterfaceURL())
-//	sum, _ := client.Call("add", livedev.Int32(2), livedev.Int32(3))
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	client, _ := livedev.Dial(ctx, srv.InterfaceURL(),
+//	    livedev.WithTimeout(500*time.Millisecond))
+//	sum, _ := client.CallContext(ctx, "add", livedev.Int32(2), livedev.Int32(3))
+//
+// Dial fetches the interface document once and sniffs which registered
+// binding it belongs to (WSDL -> SOAP, IDL/IOR -> CORBA, JSON document ->
+// JSON), or obeys an explicit WithBinding option. The context-free
+// wrappers of the v1 API (ConnectSOAP, ConnectCORBA, Client.Call) remain
+// as thin deprecated shims.
+//
+// # Adding an RMI technology
+//
+// An RMI technology is a Binding: a named pair of a server half (Serve
+// deploys a dynamic class under a Manager) and a client half (Describe
+// says what its interface documents look like, Connect builds a live
+// client from one). RegisterBinding makes it available process-wide —
+// Manager.Register resolves it by name and Dial by document sniffing —
+// with no edits to this package or to core dispatch. See the Binding
+// contract below; internal/jsonb is a complete worked example.
 package livedev
 
 import (
+	"context"
 	"net/http"
+	"time"
 
 	"livedev/internal/cde"
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/jsonb"
 )
 
 // Dynamic-class runtime types (the JPie substrate).
@@ -70,9 +100,9 @@ type (
 	Manager = core.Manager
 	// Config configures a Manager.
 	Config = core.Config
-	// Server is a managed SOAP or CORBA server.
+	// Server is a managed live server of any registered technology.
 	Server = core.Server
-	// Technology selects an RMI technology.
+	// Technology names an RMI technology: the registered binding's name.
 	Technology = core.Technology
 	// DLPublisher runs the stable-timeout publication algorithm.
 	DLPublisher = core.DLPublisher
@@ -86,12 +116,141 @@ type (
 	Client = cde.Client
 	// Debugger records failed calls and supports TryAgain.
 	Debugger = cde.Debugger
+	// Exception is a failed call recorded by the debugger.
+	Exception = cde.Exception
 	// StaleMethodError reports a call to a method no longer on the server
 	// interface; the client's view has been refreshed by delivery time.
 	StaleMethodError = cde.StaleMethodError
+	// DocMatch describes how a binding's interface documents are
+	// recognized by Dial.
+	DocMatch = cde.DocMatch
+	// DialOptions is the resolved form of Dial's functional options,
+	// passed through to a Binding's Connect.
+	DialOptions = cde.DialOptions
 )
 
-// Technologies supported by the SDE.
+// Binding is one RMI technology, pluggable process-wide via
+// RegisterBinding. The SDE/CDE treat SOAP, CORBA, JSON, and any third-party
+// technology through this one interface — a technology is a registry
+// entry, not a cross-cutting edit.
+//
+// The contract for implementers:
+//
+//   - Name is the technology's registry key, used by Manager.Register
+//     (as the Technology argument) and WithBinding. It must be non-empty
+//     and stable.
+//   - Serve deploys a dynamic class as a live server under a Manager,
+//     returning a core.Server. It must publish an initial interface
+//     description before returning (use Manager.NewPublisher +
+//     Manager.InterfaceServer), refuse calls until CreateInstance is
+//     called, resolve every incoming call against the class's *live*
+//     interface, run the forced-publication protocol (DLPublisher
+//     .EnsureCurrent, gated on Manager.ReactivePublication) before
+//     replying "non-existent method" to a stale call, and call
+//     Manager.Unregister from Close. HTTP-based transports should mount
+//     on Manager.MountHTTP; others own their listeners.
+//   - Describe reports how the binding's published interface documents
+//     are recognized, so Dial can route to it without an explicit option.
+//   - Connect builds a live Client from an interface-document URL. It
+//     must honor ctx for all I/O and pass opts through to
+//     cde.NewClientContext so WithTimeout and WithDebugger work. Its
+//     "non-existent method" transport error must be reported by the
+//     backend's IsStale, which is what triggers the client's reactive
+//     interface refresh.
+//
+// internal/jsonb implements the full contract in ~400 lines and is wired
+// up purely through RegisterBinding.
+type Binding interface {
+	// Name is the technology name ("SOAP", "CORBA", "JSON", ...).
+	Name() string
+	// Serve deploys class as a live server under m.
+	Serve(m *Manager, class *Class) (Server, error)
+	// Describe reports how the binding's interface documents look.
+	Describe() DocMatch
+	// Connect builds a live client from an interface-document URL.
+	Connect(ctx context.Context, url string, opts *DialOptions) (*Client, error)
+}
+
+// RegisterBinding adds (or replaces, by name) an RMI technology in the
+// process-wide registry: its server half becomes available to
+// Manager.Register and its client half to Dial.
+func RegisterBinding(b Binding) {
+	core.RegisterBinding(serverHalf{b})
+	cde.RegisterConnector(cde.Connector{Name: b.Name(), Match: b.Describe(), Connect: b.Connect})
+}
+
+// Bindings returns the names of all registered server bindings, sorted.
+func Bindings() []string { return core.BindingNames() }
+
+// serverHalf adapts a Binding to the core registry's narrower interface.
+type serverHalf struct{ b Binding }
+
+func (s serverHalf) Name() string { return s.b.Name() }
+func (s serverHalf) Serve(m *core.Manager, class *dyn.Class) (core.Server, error) {
+	return s.b.Serve(m, class)
+}
+
+// JSONBinding returns the built-in JSON/HTTP binding — dynamic classes
+// served over JSON-POST with a machine-readable interface document. It is
+// not registered by default; pass it to RegisterBinding to enable it:
+//
+//	livedev.RegisterBinding(livedev.JSONBinding())
+//	srv, _ := mgr.Register(class, livedev.Technology("JSON"))
+//	client, _ := livedev.Dial(ctx, srv.InterfaceURL())
+func JSONBinding() Binding { return jsonb.New() }
+
+// Option configures a Dial.
+type Option func(*DialOptions)
+
+// WithHTTPClient sets the HTTP client used for interface-document fetches
+// and, by HTTP-based bindings, for calls.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(o *DialOptions) { o.HTTPClient = hc }
+}
+
+// WithTimeout sets a default per-call timeout: every call made through the
+// client whose context carries no deadline of its own is bounded by d, as
+// is the Dial itself (document sniffing, connect, initial interface fetch)
+// when ctx has no deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(o *DialOptions) { o.Timeout = d }
+}
+
+// WithBinding forces the named binding instead of sniffing the interface
+// document.
+func WithBinding(name string) Option {
+	return func(o *DialOptions) { o.Binding = name }
+}
+
+// WithDebugger installs prompt as the client debugger's hook: it is
+// invoked synchronously for every recorded stale-call exception (the
+// paper's Figure 9 dialog).
+func WithDebugger(prompt func(Exception)) Option {
+	return func(o *DialOptions) { o.Prompt = prompt }
+}
+
+// WithAuxURL supplies a binding-specific secondary document URL — for the
+// CORBA binding, the stringified-IOR URL when it cannot be derived from
+// the IDL URL by path convention (or vice versa).
+func WithAuxURL(url string) Option {
+	return func(o *DialOptions) { o.AuxURL = url }
+}
+
+// Dial builds a live CDE client from a published interface-document URL.
+// The document is fetched once and each registered binding's Describe is
+// scored against it (content type, then URL suffix, then content sniff);
+// the winning binding connects. Use WithBinding to skip sniffing, and
+// CallContext on the returned client to carry deadlines per call.
+func Dial(ctx context.Context, url string, opts ...Option) (*Client, error) {
+	var o DialOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return cde.Dial(ctx, url, &o)
+}
+
+// Technologies supported by the initial SDE implementation. Any registered
+// binding's name converts to a Technology the same way.
 const (
 	TechSOAP  = core.TechSOAP
 	TechCORBA = core.TechCORBA
@@ -125,16 +284,23 @@ func NewClass(name string) *Class { return dyn.NewClass(name) }
 func NewManager(cfg Config) (*Manager, error) { return core.NewManager(cfg) }
 
 // ConnectSOAP builds a live client from a published WSDL document URL.
+//
+// Deprecated: use Dial, which adds context, sniffing, and options.
 func ConnectSOAP(wsdlURL string) (*Client, error) {
 	return cde.NewSOAPClient(wsdlURL, nil)
 }
 
 // ConnectSOAPWithHTTP is ConnectSOAP with a custom HTTP client.
+//
+// Deprecated: use Dial with WithHTTPClient.
 func ConnectSOAPWithHTTP(wsdlURL string, hc *http.Client) (*Client, error) {
 	return cde.NewSOAPClient(wsdlURL, hc)
 }
 
 // ConnectCORBA builds a live client from published CORBA-IDL and IOR URLs.
+//
+// Deprecated: use Dial with WithAuxURL (or the /idl/ <-> /ior/ path
+// convention).
 func ConnectCORBA(idlURL, iorURL string) (*Client, error) {
 	return cde.NewCORBAClient(idlURL, iorURL, nil)
 }
