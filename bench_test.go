@@ -84,10 +84,11 @@ func BenchmarkTable1_SDESOAP(b *testing.B) {
 	}
 	client := &soap.Client{Endpoint: srv.(*core.SOAPServer).Endpoint(), ServiceNS: "urn:B1"}
 	args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
+	ctx := context.Background()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call("echo", args, dyn.StringT); err != nil {
+		if _, err := client.CallContext(ctx, "echo", args, dyn.StringT); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -106,10 +107,11 @@ func BenchmarkTable1_StaticSOAP(b *testing.B) {
 	defer srv.Close()
 	client := &soap.Client{Endpoint: endpoint, ServiceNS: "urn:B2"}
 	args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
+	ctx := context.Background()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call("echo", args, dyn.StringT); err != nil {
+		if _, err := client.CallContext(ctx, "echo", args, dyn.StringT); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,10 +138,11 @@ func BenchmarkTable1_SDECORBA(b *testing.B) {
 	defer conn.Close()
 	sig := echoSig()
 	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := conn.Invoke(sig, args); err != nil {
+		if _, err := conn.InvokeContext(ctx, sig, args); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,10 +166,11 @@ func BenchmarkTable1_StaticCORBA(b *testing.B) {
 	defer conn.Close()
 	sig := echoSig()
 	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := conn.Invoke(sig, args); err != nil {
+		if _, err := conn.InvokeContext(ctx, sig, args); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -301,10 +305,11 @@ func BenchmarkRogueClientStorm(b *testing.B) {
 	ss := srv.(*core.SOAPServer)
 	client := &soap.Client{Endpoint: ss.Endpoint(), ServiceNS: "urn:BRogue"}
 	before := srv.Publisher().Stats().Generations
+	ctx := context.Background()
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := client.Call("nonexistent", nil, dyn.StringT)
+		_, err := client.CallContext(ctx, "nonexistent", nil, dyn.StringT)
 		if !soap.IsNonExistentMethod(err) {
 			b.Fatalf("unexpected reply: %v", err)
 		}

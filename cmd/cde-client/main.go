@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cde-client -url URL [-binding NAME] [-timeout D]  [method arg...]
+//	cde-client -url URL [-binding NAME] [-timeout D] [-watch]  [method arg...]
 //	cde-client -wsdl URL                              [method arg...]
 //	cde-client -idl URL -ior URL                      [method arg...]
 //
@@ -42,6 +42,7 @@ func run() int {
 	url := flag.String("url", "", "interface-document URL of any registered binding")
 	binding := flag.String("binding", "", "force a binding name instead of sniffing the document")
 	timeout := flag.Duration("timeout", 0, "per-call timeout (0 = none)")
+	watch := flag.Bool("watch", false, "subscribe to push-based interface updates (long-poll watch)")
 	wsdlURL := flag.String("wsdl", "", "WSDL document URL (SOAP mode)")
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL (CORBA mode)")
 	iorURL := flag.String("ior", "", "stringified IOR URL (CORBA mode)")
@@ -55,6 +56,9 @@ func run() int {
 	switch {
 	case *url != "":
 		opts := []livedev.Option{livedev.WithTimeout(*timeout)}
+		if *watch {
+			opts = append(opts, livedev.WithWatch())
+		}
 		if *binding != "" {
 			opts = append(opts, livedev.WithBinding(*binding))
 		}

@@ -4,13 +4,19 @@
 // signatures with their version headers — a debugging window into the
 // publication protocol.
 //
+// With -watch N it then follows the document through the Interface
+// Server's long-poll watch protocol, printing each newly committed version
+// as it is pushed (N updates, then exit; 0 follows forever) — a live view
+// of the publication store's commits, coalescing included.
+//
 // Usage:
 //
-//	ifdump -wsdl URL
-//	ifdump -idl URL [-iface NAME]
+//	ifdump -wsdl URL [-watch N]
+//	ifdump -idl URL [-iface NAME] [-watch N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,73 +35,98 @@ func run() int {
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL")
 	ifaceName := flag.String("iface", "", "interface name to resolve (IDL mode; default: the only interface)")
 	raw := flag.Bool("raw", false, "print the raw document too")
+	watch := flag.Int("watch", -1, "after dumping, follow the document via the watch protocol for N updates (0 = forever)")
 	flag.Parse()
 
 	switch {
 	case *wsdlURL != "":
-		return dumpWSDL(*wsdlURL, *raw)
+		return dump(*wsdlURL, *raw, *watch, func(doc ifsvr.Document) error {
+			return printWSDL(doc)
+		})
 	case *idlURL != "":
-		return dumpIDL(*idlURL, *ifaceName, *raw)
+		name := *ifaceName
+		return dump(*idlURL, *raw, *watch, func(doc ifsvr.Document) error {
+			return printIDL(doc, name)
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "ifdump: need -wsdl URL or -idl URL")
 		return 2
 	}
 }
 
-func dumpWSDL(url string, raw bool) int {
-	doc, err := ifsvr.Fetch(nil, url)
+// dump fetches and prints the document once, then optionally follows it
+// through the watch protocol.
+func dump(url string, raw bool, watch int, print func(ifsvr.Document) error) int {
+	ctx := context.Background()
+	doc, err := ifsvr.FetchContext(ctx, nil, url)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ifdump:", err)
 		return 1
 	}
-	fmt.Printf("document version %d (descriptor version %d)\n", doc.Version, doc.DescriptorVersion)
+	if err := printDoc(doc, raw, print); err != nil {
+		fmt.Fprintln(os.Stderr, "ifdump:", err)
+		return 1
+	}
+	if watch < 0 {
+		return 0
+	}
+	for n := 0; watch == 0 || n < watch; n++ {
+		next, err := ifsvr.WatchNewer(ctx, nil, url, doc.Version)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ifdump: watch:", err)
+			return 1
+		}
+		doc = next
+		fmt.Println("\n--- watch update ---")
+		if err := printDoc(doc, raw, print); err != nil {
+			fmt.Fprintln(os.Stderr, "ifdump:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func printDoc(doc ifsvr.Document, raw bool, print func(ifsvr.Document) error) error {
+	fmt.Printf("document version %d (descriptor version %d, store epoch %d)\n",
+		doc.Version, doc.DescriptorVersion, doc.Epoch)
 	if raw {
 		fmt.Println(doc.Content)
 	}
+	return print(doc)
+}
+
+func printWSDL(doc ifsvr.Document) error {
 	parsed, err := wsdl.Parse([]byte(doc.Content))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifdump: compiling WSDL:", err)
-		return 1
+		return fmt.Errorf("compiling WSDL: %w", err)
 	}
 	fmt.Printf("service %s at %s\n", parsed.ServiceName, parsed.Endpoint)
 	for _, m := range parsed.Methods {
 		fmt.Println("  ", m)
 	}
-	return 0
+	return nil
 }
 
-func dumpIDL(url, ifaceName string, raw bool) int {
-	doc, err := ifsvr.Fetch(nil, url)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifdump:", err)
-		return 1
-	}
-	fmt.Printf("document version %d (descriptor version %d)\n", doc.Version, doc.DescriptorVersion)
-	if raw {
-		fmt.Println(doc.Content)
-	}
+func printIDL(doc ifsvr.Document, ifaceName string) error {
 	parsed, err := idl.Parse(doc.Content)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifdump: parsing IDL:", err)
-		return 1
+		return fmt.Errorf("parsing IDL: %w", err)
 	}
 	if ifaceName == "" {
 		if len(parsed.Interfaces) != 1 {
-			fmt.Fprintf(os.Stderr, "ifdump: module %s has %d interfaces; pick one with -iface\n",
+			return fmt.Errorf("module %s has %d interfaces; pick one with -iface",
 				parsed.Module, len(parsed.Interfaces))
-			return 2
 		}
 		ifaceName = parsed.Interfaces[0].Name
 	}
 	desc, err := idl.Resolve(parsed, ifaceName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ifdump: resolving IDL:", err)
-		return 1
+		return fmt.Errorf("resolving IDL: %w", err)
 	}
 	fmt.Printf("module %s, interface %s (repository id %s)\n",
 		parsed.Module, ifaceName, parsed.RepositoryID(ifaceName))
 	for _, m := range desc.Methods {
 		fmt.Println("  ", m)
 	}
-	return 0
+	return nil
 }

@@ -1,14 +1,17 @@
 // Command rtt-bench regenerates the paper's Table 1: mean round-trip time
 // of RMI calls for SDE and static servers over SOAP and CORBA, plus the
-// allocation profile of each configuration.
+// allocation profile of each configuration — and, since the event-driven
+// publication core, the refresh-after-edit latency rows comparing a
+// polling client against a watch-subscribed one (push-invalidated cache).
 //
-// Besides the human-readable table it writes a machine-readable
-// BENCH_rtt.json (ns/op, B/op, allocs/op per Table 1 row) so the perf
-// trajectory of the invocation hot path can be tracked PR over PR.
+// Besides the human-readable tables it writes a machine-readable
+// BENCH_rtt.json (ns/op, B/op, allocs/op per Table 1 row; mean/p50 per
+// refresh row) so the perf trajectory of the invocation hot path and the
+// publication path can be tracked PR over PR.
 //
 // Usage:
 //
-//	rtt-bench [-calls N] [-payload BYTES] [-json PATH]
+//	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D] [-json PATH]
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"livedev/internal/experiments"
 )
@@ -31,12 +35,21 @@ type benchRow struct {
 	N           int     `json:"n"`
 }
 
+// refreshRow is one refresh-after-edit latency row in the JSON artifact.
+type refreshRow struct {
+	Mode   string  `json:"mode"`
+	Rounds int     `json:"rounds"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+}
+
 type benchFile struct {
-	Schema  string     `json:"schema"`
-	Command string     `json:"command"`
-	Calls   int        `json:"calls"`
-	Payload int        `json:"payload_bytes"`
-	Rows    []benchRow `json:"rows"`
+	Schema      string       `json:"schema"`
+	Command     string       `json:"command"`
+	Calls       int          `json:"calls"`
+	Payload     int          `json:"payload_bytes"`
+	Rows        []benchRow   `json:"rows"`
+	RefreshRows []refreshRow `json:"refresh_rows,omitempty"`
 }
 
 func main() {
@@ -46,6 +59,8 @@ func main() {
 func run() int {
 	calls := flag.Int("calls", 100, "RMI calls per configuration (the paper used 100)")
 	payload := flag.Int("payload", 64, "echoed string payload size in bytes")
+	refreshRounds := flag.Int("refresh-rounds", 12, "refresh-after-edit rounds per client strategy (0 disables)")
+	pollInterval := flag.Duration("poll", 50*time.Millisecond, "polling client's refresh interval for the refresh rows")
 	jsonPath := flag.String("json", "BENCH_rtt.json", "path for the machine-readable results (empty disables)")
 	flag.Parse()
 
@@ -59,9 +74,23 @@ func run() int {
 	}
 	fmt.Print(experiments.FormatTable1(rows))
 
+	var refreshRows []experiments.RefreshRow
+	if *refreshRounds > 0 {
+		refreshRows, err = experiments.RunRefreshLatency(experiments.RefreshConfig{
+			Rounds:       *refreshRounds,
+			PollInterval: *pollInterval,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatRefresh(refreshRows))
+	}
+
 	if *jsonPath != "" {
 		out := benchFile{
-			Schema:  "livedev/rtt-bench/v1",
+			Schema:  "livedev/rtt-bench/v2",
 			Command: "rtt-bench",
 			Calls:   *calls,
 			Payload: *payload,
@@ -75,6 +104,14 @@ func run() int {
 				BytesPerOp:  r.BytesPerOp,
 				AllocsPerOp: r.AllocsPerOp,
 				N:           r.Measured.N,
+			})
+		}
+		for _, r := range refreshRows {
+			out.RefreshRows = append(out.RefreshRows, refreshRow{
+				Mode:   r.Mode,
+				Rounds: r.Rounds,
+				MeanNs: float64(r.Mean.Nanoseconds()),
+				P50Ns:  float64(r.P50.Nanoseconds()),
 			})
 		}
 		data, err := json.MarshalIndent(out, "", "  ")

@@ -29,9 +29,11 @@ func main() {
 
 func run() int {
 	ifaceAddr := flag.String("iface", "127.0.0.1:0", "interface-server listen address")
-	soapAddr := flag.String("soap", "127.0.0.1:0", "SOAP endpoint listen address")
+	httpAddr := flag.String("http", "", "HTTP endpoint listen address (SOAP/JSON handlers)")
+	soapAddr := flag.String("soap", "127.0.0.1:0", "former name of -http, honored when -http is unset")
 	corbaAddr := flag.String("corba", "127.0.0.1:0", "CORBA endpoint listen address")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "publication stability timeout (Section 5.6)")
+	flushWindow := flag.Duration("flush-window", 0, "publication-store coalescing window (0 = commit immediately)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	flag.Parse()
@@ -40,9 +42,11 @@ func run() int {
 
 	mgr, err := core.NewManager(core.Config{
 		InterfaceAddr: *ifaceAddr,
-		SOAPAddr:      *soapAddr,
+		HTTPAddr:      *httpAddr,
+		SOAPAddr:      *soapAddr, // honored when -http is unset (Config alias rule)
 		CORBAAddr:     *corbaAddr,
 		Timeout:       *timeout,
+		FlushWindow:   *flushWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)

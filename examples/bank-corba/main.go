@@ -27,6 +27,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	var mu sync.Mutex
 	balances := map[string]int64{"alice": 1000, "bob": 50}
 
@@ -85,7 +86,7 @@ func run() error {
 	fmt.Println("IOR:      ", cs.IORURL())
 
 	// Show the published artifacts, as a CORBA client would fetch them.
-	idlDoc, err := ifsvr.Fetch(nil, cs.InterfaceURL())
+	idlDoc, err := ifsvr.FetchContext(ctx, nil, cs.InterfaceURL())
 	if err != nil {
 		return err
 	}
@@ -94,20 +95,20 @@ func run() error {
 
 	// Dial sniffs the IDL document and derives the IOR URL from the
 	// /idl/ <-> /ior/ publication convention (WithAuxURL would override).
-	teller, err := livedev.Dial(context.Background(), cs.InterfaceURL())
+	teller, err := livedev.Dial(ctx, cs.InterfaceURL())
 	if err != nil {
 		return err
 	}
 	defer func() { _ = teller.Close() }()
 
-	bal, err := teller.Call("balance", livedev.Str("bob"))
+	bal, err := teller.CallContext(ctx, "balance", livedev.Str("bob"))
 	if err != nil {
 		return err
 	}
 	fmt.Println("bob's balance:", bal)
 
 	// v1 allows overdrafts — a bug the developer notices in live testing.
-	after, err := teller.Call("withdraw", livedev.Str("bob"), livedev.Int64(200))
+	after, err := teller.CallContext(ctx, "withdraw", livedev.Str("bob"), livedev.Int64(200))
 	if err != nil {
 		return err
 	}
@@ -138,7 +139,7 @@ func run() error {
 
 	// The teller's next old-style call runs the reactive protocol: forced
 	// IDL publication on the server, view refresh on the client.
-	_, err = teller.Call("withdraw", livedev.Str("bob"), livedev.Int64(10))
+	_, err = teller.CallContext(ctx, "withdraw", livedev.Str("bob"), livedev.Int64(10))
 	if !errors.Is(err, livedev.ErrStaleMethod) {
 		return fmt.Errorf("expected stale-method error, got %v", err)
 	}
@@ -148,13 +149,13 @@ func run() error {
 	}
 
 	// Retry with the new signature: overdraft now refused.
-	_, err = teller.Call("withdraw", livedev.Str("bob"), livedev.Int64(10_000), livedev.Bool(false))
+	_, err = teller.CallContext(ctx, "withdraw", livedev.Str("bob"), livedev.Int64(10_000), livedev.Bool(false))
 	if err == nil {
 		return fmt.Errorf("overdraft should have been refused")
 	}
 	fmt.Println("overdraft refused:", err)
 
-	after, err = teller.Call("withdraw", livedev.Str("alice"), livedev.Int64(300), livedev.Bool(false))
+	after, err = teller.CallContext(ctx, "withdraw", livedev.Str("alice"), livedev.Int64(300), livedev.Bool(false))
 	if err != nil {
 		return err
 	}

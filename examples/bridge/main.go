@@ -1,24 +1,23 @@
 // Bridge: the paper's future-work feature (Section 8) — interchange the
 // communication technology while live development is taking place. A live
-// CORBA inventory server is fronted by a SOAP bridge; a plain SOAP client
-// consumes it; the server developer renames a method mid-session and the
-// change propagates through the bridge with the recency guarantee intact.
+// CORBA inventory server is re-exported as a Web Service through the
+// binding-agnostic bridge; a plain SOAP client consumes it; the server
+// developer renames a method mid-session and the change propagates through
+// the bridge with the recency guarantee intact.
 //
-// This example deliberately stays on the v1 API (ConnectSOAP, context-free
-// Call), doubling as compile-time coverage for the deprecated shims; see
-// examples/quickstart for the v2 Dial/CallContext style.
+// The backend client is dialed with the watch option, so the bridge's
+// proxy class is resynchronized by push when the backend republishes —
+// no polling anywhere on the path.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"time"
 
 	"livedev"
-	"livedev/internal/bridge"
-	"livedev/internal/cde"
-	"livedev/internal/core"
 )
 
 func main() {
@@ -29,6 +28,8 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
+
 	// A CORBA inventory service under live development.
 	inv := livedev.NewClass("Inventory")
 	stock := map[string]int32{"widget": 12, "gadget": 3}
@@ -61,31 +62,36 @@ func run() error {
 	if _, err := srv.CreateInstance(); err != nil {
 		return err
 	}
-	cs := srv.(*core.CORBAServer)
-	fmt.Println("CORBA inventory server up; IDL at", cs.InterfaceURL())
+	fmt.Println("CORBA inventory server up; IDL at", srv.InterfaceURL())
 
-	// The bridge consumes the CORBA server through a CDE client and
-	// fronts it as a Web Service with a derived, live WSDL.
-	backend, err := cde.NewCORBAClient(cs.InterfaceURL(), cs.IORURL(), nil)
+	// The bridge consumes the CORBA server through a watch-subscribed CDE
+	// client and re-exports it as a Web Service under its own manager.
+	backend, err := livedev.Dial(ctx, srv.InterfaceURL(), livedev.WithWatch(),
+		livedev.WithTimeout(5*time.Second))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = backend.Close() }()
-	front := bridge.NewSOAPFront("InventoryWS", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+	bridgeMgr, err := livedev.NewManager(livedev.Config{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = bridgeMgr.Close() }()
+	front, err := livedev.ReExport(bridgeMgr, "InventoryWS", backend, livedev.TechSOAP)
+	if err != nil {
 		return err
 	}
 	defer func() { _ = front.Close() }()
-	fmt.Println("SOAP bridge up; WSDL at", front.WSDLURL())
+	fmt.Println("SOAP bridge up; WSDL at", front.InterfaceURL())
 
 	// A pure SOAP client — it has no idea CORBA is behind the curtain.
-	webClient, err := livedev.ConnectSOAP(front.WSDLURL())
+	webClient, err := livedev.Dial(ctx, front.InterfaceURL())
 	if err != nil {
 		return err
 	}
 	defer func() { _ = webClient.Close() }()
 
-	n, err := webClient.Call("lookup", livedev.Str("widget"))
+	n, err := webClient.CallContext(ctx, "lookup", livedev.Str("widget"))
 	if err != nil {
 		return err
 	}
@@ -99,7 +105,7 @@ func run() error {
 	srv.Publisher().WaitIdle()
 	fmt.Println("server developer renamed lookup -> stockOf on the CORBA server")
 
-	_, err = webClient.Call("lookup", livedev.Str("widget"))
+	_, err = webClient.CallContext(ctx, "lookup", livedev.Str("widget"))
 	if !errors.Is(err, livedev.ErrStaleMethod) {
 		return fmt.Errorf("expected stale-method error through the bridge, got %v", err)
 	}
@@ -108,7 +114,7 @@ func run() error {
 		fmt.Println("  ", m)
 	}
 
-	n, err = webClient.Call("stockOf", livedev.Str("gadget"))
+	n, err = webClient.CallContext(ctx, "stockOf", livedev.Str("gadget"))
 	if err != nil {
 		return err
 	}

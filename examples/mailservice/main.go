@@ -114,7 +114,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		id, err := alice.Call("send", m)
+		id, err := alice.CallContext(ctx, "send", m)
 		if err != nil {
 			return err
 		}
@@ -122,7 +122,7 @@ func run() error {
 	}
 
 	// Bob fetches his mailbox.
-	inbox, err := bob.Call("fetch", livedev.Str("bob"))
+	inbox, err := bob.CallContext(ctx, "fetch", livedev.Str("bob"))
 	if err != nil {
 		return err
 	}
@@ -163,7 +163,7 @@ func run() error {
 	fmt.Println("developer added search() live; WSDL republished")
 
 	// Bob's client discovers the new method on demand — no restart.
-	hits, err := bob.Call("search", livedev.Str("bob"), livedev.Str("IDL"))
+	hits, err := bob.CallContext(ctx, "search", livedev.Str("bob"), livedev.Str("IDL"))
 	if err != nil {
 		return err
 	}

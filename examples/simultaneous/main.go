@@ -6,13 +6,13 @@
 // the reactive stale-call path, and the CDE debugger's 'try again'
 // resumes execution after the server developer restores a signature.
 //
-// This example deliberately stays on the v1 API (ConnectSOAP,
-// ConnectCORBA, context-free Call): it doubles as the compile-time proof
-// that the deprecated shims keep working. See examples/quickstart for the
-// v2 Dial/CallContext style.
+// The session runs on the v2 API (Dial, CallContext); the deprecated v1
+// shims keep their compile-time coverage in the root package's
+// livedev_shim_test.go.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -30,6 +30,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	mgr, err := livedev.NewManager(livedev.Config{Timeout: 80 * time.Millisecond})
 	if err != nil {
 		return err
@@ -59,13 +60,16 @@ func run() error {
 	}
 	cs := corbaSrv.(*core.CORBAServer)
 
-	// Client developers connect to the minimal interfaces.
-	soapClient, err := livedev.ConnectSOAP(soapSrv.InterfaceURL())
+	// Client developers connect to the minimal interfaces. Dial sniffs the
+	// technology from each published document; the CORBA IOR URL comes from
+	// the /idl/ <-> /ior/ publication convention (WithAuxURL would
+	// override).
+	soapClient, err := livedev.Dial(ctx, soapSrv.InterfaceURL())
 	if err != nil {
 		return err
 	}
 	defer func() { _ = soapClient.Close() }()
-	corbaClient, err := livedev.ConnectCORBA(cs.InterfaceURL(), cs.IORURL())
+	corbaClient, err := livedev.Dial(ctx, cs.InterfaceURL(), livedev.WithAuxURL(cs.IORURL()))
 	if err != nil {
 		return err
 	}
@@ -101,7 +105,7 @@ func run() error {
 	corbaSrv.Publisher().WaitIdle()
 
 	for _, c := range []*livedev.Client{soapClient, corbaClient} {
-		v, err := c.Call("next")
+		v, err := c.CallContext(ctx, "next")
 		if err != nil {
 			return fmt.Errorf("%s next(): %w", c.Technology(), err)
 		}
@@ -111,7 +115,7 @@ func run() error {
 	// Step 2: the client developer writes a call against a method that
 	// does not exist yet — in live simultaneous development the client
 	// side is often ahead of the server side.
-	if _, err := soapClient.Call("reset"); !errors.Is(err, livedev.ErrNoSuchStub) {
+	if _, err := soapClient.CallContext(ctx, "reset"); !errors.Is(err, livedev.ErrNoSuchStub) {
 		return fmt.Errorf("expected no-such-stub, got %v", err)
 	}
 	fmt.Println("SOAP client: reset() has no stub yet (client developer is ahead)")
@@ -128,7 +132,7 @@ func run() error {
 	}
 	soapSrv.Publisher().PublishNow()
 	soapSrv.Publisher().WaitIdle()
-	if _, err := soapClient.Call("reset"); err != nil {
+	if _, err := soapClient.CallContext(ctx, "reset"); err != nil {
 		return err
 	}
 	fmt.Println("SOAP client: reset() works after the server developer added it")
@@ -140,7 +144,7 @@ func run() error {
 	if err := corbaClass.RenameMethod(id, "advance"); err != nil {
 		return err
 	}
-	_, err = corbaClient.Call("next")
+	_, err = corbaClient.CallContext(ctx, "next")
 	var stale *livedev.StaleMethodError
 	if !errors.As(err, &stale) {
 		return fmt.Errorf("expected stale error, got %v", err)
@@ -155,7 +159,7 @@ func run() error {
 	}
 	corbaSrv.Publisher().PublishNow()
 	corbaSrv.Publisher().WaitIdle()
-	v, err := corbaClient.Debugger().TryAgain()
+	v, err := corbaClient.Debugger().TryAgainContext(ctx)
 	if err != nil {
 		return fmt.Errorf("try again: %w", err)
 	}

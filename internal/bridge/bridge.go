@@ -5,284 +5,201 @@
 // technologies offer static bridging capabilities, we feel that live
 // modification will result in a more fluid development experience."
 //
-// A bridge fronts a live server of one technology with an endpoint of the
-// other: a SOAPFront exposes a CORBA server as a Web Service (publishing a
-// WSDL derived from the backend's live interface); a CORBAFront exposes a
-// SOAP server as a CORBA object (publishing IDL + IOR). Unlike the static
-// bridges the paper cites (Orbix/Artix), the bridge is *live*: its view of
-// the backend interface refreshes through the same reactive protocol the
-// CDE uses, so server-side edits propagate through the bridge to clients
-// of the other technology, including the "Non Existent Method" recency
-// guarantee.
+// A Front re-exports the class behind any CDE client over any registered
+// RMI technology: the backend's live interface view is mirrored into a
+// proxy dynamic class whose method bodies forward calls over the backend,
+// and the proxy class is deployed through the ordinary binding registry
+// under an SDE Manager. That one construction replaces the old hardcoded
+// SOAP↔CORBA pairing with every direction the registry supports
+// (SOAP↔CORBA↔JSON and any third-party binding), and it inherits the whole
+// publication core for free: the bridge's derived interface document is
+// published through the manager's coalescing store, stale calls from front
+// clients run the Section 5.7 forced-publication protocol, and — because
+// the proxy class is an ordinary dynamic class — server-side edits
+// propagate through the bridge live.
+//
+// Unlike the static bridges the paper cites (Orbix/Artix), propagation is
+// event-driven end to end: the backend client's view-change hook (fed by a
+// reactive refresh, or by a push watcher when the backend was dialed with
+// the watch option) resynchronizes the proxy class, whose own DL Publisher
+// then republishes the derived document, whose committed version wakes the
+// front clients' watchers. The "Non Existent Method" recency guarantee
+// crosses the bridge intact: a stale bridged call reactively refreshes the
+// backend view, resyncs the proxy class, and forces the bridge's own
+// publication current before the fault reaches the front client.
 package bridge
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
-	"net"
-	"net/http"
 	"sync"
-	"time"
 
 	"livedev/internal/cde"
+	"livedev/internal/core"
 	"livedev/internal/dyn"
-	"livedev/internal/idl"
-	"livedev/internal/ifsvr"
-	"livedev/internal/ior"
-	"livedev/internal/orb"
-	"livedev/internal/soap"
-	"livedev/internal/wsdl"
 )
 
-// SOAPFront exposes a backend (normally a CORBA CDE client) as a SOAP
-// endpoint with a live WSDL document.
-type SOAPFront struct {
-	backend *cde.Client
+// Front re-exports the class behind a CDE client over another registered
+// binding. Create one with New; the front appears to its clients as an
+// ordinary managed SDE server (srv.InterfaceURL() is dialable).
+type Front struct {
 	name    string
+	backend *cde.Client
+	mgr     *core.Manager
+	class   *dyn.Class
+	srv     core.Server
 
-	iface    *ifsvr.Server
-	wsdlPath string
+	// syncMu serializes proxy-class resynchronization (view-change hook,
+	// stale bridged calls, manual Refresh).
+	syncMu  sync.Mutex
+	methods map[string]dyn.MemberID // proxy method name → member id
 
-	srv      *http.Server
-	ln       net.Listener
-	endpoint string
-	done     chan struct{}
+	removeHook func() // unregisters the backend view listener
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// NewSOAPFront bridges the backend client under the given service name.
-// The front owns its own Interface Server instance for the derived WSDL.
-func NewSOAPFront(name string, backend *cde.Client) *SOAPFront {
-	return &SOAPFront{
-		backend:  backend,
-		name:     name,
-		iface:    ifsvr.New(),
-		wsdlPath: "/wsdl/" + name + ".wsdl",
-	}
-}
-
-// Start listens on the two addresses (endpoint and interface server) and
-// publishes the initial WSDL derived from the backend's current interface.
-func (f *SOAPFront) Start(endpointAddr, ifaceAddr string) error {
-	if _, err := f.iface.Start(ifaceAddr); err != nil {
-		return err
-	}
-	ln, err := net.Listen("tcp", endpointAddr)
-	if err != nil {
-		_ = f.iface.Close()
-		return fmt.Errorf("bridge: listen %s: %w", endpointAddr, err)
-	}
-	f.ln = ln
-	f.endpoint = "http://" + ln.Addr().String() + "/"
-	f.srv = &http.Server{Handler: f, ReadHeaderTimeout: 10 * time.Second}
-	f.done = make(chan struct{})
-	go func() {
-		defer close(f.done)
-		_ = f.srv.Serve(ln)
-	}()
-	f.republish()
-	return nil
-}
-
-// Endpoint returns the bridged SOAP endpoint URL.
-func (f *SOAPFront) Endpoint() string { return f.endpoint }
-
-// WSDLURL returns the URL of the bridge's derived WSDL document.
-func (f *SOAPFront) WSDLURL() string { return f.iface.BaseURL() + f.wsdlPath }
-
-// republish regenerates the bridge's WSDL from the backend's current
-// interface view — the live half of live bridging.
-func (f *SOAPFront) republish() {
-	desc := f.backend.Interface()
-	desc.ClassName = f.name
-	doc := wsdl.Generate(desc, f.endpoint)
-	text, err := doc.XML()
-	if err != nil {
-		return
-	}
-	f.iface.PublishVersioned(f.wsdlPath, "text/xml", text, f.backend.Versions().Descriptor)
-}
-
-// Refresh re-fetches the backend interface and republishes the WSDL.
-func (f *SOAPFront) Refresh() error {
-	if err := f.backend.Refresh(); err != nil {
-		return err
-	}
-	f.republish()
-	return nil
-}
-
-// ServeHTTP translates SOAP requests into backend calls.
-func (f *SOAPFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		f.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
-		return
-	}
-	req, err := soap.ParseRequest(body)
-	if err != nil {
-		f.fault(w, &soap.Fault{Code: "soap:Client", String: soap.FaultMalformedRequest})
-		return
-	}
-	sig, ok := f.backend.Interface().Lookup(req.Method)
-	if !ok || len(req.Params) != len(sig.Params) {
-		f.staleFault(w, req.Method)
-		return
-	}
-	args := make([]dyn.Value, len(sig.Params))
-	for i, p := range sig.Params {
-		v, err := soap.DecodeValue(req.Params[i], p.Type)
-		if err != nil {
-			f.staleFault(w, req.Method)
-			return
-		}
-		args[i] = v
-	}
-	result, err := f.backend.Call(req.Method, args...)
-	switch {
-	case err == nil:
-		env, encErr := soap.BuildResponse("urn:"+f.name, req.Method, result)
-		if encErr != nil {
-			f.fault(w, &soap.Fault{Code: "soap:Server", String: "encoding error"})
-			return
-		}
-		w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
-		_, _ = io.WriteString(w, env)
-	case errors.Is(err, cde.ErrStaleMethod), errors.Is(err, cde.ErrNoSuchStub):
-		// The backend already refreshed the client view; mirror the
-		// change into our published WSDL before faulting, preserving the
-		// recency guarantee across the bridge.
-		f.republish()
-		f.fault(w, &soap.Fault{Code: "soap:Server", String: soap.FaultNonExistentMethod,
-			Detail: "bridged method " + req.Method + " is not on the current backend interface"})
-	default:
-		f.fault(w, &soap.Fault{Code: "soap:Server", String: err.Error()})
-	}
-}
-
-// staleFault handles calls the bridge's own view cannot resolve: refresh
-// the view (and WSDL), then report Non Existent Method.
-func (f *SOAPFront) staleFault(w http.ResponseWriter, method string) {
-	_ = f.Refresh()
-	f.fault(w, &soap.Fault{Code: "soap:Server", String: soap.FaultNonExistentMethod,
-		Detail: "bridged method " + method + " is not on the current backend interface"})
-}
-
-func (f *SOAPFront) fault(w http.ResponseWriter, flt *soap.Fault) {
-	w.Header().Set("Content-Type", `text/xml; charset="utf-8"`)
-	w.WriteHeader(http.StatusInternalServerError)
-	_, _ = io.WriteString(w, soap.BuildFault(flt))
-}
-
-// Close shuts the bridge down (the backend client is not closed; the
-// caller owns it).
-func (f *SOAPFront) Close() error {
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
-		return nil
-	}
-	f.closed = true
-	f.mu.Unlock()
-	var err error
-	if f.srv != nil {
-		err = f.srv.Close()
-		<-f.done
-	}
-	if e := f.iface.Close(); err == nil {
-		err = e
-	}
-	return err
-}
-
-// CORBAFront exposes a backend (normally a SOAP CDE client) as a CORBA
-// object with live IDL + IOR documents.
-type CORBAFront struct {
-	backend *cde.Client
-	name    string
-
-	iface   *ifsvr.Server
-	idlPath string
-	iorPath string
-
-	orbSrv *orb.ServerORB
-
-	mu     sync.Mutex
-	closed bool
-}
-
-// NewCORBAFront bridges the backend client under the given interface name.
-func NewCORBAFront(name string, backend *cde.Client) *CORBAFront {
-	return &CORBAFront{
-		backend: backend,
+// New deploys a re-export of backend's class under m as a live server of
+// technology tech (any name registered with the binding registry). name is
+// the re-exported class name. The front does not own the backend client;
+// the caller closes it after the front.
+func New(m *core.Manager, name string, backend *cde.Client, tech core.Technology) (*Front, error) {
+	f := &Front{
 		name:    name,
-		iface:   ifsvr.New(),
-		idlPath: "/idl/" + name + ".idl",
-		iorPath: "/ior/" + name + ".ior",
+		backend: backend,
+		mgr:     m,
+		class:   dyn.NewClass(name),
+		methods: make(map[string]dyn.MemberID),
 	}
-}
-
-// Start listens on the two addresses and publishes the initial IDL and IOR.
-func (f *CORBAFront) Start(orbAddr, ifaceAddr string) error {
-	if _, err := f.iface.Start(ifaceAddr); err != nil {
-		return err
+	if err := f.syncClass(); err != nil {
+		return nil, fmt.Errorf("bridge: mirroring backend interface: %w", err)
 	}
-	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", f.name, f.name)
-	f.orbSrv = orb.NewServerORB(typeID, []byte(f.name), &bridgeTarget{front: f})
-	ref, err := f.orbSrv.Listen(orbAddr)
+	// Event-driven re-export: every installed backend view (reactive
+	// refresh, watch push, manual refresh) resynchronizes the proxy class,
+	// which arms the bridge server's own DL Publisher.
+	f.removeHook = backend.AddViewListener(func() { _ = f.syncClass() })
+	srv, err := m.Register(f.class, tech)
 	if err != nil {
-		_ = f.iface.Close()
-		return err
+		f.removeHook()
+		return nil, err
 	}
-	f.iface.Publish(f.iorPath, "text/plain", ref.String())
-	f.republish()
-	return nil
+	f.srv = srv
+	if _, err := srv.CreateInstance(); err != nil {
+		f.removeHook()
+		_ = srv.Close()
+		return nil, err
+	}
+	return f, nil
 }
 
-// IDLURL returns the URL of the bridge's derived IDL document.
-func (f *CORBAFront) IDLURL() string { return f.iface.BaseURL() + f.idlPath }
+// Name returns the re-exported class name.
+func (f *Front) Name() string { return f.name }
 
-// IORURL returns the URL of the bridge object's IOR.
-func (f *CORBAFront) IORURL() string { return f.iface.BaseURL() + f.iorPath }
+// Server returns the managed server fronting the bridge — the handle front
+// clients are given (InterfaceURL, Publisher, technology-specific accessors
+// via type assertion).
+func (f *Front) Server() core.Server { return f.srv }
 
-// IOR returns the bridge object's reference (valid after Start).
-func (f *CORBAFront) IOR() (ior.IOR, error) {
-	doc, err := f.iface.Get(f.iorPath)
-	if err != nil {
-		return ior.IOR{}, err
-	}
-	return ior.ParseString(doc.Content)
-}
+// InterfaceURL returns the URL of the bridge's derived interface document.
+func (f *Front) InterfaceURL() string { return f.srv.InterfaceURL() }
 
-func (f *CORBAFront) republish() {
-	desc := f.backend.Interface()
-	desc.ClassName = f.name
-	doc, err := idl.Generate(desc)
-	if err != nil {
-		return
-	}
-	f.iface.PublishVersioned(f.idlPath, "text/plain", idl.Print(doc), f.backend.Versions().Descriptor)
-}
+// Technology reports the front-side technology.
+func (f *Front) Technology() core.Technology { return f.srv.Technology() }
 
-// Refresh re-fetches the backend interface and republishes the IDL.
-func (f *CORBAFront) Refresh() error {
+// Backend returns the backend client the bridge forwards over.
+func (f *Front) Backend() *cde.Client { return f.backend }
+
+// Refresh re-fetches the backend interface and resynchronizes the proxy
+// class (the view-change hook does this automatically; Refresh is the
+// manual trigger).
+func (f *Front) Refresh() error {
 	if err := f.backend.Refresh(); err != nil {
 		return err
 	}
-	f.republish()
+	return f.syncClass()
+}
+
+// syncClass mirrors the backend client's current interface view onto the
+// proxy class: methods gone from the backend are removed, new or re-signed
+// methods are (re)added with forwarding bodies. Edits go through the
+// ordinary dyn.Class commit path, so the bridge server's publisher sees
+// them like any developer edit.
+func (f *Front) syncClass() error {
+	f.syncMu.Lock()
+	defer f.syncMu.Unlock()
+	desc := f.backend.Interface()
+	desired := make(map[string]dyn.MethodSig, len(desc.Methods))
+	for _, sig := range desc.Methods {
+		desired[sig.Name] = sig
+	}
+	cur := f.class.Interface()
+	// Drop proxies whose backend method is gone or re-signed.
+	for name, id := range f.methods {
+		sig, ok := desired[name]
+		if ok {
+			if have, live := cur.Lookup(name); live && have.Equal(sig) {
+				continue
+			}
+		}
+		if err := f.class.RemoveMethod(id); err != nil {
+			return err
+		}
+		delete(f.methods, name)
+	}
+	// Add the missing ones.
+	for name, sig := range desired {
+		if _, have := f.methods[name]; have {
+			continue
+		}
+		id, err := f.class.AddMethod(dyn.MethodSpec{
+			Name:        sig.Name,
+			Params:      sig.Params,
+			Result:      sig.Result,
+			Distributed: true,
+			Body:        f.forwardBody(name),
+		})
+		if err != nil {
+			return err
+		}
+		f.methods[name] = id
+	}
 	return nil
 }
 
-// Close shuts the bridge down.
-func (f *CORBAFront) Close() error {
+// forwardBody returns the proxy method body for op: forward the call over
+// the backend client; map bridged staleness onto the front technology's
+// "Non Existent Method" protocol.
+//
+// The dyn Body ABI is context-free (bodies are developer-edited application
+// code), so the front-side request context cannot reach the backend
+// round-trip: a cancelled front caller does not abort the bridged call.
+// Dial the backend with a timeout (livedev.WithTimeout) so a hung backend
+// cannot park the front's handler goroutines indefinitely; threading the
+// front context end to end is a ROADMAP item (context-aware Body ABI).
+func (f *Front) forwardBody(op string) dyn.Body {
+	return func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+		v, err := f.backend.CallContext(context.Background(), op, args...)
+		if err == nil {
+			return v, nil
+		}
+		if errors.Is(err, cde.ErrStaleMethod) || errors.Is(err, cde.ErrNoSuchStub) {
+			// The backend already refreshed its view reactively; mirror it
+			// into the proxy class now so the front binding's forced
+			// publication (run before its "Non Existent Method" reply)
+			// publishes the post-edit interface — the recency guarantee
+			// crosses the bridge.
+			_ = f.syncClass()
+			return dyn.Value{}, fmt.Errorf("%w: bridged backend: %v", dyn.ErrNoSuchMethod, err)
+		}
+		return dyn.Value{}, err
+	}
+}
+
+// Close shuts the front down (the backend client stays open; the caller
+// owns it).
+func (f *Front) Close() error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -290,46 +207,9 @@ func (f *CORBAFront) Close() error {
 	}
 	f.closed = true
 	f.mu.Unlock()
-	var err error
-	if f.orbSrv != nil {
-		err = f.orbSrv.Close()
+	f.removeHook()
+	if f.srv != nil {
+		return f.srv.Close()
 	}
-	if e := f.iface.Close(); err == nil {
-		err = e
-	}
-	return err
-}
-
-// bridgeTarget adapts the backend client to the server ORB's DSI surface.
-type bridgeTarget struct {
-	front *CORBAFront
-}
-
-var _ orb.DSITarget = (*bridgeTarget)(nil)
-
-// LookupOperation implements orb.DSITarget against the backend view.
-func (t *bridgeTarget) LookupOperation(op string) (dyn.MethodSig, bool) {
-	return t.front.backend.Interface().Lookup(op)
-}
-
-// InvokeOperation implements orb.DSITarget by forwarding over the backend;
-// the CORBA-side request context governs the bridged call, so a cancelled
-// front-side caller aborts the backend round-trip too.
-func (t *bridgeTarget) InvokeOperation(ctx context.Context, op string, args []dyn.Value) (dyn.Value, error) {
-	v, err := t.front.backend.CallContext(ctx, op, args...)
-	if err == nil {
-		return v, nil
-	}
-	if errors.Is(err, cde.ErrStaleMethod) || errors.Is(err, cde.ErrNoSuchStub) {
-		// Map the bridged staleness onto the CORBA-side protocol: the ORB
-		// will call OperationMissing and reply BAD_OPERATION.
-		return dyn.Value{}, fmt.Errorf("%w: bridged backend: %v", dyn.ErrNoSuchMethod, err)
-	}
-	return dyn.Value{}, err
-}
-
-// OperationMissing implements orb.DSITarget: refresh the backend view and
-// republish the IDL before the BAD_OPERATION reply goes out.
-func (t *bridgeTarget) OperationMissing(string) {
-	_ = t.front.Refresh()
+	return nil
 }

@@ -1,15 +1,27 @@
 package bridge
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
 	"livedev/internal/cde"
 	"livedev/internal/core"
 	"livedev/internal/dyn"
-	"livedev/internal/soap"
+	"livedev/internal/jsonb"
 )
+
+// The bridge is binding-agnostic: the matrix tests below need all three
+// built-in technologies registered on both halves of the registry.
+func init() {
+	core.RegisterBinding(jsonb.New())
+	cde.RegisterConnector(jsonb.Connector())
+}
+
+// allTechs are the three registered bindings the matrix tests span.
+var allTechs = []core.Technology{core.TechSOAP, core.TechCORBA, core.Technology(jsonb.Name)}
 
 // newFailingSpec is a distributed method whose body always errors.
 func newFailingSpec() dyn.MethodSpec {
@@ -23,12 +35,10 @@ func newFailingSpec() dyn.MethodSpec {
 	}
 }
 
-// soapStringType avoids importing dyn in edge_test for one constant.
-func soapStringType() *dyn.Type { return dyn.StringT }
-
-// startCORBABackend runs a live SDE CORBA server and returns a CDE client
-// bound to it (the bridge's backend) plus the class for live edits.
-func startCORBABackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
+// startBackend runs a live SDE server of the given technology and returns a
+// CDE client dialed against its published interface document (the bridge's
+// backend), the class for live edits, and the managed server.
+func startBackend(t *testing.T, tech core.Technology, opts *cde.DialOptions) (*cde.Client, *dyn.Class, core.Server) {
 	t.Helper()
 	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Millisecond})
 	if err != nil {
@@ -48,15 +58,14 @@ func startCORBABackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := mgr.Register(class, core.TechCORBA)
+	srv, err := mgr.Register(class, tech)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := srv.CreateInstance(); err != nil {
 		t.Fatal(err)
 	}
-	cs := srv.(*core.CORBAServer)
-	backend, err := cde.NewCORBAClient(cs.InterfaceURL(), cs.IORURL(), nil)
+	backend, err := cde.Dial(context.Background(), srv.InterfaceURL(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,90 +73,101 @@ func startCORBABackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
 	return backend, class, srv
 }
 
-// startSOAPBackend runs a live SDE SOAP server and returns a CDE client
-// bound to it.
-func startSOAPBackend(t *testing.T) (*cde.Client, *dyn.Class, core.Server) {
+// startFront deploys a re-export of backend over tech under a fresh manager
+// and returns the front plus a CDE client dialed against it.
+func startFront(t *testing.T, backend *cde.Client, tech core.Technology) (*Front, *cde.Client) {
 	t.Helper()
 	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = mgr.Close() })
-
-	class := dyn.NewClass("Inv")
-	if _, err := class.AddMethod(dyn.MethodSpec{
-		Name:        "lookup",
-		Params:      []dyn.Param{{Name: "skuCode", Type: dyn.StringT}},
-		Result:      dyn.Int32T,
-		Distributed: true,
-		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
-			return dyn.Int32Value(int32(len(args[0].Str()))), nil
-		},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	srv, err := mgr.Register(class, core.TechSOAP)
+	front, err := New(mgr, "InvBridge", backend, tech)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.CreateInstance(); err != nil {
-		t.Fatal(err)
-	}
-	backend, err := cde.NewSOAPClient(srv.InterfaceURL(), nil)
+	t.Cleanup(func() { _ = front.Close() })
+	client, err := cde.Dial(context.Background(), front.InterfaceURL(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { _ = backend.Close() })
-	return backend, class, srv
+	t.Cleanup(func() { _ = client.Close() })
+	return front, client
 }
 
-// TestSOAPFrontBridgesCORBA: a SOAP client talks, through the bridge, to a
-// live CORBA server.
-func TestSOAPFrontBridgesCORBA(t *testing.T) {
-	backend, _, _ := startCORBABackend(t)
-	front := NewSOAPFront("InvBridge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer front.Close()
-
-	// A plain CDE SOAP client consumes the bridge like any Web Service.
-	soapClient, err := cde.NewSOAPClient(front.WSDLURL(), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer soapClient.Close()
-
-	got, err := soapClient.Call("lookup", dyn.StringValue("ABC-123"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Int32() != 7 {
-		t.Errorf("lookup = %v", got)
-	}
-	if soapClient.Technology() != "SOAP" || backend.Technology() != "CORBA" {
-		t.Error("bridge should span technologies")
+// TestBridgeAllDirections round-trips the class across every ordered pair
+// of registered bindings — SOAP, CORBA, and JSON served over each other in
+// all directions (the generalized re-export the registry makes possible).
+func TestBridgeAllDirections(t *testing.T) {
+	for _, src := range allTechs {
+		for _, dst := range allTechs {
+			t.Run(fmt.Sprintf("%s_over_%s", src, dst), func(t *testing.T) {
+				backend, _, _ := startBackend(t, src, nil)
+				front, client := startFront(t, backend, dst)
+				got, err := client.CallContext(context.Background(), "lookup", dyn.StringValue("ABC-123"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Int32() != 7 {
+					t.Errorf("lookup = %v", got)
+				}
+				if front.Technology() != dst || backend.Technology() != string(src) {
+					t.Errorf("bridge spans %s -> %s, reported %s -> %s",
+						dst, src, front.Technology(), backend.Technology())
+				}
+			})
+		}
 	}
 }
 
-// TestSOAPFrontLiveEditPropagates: a server-side rename crosses the bridge
-// with the recency guarantee intact.
-func TestSOAPFrontLiveEditPropagates(t *testing.T) {
-	backend, class, srv := startCORBABackend(t)
-	front := NewSOAPFront("InvBridge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		t.Fatal(err)
+// TestBridgeLiveEditPropagates: a server-side rename crosses the bridge in
+// both classic directions with the recency guarantee intact.
+func TestBridgeLiveEditPropagates(t *testing.T) {
+	cases := []struct{ src, dst core.Technology }{
+		{core.TechCORBA, core.TechSOAP},
+		{core.TechSOAP, core.TechCORBA},
+		{core.Technology(jsonb.Name), core.TechSOAP},
 	}
-	defer front.Close()
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s_over_%s", tc.src, tc.dst), func(t *testing.T) {
+			backend, class, srv := startBackend(t, tc.src, nil)
+			_, client := startFront(t, backend, tc.dst)
 
-	soapClient, err := cde.NewSOAPClient(front.WSDLURL(), nil)
-	if err != nil {
-		t.Fatal(err)
+			// Rename on the backend server while the front client is
+			// connected through the bridge.
+			id, _ := class.MethodIDByName("lookup")
+			if err := class.RenameMethod(id, "find"); err != nil {
+				t.Fatal(err)
+			}
+			srv.Publisher().PublishNow()
+			srv.Publisher().WaitIdle()
+
+			// The front client's stale call crosses two protocol layers and
+			// still arrives as the standard stale-method experience, with
+			// the bridge's derived document already refreshed by delivery.
+			_, err := client.CallContext(context.Background(), "lookup", dyn.StringValue("x"))
+			if !errors.Is(err, cde.ErrStaleMethod) {
+				t.Fatalf("bridged stale call: %v", err)
+			}
+			if _, ok := client.Interface().Lookup("find"); !ok {
+				t.Error("rename must be visible through the bridge after the stale call")
+			}
+			got, err := client.CallContext(context.Background(), "find", dyn.StringValue("AB"))
+			if err != nil || got.Int32() != 2 {
+				t.Errorf("find = %v, %v", got, err)
+			}
+		})
 	}
-	defer soapClient.Close()
+}
 
-	// Rename on the CORBA server while the SOAP client is connected
-	// through the bridge.
+// TestBridgeWatchDrivenResync: with a watch-dialed backend client, a
+// backend edit propagates through the bridge with no front-side call at
+// all — the push invalidates the backend view, the view-change hook resyncs
+// the proxy class, and the bridge's publisher republishes.
+func TestBridgeWatchDrivenResync(t *testing.T) {
+	backend, class, srv := startBackend(t, core.TechCORBA, &cde.DialOptions{Watch: true})
+	front, _ := startFront(t, backend, core.TechSOAP)
+
 	id, _ := class.MethodIDByName("lookup")
 	if err := class.RenameMethod(id, "find"); err != nil {
 		t.Fatal(err)
@@ -155,66 +175,56 @@ func TestSOAPFrontLiveEditPropagates(t *testing.T) {
 	srv.Publisher().PublishNow()
 	srv.Publisher().WaitIdle()
 
-	// The SOAP client's stale call crosses two protocol layers and still
-	// arrives as the standard stale-method experience, with the bridge's
-	// WSDL already refreshed by delivery time.
-	_, err = soapClient.Call("lookup", dyn.StringValue("x"))
-	if !errors.Is(err, cde.ErrStaleMethod) {
-		t.Fatalf("bridged stale call: %v", err)
+	// No call is made through the bridge; the proxy class must converge on
+	// its own via the watch push.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := front.class.Interface().Lookup("find"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch-driven resync did not reach the proxy class")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
-	if _, ok := soapClient.Interface().Lookup("find"); !ok {
-		t.Error("rename must be visible through the bridge after the stale call")
-	}
-	got, err := soapClient.Call("find", dyn.StringValue("AB"))
-	if err != nil || got.Int32() != 2 {
-		t.Errorf("find = %v, %v", got, err)
+	if upd := backend.Stats().WatchUpdates; upd == 0 {
+		t.Error("backend client should have received watch updates")
 	}
 }
 
-// TestCORBAFrontBridgesSOAP: a CORBA client talks, through the bridge, to
-// a live SOAP server.
-func TestCORBAFrontBridgesSOAP(t *testing.T) {
-	backend, _, _ := startSOAPBackend(t)
-	front := NewCORBAFront("InvBridge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer front.Close()
+// TestBridgeChainedFronts: a re-export of a re-export (SOAP over JSON over
+// CORBA) still serves calls — the front is an ordinary managed server, so
+// it composes.
+func TestBridgeChainedFronts(t *testing.T) {
+	backend, _, _ := startBackend(t, core.TechCORBA, nil)
+	frontJSON, jsonClient := startFront(t, backend, core.Technology(jsonb.Name))
+	defer func() { _ = frontJSON.Close() }()
+	front2, soapClient := startFront(t, jsonClient, core.TechSOAP)
+	defer func() { _ = front2.Close() }()
 
-	corbaClient, err := cde.NewCORBAClient(front.IDLURL(), front.IORURL(), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer corbaClient.Close()
-
-	got, err := corbaClient.Call("lookup", dyn.StringValue("WXYZ"))
+	got, err := soapClient.CallContext(context.Background(), "lookup", dyn.StringValue("WXYZ"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Int32() != 4 {
-		t.Errorf("lookup = %v", got)
-	}
-	if _, err := front.IOR(); err != nil {
-		t.Errorf("IOR(): %v", err)
+		t.Errorf("chained lookup = %v", got)
 	}
 }
 
-// TestCORBAFrontLiveEditPropagates: the reverse direction of the live
-// propagation test.
-func TestCORBAFrontLiveEditPropagates(t *testing.T) {
-	backend, class, srv := startSOAPBackend(t)
-	front := NewCORBAFront("InvBridge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+// TestBridgeTwoFrontsShareBackend: two fronts over one backend client both
+// stay live — view listeners compose, and closing one front must not
+// detach the other's propagation.
+func TestBridgeTwoFrontsShareBackend(t *testing.T) {
+	backend, class, srv := startBackend(t, core.TechCORBA, nil)
+	frontA, clientA := startFront(t, backend, core.TechSOAP)
+	frontB, clientB := startFront(t, backend, core.Technology(jsonb.Name))
+
+	if err := frontA.Close(); err != nil {
 		t.Fatal(err)
 	}
-	defer front.Close()
+	_ = clientA
 
-	corbaClient, err := cde.NewCORBAClient(front.IDLURL(), front.IORURL(), nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer corbaClient.Close()
-
+	// Edit after frontA closed: frontB's listener must still fire.
 	id, _ := class.MethodIDByName("lookup")
 	if err := class.RenameMethod(id, "find"); err != nil {
 		t.Fatal(err)
@@ -222,44 +232,13 @@ func TestCORBAFrontLiveEditPropagates(t *testing.T) {
 	srv.Publisher().PublishNow()
 	srv.Publisher().WaitIdle()
 
-	_, err = corbaClient.Call("lookup", dyn.StringValue("x"))
+	_, err := clientB.CallContext(context.Background(), "lookup", dyn.StringValue("x"))
 	if !errors.Is(err, cde.ErrStaleMethod) {
-		t.Fatalf("bridged stale call: %v", err)
+		t.Fatalf("stale call through surviving front: %v", err)
 	}
-	if _, ok := corbaClient.Interface().Lookup("find"); !ok {
-		t.Error("rename must be visible through the bridge after the stale call")
+	got, err := clientB.CallContext(context.Background(), "find", dyn.StringValue("ABC"))
+	if err != nil || got.Int32() != 3 {
+		t.Errorf("find through surviving front = %v, %v", got, err)
 	}
-	got, err := corbaClient.Call("find", dyn.StringValue("ABCDE"))
-	if err != nil || got.Int32() != 5 {
-		t.Errorf("find = %v, %v", got, err)
-	}
-}
-
-// TestSOAPFrontMalformedAndUnknown: transport-level edge cases.
-func TestSOAPFrontMalformedAndUnknown(t *testing.T) {
-	backend, _, _ := startCORBABackend(t)
-	front := NewSOAPFront("InvBridge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer front.Close()
-
-	client := &soap.Client{Endpoint: front.Endpoint(), ServiceNS: "urn:InvBridge"}
-	_, err := client.Call("ghost", nil, dyn.Int32T)
-	if !soap.IsNonExistentMethod(err) {
-		t.Errorf("unknown bridged method: %v", err)
-	}
-	// Wrong arity is treated as stale-signature per the protocol.
-	_, err = client.Call("lookup", []soap.NamedValue{
-		{Name: "a", Value: dyn.Int32Value(1)}, {Name: "b", Value: dyn.Int32Value(2)},
-	}, dyn.Int32T)
-	if !soap.IsNonExistentMethod(err) {
-		t.Errorf("wrong arity through bridge: %v", err)
-	}
-	if err := front.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if err := front.Close(); err != nil {
-		t.Errorf("double close: %v", err)
-	}
+	_ = frontB
 }

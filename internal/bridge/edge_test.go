@@ -5,56 +5,46 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
+	"livedev/internal/core"
+	"livedev/internal/dyn"
 	"livedev/internal/soap"
 )
 
-func TestSOAPFrontStartErrors(t *testing.T) {
-	backend, _, _ := startCORBABackend(t)
-	front := NewSOAPFront("X", backend)
-	if err := front.Start("127.0.0.1:0", "999.999.999.999:0"); err == nil {
-		t.Error("bad interface address should fail")
-	}
-	front2 := NewSOAPFront("X", backend)
-	if err := front2.Start("999.999.999.999:0", "127.0.0.1:0"); err == nil {
-		t.Error("bad endpoint address should fail")
-	}
-	// Close before start is a no-op.
-	front3 := NewSOAPFront("X", backend)
-	if err := front3.Close(); err != nil {
-		t.Errorf("close before start: %v", err)
-	}
-}
-
-func TestCORBAFrontStartErrors(t *testing.T) {
-	backend, _, _ := startSOAPBackend(t)
-	front := NewCORBAFront("X", backend)
-	if err := front.Start("127.0.0.1:0", "999.999.999.999:0"); err == nil {
-		t.Error("bad interface address should fail")
-	}
-	front2 := NewCORBAFront("X", backend)
-	if err := front2.Start("999.999.999.999:0", "127.0.0.1:0"); err == nil {
-		t.Error("bad ORB address should fail")
-	}
-	front3 := NewCORBAFront("X", backend)
-	if err := front3.Close(); err != nil {
-		t.Errorf("close before start: %v", err)
-	}
-	if _, err := front3.IOR(); err == nil {
-		t.Error("IOR before start should fail")
-	}
-}
-
-func TestSOAPFrontTransportEdges(t *testing.T) {
-	backend, _, _ := startCORBABackend(t)
-	front := NewSOAPFront("Edge", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
+func TestBridgeUnknownTechnology(t *testing.T) {
+	backend, _, _ := startBackend(t, core.TechCORBA, nil)
+	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Millisecond})
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer front.Close()
+	defer func() { _ = mgr.Close() }()
+	if _, err := New(mgr, "X", backend, core.Technology("Nope")); err == nil {
+		t.Error("unknown front technology should fail")
+	}
+}
+
+func TestBridgeCloseIsIdempotent(t *testing.T) {
+	backend, _, _ := startBackend(t, core.TechSOAP, nil)
+	front, _ := startFront(t, backend, core.TechCORBA)
+	if err := front.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := front.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+// TestBridgeTransportEdges pins the front's transport-level behaviour: the
+// re-export is an ordinary managed server, so malformed and unknown-method
+// requests get the standard protocol treatment.
+func TestBridgeTransportEdges(t *testing.T) {
+	backend, _, _ := startBackend(t, core.TechCORBA, nil)
+	front, _ := startFront(t, backend, core.TechSOAP)
+	endpoint := front.Server().(*core.SOAPServer).Endpoint()
 
 	// GET is rejected.
-	resp, err := http.Get(front.Endpoint())
+	resp, err := http.Get(endpoint)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +54,7 @@ func TestSOAPFrontTransportEdges(t *testing.T) {
 	}
 
 	// Malformed body.
-	resp, err = http.Post(front.Endpoint(), "text/xml", strings.NewReader("junk"))
+	resp, err = http.Post(endpoint, "text/xml", strings.NewReader("junk"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,21 +68,34 @@ func TestSOAPFrontTransportEdges(t *testing.T) {
 		t.Errorf("fault = %+v", parsed.Fault)
 	}
 
+	// Unknown bridged method runs the forced-publication protocol and
+	// reports Non Existent Method.
+	client := &soap.Client{Endpoint: endpoint, ServiceNS: "urn:InvBridge"}
+	_, err = client.CallContext(t.Context(), "ghost", nil, dyn.Int32T)
+	if !soap.IsNonExistentMethod(err) {
+		t.Errorf("unknown bridged method: %v", err)
+	}
+	// Wrong arity is treated as stale-signature per the protocol.
+	_, err = client.CallContext(t.Context(), "lookup", []soap.NamedValue{
+		{Name: "a", Value: dyn.Int32Value(1)}, {Name: "b", Value: dyn.Int32Value(2)},
+	}, dyn.Int32T)
+	if !soap.IsNonExistentMethod(err) {
+		t.Errorf("wrong arity through bridge: %v", err)
+	}
+
 	// Refresh is callable directly (the bridge operator's manual resync).
 	if err := front.Refresh(); err != nil {
 		t.Errorf("refresh: %v", err)
 	}
 }
 
-func TestSOAPFrontForwardsAppErrors(t *testing.T) {
-	backend, class, srv := startCORBABackend(t)
-	front := NewSOAPFront("Err", backend)
-	if err := front.Start("127.0.0.1:0", "127.0.0.1:0"); err != nil {
-		t.Fatal(err)
-	}
-	defer front.Close()
+// TestBridgeForwardsAppErrors: an application error thrown behind the
+// bridge surfaces as the front technology's application fault.
+func TestBridgeForwardsAppErrors(t *testing.T) {
+	backend, class, srv := startBackend(t, core.TechCORBA, nil)
+	front, _ := startFront(t, backend, core.TechSOAP)
 
-	// Add a failing method to the backend and publish.
+	// Add a failing method to the backend, publish, and resync the bridge.
 	if _, err := class.AddMethod(newFailingSpec()); err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +105,9 @@ func TestSOAPFrontForwardsAppErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	client := &soap.Client{Endpoint: front.Endpoint(), ServiceNS: "urn:Err"}
-	_, err := client.Call("explode", nil, soapStringType())
+	endpoint := front.Server().(*core.SOAPServer).Endpoint()
+	client := &soap.Client{Endpoint: endpoint, ServiceNS: "urn:InvBridge"}
+	_, err := client.CallContext(t.Context(), "explode", nil, dyn.StringT)
 	if err == nil || !strings.Contains(err.Error(), "backend detonated") {
 		t.Errorf("bridged app error = %v", err)
 	}

@@ -108,13 +108,9 @@ func NewSOAPClient(wsdlURL string, httpClient *http.Client) (*Client, error) {
 // Technology implements Backend.
 func (b *soapBackend) Technology() string { return "SOAP" }
 
-// FetchInterface implements Backend: fetch the WSDL, compile it, and
-// (re)target the SOAP caller at the advertised endpoint.
-func (b *soapBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
-	doc, err := b.docs.Fetch(ctx)
-	if err != nil {
-		return dyn.InterfaceDescriptor{}, DocVersions{}, err
-	}
+// compile turns a fetched (or pushed) WSDL document into the descriptor and
+// retargets the SOAP caller at the advertised endpoint.
+func (b *soapBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocVersions, error) {
 	parsed, err := wsdl.Parse([]byte(doc.Content))
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: compiling WSDL: %w", err)
@@ -127,6 +123,25 @@ func (b *soapBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescript
 	}
 	b.mu.Unlock()
 	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// FetchInterface implements Backend: fetch the WSDL and compile it.
+func (b *soapBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
+	doc, err := b.docs.Fetch(ctx)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	return b.compile(doc)
+}
+
+// WatchInterface implements WatchableBackend over the Interface Server's
+// long-poll watch protocol.
+func (b *soapBackend) WatchInterface(ctx context.Context, after uint64) (dyn.InterfaceDescriptor, DocVersions, error) {
+	doc, err := b.docs.Watch(ctx, after)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	return b.compile(doc)
 }
 
 // Invoke implements Backend.
@@ -158,14 +173,18 @@ func (b *soapBackend) IsStale(err error) bool { return soap.IsNonExistentMethod(
 func (b *soapBackend) Close() error { return nil }
 
 // corbaBackend is the OpenORB-DII-equivalent client plumbing: IDL compiler,
-// IOR bootstrap, IIOP invocation (paper Figure 2).
+// IOR bootstrap, IIOP invocation (paper Figure 2). The IIOP connection is
+// drawn from the process-wide endpoint pool, so every backend (and every
+// compiled stub) bound to the same published IOR multiplexes one TCP
+// connection.
 type corbaBackend struct {
 	idlDocs *DocSource
 	iorDocs *DocSource
 
-	mu    sync.Mutex
-	conn  *orb.ClientORB
-	iface string // interface name from the IOR type id
+	mu      sync.Mutex
+	conn    *orb.ClientORB
+	release func() error // returns the pooled connection
+	iface   string       // interface name from the IOR type id
 }
 
 var _ Backend = (*corbaBackend)(nil)
@@ -221,25 +240,18 @@ func (b *corbaBackend) connect(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	conn, err := orb.DialIORContext(ctx, ref)
+	conn, release, err := sharedORBs.acquire(ctx, ref)
 	if err != nil {
 		return fmt.Errorf("cde: initializing client ORB: %w", err)
 	}
 	b.conn = conn
+	b.release = release
 	b.iface = name
 	return nil
 }
 
-// FetchInterface implements Backend: fetch and compile the CORBA-IDL
-// document (Figure 2's IDL compiler).
-func (b *corbaBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
-	if err := b.connect(ctx); err != nil {
-		return dyn.InterfaceDescriptor{}, DocVersions{}, err
-	}
-	doc, err := b.idlDocs.Fetch(ctx)
-	if err != nil {
-		return dyn.InterfaceDescriptor{}, DocVersions{}, err
-	}
+// compile turns a fetched (or pushed) IDL document into the descriptor.
+func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocVersions, error) {
 	parsed, err := idl.Parse(doc.Content)
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: compiling IDL: %w", err)
@@ -252,6 +264,32 @@ func (b *corbaBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescrip
 		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: resolving IDL: %w", err)
 	}
 	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// FetchInterface implements Backend: fetch and compile the CORBA-IDL
+// document (Figure 2's IDL compiler).
+func (b *corbaBackend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, DocVersions, error) {
+	if err := b.connect(ctx); err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	doc, err := b.idlDocs.Fetch(ctx)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	return b.compile(doc)
+}
+
+// WatchInterface implements WatchableBackend by watching the published IDL
+// document.
+func (b *corbaBackend) WatchInterface(ctx context.Context, after uint64) (dyn.InterfaceDescriptor, DocVersions, error) {
+	if err := b.connect(ctx); err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	doc, err := b.idlDocs.Watch(ctx, after)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, DocVersions{}, err
+	}
+	return b.compile(doc)
 }
 
 // Invoke implements Backend via DII.
@@ -270,14 +308,16 @@ func (b *corbaBackend) IsStale(err error) bool {
 	return errors.Is(err, orb.ErrNonExistentMethod)
 }
 
-// Close implements Backend.
+// Close implements Backend: the pooled connection is released, not closed —
+// it is torn down when the last holder lets go.
 func (b *corbaBackend) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.conn == nil {
 		return nil
 	}
-	err := b.conn.Close()
+	err := b.release()
 	b.conn = nil
+	b.release = nil
 	return err
 }

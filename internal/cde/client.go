@@ -72,6 +72,19 @@ type Backend interface {
 	Close() error
 }
 
+// WatchableBackend is a Backend with the optional watch capability: its
+// published interface document can be watched (push-invalidated) instead of
+// polled. All three built-in bindings implement it over the Interface
+// Server's long-poll watch protocol; Dial's WithWatch option requires it.
+type WatchableBackend interface {
+	Backend
+	// WatchInterface blocks until the published interface document is newer
+	// than the given document version, then compiles and returns it (the
+	// same output as FetchInterface, without a per-call fetch). It returns
+	// an error wrapping ctx.Err() when ctx ends first.
+	WatchInterface(ctx context.Context, after uint64) (dyn.InterfaceDescriptor, DocVersions, error)
+}
+
 // DocVersions carries the two version counters of a published document.
 type DocVersions struct {
 	// Doc is the Interface Server publish count.
@@ -88,8 +101,12 @@ type ClientStats struct {
 	// StaleFaults counts "Non Existent Method" replies (each triggers a
 	// reactive interface refresh).
 	StaleFaults uint64
-	// Refreshes counts interface fetches (initial, reactive, and manual).
+	// Refreshes counts interface *fetches* (initial, reactive, and manual
+	// HTTP round-trips). Watch-delivered updates are counted separately.
 	Refreshes uint64
+	// WatchUpdates counts interface views installed from watch pushes —
+	// updates that cost no per-call document fetch.
+	WatchUpdates uint64
 }
 
 // Client is a live CDE client bound to one server.
@@ -104,6 +121,19 @@ type Client struct {
 	iface    dyn.InterfaceDescriptor
 	versions DocVersions
 	stats    ClientStats
+	// viewChanged is closed and replaced whenever a new interface view is
+	// installed; the stale-call path waits on it for the watch push.
+	viewChanged chan struct{}
+	// viewHooks run (outside the lock) after every installed view — the
+	// hooks bridges use for event-driven re-export. Keyed so several
+	// listeners (e.g. two fronts over one client) coexist.
+	viewHooks map[uint64]func()
+	nextHook  uint64
+
+	// watching is set when the push watcher is running.
+	watching    bool
+	watchCancel context.CancelFunc
+	watchDone   chan struct{}
 
 	debugger *Debugger
 
@@ -119,7 +149,7 @@ func NewClient(backend Backend) (*Client, error) {
 // NewClientContext is NewClient with a context governing the initial
 // interface fetch and per-client options (nil for defaults).
 func NewClientContext(ctx context.Context, backend Backend, opts *DialOptions) (*Client, error) {
-	c := &Client{backend: backend}
+	c := &Client{backend: backend, viewChanged: make(chan struct{})}
 	c.debugger = &Debugger{client: c}
 	if opts != nil {
 		c.callTimeout = opts.Timeout
@@ -128,9 +158,118 @@ func NewClientContext(ctx context.Context, backend Backend, opts *DialOptions) (
 		}
 	}
 	if err := c.RefreshContext(ctx); err != nil {
+		// The backend may already hold resources (the CORBA backend takes a
+		// pooled IIOP connection ref during the fetch); a failed dial must
+		// release them.
+		_ = backend.Close()
 		return nil, err
 	}
+	if opts != nil && opts.Watch {
+		wb, ok := backend.(WatchableBackend)
+		if !ok {
+			_ = backend.Close()
+			return nil, fmt.Errorf("cde: the %s binding does not support watch (backend lacks WatchInterface)", backend.Technology())
+		}
+		c.startWatch(wb)
+	}
 	return c, nil
+}
+
+// startWatch launches the push watcher: a goroutine long-polling the
+// published interface document and installing each new version into the
+// client's view — the push-invalidated interface cache.
+func (c *Client) startWatch(wb WatchableBackend) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.mu.Lock()
+	c.watching = true
+	c.watchCancel = cancel
+	c.watchDone = make(chan struct{})
+	done := c.watchDone
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		for {
+			after := c.Versions().Doc
+			desc, vers, err := wb.WatchInterface(ctx, after)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				// Transient watch failure (server restarting, network
+				// blip): back off briefly and resubscribe.
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(watchRetryDelay):
+				}
+				continue
+			}
+			c.installView(desc, vers, true)
+		}
+	}()
+}
+
+// watchRetryDelay paces watch resubscription after a transient failure.
+const watchRetryDelay = 200 * time.Millisecond
+
+// Watching reports whether the push watcher is running.
+func (c *Client) Watching() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.watching
+}
+
+// AddViewListener registers a hook run synchronously (outside the client's
+// lock) after every installed interface view — watch pushes, reactive
+// refreshes, and manual refreshes alike — and returns its remove function.
+// Bridges use it to keep their re-exported classes in step with the
+// backend; multiple listeners (two fronts over one client) coexist.
+func (c *Client) AddViewListener(fn func()) (remove func()) {
+	c.mu.Lock()
+	if c.viewHooks == nil {
+		c.viewHooks = make(map[uint64]func())
+	}
+	id := c.nextHook
+	c.nextHook++
+	c.viewHooks[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.viewHooks, id)
+		c.mu.Unlock()
+	}
+}
+
+// installView installs a fetched or pushed interface view. The view never
+// moves backwards: an older document than the current view is dropped (its
+// fetch is still counted). It reports whether the view was installed.
+func (c *Client) installView(desc dyn.InterfaceDescriptor, vers DocVersions, fromWatch bool) bool {
+	c.mu.Lock()
+	if !fromWatch {
+		// A fetch happened whether or not its result wins the race below.
+		c.stats.Refreshes++
+	}
+	if vers.Doc < c.versions.Doc {
+		c.mu.Unlock()
+		return false
+	}
+	if fromWatch {
+		// Counted only when the pushed view is actually installed.
+		c.stats.WatchUpdates++
+	}
+	c.iface = desc
+	c.versions = vers
+	close(c.viewChanged)
+	c.viewChanged = make(chan struct{})
+	hooks := make([]func(), 0, len(c.viewHooks))
+	for _, h := range c.viewHooks {
+		hooks = append(hooks, h)
+	}
+	c.mu.Unlock()
+	for _, h := range hooks {
+		h()
+	}
+	return true
 }
 
 // Technology reports the backend technology.
@@ -173,14 +312,55 @@ func (c *Client) RefreshContext(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats.Refreshes++
-	if vers.Doc >= c.versions.Doc {
-		c.iface = desc
-		c.versions = vers
-	}
+	c.installView(desc, vers, false)
 	return nil
+}
+
+// watchStaleWait bounds how long a stale call waits for the watch push
+// before falling back to an HTTP refresh. The push normally arrives within
+// a round-trip of the "Non Existent Method" reply (the server committed the
+// document before replying), so the bound only matters when the watch
+// stream is wedged — or when the server runs the ActivePublishingOnly
+// ablation, where no forced publication happens and every stale call pays
+// the full fallback wait; don't combine watch clients with that ablation.
+const watchStaleWait = 2 * time.Second
+
+// reactiveRefresh brings the client's view up to date after a "Non Existent
+// Method" reply to a call against sig. Without a watcher it fetches the
+// document (the classic Section 6 path). With a watcher, the
+// push-invalidated cache resolves it: the server's forced publication is
+// already on its way to the watcher, so this waits for a view that is both
+// newer than the one the failed call was made against and no longer
+// carries the failed signature — an intermediate publication that still
+// contains it cannot be the forced one, so the wait continues (the view
+// must explain the fault, per Section 6). If no such push arrives within
+// watchStaleWait the refresh falls back to a fetch so the recency
+// guarantee holds regardless.
+func (c *Client) reactiveRefresh(ctx context.Context, calledWith uint64, sig dyn.MethodSig) error {
+	if !c.Watching() {
+		return c.RefreshContext(ctx)
+	}
+	fallback := time.NewTimer(watchStaleWait)
+	defer fallback.Stop()
+	for {
+		c.mu.RLock()
+		cur := c.versions.Doc
+		changed := c.viewChanged
+		have, stillThere := c.iface.Lookup(sig.Name)
+		c.mu.RUnlock()
+		if cur > calledWith && (!stillThere || !have.Equal(sig)) {
+			return nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-fallback.C:
+			// Covers the pathological tails (e.g. the signature was
+			// restored unchanged after the fault) with one bounded fetch.
+			return c.RefreshContext(ctx)
+		}
+	}
 }
 
 // Call is CallContext with a background context (bounded by the client's
@@ -213,6 +393,7 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...dyn.Val
 	}
 
 	c.mu.RLock()
+	calledWith := c.versions.Doc
 	sig, ok := c.iface.Lookup(method)
 	c.mu.RUnlock()
 	if !ok {
@@ -221,6 +402,10 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...dyn.Val
 			return dyn.Value{}, err
 		}
 		c.mu.RLock()
+		// Re-snapshot the view version too: the invoke below runs against
+		// the refreshed view, so the reactive-update wait on a stale reply
+		// must be measured from here, not from the pre-refresh version.
+		calledWith = c.versions.Doc
 		sig, ok = c.iface.Lookup(method)
 		c.mu.RUnlock()
 		if !ok {
@@ -242,9 +427,11 @@ func (c *Client) CallContext(ctx context.Context, method string, args ...dyn.Val
 	// Section 6: "when a 'Non existent Method' exception is received by
 	// the client backend, the client view of the server interface is
 	// updated to the currently published one. Then, the exception is sent
-	// to the dynamic class that made the original RMI call."
+	// to the dynamic class that made the original RMI call." With a watcher
+	// running, the update comes from the push-invalidated cache instead of
+	// a per-call document refetch.
 	c.refreshMu.Lock()
-	refreshErr := c.RefreshContext(ctx)
+	refreshErr := c.reactiveRefresh(ctx, calledWith, sig)
 	c.refreshMu.Unlock()
 
 	c.mu.Lock()
@@ -286,8 +473,19 @@ func (c *Client) AutoRefresh(interval time.Duration) (stop func()) {
 	}
 }
 
-// Close releases the backend.
-func (c *Client) Close() error { return c.backend.Close() }
+// Close stops the watcher (if any) and releases the backend.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	cancel, done := c.watchCancel, c.watchDone
+	c.watchCancel, c.watchDone = nil, nil
+	c.watching = false
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	return c.backend.Close()
+}
 
 // Exception is a failed call recorded by the debugger (Figure 9).
 type Exception struct {

@@ -23,6 +23,13 @@ type DialOptions struct {
 	Timeout time.Duration
 	// Binding forces the named binding, skipping document sniffing.
 	Binding string
+	// Watch subscribes the client to push-based interface updates: a
+	// watcher long-polls the published interface document and installs
+	// each new version into the client's view, so reactive refresh after a
+	// live edit is served from the invalidated cache instead of a per-call
+	// refetch. Requires the binding's backend to implement
+	// WatchableBackend; Dial fails otherwise.
+	Watch bool
 	// AuxURL is a binding-specific secondary document URL — the CORBA
 	// binding uses it for the stringified IOR when the primary URL is the
 	// IDL document (and vice versa). Bindings derive it by path convention
@@ -132,7 +139,13 @@ func (s *DocSource) Fetch(ctx context.Context) (ifsvr.Document, error) {
 	if seed != nil {
 		return *seed, nil
 	}
-	return ifsvr.FetchContext(ctx, s.hc, s.url)
+	return ifsvr.FetchContext(ctx, docClient(s.hc), s.url)
+}
+
+// Watch performs one blocking watch for a version of the document newer
+// than after, using the shared document client when none was configured.
+func (s *DocSource) Watch(ctx context.Context, after uint64) (ifsvr.Document, error) {
+	return ifsvr.WatchNewer(ctx, docClient(s.hc), s.url, after)
 }
 
 // Dial builds a live client from a published interface-document URL. Unless
@@ -162,7 +175,7 @@ func Dial(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
 		return c.Connect(ctx, url, opts)
 	}
 
-	doc, err := ifsvr.FetchContext(ctx, opts.HTTPClient, url)
+	doc, err := ifsvr.FetchContext(ctx, docClient(opts.HTTPClient), url)
 	if err != nil {
 		return nil, fmt.Errorf("cde: fetching interface document: %w", err)
 	}

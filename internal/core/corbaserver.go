@@ -42,28 +42,22 @@ func newCORBAServer(m *Manager, class *dyn.Class) (*CORBAServer, error) {
 	}
 	s.target = &corbaTarget{class: class}
 
-	// Generated IDL text is cached by interface hash, mirroring the WSDL
-	// path: republication of a previously seen interface skips generation.
-	docs := newDocCache()
-	publish := func(desc dyn.InterfaceDescriptor) error {
-		text, ok := docs.get(desc.Hash())
-		if !ok {
+	// Wire the publisher into the call target *before* the ORB starts
+	// listening: a stale call arriving the instant the endpoint is live
+	// must already run the Section 5.7 forced-publication protocol.
+	s.pub = m.StartPublication(class, s.idlPath, "text/plain",
+		func(desc dyn.InterfaceDescriptor) (string, error) {
 			doc, err := idl.Generate(desc)
 			if err != nil {
-				return err
+				return "", err
 			}
-			text = idl.Print(doc)
-			docs.put(desc.Hash(), text)
-		}
-		m.iface.PublishVersioned(s.idlPath, "text/plain", text, desc.Version)
-		return nil
-	}
-	s.pub = m.NewPublisher(class, publish)
+			return idl.Print(doc), nil
+		})
 	s.target.pub = s.pub
 	s.target.activeOnly = !m.ReactivePublication()
 
 	// The Server ORB is initialized by the CORBA End Point and the IOR is
-	// published via the Interface Server (Section 5.2.1).
+	// published via the publication store (Section 5.2.1).
 	typeID := fmt.Sprintf("IDL:%sModule/%s:1.0", class.Name(), class.Name())
 	s.orbSrv = orb.NewServerORB(typeID, []byte(class.Name()), s.target)
 	ref, err := s.orbSrv.Listen(m.CORBAAddr())
@@ -75,7 +69,8 @@ func newCORBAServer(m *Manager, class *dyn.Class) (*CORBAServer, error) {
 	m.iface.Publish(s.iorPath, "text/plain", ref.String())
 
 	// "As soon as the class is created, a basic CORBA-IDL document is
-	// published" (Section 4).
+	// published" (Section 4) — after the IOR, so anyone who can see the
+	// IDL can already bootstrap the connection.
 	s.pub.PublishNow()
 	s.pub.WaitIdle()
 	return s, nil
@@ -143,6 +138,8 @@ func (s *CORBAServer) Close() error {
 	s.mu.Unlock()
 	err := s.orbSrv.Close()
 	s.pub.Close()
+	s.mgr.Store().Remove(s.idlPath)
+	s.mgr.Store().Remove(s.iorPath)
 	s.mgr.Unregister(s.class.Name())
 	return err
 }

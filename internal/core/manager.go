@@ -79,6 +79,13 @@ type Config struct {
 	CORBAAddr string
 	// Timeout is the publication stability timeout (Section 5.6).
 	Timeout time.Duration
+	// FlushWindow is the publication store's edit-storm coalescing window:
+	// rapid publications of an already-published document are batched and
+	// committed once per window. Zero (the default) commits every
+	// publication immediately. Forced publication (Section 5.7) always
+	// commits synchronously regardless of the window, so the recency
+	// guarantee is unaffected.
+	FlushWindow time.Duration
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -118,6 +125,7 @@ func (c Config) withDefaults() Config {
 type Manager struct {
 	cfg Config
 
+	store *Store
 	iface *ifsvr.Server
 
 	httpMux  *dynamicMux
@@ -137,10 +145,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:     cfg,
-		iface:   ifsvr.New(),
+		store:   NewStore(cfg.FlushWindow, cfg.Clock),
 		httpMux: newDynamicMux(),
 		servers: make(map[string]Server),
 	}
+	// The Interface Server is a read view over the publication store: every
+	// binding publishes through the store, the HTTP view serves and watches
+	// it (Section 5.1 plus the watch protocol).
+	m.iface = ifsvr.NewView(m.store)
 	if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
 		return nil, fmt.Errorf("core: starting interface server: %w", err)
 	}
@@ -160,8 +172,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// InterfaceServer returns the shared Interface Server.
+// InterfaceServer returns the shared Interface Server (the HTTP read view
+// over the publication store).
 func (m *Manager) InterfaceServer() *ifsvr.Server { return m.iface }
+
+// Store returns the manager's publication store — the versioned document
+// store with subscriber fan-out and edit-storm coalescing that every
+// binding publishes through.
+func (m *Manager) Store() *Store { return m.store }
 
 // InterfaceBaseURL returns the Interface Server base URL.
 func (m *Manager) InterfaceBaseURL() string { return m.iface.BaseURL() }
@@ -186,9 +204,65 @@ func (m *Manager) UnmountHTTP(path string) { m.httpMux.removeHandler(path) }
 // NewPublisher builds a DL Publisher for class wired to the manager's
 // configured stability timeout and clock, delivering documents via publish.
 // Bindings use it so every technology shares the Section 5.6 publication
-// behaviour (and its test clock) without reaching into the config.
+// behaviour (and its test clock) without reaching into the config. The
+// publisher's forced-publication path flushes the manager's publication
+// store, preserving the Section 5.7 guarantee under coalescing. Most
+// bindings want the higher-level PublishInterface instead.
 func (m *Manager) NewPublisher(class *dyn.Class, publish PublishFunc) *DLPublisher {
-	return NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+	p := NewDLPublisher(class, m.cfg.Timeout, m.cfg.Clock, publish)
+	p.SetFlush(m.store.Flush)
+	return p
+}
+
+// GenerateFunc renders an interface descriptor into one binding's document
+// text (WSDL, CORBA-IDL, JSON, ...).
+type GenerateFunc func(desc dyn.InterfaceDescriptor) (string, error)
+
+// PublishInterface is the publication seam bindings build on: it wires
+// class's interface-document publication through the manager's store and
+// returns the running DL Publisher. It bundles everything the SOAP, CORBA,
+// and JSON bindings used to duplicate:
+//
+//   - generated text is cached by interface hash, so republication of a
+//     previously seen interface (undo/redo, A→B→A edit cycles) skips the
+//     generator;
+//   - documents are committed through the coalescing store under path with
+//     the given content type, carrying the descriptor version;
+//   - the publisher's forced-publication path flushes the store;
+//   - the initial (basic) description is published synchronously before
+//     PublishInterface returns (Section 4), bypassing the flush window
+//     because a first publication always commits immediately.
+//
+// The caller owns the returned publisher and must Close it when the
+// binding's server closes.
+func (m *Manager) PublishInterface(class *dyn.Class, path, contentType string, gen GenerateFunc) *DLPublisher {
+	p := m.StartPublication(class, path, contentType, gen)
+	p.PublishNow()
+	p.WaitIdle()
+	return p
+}
+
+// StartPublication is PublishInterface without the initial synchronous
+// publication: the publisher is fully wired (doc cache, store, flush) but
+// nothing has been published yet. Bindings whose call endpoint must be
+// wired to the publisher *before* it goes live — the CORBA binding's ORB
+// starts listening before the basic IDL is generated — use it and trigger
+// PublishNow/WaitIdle themselves once the endpoint order is right.
+func (m *Manager) StartPublication(class *dyn.Class, path, contentType string, gen GenerateFunc) *DLPublisher {
+	docs := newDocCache()
+	publish := func(desc dyn.InterfaceDescriptor) error {
+		text, ok := docs.get(desc.Hash())
+		if !ok {
+			var err error
+			if text, err = gen(desc); err != nil {
+				return err
+			}
+			docs.put(desc.Hash(), text)
+		}
+		m.store.PublishVersioned(path, contentType, text, desc.Version)
+		return nil
+	}
+	return m.NewPublisher(class, publish)
 }
 
 // ReactivePublication reports whether stale calls must force the published
@@ -290,6 +364,8 @@ func (m *Manager) Close() error {
 	if e := m.iface.Close(); err == nil {
 		err = e
 	}
+	// Closing the store wakes parked watch polls so they drain promptly.
+	m.store.Close()
 	return err
 }
 

@@ -2,8 +2,16 @@
 // Environment middleware. It contains the SDE Manager (Section 5), the DL
 // Publisher implementing the stable-timeout publication algorithm
 // (Section 5.6) and the forced-publication state machine for stale client
-// calls (Section 5.7), and the SOAP and CORBA call handlers arranged in the
-// technology-independent class hierarchy of Figure 6.
+// calls (Section 5.7), the SOAP and CORBA call handlers arranged in the
+// technology-independent class hierarchy of Figure 6, and — since the
+// event-driven publication refactor — the publication Store: the versioned
+// interface-document store with epoch-numbered snapshots, subscriber
+// fan-out, and edit-storm coalescing that every binding publishes through
+// (Manager.PublishInterface) and the Interface Server reads from. The
+// publication pipeline is therefore: class edit → DL Publisher
+// (stable-timeout, Section 5.6) → Store (flush-window coalescing, epochs,
+// fan-out) → Interface Server read view (HTTP + long-poll watch) → client
+// caches (push-invalidated via the watch protocol).
 package core
 
 import (
@@ -53,6 +61,12 @@ type DLPublisher struct {
 	publish PublishFunc
 	clk     clock.Clock
 
+	// flush, when non-nil, commits the downstream publication store's
+	// staged documents. EnsureCurrent calls it after its generations
+	// complete so the forced-publication guarantee (Section 5.7) holds
+	// even when the store coalesces publications under a flush window.
+	flush func()
+
 	mu            sync.Mutex
 	cond          *sync.Cond
 	timeout       time.Duration
@@ -93,6 +107,15 @@ func NewDLPublisher(class *dyn.Class, timeout time.Duration, clk clock.Clock, pu
 	p.cond = sync.NewCond(&p.mu)
 	p.unsubscribe = class.Subscribe(p.onChange)
 	return p
+}
+
+// SetFlush installs the downstream store-commit hook run at the end of
+// every EnsureCurrent. Manager.NewPublisher and Manager.PublishInterface
+// wire it to the publication store's Flush.
+func (p *DLPublisher) SetFlush(flush func()) {
+	p.mu.Lock()
+	p.flush = flush
+	p.mu.Unlock()
 }
 
 // SetTimeout changes the stability timeout for subsequently armed timers
@@ -261,8 +284,8 @@ func (p *DLPublisher) PublishNow() {
 //     the latest edit — queue a follow-up and wait for both.
 func (p *DLPublisher) EnsureCurrent() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	var target uint64
@@ -286,6 +309,14 @@ func (p *DLPublisher) EnsureCurrent() {
 		// no-op either way because publication was not needed per protocol).
 		if p.publishedHash == p.class.Interface().Hash() {
 			p.stats.ForcedNoop++
+			flush := p.flush
+			p.mu.Unlock()
+			// Even a no-op generation must commit anything the store still
+			// holds staged, or the "published" description a client fetches
+			// next could predate what this publisher already sent.
+			if flush != nil {
+				flush()
+			}
 			return
 		}
 		p.startGenerationLocked()
@@ -294,6 +325,11 @@ func (p *DLPublisher) EnsureCurrent() {
 	}
 	for p.completedGens < target && !p.closed {
 		p.cond.Wait()
+	}
+	flush := p.flush
+	p.mu.Unlock()
+	if flush != nil {
+		flush()
 	}
 }
 

@@ -42,31 +42,16 @@ func newSOAPServer(m *Manager, class *dyn.Class) (*SOAPServer, error) {
 	s.endpoint = m.HTTPBaseURL() + s.path
 	s.handler = newSOAPCallHandler(class, "urn:"+class.Name(), nil)
 
-	// Generated WSDL text is cached by interface hash: republication of an
-	// interface the class has had before (undo/redo, A→B→A edit cycles,
-	// forced publication racing the timer) skips the generator entirely.
-	docs := newDocCache()
-	publish := func(desc dyn.InterfaceDescriptor) error {
-		text, ok := docs.get(desc.Hash())
-		if !ok {
-			doc := wsdl.Generate(desc, s.endpoint)
-			var err error
-			if text, err = doc.XML(); err != nil {
-				return err
-			}
-			docs.put(desc.Hash(), text)
-		}
-		m.iface.PublishVersioned(s.wsdlPath, "text/xml", text, desc.Version)
-		return nil
-	}
-	s.pub = m.NewPublisher(class, publish)
+	// "...creates the required backend components for deployment and
+	// immediately publishes a basic WSDL definition" (Section 4). All the
+	// publication plumbing — doc caching, the coalescing store, the forced-
+	// publication flush — lives behind the manager's publication seam.
+	s.pub = m.PublishInterface(class, s.wsdlPath, "text/xml",
+		func(desc dyn.InterfaceDescriptor) (string, error) {
+			return wsdl.Generate(desc, s.endpoint).XML()
+		})
 	s.handler.pub = s.pub
 	s.handler.activeOnly = !m.ReactivePublication()
-
-	// "...creates the required backend components for deployment and
-	// immediately publishes a basic WSDL definition" (Section 4).
-	s.pub.PublishNow()
-	s.pub.WaitIdle()
 
 	m.MountHTTP(s.path, s.handler)
 	return s, nil
@@ -129,6 +114,7 @@ func (s *SOAPServer) Close() error {
 	s.mu.Unlock()
 	s.mgr.UnmountHTTP(s.path)
 	s.pub.Close()
+	s.mgr.Store().Remove(s.wsdlPath)
 	s.mgr.Unregister(s.class.Name())
 	return nil
 }

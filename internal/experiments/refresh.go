@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+// RefreshRow summarizes one client-refresh strategy in the
+// refresh-after-edit latency experiment: how long after a committed
+// publication a connected client's interface view reflects it.
+type RefreshRow struct {
+	// Mode names the strategy ("poll-50ms", "watch-push").
+	Mode string
+	// Rounds is the number of edit→publish→converge rounds measured.
+	Rounds int
+	// Mean and P50 summarize the publication→view-refresh latency.
+	Mean, P50 time.Duration
+}
+
+// RefreshConfig parameterizes the refresh-latency experiment.
+type RefreshConfig struct {
+	// Rounds is the number of edits measured per client (default 12).
+	Rounds int
+	// PollInterval is the polling client's AutoRefresh interval
+	// (default 50ms).
+	PollInterval time.Duration
+}
+
+// RunRefreshLatency measures the refresh-after-edit latency of the two
+// client update strategies side by side: a polling client (AutoRefresh at
+// a fixed interval — the pre-watch CDE) against a watch-subscribed client
+// (push-invalidated cache). Both clients are connected to the same live
+// SOAP server; each round renames the served method, forces a publication,
+// and times how long each client takes to converge on the new descriptor
+// version.
+func RunRefreshLatency(cfg RefreshConfig) ([]RefreshRow, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 12
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	mgr, err := core.NewManager(core.Config{Timeout: 5 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = mgr.Close() }()
+
+	class := dyn.NewClass("Refresh")
+	id, err := class.AddMethod(dyn.MethodSpec{Name: "op0", Result: dyn.Int32T, Distributed: true})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := mgr.Register(class, core.TechSOAP)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	pollClient, err := cde.Dial(ctx, srv.InterfaceURL(), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = pollClient.Close() }()
+	stopPoll := pollClient.AutoRefresh(cfg.PollInterval)
+	defer stopPoll()
+
+	watchClient, err := cde.Dial(ctx, srv.InterfaceURL(), &cde.DialOptions{Watch: true})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = watchClient.Close() }()
+
+	// convergeDeadline bounds each round so a wedged client fails the run
+	// with a diagnostic instead of hanging the bench (CI runs this).
+	const convergeDeadline = 15 * time.Second
+	converge := func(c *cde.Client, target uint64, start time.Time) (time.Duration, error) {
+		for c.Versions().Descriptor < target {
+			if time.Since(start) > convergeDeadline {
+				return 0, fmt.Errorf("experiments: client stuck at descriptor version %d (target %d) after %s",
+					c.Versions().Descriptor, target, convergeDeadline)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		return time.Since(start), nil
+	}
+
+	type convergeResult struct {
+		lat time.Duration
+		err error
+	}
+	var pollLat, watchLat []time.Duration
+	for i := 1; i <= cfg.Rounds; i++ {
+		if err := class.RenameMethod(id, fmt.Sprintf("op%d", i)); err != nil {
+			return nil, err
+		}
+		srv.Publisher().PublishNow()
+		srv.Publisher().WaitIdle()
+		target := class.InterfaceVersion()
+		start := time.Now()
+
+		done := make(chan convergeResult, 1)
+		go func() {
+			lat, err := converge(pollClient, target, start)
+			done <- convergeResult{lat, err}
+		}()
+		wl, err := converge(watchClient, target, start)
+		if err != nil {
+			<-done
+			return nil, err
+		}
+		pr := <-done
+		if pr.err != nil {
+			return nil, pr.err
+		}
+		watchLat = append(watchLat, wl)
+		pollLat = append(pollLat, pr.lat)
+	}
+
+	return []RefreshRow{
+		summarizeRefresh(fmt.Sprintf("poll-%s", cfg.PollInterval), pollLat),
+		summarizeRefresh("watch-push", watchLat),
+	}, nil
+}
+
+func summarizeRefresh(mode string, lat []time.Duration) RefreshRow {
+	row := RefreshRow{Mode: mode, Rounds: len(lat)}
+	if len(lat) == 0 {
+		return row
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, l := range sorted {
+		total += l
+	}
+	row.Mean = total / time.Duration(len(sorted))
+	row.P50 = sorted[len(sorted)/2]
+	return row
+}
+
+// FormatRefresh renders the refresh-latency rows as an aligned table.
+func FormatRefresh(rows []RefreshRow) string {
+	var b strings.Builder
+	b.WriteString("Refresh-after-edit latency: client view convergence after a committed publication\n")
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s\n", "mode", "rounds", "mean", "p50")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %8d %12s %12s\n",
+			r.Mode, r.Rounds, r.Mean.Round(10*time.Microsecond), r.P50.Round(10*time.Microsecond))
+	}
+	return b.String()
+}

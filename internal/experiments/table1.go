@@ -134,10 +134,11 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		}
 	}()
 
+	callCtx := context.Background()
 	soapCall := func(client *soap.Client) func() error {
 		args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(payload)}}
 		return func() error {
-			got, err := client.Call(echoOpName, args, dyn.StringT)
+			got, err := client.CallContext(callCtx, echoOpName, args, dyn.StringT)
 			if err != nil {
 				return err
 			}
@@ -151,7 +152,7 @@ func RunTable1(cfg Table1Config) ([]Table1Row, error) {
 		sig := echoSig()
 		args := []dyn.Value{dyn.StringValue(payload)}
 		return func() error {
-			got, err := conn.Invoke(sig, args)
+			got, err := conn.InvokeContext(callCtx, sig, args)
 			if err != nil {
 				return err
 			}

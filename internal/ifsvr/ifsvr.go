@@ -5,6 +5,15 @@
 // versioned; every response carries the document's version in the
 // X-Interface-Version header, which is what lets the CDE (and the
 // experiments) observe the recency guarantees of Sections 5.7 and 6.
+//
+// Since the publication-core refactor the server is a read view over a
+// Backing document store: the SDE Manager backs it with the coalescing
+// publication store in internal/core, while New() keeps a simple in-memory
+// store for standalone use. The view adds the watch protocol: a long-poll
+// GET with "?watch=1&after=N" blocks until a version newer than N is
+// published (or the poll window elapses, answered with 304 Not Modified),
+// which is how clients are push-notified of new descriptor versions
+// instead of polling.
 package ifsvr
 
 import (
@@ -14,6 +23,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -29,8 +39,19 @@ const VersionHeader = "X-Interface-Version"
 // guarantee is stated over.
 const DescriptorVersionHeader = "X-Descriptor-Version"
 
+// EpochHeader carries the backing store's publication epoch at which the
+// document was committed (0 for stores that do not number epochs).
+const EpochHeader = "X-Interface-Epoch"
+
 // ErrNotFound reports a fetch of a never-published document.
 var ErrNotFound = errors.New("ifsvr: document not published")
+
+// ErrNotModified reports a watch poll that elapsed with no newer version —
+// the caller should simply poll again.
+var ErrNotModified = errors.New("ifsvr: document not modified")
+
+// ErrClosed reports a wait on a closed in-memory store.
+var ErrClosed = errors.New("ifsvr: server closed")
 
 // Document is one published interface description.
 type Document struct {
@@ -41,15 +62,43 @@ type Document struct {
 	// DescriptorVersion is the interface-descriptor version the document
 	// was generated from (0 for unversioned documents such as IORs).
 	DescriptorVersion uint64
+	// Epoch is the backing store's commit epoch for this document (0 when
+	// the store does not number epochs).
+	Epoch uint64
 	// ContentType is the MIME type served.
 	ContentType string
 }
 
-// Server is the Interface Server. The zero value is usable as an in-memory
-// store; call Start to also serve documents over HTTP.
+// Backing is the document store a Server reads from (and forwards writes
+// to). The SDE Manager backs its Interface Server with the coalescing
+// publication store in internal/core; New() uses a plain in-memory store.
+type Backing interface {
+	// PublishVersioned stores content under path and returns the version
+	// the document has (or, in a coalescing store, will have) committed.
+	PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64
+	// Get returns the current committed document at path.
+	Get(path string) (Document, error)
+	// Version returns the current committed version of path (0 if never
+	// published).
+	Version(path string) uint64
+	// Paths returns all published paths (unordered).
+	Paths() []string
+	// Remove retires path: Get reports it unpublished and staged writes are
+	// dropped, but a later republication continues the version sequence, so
+	// parked watchers see it. Bindings call it when their server closes.
+	Remove(path string)
+	// Wait blocks until a version newer than after is committed at path,
+	// the context ends (returning ctx.Err()), or the store closes.
+	Wait(ctx context.Context, path string, after uint64) (Document, error)
+}
+
+// Server is the Interface Server: an HTTP read view over a Backing store.
+// The zero value (and New) reads from its own in-memory store; NewView
+// reads from a caller-provided store. Call Start to also serve documents
+// over HTTP.
 type Server struct {
-	mu   sync.RWMutex
-	docs map[string]Document
+	initStore sync.Once
+	store     Backing
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -57,79 +106,123 @@ type Server struct {
 	done     chan struct{}
 }
 
-// New returns an empty interface server.
+// New returns an interface server over its own empty in-memory store.
 func New() *Server {
-	return &Server{docs: make(map[string]Document)}
+	return &Server{store: newMemStore()}
 }
+
+// NewView returns an interface server that serves (and publishes into) the
+// given backing store — the read-view arrangement the SDE Manager uses with
+// the publication core.
+func NewView(store Backing) *Server {
+	return &Server{store: store}
+}
+
+// backing returns the store, lazily creating the in-memory one so the
+// zero-value Server stays usable.
+func (s *Server) backing() Backing {
+	s.initStore.Do(func() {
+		if s.store == nil {
+			s.store = newMemStore()
+		}
+	})
+	return s.store
+}
+
+// Store returns the backing store.
+func (s *Server) Store() Backing { return s.backing() }
 
 // Publish stores content under path (e.g. "/wsdl/Mail") and returns the new
 // version. Republishing the same path bumps the version even if the content
 // is unchanged; the publisher avoids redundant publications itself.
 func (s *Server) Publish(path, contentType, content string) uint64 {
-	return s.PublishVersioned(path, contentType, content, 0)
+	return s.backing().PublishVersioned(path, contentType, content, 0)
 }
 
 // PublishVersioned is Publish carrying the interface-descriptor version the
 // document was generated from.
 func (s *Server) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.docs == nil {
-		s.docs = make(map[string]Document)
-	}
-	d := s.docs[path]
-	d.Content = content
-	d.ContentType = contentType
-	d.DescriptorVersion = descriptorVersion
-	d.Version++
-	s.docs[path] = d
-	return d.Version
+	return s.backing().PublishVersioned(path, contentType, content, descriptorVersion)
 }
 
 // Get returns the current document at path.
-func (s *Server) Get(path string) (Document, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.docs[path]
-	if !ok {
-		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	return d, nil
-}
+func (s *Server) Get(path string) (Document, error) { return s.backing().Get(path) }
 
 // Version returns the current version of path (0 if never published).
-func (s *Server) Version(path string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.docs[path].Version
-}
+func (s *Server) Version(path string) uint64 { return s.backing().Version(path) }
 
 // Paths returns all published paths (unordered).
-func (s *Server) Paths() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ps := make([]string, 0, len(s.docs))
-	for p := range s.docs {
-		ps = append(ps, p)
-	}
-	return ps
-}
+func (s *Server) Paths() []string { return s.backing().Paths() }
+
+// Remove retires a published path (see Backing.Remove).
+func (s *Server) Remove(path string) { s.backing().Remove(path) }
+
+// maxWatchWait caps how long one watch poll is held open before the server
+// answers 304 Not Modified; clients simply poll again, so the cap only
+// bounds how long an idle connection is parked.
+const maxWatchWait = 25 * time.Second
 
 // ServeHTTP implements http.Handler: GET returns the document with its
-// version header.
+// version headers. With "?watch=1&after=N" the request long-polls until a
+// version newer than N is committed (200 with the new document), or the
+// poll window elapses (304 Not Modified with the current version headers).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	d, err := s.Get(r.URL.Path)
+	q := r.URL.Query()
+	if q.Get("watch") != "" {
+		s.serveWatch(w, r, q)
+		return
+	}
+	d, err := s.backing().Get(r.URL.Path)
 	if err != nil {
 		http.NotFound(w, r)
 		return
 	}
-	w.Header().Set("Content-Type", d.ContentType)
+	writeDoc(w, d)
+}
+
+func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values) {
+	after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
+	wait := maxWatchWait
+	if t := q.Get("timeout"); t != "" {
+		if d, err := time.ParseDuration(t); err == nil && d > 0 && d < wait {
+			wait = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	d, err := s.backing().Wait(ctx, r.URL.Path, after)
+	switch {
+	case err == nil:
+		writeDoc(w, d)
+	case r.Context().Err() != nil:
+		// Client went away; nothing useful to write.
+	case errors.Is(err, context.DeadlineExceeded):
+		// Poll window elapsed with no newer version.
+		cur, getErr := s.backing().Get(r.URL.Path)
+		if getErr != nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeHeaders(w, cur)
+		w.WriteHeader(http.StatusNotModified)
+	default:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	}
+}
+
+func writeHeaders(w http.ResponseWriter, d Document) {
 	w.Header().Set(VersionHeader, strconv.FormatUint(d.Version, 10))
 	w.Header().Set(DescriptorVersionHeader, strconv.FormatUint(d.DescriptorVersion, 10))
+	w.Header().Set(EpochHeader, strconv.FormatUint(d.Epoch, 10))
+}
+
+func writeDoc(w http.ResponseWriter, d Document) {
+	w.Header().Set("Content-Type", d.ContentType)
+	writeHeaders(w, d)
 	_, _ = io.WriteString(w, d.Content)
 }
 
@@ -154,8 +247,13 @@ func (s *Server) Start(addr string) (string, error) {
 // BaseURL returns the server's base URL ("" before Start).
 func (s *Server) BaseURL() string { return s.baseURL }
 
-// Close stops the HTTP server (no-op if Start was never called).
+// Close stops the HTTP server (no-op if Start was never called) and, when
+// the server owns its in-memory store, closes it so parked Wait callers
+// drain. A caller-provided Backing (NewView) is not closed — its owner is.
 func (s *Server) Close() error {
+	if ms, ok := s.backing().(*memStore); ok {
+		ms.close()
+	}
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -164,7 +262,130 @@ func (s *Server) Close() error {
 	return err
 }
 
+// memStore is the standalone in-memory Backing: immediate (non-coalescing)
+// publication with wait support. It deliberately mirrors the semantics of
+// the coalescing store in internal/core (retired-version resume on
+// republication, closed/changed-channel wake, the Wait loop) — when
+// changing a rule here, change core.Store to match, and vice versa; the
+// two must stay observationally identical for window=0 (folding this copy
+// into a shared implementation is a ROADMAP item).
+type memStore struct {
+	mu      sync.Mutex
+	docs    map[string]Document
+	retired map[string]uint64 // removed paths → last committed version
+	epoch   uint64
+	changed chan struct{} // closed and replaced on every publication
+	closed  bool
+}
+
+func newMemStore() *memStore {
+	return &memStore{docs: make(map[string]Document), changed: make(chan struct{})}
+}
+
+// close wakes parked waiters and drops subsequent writes.
+func (m *memStore) close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.changed)
+		m.changed = make(chan struct{})
+	}
+	m.mu.Unlock()
+}
+
+// PublishVersioned implements Backing.
+func (m *memStore) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0
+	}
+	m.epoch++
+	d := m.docs[path]
+	if d.Version == 0 {
+		// A republication of a retired path resumes its version sequence,
+		// so watchers parked past the old versions still wake.
+		d.Version = m.retired[path]
+		delete(m.retired, path)
+	}
+	d.Content = content
+	d.ContentType = contentType
+	d.DescriptorVersion = descriptorVersion
+	d.Epoch = m.epoch
+	d.Version++
+	m.docs[path] = d
+	close(m.changed)
+	m.changed = make(chan struct{})
+	return d.Version
+}
+
+// Get implements Backing.
+func (m *memStore) Get(path string) (Document, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.docs[path]
+	if !ok {
+		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return d, nil
+}
+
+// Version implements Backing.
+func (m *memStore) Version(path string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.docs[path].Version
+}
+
+// Remove implements Backing.
+func (m *memStore) Remove(path string) {
+	m.mu.Lock()
+	if d, ok := m.docs[path]; ok {
+		if m.retired == nil {
+			m.retired = make(map[string]uint64)
+		}
+		m.retired[path] = d.Version
+		delete(m.docs, path)
+	}
+	m.mu.Unlock()
+}
+
+// Paths implements Backing.
+func (m *memStore) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := make([]string, 0, len(m.docs))
+	for p := range m.docs {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Wait implements Backing.
+func (m *memStore) Wait(ctx context.Context, path string, after uint64) (Document, error) {
+	for {
+		m.mu.Lock()
+		d, ok := m.docs[path]
+		ch := m.changed
+		closed := m.closed
+		m.mu.Unlock()
+		if ok && d.Version > after {
+			return d, nil
+		}
+		if closed {
+			return Document{}, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return Document{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
 // Fetch is FetchContext with a background context.
+//
+// Deprecated: use FetchContext so the round-trip can be cancelled.
 func Fetch(client *http.Client, url string) (Document, error) {
 	return FetchContext(context.Background(), client, url)
 }
@@ -191,12 +412,16 @@ func FetchContext(ctx context.Context, client *http.Client, url string) (Documen
 	if err != nil {
 		return Document{}, fmt.Errorf("ifsvr: reading %s: %w", url, err)
 	}
-	ver, _ := strconv.ParseUint(strings.TrimSpace(resp.Header.Get(VersionHeader)), 10, 64)
-	dver, _ := strconv.ParseUint(strings.TrimSpace(resp.Header.Get(DescriptorVersionHeader)), 10, 64)
 	return Document{
 		Content:           string(data),
-		Version:           ver,
-		DescriptorVersion: dver,
+		Version:           headerUint(resp, VersionHeader),
+		DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
+		Epoch:             headerUint(resp, EpochHeader),
 		ContentType:       resp.Header.Get("Content-Type"),
 	}, nil
+}
+
+func headerUint(resp *http.Response, name string) uint64 {
+	v, _ := strconv.ParseUint(strings.TrimSpace(resp.Header.Get(name)), 10, 64)
+	return v
 }

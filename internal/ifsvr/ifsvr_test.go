@@ -1,9 +1,11 @@
 package ifsvr
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"testing"
+	"time"
 )
 
 func TestPublishGetVersioning(t *testing.T) {
@@ -97,5 +99,56 @@ func TestVersionsAreMonotonePerPath(t *testing.T) {
 	// Independent path counts separately.
 	if v := s.Publish("/q", "text/plain", "c"); v != 1 {
 		t.Errorf("other path version = %d", v)
+	}
+}
+
+func TestWatchEndpointLongPoll(t *testing.T) {
+	s := New()
+	s.PublishVersioned("/wsdl/W.wsdl", "text/xml", "<v1/>", 1)
+	base, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	url := base + "/wsdl/W.wsdl"
+
+	// A poll for an already-newer version returns immediately.
+	doc, err := WatchContext(context.Background(), nil, url, 0)
+	if err != nil || doc.Content != "<v1/>" || doc.Version != 1 {
+		t.Fatalf("watch after=0: %+v, %v", doc, err)
+	}
+
+	// A poll parked on the current version is released by the publication.
+	done := make(chan Document, 1)
+	go func() {
+		d, err := WatchNewer(context.Background(), nil, url, 1)
+		if err == nil {
+			done <- d
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the poll park
+	s.PublishVersioned("/wsdl/W.wsdl", "text/xml", "<v2/>", 2)
+	select {
+	case d := <-done:
+		if d.Content != "<v2/>" || d.Version != 2 || d.DescriptorVersion != 2 {
+			t.Errorf("pushed doc = %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch poll was not released by the publication")
+	}
+
+	// A bounded poll with no publication answers 304 -> ErrNotModified,
+	// carrying the current version headers.
+	d, err := WatchContext(context.Background(), nil, url+"?timeout=50ms", 2)
+	if !errors.Is(err, ErrNotModified) {
+		t.Fatalf("idle bounded poll: %+v, %v", d, err)
+	}
+	if d.Version != 2 {
+		t.Errorf("304 version header = %d", d.Version)
+	}
+
+	// Watching a never-published path 404s after the poll window.
+	if _, err := WatchContext(context.Background(), nil, base+"/nope?timeout=50ms", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unpublished watch: %v", err)
 	}
 }

@@ -1,0 +1,96 @@
+package ifsvr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The watch protocol, client side.
+//
+// A watch is one long-poll round: GET the document URL with
+// "?watch=1&after=N". The server parks the request until a version newer
+// than N is committed (200 with the document) or its poll window elapses
+// (304 Not Modified). WatchContext performs a single round and surfaces the
+// 304 as ErrNotModified; WatchNewer loops rounds until a newer version
+// arrives or ctx ends, which is the shape CDE backends and the bridge use
+// for push-invalidated interface caches.
+
+// WatchContext performs one watch poll against url, waiting for a document
+// version newer than after. It returns ErrNotModified when the server's
+// poll window elapsed first (poll again), ErrNotFound when the document has
+// never been published, and ctx.Err() (wrapped) when ctx ended.
+func WatchContext(ctx context.Context, client *http.Client, url string, after uint64) (Document, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	sep := "?"
+	if strings.ContainsRune(url, '?') {
+		sep = "&"
+	}
+	watchURL := url + sep + "watch=1&after=" + strconv.FormatUint(after, 10)
+	if client.Timeout > 0 {
+		// The HTTP client caps whole round trips: ask the server to answer
+		// 304 comfortably inside that cap, or every idle poll would die as
+		// a client-side timeout error instead of a clean re-poll.
+		hint := client.Timeout * 3 / 4
+		watchURL += "&timeout=" + hint.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, watchURL, nil)
+	if err != nil {
+		return Document{}, fmt.Errorf("ifsvr: building watch request for %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Document{}, fmt.Errorf("ifsvr: watching %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return Document{}, fmt.Errorf("ifsvr: reading %s: %w", url, err)
+		}
+		return Document{
+			Content:           string(data),
+			Version:           headerUint(resp, VersionHeader),
+			DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
+			Epoch:             headerUint(resp, EpochHeader),
+			ContentType:       resp.Header.Get("Content-Type"),
+		}, nil
+	case http.StatusNotModified:
+		return Document{
+			Version:           headerUint(resp, VersionHeader),
+			DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
+			Epoch:             headerUint(resp, EpochHeader),
+		}, ErrNotModified
+	case http.StatusNotFound:
+		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, url)
+	default:
+		return Document{}, fmt.Errorf("ifsvr: watching %s: HTTP %d", url, resp.StatusCode)
+	}
+}
+
+// WatchNewer polls url until a document version newer than after is
+// published, looping across 304 poll windows. It returns the new document,
+// or an error when ctx ends or the watch fails for another reason.
+func WatchNewer(ctx context.Context, client *http.Client, url string, after uint64) (Document, error) {
+	for {
+		doc, err := WatchContext(ctx, client, url, after)
+		switch {
+		case err == nil:
+			return doc, nil
+		case errors.Is(err, ErrNotModified):
+			continue
+		default:
+			if ctx.Err() != nil {
+				return Document{}, fmt.Errorf("ifsvr: watch of %s ended: %w", url, ctx.Err())
+			}
+			return Document{}, err
+		}
+	}
+}

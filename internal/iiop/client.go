@@ -66,6 +66,15 @@ type Conn struct {
 	readerDone chan struct{}
 }
 
+// Broken reports whether the connection is no longer usable: closed, or
+// its read loop died (peer went away, protocol error). Invokes on a broken
+// connection fail fast; pools use this to evict dead connections.
+func (cn *Conn) Broken() bool {
+	cn.stateMu.Lock()
+	defer cn.stateMu.Unlock()
+	return cn.closed || cn.readErr != nil
+}
+
 // Dial is DialContext with a background context.
 func Dial(addr string) (*Conn, error) {
 	return DialContext(context.Background(), addr)

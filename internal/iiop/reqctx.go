@@ -1,0 +1,81 @@
+package iiop
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// reqCtx is a pooled, lazily-channelled context.Context for one server-side
+// request — the cheap replacement for the context.WithCancel pair the
+// server used to allocate per request (~2 allocs/op on the CORBA Table 1
+// rows). It is parentless: the connection's read loop cancels every
+// in-flight reqCtx explicitly on teardown, and cancel/recycle are
+// serialized by the connection's inflight mutex, so no goroutine or parent
+// registration is needed. The done channel is only allocated if a handler
+// actually selects on Done(); Err-polling handlers (the common case) pay
+// zero allocations.
+type reqCtx struct {
+	mu   sync.Mutex
+	done chan struct{} // lazily allocated by Done
+	err  error
+}
+
+var _ context.Context = (*reqCtx)(nil)
+
+var reqCtxPool = sync.Pool{New: func() any { return new(reqCtx) }}
+
+// newReqCtx draws a reset request context from the pool.
+func newReqCtx() *reqCtx { return reqCtxPool.Get().(*reqCtx) }
+
+// recycle returns the context to the pool. The caller must guarantee no
+// cancel can be in flight (the server holds the inflight mutex across both
+// cancel and unregistration) and that the handler has returned — handlers
+// must not retain ctx beyond HandleRequest.
+func (c *reqCtx) recycle() {
+	c.mu.Lock()
+	c.done = nil
+	c.err = nil
+	c.mu.Unlock()
+	reqCtxPool.Put(c)
+}
+
+// cancel makes Err return err and closes the done channel if one exists.
+// Idempotent; later cancels keep the first error.
+func (c *reqCtx) cancel(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		if c.done != nil {
+			close(c.done)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Deadline implements context.Context (request contexts carry none).
+func (c *reqCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// Done implements context.Context, allocating the channel on first use.
+func (c *reqCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.err != nil {
+			close(c.done)
+		}
+	}
+	d := c.done
+	c.mu.Unlock()
+	return d
+}
+
+// Err implements context.Context.
+func (c *reqCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Value implements context.Context.
+func (c *reqCtx) Value(any) any { return nil }

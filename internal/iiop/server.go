@@ -29,6 +29,8 @@ import (
 // args decoder alias a pooled message buffer that is recycled after
 // HandleRequest returns and the reply is written. Handlers must not retain
 // them; decoded values (cdr.DecodeValue, Read* copies) are safe to keep.
+// ctx is pooled the same way: it must not be retained (or handed to
+// goroutines that outlive the call) after HandleRequest returns.
 type Handler interface {
 	HandleRequest(ctx context.Context, h giop.RequestHeader, args *cdr.Decoder, order cdr.ByteOrder) giop.Message
 }
@@ -114,17 +116,26 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	// connCtx parents every request context on this connection; it dies with
-	// the connection (read loop exit), which includes server shutdown.
-	connCtx, connCancel := context.WithCancel(context.Background())
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
-	defer reqWG.Wait()
-	defer connCancel() // LIFO: cancel in-flight requests, then join them
-	// inflight maps request IDs to their cancel funcs so a CancelRequest
-	// from the peer aborts exactly the request it names.
+	// inflight maps request IDs to their pooled request contexts so a
+	// CancelRequest from the peer aborts exactly the request it names.
+	// Cancels run while holding inflightMu; a request is unregistered under
+	// the same mutex before its context is recycled, which is what makes
+	// the pooled contexts safe (no cancel can land on a reused context).
 	var inflightMu sync.Mutex
-	inflight := make(map[uint32]context.CancelFunc)
+	inflight := make(map[uint32]*reqCtx)
+	defer func() {
+		// Connection teardown (including server shutdown, which closes the
+		// conn): cancel whatever is still running, then join. The read loop
+		// has exited, so no new registrations can race this sweep.
+		inflightMu.Lock()
+		for _, rc := range inflight {
+			rc.cancel(context.Canceled)
+		}
+		inflightMu.Unlock()
+		reqWG.Wait()
+	}()
 	for {
 		msg, err := giop.ReadMessagePooled(conn)
 		if err != nil {
@@ -141,14 +152,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				writeMu.Unlock()
 				return
 			}
-			reqCtx, reqCancel := context.WithCancel(connCtx)
+			rc := newReqCtx()
 			inflightMu.Lock()
-			inflight[hdr.RequestID] = reqCancel
+			inflight[hdr.RequestID] = rc
 			inflightMu.Unlock()
 			reqWG.Add(1)
 			go func() {
 				defer reqWG.Done()
-				reply := s.handler.HandleRequest(reqCtx, hdr, args, msg.Order)
+				reply := s.handler.HandleRequest(rc, hdr, args, msg.Order)
 				id := hdr.RequestID
 				responseExpected := hdr.ResponseExpected
 				// The handler is done with the request body (hdr and args
@@ -157,7 +168,10 @@ func (s *Server) serveConn(conn net.Conn) {
 				inflightMu.Lock()
 				delete(inflight, id)
 				inflightMu.Unlock()
-				reqCancel()
+				// Unregistered under the mutex: no cancel holds a reference
+				// any more, so the context can be pooled for the next
+				// request.
+				rc.recycle()
 				if !responseExpected {
 					reply.Recycle()
 					return
@@ -174,11 +188,10 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue // malformed cancel: ignore, it is advisory
 			}
 			inflightMu.Lock()
-			cancel := inflight[id]
-			inflightMu.Unlock()
-			if cancel != nil {
-				cancel()
+			if rc := inflight[id]; rc != nil {
+				rc.cancel(context.Canceled)
 			}
+			inflightMu.Unlock()
 		case giop.MsgCloseConnection:
 			msg.Recycle()
 			return

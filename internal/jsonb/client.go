@@ -125,13 +125,9 @@ func NewBackend(docURL string, httpClient *http.Client) cde.Backend {
 // Technology implements cde.Backend.
 func (b *backend) Technology() string { return Name }
 
-// FetchInterface implements cde.Backend: fetch the JSON interface document,
-// compile it, and (re)target the caller at the advertised endpoint.
-func (b *backend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, cde.DocVersions, error) {
-	doc, err := b.docs.Fetch(ctx)
-	if err != nil {
-		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
-	}
+// compile turns a fetched (or pushed) interface document into the
+// descriptor and (re)targets the caller at the advertised endpoint.
+func (b *backend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, cde.DocVersions, error) {
 	desc, endpoint, err := ParseDoc(doc.Content)
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
@@ -141,6 +137,27 @@ func (b *backend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, 
 	b.caller = &Caller{Endpoint: endpoint, HTTPClient: b.httpClient}
 	b.mu.Unlock()
 	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+}
+
+// FetchInterface implements cde.Backend: fetch the JSON interface document
+// and compile it.
+func (b *backend) FetchInterface(ctx context.Context) (dyn.InterfaceDescriptor, cde.DocVersions, error) {
+	doc, err := b.docs.Fetch(ctx)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
+	}
+	return b.compile(doc)
+}
+
+// WatchInterface implements cde.WatchableBackend over the Interface
+// Server's long-poll watch protocol, making the binding watch-capable with
+// no extra server-side code.
+func (b *backend) WatchInterface(ctx context.Context, after uint64) (dyn.InterfaceDescriptor, cde.DocVersions, error) {
+	doc, err := b.docs.Watch(ctx, after)
+	if err != nil {
+		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
+	}
+	return b.compile(doc)
 }
 
 // Invoke implements cde.Backend.

@@ -77,22 +77,15 @@ func newServer(m *core.Manager, class *dyn.Class) (*Server, error) {
 	s.endpoint = m.HTTPBaseURL() + s.path
 	s.handler = &callHandler{class: class}
 
-	publish := func(desc dyn.InterfaceDescriptor) error {
-		text, err := GenerateDoc(desc, s.endpoint)
-		if err != nil {
-			return err
-		}
-		m.InterfaceServer().PublishVersioned(s.docPath, ContentType, text, desc.Version)
-		return nil
-	}
-	s.pub = m.NewPublisher(class, publish)
+	// Publish the basic interface document immediately, like the built-in
+	// bindings (Section 4): PublishInterface bundles doc caching, the
+	// coalescing store, and the forced-publication flush.
+	s.pub = m.PublishInterface(class, s.docPath, ContentType,
+		func(desc dyn.InterfaceDescriptor) (string, error) {
+			return GenerateDoc(desc, s.endpoint)
+		})
 	s.handler.pub = s.pub
 	s.handler.reactive = m.ReactivePublication()
-
-	// Publish the basic interface document immediately, like the built-in
-	// bindings (Section 4).
-	s.pub.PublishNow()
-	s.pub.WaitIdle()
 
 	m.MountHTTP(s.path, s.handler)
 	return s, nil
@@ -149,6 +142,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.mgr.UnmountHTTP(s.path)
 	s.pub.Close()
+	s.mgr.Store().Remove(s.docPath)
 	s.mgr.Unregister(s.class.Name())
 	return nil
 }

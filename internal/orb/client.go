@@ -57,6 +57,11 @@ func (o *ClientORB) TypeID() string { return o.typeID }
 // Close tears down the connection.
 func (o *ClientORB) Close() error { return o.conn.Close() }
 
+// Broken reports whether the underlying IIOP connection is no longer
+// usable (closed or failed); the CDE's connection pool evicts broken
+// entries so new Dials reconnect instead of inheriting a dead socket.
+func (o *ClientORB) Broken() bool { return o.conn.Broken() }
+
 // Invoke is InvokeContext with a background context.
 //
 // Deprecated: use InvokeContext so the call can be cancelled.

@@ -13,7 +13,15 @@
 //     client calls;
 //   - the CDE (Client Development Environment): live clients whose stubs
 //     are compiled from the published interface descriptions and refreshed
-//     reactively, with a debugger supporting 'try again';
+//     reactively — or pushed via the watch protocol (WithWatch), which
+//     turns the client's interface view into a push-invalidated cache —
+//     with a debugger supporting 'try again';
+//   - an event-driven publication core: every binding publishes through a
+//     versioned, epoch-numbered document store with subscriber fan-out and
+//     edit-storm coalescing (Config.FlushWindow), read by the Interface
+//     Server and watchable over HTTP long-poll; plus ReExport, the live
+//     binding-agnostic bridge (serve any registered binding's class over
+//     any other);
 //   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
 //     DII/DSI ORBs) protocol stacks, built on the standard library only,
 //     plus a JSON/HTTP binding implemented purely against the public
@@ -60,6 +68,7 @@ import (
 	"net/http"
 	"time"
 
+	"livedev/internal/bridge"
 	"livedev/internal/cde"
 	"livedev/internal/core"
 	"livedev/internal/dyn"
@@ -158,6 +167,20 @@ type (
 //     backend's IsStale, which is what triggers the client's reactive
 //     interface refresh.
 //
+// Watch capability (optional): a binding whose client backend also
+// implements cde.WatchableBackend — one extra method, WatchInterface(ctx,
+// after), blocking until the published document is newer than `after` and
+// returning the compiled view — becomes usable with WithWatch: clients get
+// push-invalidated interface caches instead of per-call refetches. Server
+// halves that publish through Manager.PublishInterface get the matching
+// long-poll watch endpoint ("?watch=1&after=N" on the document URL) for
+// free, because the Interface Server is a read view over the manager's
+// publication store; the usual implementation of WatchInterface is
+// therefore one call to ifsvr.WatchNewer plus the binding's document
+// compiler (see internal/jsonb for the three-line version). Bindings
+// without the capability still work everywhere except WithWatch, which
+// fails loudly at Dial time.
+//
 // internal/jsonb implements the full contract in ~400 lines and is wired
 // up purely through RegisterBinding.
 type Binding interface {
@@ -190,6 +213,23 @@ func (s serverHalf) Serve(m *core.Manager, class *dyn.Class) (core.Server, error
 	return s.b.Serve(m, class)
 }
 
+// Bridge is a live, binding-agnostic re-export: the class behind a CDE
+// client served over another registered RMI technology. See ReExport.
+type Bridge = bridge.Front
+
+// ReExport deploys a re-export of the class behind backend as a live
+// server of technology tech under m — SOAP served over CORBA, CORBA over
+// JSON, or any other direction the binding registry supports. The bridge
+// mirrors the backend's live interface into a proxy class whose methods
+// forward over the backend; backend-side edits propagate through the
+// bridge's own publication (event-driven when backend was dialed with
+// WithWatch), and stale bridged calls keep the Section 5.7 recency
+// guarantee end to end. The caller owns backend and must close it after
+// the bridge.
+func ReExport(m *Manager, name string, backend *Client, tech Technology) (*Bridge, error) {
+	return bridge.New(m, name, backend, tech)
+}
+
 // JSONBinding returns the built-in JSON/HTTP binding — dynamic classes
 // served over JSON-POST with a machine-readable interface document. It is
 // not registered by default; pass it to RegisterBinding to enable it:
@@ -220,6 +260,18 @@ func WithTimeout(d time.Duration) Option {
 // document.
 func WithBinding(name string) Option {
 	return func(o *DialOptions) { o.Binding = name }
+}
+
+// WithWatch subscribes the client to push-based interface updates: a
+// watcher long-polls the published interface document (the Interface
+// Server's "?watch=1&after=N" protocol) and installs each new version into
+// the client's view as it is committed. A stale call is then resolved from
+// this push-invalidated cache — the reactive refresh of Section 6 without a
+// per-call document refetch. Dial fails if the chosen binding's backend
+// does not implement the optional watch capability (cde.WatchableBackend);
+// all three built-in bindings do.
+func WithWatch() Option {
+	return func(o *DialOptions) { o.Watch = true }
 }
 
 // WithDebugger installs prompt as the client debugger's hook: it is

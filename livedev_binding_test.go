@@ -159,7 +159,7 @@ func TestDialOptions(t *testing.T) {
 	}
 	defer client.Close()
 
-	if got, err := client.Call("quick"); err != nil || got.Str() != "ok" {
+	if got, err := client.CallContext(context.Background(), "quick"); err != nil || got.Str() != "ok" {
 		t.Fatalf("quick = %v, %v", got, err)
 	}
 
@@ -181,7 +181,7 @@ func TestDialOptions(t *testing.T) {
 	if err := slow.RenameMethod(id, "swift"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Call("quick"); !errors.Is(err, livedev.ErrStaleMethod) {
+	if _, err := client.CallContext(context.Background(), "quick"); !errors.Is(err, livedev.ErrStaleMethod) {
 		t.Fatalf("want stale, got %v", err)
 	}
 	select {
@@ -263,45 +263,5 @@ func TestCancellationAcrossAllBindings(t *testing.T) {
 				t.Errorf("cancellation took %v", elapsed)
 			}
 		})
-	}
-}
-
-// TestDeprecatedShimsStillWork pins the v1 surface the migration note
-// promises keeps compiling and behaving: ConnectSOAP/ConnectCORBA and the
-// context-free Call.
-func TestDeprecatedShimsStillWork(t *testing.T) {
-	c := livedev.NewClass("ShimCalc")
-	_, _ = c.AddMethod(livedev.MethodSpec{
-		Name:        "twice",
-		Params:      []livedev.Param{{Name: "n", Type: livedev.Int32Type}},
-		Result:      livedev.Int32Type,
-		Distributed: true,
-		Body: func(_ *livedev.Instance, args []livedev.Value) (livedev.Value, error) {
-			return livedev.Int32(2 * args[0].Int32()), nil
-		},
-	})
-	mgr, err := livedev.NewManager(livedev.Config{Timeout: 50 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mgr.Close()
-	srv, err := mgr.Register(c, livedev.TechSOAP)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := srv.CreateInstance(); err != nil {
-		t.Fatal(err)
-	}
-	client, err := livedev.ConnectSOAP(srv.InterfaceURL())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer client.Close()
-	got, err := client.Call("twice", livedev.Int32(21))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Int32() != 42 {
-		t.Errorf("twice = %d", got.Int32())
 	}
 }

@@ -1,0 +1,66 @@
+//lint:file-ignore SA1019 this file is the compile-time proof that the deprecated v1 shims keep their signatures; it uses them on purpose.
+
+package livedev_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"livedev"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+)
+
+// TestV1ShimsKeepTheirSignatures pins the deprecated v1 surface at compile
+// time (first-party code has migrated to Dial + CallContext; these shims
+// stay for external users). The assignments fail to compile if a shim's
+// signature drifts.
+func TestV1ShimsKeepTheirSignatures(t *testing.T) {
+	var _ func(string) (*livedev.Client, error) = livedev.ConnectSOAP
+	var _ func(string, *http.Client) (*livedev.Client, error) = livedev.ConnectSOAPWithHTTP
+	var _ func(string, string) (*livedev.Client, error) = livedev.ConnectCORBA
+	var _ func(*livedev.Client, string, ...livedev.Value) (livedev.Value, error) = (*livedev.Client).Call
+	var _ func(*livedev.Debugger) (livedev.Value, error) = (*livedev.Debugger).TryAgain
+
+	// Config.SOAPAddr and Manager.SOAPBaseURL keep working as aliases.
+	cfg := livedev.Config{SOAPAddr: "127.0.0.1:0", Timeout: 50 * time.Millisecond}
+	mgr, err := livedev.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mgr.Close() }()
+	if mgr.SOAPBaseURL() != mgr.HTTPBaseURL() {
+		t.Error("SOAPBaseURL must alias HTTPBaseURL")
+	}
+
+	// The context-free call path still runs end to end.
+	class := livedev.NewClass("ShimEcho")
+	if _, err := class.AddMethod(livedev.MethodSpec{
+		Name:        "echo",
+		Params:      []livedev.Param{{Name: "s", Type: livedev.StringType}},
+		Result:      livedev.StringType,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return args[0], nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mgr.Register(class, core.TechSOAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	client, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	got, err := client.Call("echo", livedev.Str("shim"))
+	if err != nil || got.Str() != "shim" {
+		t.Fatalf("v1 Call = %v, %v", got, err)
+	}
+}

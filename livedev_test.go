@@ -1,6 +1,7 @@
 package livedev_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -51,7 +52,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	client, err := livedev.ConnectSOAP(srv.InterfaceURL())
+	client, err := livedev.Dial(context.Background(), srv.InterfaceURL())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mid, err := client.Call("midpoint", a, b)
+	mid, err := client.CallContext(context.Background(), "midpoint", a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err := geo.RenameMethod(midID, "center"); err != nil {
 		t.Fatal(err)
 	}
-	_, err = client.Call("midpoint", a, b)
+	_, err = client.CallContext(context.Background(), "midpoint", a, b)
 	if !errors.Is(err, livedev.ErrStaleMethod) {
 		t.Fatalf("stale call: %v", err)
 	}
@@ -88,7 +89,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if !errors.As(err, &stale) || stale.Method != "midpoint" {
 		t.Fatalf("stale error shape: %v", err)
 	}
-	if _, err := client.Call("center", a, b); err != nil {
+	if _, err := client.CallContext(context.Background(), "center", a, b); err != nil {
 		t.Errorf("call under new name: %v", err)
 	}
 }
@@ -113,7 +114,7 @@ func TestFacadeValueConstructors(t *testing.T) {
 	}
 }
 
-// TestFacadeCORBA covers ConnectCORBA through the facade.
+// TestFacadeCORBA covers the CORBA direction through the facade.
 func TestFacadeCORBA(t *testing.T) {
 	ping := livedev.NewClass("Ping")
 	if _, err := ping.AddMethod(livedev.MethodSpec{
@@ -148,12 +149,12 @@ func TestFacadeCORBA(t *testing.T) {
 	if !ok {
 		t.Fatal("CORBA server should expose IORURL")
 	}
-	client, err := livedev.ConnectCORBA(cs.InterfaceURL(), cs.IORURL())
+	client, err := livedev.Dial(context.Background(), cs.InterfaceURL(), livedev.WithAuxURL(cs.IORURL()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	v, err := client.Call("ping")
+	v, err := client.CallContext(context.Background(), "ping")
 	if err != nil || v.Str() != "pong" {
 		t.Errorf("ping = %v, %v", v, err)
 	}
