@@ -1,0 +1,133 @@
+// Command benchdiff compares a fresh rtt-bench JSON artifact against the
+// committed baseline and fails on performance regressions.
+//
+// Table 1 rows (the invocation hot path, measured in go-bench units) are
+// gated hard: a ns/op regression beyond -max-regress-pct fails the run, as
+// does a row that disappeared. The refresh and fan-out rows are wall-clock
+// latency experiments — inherently noisy on shared CI runners — so they are
+// diffed warn-only.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_rtt.json -fresh BENCH_rtt_ci.json [-max-regress-pct 25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"livedev/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	baselinePath := flag.String("baseline", "BENCH_rtt.json", "committed baseline artifact")
+	freshPath := flag.String("fresh", "BENCH_rtt_ci.json", "fresh rtt-bench artifact")
+	maxRegress := flag.Float64("max-regress-pct", 25, "maximum allowed ns/op regression on Table 1 rows, in percent")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 2
+	}
+
+	failed := false
+
+	// Table 1 rows: hard gate on ns/op.
+	freshRows := make(map[string]benchfmt.BenchRow, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshRows[r.Config] = r
+	}
+	for _, base := range baseline.Rows {
+		now, ok := freshRows[base.Config]
+		if !ok {
+			fmt.Printf("FAIL %-22s row missing from the fresh run\n", base.Config)
+			failed = true
+			continue
+		}
+		delta := pct(base.NsPerOp, now.NsPerOp)
+		status := "ok  "
+		if base.NsPerOp > 0 && delta > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s ns/op %10.0f -> %10.0f  (%+.1f%%, allocs %.1f -> %.1f)\n",
+			status, base.Config, base.NsPerOp, now.NsPerOp, delta, base.AllocsPerOp, now.AllocsPerOp)
+	}
+
+	// Refresh rows: warn-only (wall-clock experiment).
+	freshRefresh := make(map[string]benchfmt.RefreshRow, len(fresh.RefreshRows))
+	for _, r := range fresh.RefreshRows {
+		freshRefresh[r.Mode] = r
+	}
+	for _, base := range baseline.RefreshRows {
+		now, ok := freshRefresh[base.Mode]
+		if !ok {
+			fmt.Printf("warn %-22s refresh row missing from the fresh run\n", base.Mode)
+			continue
+		}
+		fmt.Printf("%s %-22s mean %12.0fns -> %12.0fns (%+.1f%%)\n",
+			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), base.Mode, base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs))
+	}
+
+	// Fan-out rows: warn-only.
+	key := func(r benchfmt.FanoutRow) string { return fmt.Sprintf("%s@%d", r.Transport, r.Watchers) }
+	freshFanout := make(map[string]benchfmt.FanoutRow, len(fresh.FanoutRows))
+	for _, r := range fresh.FanoutRows {
+		freshFanout[key(r)] = r
+	}
+	for _, base := range baseline.FanoutRows {
+		now, ok := freshFanout[key(base)]
+		if !ok {
+			fmt.Printf("warn %-22s fan-out row missing from the fresh run\n", key(base))
+			continue
+		}
+		fmt.Printf("%s %-22s mean %12.0fns -> %12.0fns (%+.1f%%)\n",
+			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), key(base), base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs))
+	}
+
+	if failed {
+		fmt.Printf("\nbenchdiff: Table 1 regression beyond %.0f%% — failing\n", *maxRegress)
+		return 1
+	}
+	fmt.Println("\nbenchdiff: within budget")
+	return 0
+}
+
+func load(path string) (benchfmt.File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchfmt.File{}, err
+	}
+	var f benchfmt.File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return benchfmt.File{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// pct is the regression of now over base in percent (positive = slower).
+func pct(base, now float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (now - base) / base * 100
+}
+
+func warnTag(delta, threshold float64) string {
+	if delta > threshold {
+		return "warn"
+	}
+	return "ok  "
+}

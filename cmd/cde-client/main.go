@@ -42,7 +42,7 @@ func run() int {
 	url := flag.String("url", "", "interface-document URL of any registered binding")
 	binding := flag.String("binding", "", "force a binding name instead of sniffing the document")
 	timeout := flag.Duration("timeout", 0, "per-call timeout (0 = none)")
-	watch := flag.Bool("watch", false, "subscribe to push-based interface updates (long-poll watch)")
+	watch := flag.Bool("watch", false, "subscribe to push-based interface updates (SSE stream, long-poll fallback)")
 	wsdlURL := flag.String("wsdl", "", "WSDL document URL (SOAP mode)")
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL (CORBA mode)")
 	iorURL := flag.String("ior", "", "stringified IOR URL (CORBA mode)")
@@ -127,6 +127,11 @@ func run() int {
 		return 1
 	}
 	fmt.Println(result)
+	if *watch {
+		st := client.Stats()
+		fmt.Printf("watch stats: %d stream events (%d replayed, %d reconnects), %d watch updates, %d refreshes\n",
+			st.StreamEvents, st.Replays, st.Reconnects, st.WatchUpdates, st.Refreshes)
+	}
 	return 0
 }
 

@@ -7,19 +7,23 @@
 // With -watch N it then follows the document through the Interface
 // Server's long-poll watch protocol, printing each newly committed version
 // as it is pushed (N updates, then exit; 0 follows forever) — a live view
-// of the publication store's commits, coalescing included.
+// of the publication store's commits, coalescing included. With -stream
+// the follow rides the SSE streaming transport on one held connection
+// instead, marking replayed (journal catch-up) and snapshot events.
 //
 // Usage:
 //
-//	ifdump -wsdl URL [-watch N]
-//	ifdump -idl URL [-iface NAME] [-watch N]
+//	ifdump -wsdl URL [-watch N] [-stream]
+//	ifdump -idl URL [-iface NAME] [-watch N] [-stream]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"livedev/internal/idl"
 	"livedev/internal/ifsvr"
@@ -36,16 +40,17 @@ func run() int {
 	ifaceName := flag.String("iface", "", "interface name to resolve (IDL mode; default: the only interface)")
 	raw := flag.Bool("raw", false, "print the raw document too")
 	watch := flag.Int("watch", -1, "after dumping, follow the document via the watch protocol for N updates (0 = forever)")
+	stream := flag.Bool("stream", false, "follow over the SSE streaming transport instead of long-polling")
 	flag.Parse()
 
 	switch {
 	case *wsdlURL != "":
-		return dump(*wsdlURL, *raw, *watch, func(doc ifsvr.Document) error {
+		return dump(*wsdlURL, *raw, *watch, *stream, func(doc ifsvr.Document) error {
 			return printWSDL(doc)
 		})
 	case *idlURL != "":
 		name := *ifaceName
-		return dump(*idlURL, *raw, *watch, func(doc ifsvr.Document) error {
+		return dump(*idlURL, *raw, *watch, *stream, func(doc ifsvr.Document) error {
 			return printIDL(doc, name)
 		})
 	default:
@@ -55,8 +60,8 @@ func run() int {
 }
 
 // dump fetches and prints the document once, then optionally follows it
-// through the watch protocol.
-func dump(url string, raw bool, watch int, print func(ifsvr.Document) error) int {
+// through the watch protocol (long-poll rounds, or one SSE stream).
+func dump(url string, raw bool, watch int, stream bool, print func(ifsvr.Document) error) int {
 	ctx := context.Background()
 	doc, err := ifsvr.FetchContext(ctx, nil, url)
 	if err != nil {
@@ -70,6 +75,9 @@ func dump(url string, raw bool, watch int, print func(ifsvr.Document) error) int
 	if watch < 0 {
 		return 0
 	}
+	if stream {
+		return streamFollow(ctx, url, doc, raw, watch, print)
+	}
 	for n := 0; watch == 0 || n < watch; n++ {
 		next, err := ifsvr.WatchNewer(ctx, nil, url, doc.Version)
 		if err != nil {
@@ -82,6 +90,49 @@ func dump(url string, raw bool, watch int, print func(ifsvr.Document) error) int
 			fmt.Fprintln(os.Stderr, "ifdump:", err)
 			return 1
 		}
+	}
+	return 0
+}
+
+// streamFollow follows the document over the SSE transport, reconnecting
+// from the last seen epoch (journal replay) if the stream breaks.
+func streamFollow(ctx context.Context, url string, doc ifsvr.Document, raw bool, watch int, print func(ifsvr.Document) error) int {
+	n := 0
+	after := doc.Epoch
+	for watch == 0 || n < watch {
+		streamCtx, cancel := context.WithCancel(ctx)
+		err := ifsvr.WatchStream(streamCtx, nil, url, after, func(ev ifsvr.StreamEvent) {
+			after = ev.Doc.Epoch
+			switch {
+			case ev.Snapshot:
+				fmt.Println("\n--- stream snapshot (journal evicted; full catch-up) ---")
+			case ev.Replayed:
+				fmt.Println("\n--- stream replay (journal catch-up) ---")
+			default:
+				fmt.Println("\n--- stream update ---")
+			}
+			if perr := printDoc(ev.Doc, raw, print); perr != nil {
+				fmt.Fprintln(os.Stderr, "ifdump:", perr)
+			}
+			n++
+			if watch != 0 && n >= watch {
+				cancel()
+			}
+		})
+		cancel()
+		if watch != 0 && n >= watch {
+			break
+		}
+		if errors.Is(err, ifsvr.ErrStreamUnsupported) {
+			fmt.Fprintln(os.Stderr, "ifdump: server does not stream; use plain -watch")
+			return 1
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ifdump: stream:", err)
+		}
+		// Reconnect pacing: a dead or unreachable server must not turn the
+		// follow loop into a connect storm.
+		time.Sleep(time.Second)
 	}
 	return 0
 }

@@ -2,16 +2,22 @@
 // of RMI calls for SDE and static servers over SOAP and CORBA, plus the
 // allocation profile of each configuration — and, since the event-driven
 // publication core, the refresh-after-edit latency rows comparing a
-// polling client against a watch-subscribed one (push-invalidated cache).
+// polling client against a watch-subscribed one (push-invalidated cache) —
+// and, since the streaming watch plane, the watcher fan-out rows: edit→
+// all-notified latency across N concurrent watchers for the poll,
+// long-poll, and stream transports.
 //
 // Besides the human-readable tables it writes a machine-readable
 // BENCH_rtt.json (ns/op, B/op, allocs/op per Table 1 row; mean/p50 per
-// refresh row) so the perf trajectory of the invocation hot path and the
-// publication path can be tracked PR over PR.
+// refresh and fan-out row) so the perf trajectory of the invocation hot
+// path and the publication path can be tracked PR over PR; CI diffs each
+// fresh run against the committed baseline (cmd/benchdiff).
 //
 // Usage:
 //
-//	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D] [-json PATH]
+//	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
+//	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
+//	          [-json PATH]
 package main
 
 import (
@@ -19,41 +25,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"livedev/internal/benchfmt"
 	"livedev/internal/experiments"
 )
 
-// benchRow is one Table 1 row in the JSON artifact, in go-bench units.
-type benchRow struct {
-	Config      string  `json:"config"`
-	PaperRTTMs  float64 `json:"paper_rtt_ms"`
-	NsPerOp     float64 `json:"ns_op"`
-	P50Ns       float64 `json:"p50_ns"`
-	BytesPerOp  float64 `json:"b_op"`
-	AllocsPerOp float64 `json:"allocs_op"`
-	N           int     `json:"n"`
-}
-
-// refreshRow is one refresh-after-edit latency row in the JSON artifact.
-type refreshRow struct {
-	Mode   string  `json:"mode"`
-	Rounds int     `json:"rounds"`
-	MeanNs float64 `json:"mean_ns"`
-	P50Ns  float64 `json:"p50_ns"`
-}
-
-type benchFile struct {
-	Schema      string       `json:"schema"`
-	Command     string       `json:"command"`
-	Calls       int          `json:"calls"`
-	Payload     int          `json:"payload_bytes"`
-	Rows        []benchRow   `json:"rows"`
-	RefreshRows []refreshRow `json:"refresh_rows,omitempty"`
-}
-
 func main() {
 	os.Exit(run())
+}
+
+// parseSizes parses "1,100,1000" into watcher counts.
+func parseSizes(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func run() int {
@@ -62,6 +60,9 @@ func run() int {
 	refreshRounds := flag.Int("refresh-rounds", 12, "refresh-after-edit rounds per client strategy (0 disables)")
 	pollInterval := flag.Duration("poll", 50*time.Millisecond, "polling client's refresh interval for the refresh rows")
 	jsonPath := flag.String("json", "BENCH_rtt.json", "path for the machine-readable results (empty disables)")
+	fanoutSizes := flag.String("fanout-watchers", "1,100,1000", "comma-separated watcher counts for the fan-out rows (empty disables)")
+	fanoutEdits := flag.Int("fanout-edits", 5, "edit rounds per fan-out configuration")
+	fanoutPoll := flag.Duration("fanout-poll", 25*time.Millisecond, "polling transport's interval for the fan-out rows")
 	flag.Parse()
 
 	rows, err := experiments.RunTable1(experiments.Table1Config{
@@ -88,15 +89,30 @@ func run() int {
 		fmt.Print(experiments.FormatRefresh(refreshRows))
 	}
 
+	var fanoutRows []experiments.FanoutRow
+	if sizes := parseSizes(*fanoutSizes); len(sizes) > 0 {
+		fanoutRows, err = experiments.RunWatchFanout(experiments.FanoutConfig{
+			Watchers:     sizes,
+			Edits:        *fanoutEdits,
+			PollInterval: *fanoutPoll,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatFanout(fanoutRows))
+	}
+
 	if *jsonPath != "" {
-		out := benchFile{
-			Schema:  "livedev/rtt-bench/v2",
+		out := benchfmt.File{
+			Schema:  benchfmt.Schema,
 			Command: "rtt-bench",
 			Calls:   *calls,
 			Payload: *payload,
 		}
 		for _, r := range rows {
-			out.Rows = append(out.Rows, benchRow{
+			out.Rows = append(out.Rows, benchfmt.BenchRow{
 				Config:      r.Config,
 				PaperRTTMs:  float64(r.PaperRTT.Milliseconds()),
 				NsPerOp:     float64(r.Measured.Mean.Nanoseconds()),
@@ -107,11 +123,21 @@ func run() int {
 			})
 		}
 		for _, r := range refreshRows {
-			out.RefreshRows = append(out.RefreshRows, refreshRow{
+			out.RefreshRows = append(out.RefreshRows, benchfmt.RefreshRow{
 				Mode:   r.Mode,
 				Rounds: r.Rounds,
 				MeanNs: float64(r.Mean.Nanoseconds()),
 				P50Ns:  float64(r.P50.Nanoseconds()),
+			})
+		}
+		for _, r := range fanoutRows {
+			out.FanoutRows = append(out.FanoutRows, benchfmt.FanoutRow{
+				Transport: r.Transport,
+				Watchers:  r.Watchers,
+				Edits:     r.Edits,
+				MeanNs:    float64(r.Mean.Nanoseconds()),
+				P50Ns:     float64(r.P50.Nanoseconds()),
+				MaxNs:     float64(r.Max.Nanoseconds()),
 			})
 		}
 		data, err := json.MarshalIndent(out, "", "  ")

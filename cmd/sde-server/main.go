@@ -34,6 +34,7 @@ func run() int {
 	corbaAddr := flag.String("corba", "127.0.0.1:0", "CORBA endpoint listen address")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "publication stability timeout (Section 5.6)")
 	flushWindow := flag.Duration("flush-window", 0, "publication-store coalescing window (0 = commit immediately)")
+	historyLen := flag.Int("history-len", 0, "publication-store replay journal capacity (0 = default, negative disables)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	flag.Parse()
@@ -47,6 +48,7 @@ func run() int {
 		CORBAAddr:     *corbaAddr,
 		Timeout:       *timeout,
 		FlushWindow:   *flushWindow,
+		HistoryLen:    *historyLen,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)

@@ -1,0 +1,53 @@
+// Package benchfmt is the one definition of the BENCH_rtt.json artifact
+// schema, shared by the writer (cmd/rtt-bench) and the CI regression gate
+// (cmd/benchdiff) so a tag rename cannot silently desynchronize them and
+// neutralize the gate.
+package benchfmt
+
+// Schema identifies the artifact format version.
+const Schema = "livedev/rtt-bench/v2"
+
+// BenchRow is one Table 1 row, in go-bench units. These rows measure the
+// invocation hot path and are gated hard by benchdiff.
+type BenchRow struct {
+	Config      string  `json:"config"`
+	PaperRTTMs  float64 `json:"paper_rtt_ms"`
+	NsPerOp     float64 `json:"ns_op"`
+	P50Ns       float64 `json:"p50_ns"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	N           int     `json:"n"`
+}
+
+// RefreshRow is one refresh-after-edit latency row (wall-clock experiment;
+// diffed warn-only).
+type RefreshRow struct {
+	Mode   string  `json:"mode"`
+	Rounds int     `json:"rounds"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+}
+
+// FanoutRow is one watcher fan-out latency row (wall-clock experiment;
+// diffed warn-only).
+type FanoutRow struct {
+	Transport string  `json:"transport"`
+	Watchers  int     `json:"watchers"`
+	Edits     int     `json:"edits"`
+	MeanNs    float64 `json:"mean_ns"`
+	P50Ns     float64 `json:"p50_ns"`
+	MaxNs     float64 `json:"max_ns"`
+}
+
+// File is the artifact layout. Unknown extra fields (the hand-annotated
+// go_bench before/after notes) survive a read-modify cycle only if callers
+// preserve them; benchdiff is read-only.
+type File struct {
+	Schema      string       `json:"schema"`
+	Command     string       `json:"command"`
+	Calls       int          `json:"calls"`
+	Payload     int          `json:"payload_bytes"`
+	Rows        []BenchRow   `json:"rows"`
+	RefreshRows []RefreshRow `json:"refresh_rows,omitempty"`
+	FanoutRows  []FanoutRow  `json:"fanout_rows,omitempty"`
+}

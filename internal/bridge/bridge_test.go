@@ -187,8 +187,17 @@ func TestBridgeWatchDrivenResync(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if upd := backend.Stats().WatchUpdates; upd == 0 {
+	st := backend.Stats()
+	if st.WatchUpdates == 0 {
 		t.Error("backend client should have received watch updates")
+	}
+	// The resync must have ridden the streaming transport: the push arrives
+	// as an SSE event, not a long-poll response or a refetch.
+	if st.StreamEvents == 0 {
+		t.Errorf("stats = %+v: the bridge's backend watcher should ride the streaming transport", st)
+	}
+	if st.Refreshes != 1 {
+		t.Errorf("stats = %+v: propagation must not refetch the document", st)
 	}
 }
 

@@ -122,7 +122,7 @@ func (b *soapBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocV
 		HTTPClient: b.httpClient,
 	}
 	b.mu.Unlock()
-	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
 }
 
 // FetchInterface implements Backend: fetch the WSDL and compile it.
@@ -142,6 +142,18 @@ func (b *soapBackend) WatchInterface(ctx context.Context, after uint64) (dyn.Int
 		return dyn.InterfaceDescriptor{}, DocVersions{}, err
 	}
 	return b.compile(doc)
+}
+
+// StreamInterface implements StreamingBackend over the Interface Server's
+// SSE watch transport.
+func (b *soapBackend) StreamInterface(ctx context.Context, afterEpoch uint64, deliver func(InterfaceEvent)) error {
+	return b.docs.Stream(ctx, afterEpoch, func(ev ifsvr.StreamEvent) {
+		desc, vers, err := b.compile(ev.Doc)
+		if err != nil {
+			return // a malformed intermediate version; the next event supersedes it
+		}
+		deliver(InterfaceEvent{Desc: desc, Versions: vers, Replayed: ev.Replayed, Snapshot: ev.Snapshot})
+	})
 }
 
 // Invoke implements Backend.
@@ -185,6 +197,13 @@ type corbaBackend struct {
 	conn    *orb.ClientORB
 	release func() error // returns the pooled connection
 	iface   string       // interface name from the IOR type id
+	// lastDescriptor is the descriptor version of the last compiled IDL
+	// document. A watch update whose descriptor version went backwards
+	// means the server process restarted (a fresh class restarts its edit
+	// counter while the document version resumes its sequence) — the
+	// generation-change signal that triggers a pool probe, so the next
+	// call does not burn a round-trip on the dead socket.
+	lastDescriptor uint64
 }
 
 var _ Backend = (*corbaBackend)(nil)
@@ -251,6 +270,10 @@ func (b *corbaBackend) connect(ctx context.Context) error {
 }
 
 // compile turns a fetched (or pushed) IDL document into the descriptor.
+// A descriptor version that moves backwards across compilations is the
+// server-restart (generation change) signal: the pooled IIOP connection is
+// probed and, if dead, evicted immediately instead of on the next failing
+// call.
 func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocVersions, error) {
 	parsed, err := idl.Parse(doc.Content)
 	if err != nil {
@@ -258,12 +281,45 @@ func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, Doc
 	}
 	b.mu.Lock()
 	name := b.iface
+	restarted := doc.DescriptorVersion < b.lastDescriptor
 	b.mu.Unlock()
+	if restarted {
+		// Probe before anything can fail below: the signal must not be lost
+		// to an unresolvable intermediate document.
+		b.evictRestartedConn()
+	}
 	desc, err := idl.Resolve(parsed, name)
 	if err != nil {
 		return dyn.InterfaceDescriptor{}, DocVersions{}, fmt.Errorf("cde: resolving IDL: %w", err)
 	}
-	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+	b.mu.Lock()
+	b.lastDescriptor = doc.DescriptorVersion
+	b.mu.Unlock()
+	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
+}
+
+// evictRestartedConn probes the backend's pooled IIOP connection after a
+// generation-change signal. If the socket is dead it is dropped from the
+// endpoint pool (so sibling Dials re-dial too), this backend releases its
+// hold, and the next Invoke reconnects from the freshly published IOR. A
+// false alarm — the connection still alive — costs nothing.
+func (b *corbaBackend) evictRestartedConn() {
+	b.mu.Lock()
+	conn, release := b.conn, b.release
+	b.mu.Unlock()
+	if conn == nil || !conn.Broken() {
+		return
+	}
+	sharedORBs.evictBroken(conn)
+	b.mu.Lock()
+	if b.conn != conn {
+		// A concurrent reconnect already replaced it; leave the new one be.
+		b.mu.Unlock()
+		return
+	}
+	b.conn, b.release = nil, nil
+	b.mu.Unlock()
+	_ = release()
 }
 
 // FetchInterface implements Backend: fetch and compile the CORBA-IDL
@@ -292,13 +348,35 @@ func (b *corbaBackend) WatchInterface(ctx context.Context, after uint64) (dyn.In
 	return b.compile(doc)
 }
 
-// Invoke implements Backend via DII.
+// StreamInterface implements StreamingBackend by streaming the published
+// IDL document.
+func (b *corbaBackend) StreamInterface(ctx context.Context, afterEpoch uint64, deliver func(InterfaceEvent)) error {
+	if err := b.connect(ctx); err != nil {
+		return err
+	}
+	return b.idlDocs.Stream(ctx, afterEpoch, func(ev ifsvr.StreamEvent) {
+		desc, vers, err := b.compile(ev.Doc)
+		if err != nil {
+			return // a malformed intermediate version; the next event supersedes it
+		}
+		deliver(InterfaceEvent{Desc: desc, Versions: vers, Replayed: ev.Replayed, Snapshot: ev.Snapshot})
+	})
+}
+
+// Invoke implements Backend via DII. A backend whose pooled connection was
+// evicted after a server restart reconnects here, from the freshly
+// published IOR.
 func (b *corbaBackend) Invoke(ctx context.Context, sig dyn.MethodSig, args []dyn.Value) (dyn.Value, error) {
 	b.mu.Lock()
 	conn := b.conn
 	b.mu.Unlock()
 	if conn == nil {
-		return dyn.Value{}, errors.New("cde: CORBA backend not connected")
+		if err := b.connect(ctx); err != nil {
+			return dyn.Value{}, err
+		}
+		b.mu.Lock()
+		conn = b.conn
+		b.mu.Unlock()
 	}
 	return conn.InvokeContext(ctx, sig, args)
 }

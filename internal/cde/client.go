@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"livedev/internal/dyn"
+	"livedev/internal/ifsvr"
 )
 
 // ErrStaleMethod is the sentinel wrapped by *StaleMethodError.
@@ -85,13 +86,45 @@ type WatchableBackend interface {
 	WatchInterface(ctx context.Context, after uint64) (dyn.InterfaceDescriptor, DocVersions, error)
 }
 
-// DocVersions carries the two version counters of a published document.
+// InterfaceEvent is one interface view delivered over the streaming watch
+// transport.
+type InterfaceEvent struct {
+	// Desc is the compiled interface descriptor.
+	Desc dyn.InterfaceDescriptor
+	// Versions are the document's version counters.
+	Versions DocVersions
+	// Replayed marks a view served from the store journal during reconnect
+	// catch-up; Snapshot marks the full-document fallback when the journal
+	// no longer covered the client's epoch.
+	Replayed, Snapshot bool
+}
+
+// StreamingBackend is a WatchableBackend that can additionally hold one
+// streaming watch (the Interface Server's "?watch=stream" SSE transport)
+// instead of re-issuing a long-poll per update. The client's watcher
+// prefers it and degrades to WatchInterface against servers that only
+// speak the long-poll protocol. All three built-in bindings implement it.
+type StreamingBackend interface {
+	WatchableBackend
+	// StreamInterface connects one streaming watch, delivering each
+	// committed interface version after the given store epoch — replayed
+	// catch-up first, then live pushes — until ctx ends or the connection
+	// breaks (returned as an error; reconnect with the last seen epoch to
+	// ride journal replay). ifsvr.ErrStreamUnsupported reports a server
+	// without the transport.
+	StreamInterface(ctx context.Context, afterEpoch uint64, deliver func(InterfaceEvent)) error
+}
+
+// DocVersions carries the version counters of a published document.
 type DocVersions struct {
 	// Doc is the Interface Server publish count.
 	Doc uint64
 	// Descriptor is the interface-descriptor version the document was
 	// generated from.
 	Descriptor uint64
+	// Epoch is the publication store's commit epoch for the document — the
+	// cursor a streaming watch reconnects with.
+	Epoch uint64
 }
 
 // ClientStats counts client activity.
@@ -104,9 +137,19 @@ type ClientStats struct {
 	// Refreshes counts interface *fetches* (initial, reactive, and manual
 	// HTTP round-trips). Watch-delivered updates are counted separately.
 	Refreshes uint64
-	// WatchUpdates counts interface views installed from watch pushes —
-	// updates that cost no per-call document fetch.
+	// WatchUpdates counts interface views installed from watch pushes
+	// (either transport) — updates that cost no per-call document fetch.
 	WatchUpdates uint64
+	// StreamEvents counts events received over the streaming watch
+	// transport (live, replayed, and snapshot alike).
+	StreamEvents uint64
+	// Reconnects counts streaming-watch reconnects after a broken
+	// connection.
+	Reconnects uint64
+	// Replays counts interface views installed from journal replay during
+	// a streaming-watch (re)connect — catch-up that cost no document fetch
+	// (Refreshes does not move).
+	Replays uint64
 }
 
 // Client is a live CDE client bound to one server.
@@ -175,9 +218,12 @@ func NewClientContext(ctx context.Context, backend Backend, opts *DialOptions) (
 	return c, nil
 }
 
-// startWatch launches the push watcher: a goroutine long-polling the
-// published interface document and installing each new version into the
-// client's view — the push-invalidated interface cache.
+// startWatch launches the push watcher: a goroutine following the published
+// interface document and installing each new version into the client's view
+// — the push-invalidated interface cache. It prefers the streaming
+// transport (one held SSE connection, journal-replay catch-up on
+// reconnect) and degrades to long-polling against servers that only speak
+// that protocol.
 func (c *Client) startWatch(wb WatchableBackend) {
 	ctx, cancel := context.WithCancel(context.Background())
 	c.mu.Lock()
@@ -188,25 +234,73 @@ func (c *Client) startWatch(wb WatchableBackend) {
 	c.mu.Unlock()
 	go func() {
 		defer close(done)
-		for {
-			after := c.Versions().Doc
-			desc, vers, err := wb.WatchInterface(ctx, after)
-			if err != nil {
-				if ctx.Err() != nil {
-					return
-				}
-				// Transient watch failure (server restarting, network
-				// blip): back off briefly and resubscribe.
-				select {
-				case <-ctx.Done():
-					return
-				case <-time.After(watchRetryDelay):
-				}
-				continue
+		if sb, ok := wb.(StreamingBackend); ok {
+			if c.runStreamWatch(ctx, sb) {
+				return
 			}
-			c.installView(desc, vers, true)
+			// The server does not stream; fall back for the client's
+			// lifetime.
 		}
+		c.runPollWatch(ctx, wb)
 	}()
+}
+
+// runStreamWatch holds one streaming watch, reconnecting with the last seen
+// epoch after a break so catch-up rides journal replay instead of a
+// refetch. It reports true when ctx ended (the watcher is done) and false
+// when the server does not support streaming (degrade to long-poll).
+func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
+	for {
+		after := c.Versions().Epoch
+		err := sb.StreamInterface(ctx, after, func(ev InterfaceEvent) {
+			installed := c.installView(ev.Desc, ev.Versions, true)
+			c.mu.Lock()
+			c.stats.StreamEvents++
+			if ev.Replayed && installed {
+				c.stats.Replays++
+			}
+			c.mu.Unlock()
+		})
+		if ctx.Err() != nil {
+			return true
+		}
+		if errors.Is(err, ifsvr.ErrStreamUnsupported) {
+			return false
+		}
+		// Broken stream (server restart, network blip): back off briefly
+		// and reconnect; the server replays what we missed.
+		c.mu.Lock()
+		c.stats.Reconnects++
+		c.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return true
+		case <-time.After(watchRetryDelay):
+		}
+	}
+}
+
+// runPollWatch is the long-poll watcher: one blocking WatchInterface round
+// per committed version.
+func (c *Client) runPollWatch(ctx context.Context, wb WatchableBackend) {
+	for {
+		after := c.Versions().Doc
+		desc, vers, err := wb.WatchInterface(ctx, after)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			// Transient watch failure (server restarting, network
+			// blip): back off briefly and resubscribe.
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(watchRetryDelay):
+			}
+			continue
+		}
+		c.installView(desc, vers, true)
+	}
 }
 
 // watchRetryDelay paces watch resubscription after a transient failure.

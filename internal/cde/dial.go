@@ -148,6 +148,13 @@ func (s *DocSource) Watch(ctx context.Context, after uint64) (ifsvr.Document, er
 	return ifsvr.WatchNewer(ctx, docClient(s.hc), s.url, after)
 }
 
+// Stream holds one streaming watch on the document, delivering every
+// version committed after the given store epoch (replayed catch-up first,
+// then live pushes) until ctx ends or the connection breaks.
+func (s *DocSource) Stream(ctx context.Context, afterEpoch uint64, fn func(ifsvr.StreamEvent)) error {
+	return ifsvr.WatchStream(ctx, docClient(s.hc), s.url, afterEpoch, fn)
+}
+
 // Dial builds a live client from a published interface-document URL. Unless
 // opts.Binding names a binding explicitly, the document is fetched once and
 // each registered connector's DocMatch is scored against it — content type,

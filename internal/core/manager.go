@@ -84,8 +84,15 @@ type Config struct {
 	// committed once per window. Zero (the default) commits every
 	// publication immediately. Forced publication (Section 5.7) always
 	// commits synchronously regardless of the window, so the recency
-	// guarantee is unaffected.
+	// guarantee is unaffected. Individual documents can override the window
+	// via PublishInterface's WithPathFlushWindow option.
 	FlushWindow time.Duration
+	// HistoryLen bounds the publication store's replay journal: how many
+	// committed versions (across all paths) are retained for streaming-
+	// watch catch-up (Replay). Zero means ifsvr.DefaultHistoryLen; negative
+	// disables the journal, so every stream (re)connect falls back to a
+	// full snapshot event.
+	HistoryLen int
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -148,6 +155,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		store:   NewStore(cfg.FlushWindow, cfg.Clock),
 		httpMux: newDynamicMux(),
 		servers: make(map[string]Server),
+	}
+	if cfg.HistoryLen != 0 {
+		m.store.SetHistoryLen(cfg.HistoryLen)
 	}
 	// The Interface Server is a read view over the publication store: every
 	// binding publishes through the store, the HTTP view serves and watches
@@ -218,6 +228,25 @@ func (m *Manager) NewPublisher(class *dyn.Class, publish PublishFunc) *DLPublish
 // text (WSDL, CORBA-IDL, JSON, ...).
 type GenerateFunc func(desc dyn.InterfaceDescriptor) (string, error)
 
+// publishConfig is the resolved form of PublishInterface's options.
+type publishConfig struct {
+	window    time.Duration
+	hasWindow bool
+}
+
+// PublishOption configures one PublishInterface/StartPublication call.
+type PublishOption func(*publishConfig)
+
+// WithPathFlushWindow overrides the store-wide coalescing window for this
+// document path: a hot class can coalesce harder (longer window) than the
+// manager's FlushWindow, a latency-sensitive one softer (shorter, or 0 to
+// commit every publication immediately). First publications and forced
+// publications commit synchronously regardless, exactly as with the
+// store-wide window.
+func WithPathFlushWindow(d time.Duration) PublishOption {
+	return func(c *publishConfig) { c.window, c.hasWindow = d, true }
+}
+
 // PublishInterface is the publication seam bindings build on: it wires
 // class's interface-document publication through the manager's store and
 // returns the running DL Publisher. It bundles everything the SOAP, CORBA,
@@ -235,8 +264,8 @@ type GenerateFunc func(desc dyn.InterfaceDescriptor) (string, error)
 //
 // The caller owns the returned publisher and must Close it when the
 // binding's server closes.
-func (m *Manager) PublishInterface(class *dyn.Class, path, contentType string, gen GenerateFunc) *DLPublisher {
-	p := m.StartPublication(class, path, contentType, gen)
+func (m *Manager) PublishInterface(class *dyn.Class, path, contentType string, gen GenerateFunc, opts ...PublishOption) *DLPublisher {
+	p := m.StartPublication(class, path, contentType, gen, opts...)
 	p.PublishNow()
 	p.WaitIdle()
 	return p
@@ -248,7 +277,14 @@ func (m *Manager) PublishInterface(class *dyn.Class, path, contentType string, g
 // wired to the publisher *before* it goes live — the CORBA binding's ORB
 // starts listening before the basic IDL is generated — use it and trigger
 // PublishNow/WaitIdle themselves once the endpoint order is right.
-func (m *Manager) StartPublication(class *dyn.Class, path, contentType string, gen GenerateFunc) *DLPublisher {
+func (m *Manager) StartPublication(class *dyn.Class, path, contentType string, gen GenerateFunc, opts ...PublishOption) *DLPublisher {
+	var pc publishConfig
+	for _, opt := range opts {
+		opt(&pc)
+	}
+	if pc.hasWindow {
+		m.store.SetPathWindow(path, pc.window)
+	}
 	docs := newDocCache()
 	publish := func(desc dyn.InterfaceDescriptor) error {
 		text, ok := docs.get(desc.Hash())

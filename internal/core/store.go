@@ -1,390 +1,36 @@
 package core
 
 import (
-	"context"
-	"errors"
-	"sync"
 	"time"
 
 	"livedev/internal/clock"
 	"livedev/internal/ifsvr"
 )
 
+// The publication store was re-homed into internal/ifsvr so the Interface
+// Server's standalone mode could share it (one implementation of the
+// watch-liveness rules instead of the old window=0 duplicate, ifsvr's
+// memStore). The core package keeps its historical names as aliases: the
+// store is still the event-driven publication core every binding publishes
+// through, and Manager wires it exactly as before.
+
 // ErrStoreClosed reports an operation on a closed publication store.
-var ErrStoreClosed = errors.New("core: publication store closed")
+var ErrStoreClosed = ifsvr.ErrStoreClosed
 
-// StoreEvent is one committed publication fanned out to subscribers.
-type StoreEvent struct {
-	// Path is the document path that committed.
-	Path string
-	// Doc is the committed document (its Version and Epoch are final).
-	Doc ifsvr.Document
-}
-
-// StoreStats counts store activity; all fields are cumulative.
-type StoreStats struct {
-	// Publishes counts PublishVersioned calls.
-	Publishes uint64
-	// Commits counts committed document versions (one per fan-out event).
-	Commits uint64
-	// Coalesced counts publishes absorbed into an already-pending slot —
-	// edit-storm publications that never became a distinct version.
-	Coalesced uint64
-	// Batches counts flush batches that committed at least one document.
-	Batches uint64
-	// Flushes counts explicit Flush calls (the forced-publication path).
-	Flushes uint64
-}
-
-// Store is the event-driven publication core: a versioned interface-document
-// store with epoch-numbered snapshots, subscriber fan-out, and edit-storm
-// coalescing. It is the single seam every binding publishes through (via
-// Manager.PublishInterface) and the Interface Server reads from
-// (ifsvr.NewView); it implements ifsvr.Backing.
-//
-// Coalescing: with a non-zero flush window, rapid PublishVersioned calls to
-// an already-published path are staged, and the window's flush commits each
-// path once with the last-written content — a storm of N publications
-// becomes one committed version per window. The first publication of a path
-// always commits immediately (the paper's "immediately publishes a basic
-// definition", Section 4), and Flush commits the staged set synchronously,
-// which is how the forced-publication protocol (Section 5.7) keeps its
-// recency guarantee: DLPublisher.EnsureCurrent flushes before the "Non
-// Existent Method" reply goes out.
-//
-// Epochs: every commit batch advances the store epoch; each committed
-// document records the epoch it was committed under, giving observers a
-// store-wide happened-before order across paths.
-type Store struct {
-	window time.Duration
-	clk    clock.Clock
-
-	mu           sync.Mutex
-	docs         map[string]ifsvr.Document
-	retired      map[string]uint64         // removed paths → last committed version
-	pending      map[string]ifsvr.Document // staged content awaiting a flush
-	pendingOrder []string
-	timer        clock.Timer
-	timerOn      bool
-	epoch        uint64
-	stats        StoreStats
-	changed      chan struct{} // closed and replaced on every commit batch
-	subs         map[uint64]func(StoreEvent)
-	nextSub      uint64
-	closed       bool
-
-	// deliverMu serializes commit+fan-out so events arrive in commit order
-	// even when a timer flush races an explicit Flush or an immediate
-	// publish. It is always acquired before mu.
-	deliverMu sync.Mutex
-}
-
-var _ ifsvr.Backing = (*Store)(nil)
+type (
+	// Store is the versioned interface-document store with epoch-numbered
+	// snapshots, subscriber fan-out, edit-storm coalescing, and the
+	// epoch-indexed replay journal. See ifsvr.Store.
+	Store = ifsvr.Store
+	// StoreEvent is one committed publication fanned out to subscribers.
+	StoreEvent = ifsvr.StoreEvent
+	// StoreStats counts store activity.
+	StoreStats = ifsvr.StoreStats
+)
 
 // NewStore returns a store with the given flush window (0 disables
 // coalescing: every publish commits immediately). clk drives the flush
 // timer; nil means the real clock.
 func NewStore(window time.Duration, clk clock.Clock) *Store {
-	if clk == nil {
-		clk = clock.Real{}
-	}
-	return &Store{
-		window:  window,
-		clk:     clk,
-		docs:    make(map[string]ifsvr.Document),
-		retired: make(map[string]uint64),
-		pending: make(map[string]ifsvr.Document),
-		changed: make(chan struct{}),
-		subs:    make(map[uint64]func(StoreEvent)),
-	}
-}
-
-// FlushWindow returns the configured coalescing window.
-func (s *Store) FlushWindow() time.Duration { return s.window }
-
-// Epoch returns the current commit epoch.
-func (s *Store) Epoch() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
-}
-
-// Stats returns a snapshot of the store counters.
-func (s *Store) Stats() StoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
-
-// Publish is PublishVersioned without a descriptor version.
-func (s *Store) Publish(path, contentType, content string) uint64 {
-	return s.PublishVersioned(path, contentType, content, 0)
-}
-
-// PublishVersioned implements ifsvr.Backing: store content under path. With
-// coalescing enabled and the path already published, the write is staged
-// until the flush window elapses (or Flush runs), and the returned version
-// is the version the path will carry after that flush. Staged writes to
-// the same path coalesce — only the last content commits — so an earlier
-// caller in the same window receives the version its superseded content
-// never actually had; treat the return as "the path's next committed
-// version", not a receipt for this exact content.
-func (s *Store) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
-	staged := ifsvr.Document{
-		Content:           content,
-		ContentType:       contentType,
-		DescriptorVersion: descriptorVersion,
-	}
-	s.deliverMu.Lock()
-	defer s.deliverMu.Unlock()
-	s.mu.Lock()
-	s.stats.Publishes++
-	if s.closed {
-		s.mu.Unlock()
-		return 0
-	}
-	_, published := s.docs[path]
-	if s.window <= 0 || !published {
-		evs := s.commitLocked([]string{path}, map[string]ifsvr.Document{path: staged})
-		ver := s.docs[path].Version
-		fns := s.subscribersLocked()
-		s.mu.Unlock()
-		fanOut(evs, fns)
-		return ver
-	}
-	if _, dup := s.pending[path]; dup {
-		s.stats.Coalesced++
-	} else {
-		s.pendingOrder = append(s.pendingOrder, path)
-	}
-	s.pending[path] = staged
-	if !s.timerOn {
-		s.timerOn = true
-		s.timer = s.clk.AfterFunc(s.window, s.onFlushTimer)
-	}
-	ver := s.docs[path].Version + 1
-	s.mu.Unlock()
-	return ver
-}
-
-// commitLocked commits the given paths (drawing content from contents),
-// bumping the epoch once for the batch. Caller holds s.mu and must call
-// deliver with the returned events after unlocking.
-func (s *Store) commitLocked(order []string, contents map[string]ifsvr.Document) []StoreEvent {
-	if len(order) == 0 {
-		return nil
-	}
-	s.epoch++
-	s.stats.Batches++
-	evs := make([]StoreEvent, 0, len(order))
-	for _, path := range order {
-		staged := contents[path]
-		d := s.docs[path]
-		if d.Version == 0 {
-			// A republication of a retired path resumes its version
-			// sequence so parked watchers still wake on it.
-			d.Version = s.retired[path]
-			delete(s.retired, path)
-		}
-		d.Content = staged.Content
-		d.ContentType = staged.ContentType
-		d.DescriptorVersion = staged.DescriptorVersion
-		d.Epoch = s.epoch
-		d.Version++
-		s.docs[path] = d
-		s.stats.Commits++
-		evs = append(evs, StoreEvent{Path: path, Doc: d})
-	}
-	close(s.changed)
-	s.changed = make(chan struct{})
-	return evs
-}
-
-// flushLocked stages-out and commits everything pending. Caller holds s.mu.
-func (s *Store) flushLocked() []StoreEvent {
-	if s.timer != nil {
-		s.timer.Stop()
-		s.timer = nil
-	}
-	s.timerOn = false
-	if len(s.pendingOrder) == 0 {
-		return nil
-	}
-	order, contents := s.pendingOrder, s.pending
-	s.pendingOrder = nil
-	s.pending = make(map[string]ifsvr.Document)
-	return s.commitLocked(order, contents)
-}
-
-func (s *Store) onFlushTimer() {
-	s.deliverMu.Lock()
-	defer s.deliverMu.Unlock()
-	s.mu.Lock()
-	s.timerOn = false
-	s.timer = nil
-	var evs []StoreEvent
-	if !s.closed {
-		evs = s.flushLocked()
-	}
-	fns := s.subscribersLocked()
-	s.mu.Unlock()
-	fanOut(evs, fns)
-}
-
-// Flush synchronously commits every staged publication — the forced-
-// publication path: after Flush returns, Get observes everything published
-// before the call.
-func (s *Store) Flush() {
-	s.deliverMu.Lock()
-	defer s.deliverMu.Unlock()
-	s.mu.Lock()
-	s.stats.Flushes++
-	var evs []StoreEvent
-	if !s.closed {
-		evs = s.flushLocked()
-	}
-	fns := s.subscribersLocked()
-	s.mu.Unlock()
-	fanOut(evs, fns)
-}
-
-// subscribersLocked snapshots the subscriber list. Caller holds s.mu.
-func (s *Store) subscribersLocked() []func(StoreEvent) {
-	if len(s.subs) == 0 {
-		return nil
-	}
-	fns := make([]func(StoreEvent), 0, len(s.subs))
-	for _, fn := range s.subs {
-		fns = append(fns, fn)
-	}
-	return fns
-}
-
-// fanOut delivers committed events to the snapshotted subscribers. Callers
-// hold deliverMu (acquired before the commit), which is what keeps
-// delivery in commit order across concurrent committers. Callbacks run on
-// the committing goroutine and must not call back into the store's
-// publish/flush paths.
-func fanOut(evs []StoreEvent, fns []func(StoreEvent)) {
-	for _, ev := range evs {
-		for _, fn := range fns {
-			fn(ev)
-		}
-	}
-}
-
-// Subscribe registers fn for every committed publication and returns a
-// cancel function. An event already being delivered when cancel returns may
-// still invoke fn once.
-func (s *Store) Subscribe(fn func(StoreEvent)) (cancel func()) {
-	s.mu.Lock()
-	id := s.nextSub
-	s.nextSub++
-	s.subs[id] = fn
-	s.mu.Unlock()
-	return func() {
-		s.mu.Lock()
-		delete(s.subs, id)
-		s.mu.Unlock()
-	}
-}
-
-// Remove implements ifsvr.Backing: retire a path when its server closes.
-// The committed document disappears (Get reports it unpublished), staged
-// writes for it are dropped, and — because the "first publication commits
-// immediately" rule keys on committed presence — a re-registered server's
-// fresh documents commit synchronously instead of sitting out a flush
-// window behind the dead server's entries. The retired version floor is
-// kept so republication continues the sequence.
-func (s *Store) Remove(path string) {
-	s.deliverMu.Lock()
-	defer s.deliverMu.Unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if d, ok := s.docs[path]; ok {
-		s.retired[path] = d.Version
-		delete(s.docs, path)
-	}
-	if _, staged := s.pending[path]; staged {
-		delete(s.pending, path)
-		order := s.pendingOrder[:0]
-		for _, p := range s.pendingOrder {
-			if p != path {
-				order = append(order, p)
-			}
-		}
-		s.pendingOrder = order
-	}
-}
-
-// Get implements ifsvr.Backing: the committed document at path. Staged
-// (not yet flushed) content is not visible.
-func (s *Store) Get(path string) (ifsvr.Document, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	d, ok := s.docs[path]
-	if !ok {
-		return ifsvr.Document{}, ifsvr.ErrNotFound
-	}
-	return d, nil
-}
-
-// Version implements ifsvr.Backing.
-func (s *Store) Version(path string) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.docs[path].Version
-}
-
-// Paths implements ifsvr.Backing.
-func (s *Store) Paths() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps := make([]string, 0, len(s.docs))
-	for p := range s.docs {
-		ps = append(ps, p)
-	}
-	return ps
-}
-
-// Wait implements ifsvr.Backing: block until a version newer than after is
-// committed at path, ctx ends, or the store closes.
-func (s *Store) Wait(ctx context.Context, path string, after uint64) (ifsvr.Document, error) {
-	for {
-		s.mu.Lock()
-		d, ok := s.docs[path]
-		ch := s.changed
-		closed := s.closed
-		s.mu.Unlock()
-		if ok && d.Version > after {
-			return d, nil
-		}
-		if closed {
-			return ifsvr.Document{}, ErrStoreClosed
-		}
-		select {
-		case <-ctx.Done():
-			return ifsvr.Document{}, ctx.Err()
-		case <-ch:
-		}
-	}
-}
-
-// Close flushes staged publications, wakes waiters, and stops the flush
-// timer. Subsequent publishes are dropped.
-func (s *Store) Close() {
-	s.deliverMu.Lock()
-	defer s.deliverMu.Unlock()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	evs := s.flushLocked()
-	s.closed = true
-	close(s.changed)
-	s.changed = make(chan struct{})
-	fns := s.subscribersLocked()
-	s.mu.Unlock()
-	fanOut(evs, fns)
+	return ifsvr.NewStore(window, clk)
 }

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livedev/internal/ifsvr"
+)
+
+// The watcher fan-out experiment: how long after a committed edit have ALL
+// of N concurrent watchers observed it, per transport?
+//
+//   - "poll-<D>": each watcher GETs the document every D — the pre-watch
+//     CDE. Latency floors at ~D/2 and the server eats N/D requests per
+//     second even when nothing changes.
+//   - "long-poll": each watcher parks one request per commit (the PR 3
+//     protocol). Latency is a round-trip, but every commit costs N
+//     re-requests.
+//   - "stream": each watcher holds one SSE connection (this PR). A commit
+//     is N event writes on already-open sockets.
+
+// FanoutRow summarizes one (transport, watcher-count) configuration.
+type FanoutRow struct {
+	// Transport names the watch transport measured.
+	Transport string
+	// Watchers is the number of concurrent watchers.
+	Watchers int
+	// Edits is the number of measured edit rounds.
+	Edits int
+	// Mean, P50, and Max summarize the edit→all-notified latency: the time
+	// from the commit until the LAST watcher has observed the new version.
+	Mean, P50, Max time.Duration
+}
+
+// FanoutConfig parameterizes the fan-out experiment.
+type FanoutConfig struct {
+	// Watchers lists the fan-out sizes to measure (default 1, 100, 1000).
+	Watchers []int
+	// Edits is the number of edit rounds per configuration (default 5).
+	Edits int
+	// PollInterval is the polling transport's fetch interval (default
+	// 25ms).
+	PollInterval time.Duration
+	// Transports restricts the run ("poll", "long-poll", "stream"); empty
+	// means all three.
+	Transports []string
+}
+
+func (c FanoutConfig) withDefaults() FanoutConfig {
+	if len(c.Watchers) == 0 {
+		c.Watchers = []int{1, 100, 1000}
+	}
+	if c.Edits <= 0 {
+		c.Edits = 5
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 25 * time.Millisecond
+	}
+	if len(c.Transports) == 0 {
+		c.Transports = []string{"poll", "long-poll", "stream"}
+	}
+	return c
+}
+
+// RunWatchFanout measures the edit→all-notified latency of each transport
+// at each fan-out size. Every configuration gets a fresh store and HTTP
+// view; the document is tiny so the numbers measure the transport, not the
+// payload.
+func RunWatchFanout(cfg FanoutConfig) ([]FanoutRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []FanoutRow
+	for _, transport := range cfg.Transports {
+		for _, n := range cfg.Watchers {
+			row, err := runFanoutOne(transport, n, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fan-out %s/%d: %w", transport, n, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, error) {
+	st := ifsvr.NewStore(0, nil)
+	srv := ifsvr.NewView(st)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return FanoutRow{}, err
+	}
+	defer func() {
+		st.Close()
+		_ = srv.Close()
+	}()
+	const path = "/wsdl/Fanout.wsdl"
+	url := base + path
+	st.PublishVersioned(path, "text/xml", "<v1/>", 1)
+
+	// One shared client with enough connection capacity for N concurrent
+	// watchers; no client-level timeout (streams and long-polls are long by
+	// design).
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = watchers + 4
+	hc := &http.Client{Transport: tr}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	// Each watcher exposes the newest version it has observed; the
+	// publisher side spins on these to time "all notified".
+	seen := make([]atomic.Uint64, watchers)
+	ready := make(chan struct{}, watchers)
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cur := seen[w].Load()
+			first := true
+			markReady := func() {
+				if first {
+					ready <- struct{}{}
+					first = false
+				}
+			}
+			switch transport {
+			case "stream":
+				for ctx.Err() == nil {
+					markReady()
+					_ = ifsvr.WatchStream(ctx, hc, url, 0, func(ev ifsvr.StreamEvent) {
+						if ev.Doc.Version > seen[w].Load() {
+							seen[w].Store(ev.Doc.Version)
+						}
+					})
+				}
+			case "long-poll":
+				for ctx.Err() == nil {
+					markReady()
+					d, err := ifsvr.WatchNewer(ctx, hc, url, cur)
+					if err != nil {
+						continue
+					}
+					cur = d.Version
+					seen[w].Store(cur)
+				}
+			case "poll":
+				t := time.NewTicker(cfg.PollInterval)
+				defer t.Stop()
+				for {
+					markReady()
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+					}
+					d, err := ifsvr.FetchContext(ctx, hc, url)
+					if err == nil && d.Version > seen[w].Load() {
+						seen[w].Store(d.Version)
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < watchers; w++ {
+		select {
+		case <-ready:
+		case <-time.After(30 * time.Second):
+			return FanoutRow{}, fmt.Errorf("watchers did not start")
+		}
+	}
+	// Give parked transports a moment to actually connect before edit 1.
+	time.Sleep(50 * time.Millisecond)
+
+	var latencies []time.Duration
+	version := uint64(1)
+	for e := 0; e < cfg.Edits; e++ {
+		version++
+		start := time.Now()
+		st.PublishVersioned(path, "text/xml", fmt.Sprintf("<v%d/>", version), version)
+		deadline := start.Add(60 * time.Second)
+		for {
+			all := true
+			for w := range seen {
+				if seen[w].Load() < version {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			if time.Now().After(deadline) {
+				return FanoutRow{}, fmt.Errorf("edit %d: not all watchers converged on version %d", e+1, version)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+
+	name := transport
+	if transport == "poll" {
+		name = fmt.Sprintf("poll-%s", cfg.PollInterval)
+	}
+	row := FanoutRow{Transport: name, Watchers: watchers, Edits: len(latencies)}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, l := range sorted {
+		total += l
+	}
+	row.Mean = total / time.Duration(len(sorted))
+	row.P50 = sorted[len(sorted)/2]
+	row.Max = sorted[len(sorted)-1]
+	return row, nil
+}
+
+// FormatFanout renders the fan-out rows as an aligned table.
+func FormatFanout(rows []FanoutRow) string {
+	var b strings.Builder
+	b.WriteString("Watcher fan-out: edit→all-notified latency per transport\n")
+	fmt.Fprintf(&b, "%-12s %9s %6s %12s %12s %12s\n", "transport", "watchers", "edits", "mean", "p50", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %6d %12s %12s %12s\n",
+			r.Transport, r.Watchers, r.Edits,
+			r.Mean.Round(10*time.Microsecond), r.P50.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
+	}
+	return b.String()
+}

@@ -7,13 +7,15 @@
 // experiments) observe the recency guarantees of Sections 5.7 and 6.
 //
 // Since the publication-core refactor the server is a read view over a
-// Backing document store: the SDE Manager backs it with the coalescing
-// publication store in internal/core, while New() keeps a simple in-memory
-// store for standalone use. The view adds the watch protocol: a long-poll
-// GET with "?watch=1&after=N" blocks until a version newer than N is
-// published (or the poll window elapses, answered with 304 Not Modified),
-// which is how clients are push-notified of new descriptor versions
-// instead of polling.
+// Backing document store — the coalescing, journaled publication Store in
+// this package, which the SDE Manager shares with every binding and a
+// standalone New() server owns privately (window 0). The view adds the two
+// watch transports: a long-poll GET with "?watch=1&after=N" blocks until a
+// version newer than N is published (or the poll window elapses, answered
+// with 304 Not Modified), and a streaming GET with "?watch=stream&after=N"
+// holds one text/event-stream connection per watcher, serving the journal
+// replay of everything committed after epoch N followed by live fan-out.
+// See docs/watch-protocol.md for the wire protocol of both.
 package ifsvr
 
 import (
@@ -50,9 +52,6 @@ var ErrNotFound = errors.New("ifsvr: document not published")
 // the caller should simply poll again.
 var ErrNotModified = errors.New("ifsvr: document not modified")
 
-// ErrClosed reports a wait on a closed in-memory store.
-var ErrClosed = errors.New("ifsvr: server closed")
-
 // Document is one published interface description.
 type Document struct {
 	// Content is the document text (WSDL, IDL, or stringified IOR).
@@ -70,8 +69,10 @@ type Document struct {
 }
 
 // Backing is the document store a Server reads from (and forwards writes
-// to). The SDE Manager backs its Interface Server with the coalescing
-// publication store in internal/core; New() uses a plain in-memory store.
+// to). Store is the one implementation: the SDE Manager backs its Interface
+// Server with its shared coalescing store, and New() owns a private one
+// with coalescing disabled. A Backing that additionally implements Journal
+// (as Store does) gets delta catch-up on the streaming watch transport.
 type Backing interface {
 	// PublishVersioned stores content under path and returns the version
 	// the document has (or, in a coalescing store, will have) committed.
@@ -99,6 +100,11 @@ type Backing interface {
 type Server struct {
 	initStore sync.Once
 	store     Backing
+	owned     *Store // set when the server created its own store (New, zero value)
+
+	// HeartbeatInterval paces the liveness comments of idle streaming
+	// watches (0 means DefaultHeartbeat). Set it before Start.
+	HeartbeatInterval time.Duration
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -106,9 +112,11 @@ type Server struct {
 	done     chan struct{}
 }
 
-// New returns an interface server over its own empty in-memory store.
+// New returns an interface server over its own store (coalescing disabled:
+// every publication commits immediately).
 func New() *Server {
-	return &Server{store: newMemStore()}
+	st := NewStore(0, nil)
+	return &Server{store: st, owned: st}
 }
 
 // NewView returns an interface server that serves (and publishes into) the
@@ -118,12 +126,14 @@ func NewView(store Backing) *Server {
 	return &Server{store: store}
 }
 
-// backing returns the store, lazily creating the in-memory one so the
-// zero-value Server stays usable.
+// backing returns the store, lazily creating an owned one so the zero-value
+// Server stays usable.
 func (s *Server) backing() Backing {
 	s.initStore.Do(func() {
 		if s.store == nil {
-			s.store = newMemStore()
+			st := NewStore(0, nil)
+			s.store = st
+			s.owned = st
 		}
 	})
 	return s.store
@@ -166,12 +176,19 @@ const maxWatchWait = 25 * time.Second
 // version headers. With "?watch=1&after=N" the request long-polls until a
 // version newer than N is committed (200 with the new document), or the
 // poll window elapses (304 Not Modified with the current version headers).
+// With "?watch=stream&after=N" the request becomes a server-sent-event
+// stream: journal replay of everything committed after epoch N, then one
+// event per live commit, on a single held connection (see stream.go).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	q := r.URL.Query()
+	if q.Get("watch") == "stream" {
+		s.serveStream(w, r, q)
+		return
+	}
 	if q.Get("watch") != "" {
 		s.serveWatch(w, r, q)
 		return
@@ -194,6 +211,9 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
+	// Watch responses are point-in-time answers to a version question;
+	// a cached one would defeat the protocol.
+	w.Header().Set("Cache-Control", "no-store")
 	d, err := s.backing().Wait(ctx, r.URL.Path, after)
 	switch {
 	case err == nil:
@@ -201,12 +221,16 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 	case r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
 	case errors.Is(err, context.DeadlineExceeded):
-		// Poll window elapsed with no newer version.
+		// Poll window elapsed with no newer version. The headers carry the
+		// current version AND epoch so the poller can resync its cursors
+		// without a document fetch, and Retry-After tells clients and
+		// intermediaries the polite re-poll pacing after an idle window.
 		cur, getErr := s.backing().Get(r.URL.Path)
 		if getErr != nil {
 			http.NotFound(w, r)
 			return
 		}
+		w.Header().Set("Retry-After", "1")
 		writeHeaders(w, cur)
 		w.WriteHeader(http.StatusNotModified)
 	default:
@@ -248,11 +272,13 @@ func (s *Server) Start(addr string) (string, error) {
 func (s *Server) BaseURL() string { return s.baseURL }
 
 // Close stops the HTTP server (no-op if Start was never called) and, when
-// the server owns its in-memory store, closes it so parked Wait callers
-// drain. A caller-provided Backing (NewView) is not closed — its owner is.
+// the server owns its store (New, zero value), closes it so parked Wait
+// callers and held streams drain. A caller-provided Backing (NewView) is
+// not closed — its owner is.
 func (s *Server) Close() error {
-	if ms, ok := s.backing().(*memStore); ok {
-		ms.close()
+	s.backing() // materialize so a zero-value Close is still well-defined
+	if s.owned != nil {
+		s.owned.Close()
 	}
 	if s.httpSrv == nil {
 		return nil
@@ -260,127 +286,6 @@ func (s *Server) Close() error {
 	err := s.httpSrv.Close()
 	<-s.done
 	return err
-}
-
-// memStore is the standalone in-memory Backing: immediate (non-coalescing)
-// publication with wait support. It deliberately mirrors the semantics of
-// the coalescing store in internal/core (retired-version resume on
-// republication, closed/changed-channel wake, the Wait loop) — when
-// changing a rule here, change core.Store to match, and vice versa; the
-// two must stay observationally identical for window=0 (folding this copy
-// into a shared implementation is a ROADMAP item).
-type memStore struct {
-	mu      sync.Mutex
-	docs    map[string]Document
-	retired map[string]uint64 // removed paths → last committed version
-	epoch   uint64
-	changed chan struct{} // closed and replaced on every publication
-	closed  bool
-}
-
-func newMemStore() *memStore {
-	return &memStore{docs: make(map[string]Document), changed: make(chan struct{})}
-}
-
-// close wakes parked waiters and drops subsequent writes.
-func (m *memStore) close() {
-	m.mu.Lock()
-	if !m.closed {
-		m.closed = true
-		close(m.changed)
-		m.changed = make(chan struct{})
-	}
-	m.mu.Unlock()
-}
-
-// PublishVersioned implements Backing.
-func (m *memStore) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return 0
-	}
-	m.epoch++
-	d := m.docs[path]
-	if d.Version == 0 {
-		// A republication of a retired path resumes its version sequence,
-		// so watchers parked past the old versions still wake.
-		d.Version = m.retired[path]
-		delete(m.retired, path)
-	}
-	d.Content = content
-	d.ContentType = contentType
-	d.DescriptorVersion = descriptorVersion
-	d.Epoch = m.epoch
-	d.Version++
-	m.docs[path] = d
-	close(m.changed)
-	m.changed = make(chan struct{})
-	return d.Version
-}
-
-// Get implements Backing.
-func (m *memStore) Get(path string) (Document, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	d, ok := m.docs[path]
-	if !ok {
-		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, path)
-	}
-	return d, nil
-}
-
-// Version implements Backing.
-func (m *memStore) Version(path string) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.docs[path].Version
-}
-
-// Remove implements Backing.
-func (m *memStore) Remove(path string) {
-	m.mu.Lock()
-	if d, ok := m.docs[path]; ok {
-		if m.retired == nil {
-			m.retired = make(map[string]uint64)
-		}
-		m.retired[path] = d.Version
-		delete(m.docs, path)
-	}
-	m.mu.Unlock()
-}
-
-// Paths implements Backing.
-func (m *memStore) Paths() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ps := make([]string, 0, len(m.docs))
-	for p := range m.docs {
-		ps = append(ps, p)
-	}
-	return ps
-}
-
-// Wait implements Backing.
-func (m *memStore) Wait(ctx context.Context, path string, after uint64) (Document, error) {
-	for {
-		m.mu.Lock()
-		d, ok := m.docs[path]
-		ch := m.changed
-		closed := m.closed
-		m.mu.Unlock()
-		if ok && d.Version > after {
-			return d, nil
-		}
-		if closed {
-			return Document{}, ErrClosed
-		}
-		select {
-		case <-ctx.Done():
-			return Document{}, ctx.Err()
-		case <-ch:
-		}
-	}
 }
 
 // Fetch is FetchContext with a background context.

@@ -1,0 +1,571 @@
+package ifsvr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"livedev/internal/clock"
+)
+
+// ErrStoreClosed reports an operation on a closed publication store.
+var ErrStoreClosed = errors.New("ifsvr: publication store closed")
+
+// ErrClosed is the former name of ErrStoreClosed (the in-memory store it
+// named was folded into Store).
+//
+// Deprecated: match ErrStoreClosed.
+var ErrClosed = ErrStoreClosed
+
+// DefaultHistoryLen is the journal capacity a store is created with: how
+// many committed versions (across all paths) are retained for Replay.
+const DefaultHistoryLen = 256
+
+// StoreEvent is one committed publication fanned out to subscribers.
+type StoreEvent struct {
+	// Path is the document path that committed.
+	Path string
+	// Doc is the committed document (its Version and Epoch are final).
+	Doc Document
+}
+
+// StoreStats counts store activity; all fields are cumulative.
+type StoreStats struct {
+	// Publishes counts PublishVersioned calls.
+	Publishes uint64
+	// Commits counts committed document versions (one per fan-out event).
+	Commits uint64
+	// Coalesced counts publishes absorbed into an already-pending slot —
+	// edit-storm publications that never became a distinct version.
+	Coalesced uint64
+	// Batches counts flush batches that committed at least one document.
+	Batches uint64
+	// Flushes counts explicit Flush calls (the forced-publication path).
+	Flushes uint64
+	// Replays counts Replay calls served from the journal.
+	Replays uint64
+	// ReplayMisses counts Replay calls the journal no longer covered —
+	// each forces the caller onto the full-snapshot fallback.
+	ReplayMisses uint64
+}
+
+// Store is the event-driven publication core: a versioned interface-document
+// store with epoch-numbered snapshots, subscriber fan-out, edit-storm
+// coalescing, and an epoch-indexed journal for watcher catch-up. It is the
+// single Backing implementation: every binding publishes through it (via the
+// SDE Manager's PublishInterface), the Interface Server reads from it
+// (NewView), and a standalone Server (New or the zero value) owns one with
+// coalescing disabled.
+//
+// Coalescing: with a non-zero flush window, rapid PublishVersioned calls to
+// an already-published path are staged, and the window's flush commits each
+// path once with the last-written content — a storm of N publications
+// becomes one committed version per window. Each path can carry its own
+// window (SetPathWindow) so hot classes coalesce harder than cold ones. The
+// first publication of a path always commits immediately (the paper's
+// "immediately publishes a basic definition", Section 4), and Flush commits
+// the staged set synchronously, which is how the forced-publication
+// protocol (Section 5.7) keeps its recency guarantee: DLPublisher
+// .EnsureCurrent flushes before the "Non Existent Method" reply goes out.
+//
+// Epochs: every commit batch advances the store epoch; each committed
+// document records the epoch it was committed under, giving observers a
+// store-wide happened-before order across paths.
+//
+// Journal: the last HistoryLen committed versions are retained, and
+// Replay(path, afterEpoch) returns the committed versions of a path a
+// reconnecting watcher missed — the streaming watch transport's catch-up
+// path, which turns a reconnect into a delta instead of a full fetch.
+type Store struct {
+	window  time.Duration
+	clk     clock.Clock
+	histLen int
+
+	mu           sync.Mutex
+	docs         map[string]Document
+	retired      map[string]uint64   // removed paths → last committed version
+	pending      map[string]Document // staged content awaiting a flush
+	pendingOrder []string
+	deadlines    map[string]time.Time // per-path commit deadline of staged content
+	pathWindows  map[string]time.Duration
+	timer        clock.Timer
+	timerOn      bool
+	timerAt      time.Time
+	epoch        uint64
+	journal      []StoreEvent // commit-ordered ring, capacity histLen
+	floorEpoch   uint64       // journal covers epochs in (floorEpoch, epoch]
+	stats        StoreStats
+	changed      chan struct{} // closed and replaced on every commit batch
+	subs         map[uint64]func(StoreEvent)
+	nextSub      uint64
+	closed       bool
+
+	// deliverMu serializes commit+fan-out so events arrive in commit order
+	// even when a timer flush races an explicit Flush or an immediate
+	// publish. It is always acquired before mu.
+	deliverMu sync.Mutex
+}
+
+var _ Backing = (*Store)(nil)
+
+// NewStore returns a store with the given flush window (0 disables
+// coalescing: every publish commits immediately) and the default journal
+// capacity. clk drives the flush timer; nil means the real clock.
+func NewStore(window time.Duration, clk clock.Clock) *Store {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Store{
+		window:    window,
+		clk:       clk,
+		histLen:   DefaultHistoryLen,
+		docs:      make(map[string]Document),
+		retired:   make(map[string]uint64),
+		pending:   make(map[string]Document),
+		deadlines: make(map[string]time.Time),
+		changed:   make(chan struct{}),
+		subs:      make(map[uint64]func(StoreEvent)),
+	}
+}
+
+// FlushWindow returns the configured store-wide coalescing window.
+func (s *Store) FlushWindow() time.Duration { return s.window }
+
+// SetHistoryLen resizes the replay journal to retain the last n committed
+// versions (n < 0 disables the journal entirely; 0 restores the default).
+// Shrinking evicts the oldest entries, moving the replay floor forward.
+func (s *Store) SetHistoryLen(n int) {
+	if n == 0 {
+		n = DefaultHistoryLen
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		s.histLen = 0
+		s.journal = nil
+		s.floorEpoch = s.epoch
+		return
+	}
+	s.histLen = n
+	s.trimJournalLocked()
+}
+
+// HistoryLen returns the journal capacity (0 when disabled).
+func (s *Store) HistoryLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.histLen
+}
+
+// SetPathWindow overrides the coalescing window for one path — hot paths
+// can coalesce harder (longer window) than the store-wide setting, cold
+// paths softer (shorter, or 0 for immediate commits). A zero-or-negative
+// override commits that path's publications immediately. The override
+// applies to publications staged after the call and is cleared by Remove.
+func (s *Store) SetPathWindow(path string, window time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pathWindows == nil {
+		s.pathWindows = make(map[string]time.Duration)
+	}
+	s.pathWindows[path] = window
+}
+
+// windowFor resolves the effective coalescing window of path. Caller holds
+// s.mu.
+func (s *Store) windowFor(path string) time.Duration {
+	if w, ok := s.pathWindows[path]; ok {
+		return w
+	}
+	return s.window
+}
+
+// Epoch returns the current commit epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Publish is PublishVersioned without a descriptor version.
+func (s *Store) Publish(path, contentType, content string) uint64 {
+	return s.PublishVersioned(path, contentType, content, 0)
+}
+
+// PublishVersioned implements Backing: store content under path. With
+// coalescing enabled and the path already published, the write is staged
+// until the path's flush window elapses (or Flush runs), and the returned
+// version is the version the path will carry after that flush. Staged
+// writes to the same path coalesce — only the last content commits — so an
+// earlier caller in the same window receives the version its superseded
+// content never actually had; treat the return as "the path's next
+// committed version", not a receipt for this exact content.
+func (s *Store) PublishVersioned(path, contentType, content string, descriptorVersion uint64) uint64 {
+	staged := Document{
+		Content:           content,
+		ContentType:       contentType,
+		DescriptorVersion: descriptorVersion,
+	}
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	s.stats.Publishes++
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	_, published := s.docs[path]
+	window := s.windowFor(path)
+	if window <= 0 || !published {
+		evs := s.commitLocked([]string{path}, map[string]Document{path: staged})
+		ver := s.docs[path].Version
+		fns := s.subscribersLocked()
+		s.mu.Unlock()
+		fanOut(evs, fns)
+		return ver
+	}
+	if _, dup := s.pending[path]; dup {
+		s.stats.Coalesced++
+	} else {
+		s.pendingOrder = append(s.pendingOrder, path)
+		s.deadlines[path] = s.clk.Now().Add(window)
+		s.rearmLocked()
+	}
+	s.pending[path] = staged
+	ver := s.docs[path].Version + 1
+	s.mu.Unlock()
+	return ver
+}
+
+// commitLocked commits the given paths (drawing content from contents),
+// bumping the epoch once for the batch and journaling each committed
+// version. Caller holds s.mu and must fan the returned events out after
+// unlocking.
+func (s *Store) commitLocked(order []string, contents map[string]Document) []StoreEvent {
+	if len(order) == 0 {
+		return nil
+	}
+	s.epoch++
+	s.stats.Batches++
+	evs := make([]StoreEvent, 0, len(order))
+	for _, path := range order {
+		staged := contents[path]
+		d := s.docs[path]
+		if d.Version == 0 {
+			// A republication of a retired path resumes its version
+			// sequence so parked watchers still wake on it.
+			d.Version = s.retired[path]
+			delete(s.retired, path)
+		}
+		d.Content = staged.Content
+		d.ContentType = staged.ContentType
+		d.DescriptorVersion = staged.DescriptorVersion
+		d.Epoch = s.epoch
+		d.Version++
+		s.docs[path] = d
+		s.stats.Commits++
+		evs = append(evs, StoreEvent{Path: path, Doc: d})
+	}
+	s.journalLocked(evs)
+	close(s.changed)
+	s.changed = make(chan struct{})
+	return evs
+}
+
+// journalLocked appends the batch's events to the replay journal, evicting
+// the oldest entries past the capacity. Caller holds s.mu.
+func (s *Store) journalLocked(evs []StoreEvent) {
+	if s.histLen <= 0 {
+		s.floorEpoch = s.epoch
+		return
+	}
+	s.journal = append(s.journal, evs...)
+	s.trimJournalLocked()
+}
+
+// trimJournalLocked evicts journal entries past the capacity, advancing the
+// replay floor to the newest evicted epoch. Caller holds s.mu.
+func (s *Store) trimJournalLocked() {
+	over := len(s.journal) - s.histLen
+	if over <= 0 {
+		return
+	}
+	s.floorEpoch = s.journal[over-1].Doc.Epoch
+	copy(s.journal, s.journal[over:])
+	s.journal = s.journal[:s.histLen]
+}
+
+// Replay returns the committed versions of path with an epoch greater than
+// afterEpoch, oldest first — the delta a watcher that last saw afterEpoch
+// missed. It reports false when the journal no longer covers that range
+// (the entries were evicted, or the journal is disabled); the caller must
+// fall back to a full snapshot of the current document.
+func (s *Store) Replay(path string, afterEpoch uint64) ([]Document, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if afterEpoch < s.floorEpoch {
+		s.stats.ReplayMisses++
+		return nil, false
+	}
+	var docs []Document
+	for _, ev := range s.journal {
+		if ev.Path == path && ev.Doc.Epoch > afterEpoch {
+			docs = append(docs, ev.Doc)
+		}
+	}
+	s.stats.Replays++
+	return docs, true
+}
+
+// rearmLocked (re)schedules the flush timer for the earliest pending
+// deadline. Caller holds s.mu.
+func (s *Store) rearmLocked() {
+	var next time.Time
+	for _, p := range s.pendingOrder {
+		if dl := s.deadlines[p]; next.IsZero() || dl.Before(next) {
+			next = dl
+		}
+	}
+	if next.IsZero() {
+		if s.timer != nil {
+			s.timer.Stop()
+			s.timer = nil
+		}
+		s.timerOn = false
+		return
+	}
+	if s.timerOn && !s.timerAt.After(next) {
+		return // the armed timer fires early enough
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	d := next.Sub(s.clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	s.timerAt = next
+	s.timerOn = true
+	s.timer = s.clk.AfterFunc(d, s.onFlushTimer)
+}
+
+// dueLocked stages-out everything whose deadline has passed. Caller holds
+// s.mu.
+func (s *Store) dueLocked(now time.Time) (order []string, contents map[string]Document) {
+	contents = make(map[string]Document)
+	keep := s.pendingOrder[:0]
+	for _, p := range s.pendingOrder {
+		if s.deadlines[p].After(now) {
+			keep = append(keep, p)
+			continue
+		}
+		order = append(order, p)
+		contents[p] = s.pending[p]
+		delete(s.pending, p)
+		delete(s.deadlines, p)
+	}
+	s.pendingOrder = keep
+	return order, contents
+}
+
+// flushLocked stages-out and commits everything pending. Caller holds s.mu.
+func (s *Store) flushLocked() []StoreEvent {
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.timerOn = false
+	if len(s.pendingOrder) == 0 {
+		return nil
+	}
+	order, contents := s.pendingOrder, s.pending
+	s.pendingOrder = nil
+	s.pending = make(map[string]Document)
+	s.deadlines = make(map[string]time.Time)
+	return s.commitLocked(order, contents)
+}
+
+func (s *Store) onFlushTimer() {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	s.timerOn = false
+	s.timer = nil
+	var evs []StoreEvent
+	if !s.closed {
+		order, contents := s.dueLocked(s.clk.Now())
+		evs = s.commitLocked(order, contents)
+		s.rearmLocked() // paths with longer windows stay staged
+	}
+	fns := s.subscribersLocked()
+	s.mu.Unlock()
+	fanOut(evs, fns)
+}
+
+// Flush synchronously commits every staged publication — the forced-
+// publication path: after Flush returns, Get observes everything published
+// before the call.
+func (s *Store) Flush() {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	s.stats.Flushes++
+	var evs []StoreEvent
+	if !s.closed {
+		evs = s.flushLocked()
+	}
+	fns := s.subscribersLocked()
+	s.mu.Unlock()
+	fanOut(evs, fns)
+}
+
+// subscribersLocked snapshots the subscriber list. Caller holds s.mu.
+func (s *Store) subscribersLocked() []func(StoreEvent) {
+	if len(s.subs) == 0 {
+		return nil
+	}
+	fns := make([]func(StoreEvent), 0, len(s.subs))
+	for _, fn := range s.subs {
+		fns = append(fns, fn)
+	}
+	return fns
+}
+
+// fanOut delivers committed events to the snapshotted subscribers. Callers
+// hold deliverMu (acquired before the commit), which is what keeps
+// delivery in commit order across concurrent committers. Callbacks run on
+// the committing goroutine and must not call back into the store's
+// publish/flush paths.
+func fanOut(evs []StoreEvent, fns []func(StoreEvent)) {
+	for _, ev := range evs {
+		for _, fn := range fns {
+			fn(ev)
+		}
+	}
+}
+
+// Subscribe registers fn for every committed publication and returns a
+// cancel function. An event already being delivered when cancel returns may
+// still invoke fn once.
+func (s *Store) Subscribe(fn func(StoreEvent)) (cancel func()) {
+	s.mu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+// Remove implements Backing: retire a path when its server closes. The
+// committed document disappears (Get reports it unpublished), staged writes
+// and any per-path window override for it are dropped, and — because the
+// "first publication commits immediately" rule keys on committed presence —
+// a re-registered server's fresh documents commit synchronously instead of
+// sitting out a flush window behind the dead server's entries. The retired
+// version floor is kept so republication continues the sequence.
+func (s *Store) Remove(path string) {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.docs[path]; ok {
+		s.retired[path] = d.Version
+		delete(s.docs, path)
+	}
+	delete(s.pathWindows, path)
+	if _, staged := s.pending[path]; staged {
+		delete(s.pending, path)
+		delete(s.deadlines, path)
+		order := s.pendingOrder[:0]
+		for _, p := range s.pendingOrder {
+			if p != path {
+				order = append(order, p)
+			}
+		}
+		s.pendingOrder = order
+	}
+}
+
+// Get implements Backing: the committed document at path. Staged (not yet
+// flushed) content is not visible.
+func (s *Store) Get(path string) (Document, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.docs[path]
+	if !ok {
+		return Document{}, ErrNotFound
+	}
+	return d, nil
+}
+
+// Version implements Backing.
+func (s *Store) Version(path string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.docs[path].Version
+}
+
+// Paths implements Backing.
+func (s *Store) Paths() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := make([]string, 0, len(s.docs))
+	for p := range s.docs {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// Wait implements Backing: block until a version newer than after is
+// committed at path, ctx ends, or the store closes.
+func (s *Store) Wait(ctx context.Context, path string, after uint64) (Document, error) {
+	for {
+		s.mu.Lock()
+		d, ok := s.docs[path]
+		ch := s.changed
+		closed := s.closed
+		s.mu.Unlock()
+		if ok && d.Version > after {
+			return d, nil
+		}
+		if closed {
+			return Document{}, ErrStoreClosed
+		}
+		select {
+		case <-ctx.Done():
+			return Document{}, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Close flushes staged publications, wakes waiters, and stops the flush
+// timer. Subsequent publishes are dropped.
+func (s *Store) Close() {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	evs := s.flushLocked()
+	s.closed = true
+	close(s.changed)
+	s.changed = make(chan struct{})
+	fns := s.subscribersLocked()
+	s.mu.Unlock()
+	fanOut(evs, fns)
+}

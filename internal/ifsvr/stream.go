@@ -1,0 +1,303 @@
+package ifsvr
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The streaming watch transport.
+//
+// A long-poll watcher costs one HTTP request per watcher per commit; under
+// thousands of watchers the re-request storm dominates. The streaming
+// transport holds ONE connection per watcher: a GET with
+// "?watch=stream&after=N" is answered with a text/event-stream that first
+// replays every version committed after epoch N still in the store's
+// journal (catch-up without a document refetch), then carries one event per
+// live commit, with comment heartbeats while idle. When the journal no
+// longer covers the client's epoch, the stream opens with one full-snapshot
+// event instead — the bounded fallback. Both transports sit on the same
+// store-side subscription code (Backing.Wait), so the liveness rules live
+// in exactly one place.
+
+// StreamContentType is the MIME type of the streaming watch response.
+const StreamContentType = "text/event-stream"
+
+// DefaultHeartbeat is how often an idle stream carries a liveness comment.
+const DefaultHeartbeat = 15 * time.Second
+
+// ErrStreamUnsupported reports a server that answered a streaming watch
+// with something other than an event stream — an older server that only
+// speaks the long-poll protocol. Callers degrade to WatchNewer.
+var ErrStreamUnsupported = errors.New("ifsvr: server does not support the streaming watch transport")
+
+// Journal is the optional Backing capability the streaming transport's
+// catch-up rides on; Store implements it. Without it every (re)connect
+// falls back to a full snapshot event.
+type Journal interface {
+	// Replay returns the committed versions of path with an epoch greater
+	// than afterEpoch, oldest first, reporting false when the journal no
+	// longer covers that range.
+	Replay(path string, afterEpoch uint64) ([]Document, bool)
+	// Epoch returns the current commit epoch.
+	Epoch() uint64
+}
+
+// StreamEvent is one event of a streaming watch, as seen by the client.
+type StreamEvent struct {
+	// Doc is the committed (or snapshotted) document.
+	Doc Document
+	// Replayed marks a version served from the store journal during
+	// (re)connect catch-up rather than live fan-out.
+	Replayed bool
+	// Snapshot marks the full-document fallback: the journal no longer
+	// covered the client's epoch, so this is the current document, not a
+	// step of the committed history.
+	Snapshot bool
+}
+
+// streamWire is the JSON payload of one SSE data line.
+type streamWire struct {
+	Path              string `json:"path"`
+	Version           uint64 `json:"version"`
+	DescriptorVersion uint64 `json:"descriptor_version"`
+	Epoch             uint64 `json:"epoch"`
+	ContentType       string `json:"content_type,omitempty"`
+	Content           string `json:"content,omitempty"`
+}
+
+// heartbeat resolves the server's idle-stream comment interval.
+func (s *Server) heartbeat() time.Duration {
+	if s.HeartbeatInterval > 0 {
+		return s.HeartbeatInterval
+	}
+	return DefaultHeartbeat
+}
+
+// serveStream answers "?watch=stream&after=N": an SSE stream of committed
+// versions of the requested path — journal replay past epoch N (or one
+// snapshot event when the journal fell behind), then live commits, with
+// comment heartbeats while idle. The connection is held until the client
+// goes away or the store closes.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Values) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
+	h := w.Header()
+	h.Set("Content-Type", StreamContentType)
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // do not let proxies buffer the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	st := s.backing()
+	j, hasJournal := st.(Journal)
+	path := r.URL.Path
+
+	emit := func(event string, d Document) bool {
+		data, err := json.Marshal(streamWire{
+			Path:              path,
+			Version:           d.Version,
+			DescriptorVersion: d.DescriptorVersion,
+			Epoch:             d.Epoch,
+			ContentType:       d.ContentType,
+			Content:           d.Content,
+		})
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", d.Epoch, event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	// Catch-up: replay the journal past the client's epoch, or fall back to
+	// one snapshot of the current document. lastVer/lastEpoch are the
+	// stream's cursors; every later emit must strictly advance lastVer.
+	var lastVer, lastEpoch uint64
+	lastEpoch = after
+	cur, curErr := st.Get(path)
+	switch {
+	case curErr == nil && cur.Epoch <= after:
+		// The client is already current; open quietly and wait for commits.
+		lastVer, lastEpoch = cur.Version, cur.Epoch
+	case curErr == nil:
+		docs, ok := replay(j, hasJournal, path, after)
+		if !ok {
+			if !emit("snapshot", cur) {
+				return
+			}
+			lastVer, lastEpoch = cur.Version, cur.Epoch
+			break
+		}
+		for _, d := range docs {
+			if d.Version <= lastVer && lastVer != 0 {
+				continue
+			}
+			if !emit("replay", d) {
+				return
+			}
+			lastVer, lastEpoch = d.Version, d.Epoch
+		}
+	default:
+		// Not (yet) published: hold the stream open; the first publication
+		// arrives as a live event. lastVer stays 0 so Wait catches it.
+	}
+
+	// Live fan-out: park on the store's subscription code (the same Wait
+	// the long-poll uses), bounded per round by the heartbeat interval so
+	// idle streams still prove liveness.
+	hb := s.heartbeat()
+	for {
+		wctx, cancel := context.WithTimeout(r.Context(), hb)
+		d, err := st.Wait(wctx, path, lastVer)
+		cancel()
+		switch {
+		case err == nil:
+			// One or more commits landed. The common case — the next
+			// version in sequence — is emitted directly; only a real gap
+			// (a coalescing store can commit several versions between two
+			// wakes of a slow writer) pays the journal scan, and a gap the
+			// journal no longer covers degrades to the newest version.
+			if d.Version > lastVer+1 && lastVer > 0 {
+				if docs, ok := replay(j, hasJournal, path, lastEpoch); ok {
+					for _, rd := range docs {
+						if rd.Version <= lastVer {
+							continue
+						}
+						if !emit("version", rd) {
+							return
+						}
+						lastVer, lastEpoch = rd.Version, rd.Epoch
+					}
+					continue
+				}
+			}
+			if d.Version <= lastVer {
+				continue
+			}
+			if !emit("version", d) {
+				return
+			}
+			lastVer, lastEpoch = d.Version, d.Epoch
+		case r.Context().Err() != nil:
+			return // client went away
+		case errors.Is(err, context.DeadlineExceeded):
+			if _, werr := io.WriteString(w, ": hb\n\n"); werr != nil {
+				return
+			}
+			fl.Flush()
+		default:
+			return // store closed
+		}
+	}
+}
+
+// replay narrows the two-value Replay call behind the capability check.
+func replay(j Journal, has bool, path string, after uint64) ([]Document, bool) {
+	if !has {
+		return nil, false
+	}
+	return j.Replay(path, after)
+}
+
+// WatchStream performs one streaming watch against url: it connects with
+// "?watch=stream&after=N" (N an epoch, typically the Epoch of the last
+// document the caller saw) and invokes fn for every event — replayed
+// history first, then live commits — until ctx ends or the connection
+// breaks, which is reported as an error so the caller can reconnect with
+// its last seen epoch and ride the replay. A server that does not speak the
+// streaming transport is reported as ErrStreamUnsupported; callers degrade
+// to WatchNewer.
+func WatchStream(ctx context.Context, client *http.Client, url string, afterEpoch uint64, fn func(StreamEvent)) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	sep := "?"
+	if strings.ContainsRune(url, '?') {
+		sep = "&"
+	}
+	// The timeout parameter is ignored by streaming servers but makes an
+	// older, long-poll-only server answer the probe quickly instead of
+	// parking it for a full poll window.
+	streamURL := url + sep + "watch=stream&after=" + strconv.FormatUint(afterEpoch, 10) + "&timeout=1s"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, streamURL, nil)
+	if err != nil {
+		return fmt.Errorf("ifsvr: building stream request for %s: %w", url, err)
+	}
+	req.Header.Set("Accept", StreamContentType)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("ifsvr: streaming %s: %w", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	ct := resp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if resp.StatusCode != http.StatusOK || !strings.EqualFold(strings.TrimSpace(ct), StreamContentType) {
+		return fmt.Errorf("%w (%s answered HTTP %d %s)", ErrStreamUnsupported, url, resp.StatusCode, ct)
+	}
+	return readStream(ctx, resp.Body, fn)
+}
+
+// readStream parses the SSE framing: "field: value" lines accumulate into
+// an event dispatched at each blank line; comment lines (heartbeats) are
+// skipped. It returns when the stream ends (an error — streams are held
+// forever by a healthy server) or ctx is done.
+func readStream(ctx context.Context, body io.Reader, fn func(StreamEvent)) error {
+	br := bufio.NewReader(body)
+	var event, data string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if ctx.Err() != nil {
+				return fmt.Errorf("ifsvr: stream ended: %w", ctx.Err())
+			}
+			return fmt.Errorf("ifsvr: stream broke: %w", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if data != "" {
+				var wire streamWire
+				if jerr := json.Unmarshal([]byte(data), &wire); jerr == nil {
+					fn(StreamEvent{
+						Doc: Document{
+							Content:           wire.Content,
+							Version:           wire.Version,
+							DescriptorVersion: wire.DescriptorVersion,
+							Epoch:             wire.Epoch,
+							ContentType:       wire.ContentType,
+						},
+						Replayed: event == "replay",
+						Snapshot: event == "snapshot",
+					})
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"):
+			// Comment — the server's heartbeat.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[len("data:"):])
+		}
+	}
+}

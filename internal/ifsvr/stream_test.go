@@ -1,0 +1,358 @@
+package ifsvr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startStreamServer publishes an initial version and starts the HTTP view
+// over a fresh store, returning the store, the document URL, and a cleanup.
+func startStreamServer(t *testing.T, window time.Duration) (*Store, string) {
+	t.Helper()
+	st := NewStore(window, nil)
+	srv := NewView(st)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		st.Close()
+		_ = srv.Close()
+	})
+	return st, base + "/wsdl/S.wsdl"
+}
+
+// TestStreamDeliversEveryCommittedVersion: a stream opened at epoch 0
+// carries every committed version in order, live.
+func TestStreamDeliversEveryCommittedVersion(t *testing.T) {
+	st, url := startStreamServer(t, 0)
+	st.PublishVersioned("/wsdl/S.wsdl", "text/xml", "<v1/>", 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	var got []uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = WatchStream(ctx, nil, url, 0, func(ev StreamEvent) {
+			mu.Lock()
+			got = append(got, ev.Doc.Version)
+			if len(got) == 5 {
+				cancel()
+			}
+			mu.Unlock()
+		})
+	}()
+
+	for i := 2; i <= 5; i++ {
+		st.PublishVersioned("/wsdl/S.wsdl", "text/xml", fmt.Sprintf("<v%d/>", i), uint64(i))
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not deliver all versions")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("versions = %v, want 1..5 in order", got)
+		}
+	}
+}
+
+// TestStreamStormReconnectNoMissNoDup is the acceptance scenario: a client
+// disconnects in the middle of a 100-edit storm and reconnects with
+// after=<last seen epoch>; journal replay hands it exactly the versions it
+// missed — none skipped, none duplicated. Run under -race.
+func TestStreamStormReconnectNoMissNoDup(t *testing.T) {
+	st, url := startStreamServer(t, 0)
+	st.PublishVersioned("/wsdl/S.wsdl", "text/xml", "<v1/>", 1)
+
+	const storm = 100
+	finalVersion := uint64(1 + storm)
+
+	var mu sync.Mutex
+	var versions []uint64
+	var lastEpoch uint64
+	var sawReplay bool
+	record := func(ev StreamEvent) {
+		mu.Lock()
+		versions = append(versions, ev.Doc.Version)
+		lastEpoch = ev.Doc.Epoch
+		sawReplay = sawReplay || ev.Replayed
+		if ev.Snapshot {
+			t.Error("replay within journal coverage must not fall back to a snapshot")
+		}
+		mu.Unlock()
+	}
+
+	// First connection: collect some of the storm, then "drop".
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		_ = WatchStream(ctx1, nil, url, 0, record)
+	}()
+
+	// The storm, concurrent with the watcher.
+	stormDone := make(chan struct{})
+	go func() {
+		defer close(stormDone)
+		for i := 1; i <= storm; i++ {
+			st.PublishVersioned("/wsdl/S.wsdl", "text/xml", fmt.Sprintf("<e%d/>", i), uint64(i))
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Disconnect mid-storm: once a few events arrived, kill the stream.
+	for {
+		mu.Lock()
+		n := len(versions)
+		mu.Unlock()
+		if n >= 10 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel1()
+	<-firstDone
+
+	// Reconnect with the last seen epoch; replay must close the gap.
+	mu.Lock()
+	after := lastEpoch
+	mu.Unlock()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	secondDone := make(chan struct{})
+	go func() {
+		defer close(secondDone)
+		_ = WatchStream(ctx2, nil, url, after, func(ev StreamEvent) {
+			record(ev)
+			if ev.Doc.Version >= finalVersion {
+				cancel2()
+			}
+		})
+	}()
+	<-stormDone
+	select {
+	case <-secondDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("reconnected stream did not converge on the final version")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if !sawReplay {
+		t.Error("reconnect during the storm should have been served from journal replay")
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range versions {
+		if seen[v] {
+			t.Fatalf("version %d delivered twice (versions: %v)", v, versions)
+		}
+		seen[v] = true
+	}
+	for v := uint64(1); v <= finalVersion; v++ {
+		if !seen[v] {
+			t.Fatalf("version %d was never delivered (got %d of %d)", v, len(versions), finalVersion)
+		}
+	}
+}
+
+// TestStreamReplayFallsBackToSnapshot: when the journal has evicted the
+// client's epoch, the reconnect opens with one full-snapshot event of the
+// current document instead of a (gappy) replay.
+func TestStreamReplayFallsBackToSnapshot(t *testing.T) {
+	st, url := startStreamServer(t, 0)
+	st.SetHistoryLen(8)
+	for i := 1; i <= 50; i++ {
+		st.PublishVersioned("/wsdl/S.wsdl", "text/xml", fmt.Sprintf("<v%d/>", i), uint64(i))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan StreamEvent, 16)
+	go func() {
+		_ = WatchStream(ctx, nil, url, 1, func(ev StreamEvent) {
+			select {
+			case events <- ev:
+			default:
+			}
+		})
+	}()
+	select {
+	case ev := <-events:
+		if !ev.Snapshot {
+			t.Fatalf("first event after eviction = %+v, want a snapshot", ev)
+		}
+		if ev.Doc.Version != 50 || ev.Doc.Content != "<v50/>" {
+			t.Errorf("snapshot doc = %+v, want the current version 50", ev.Doc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no snapshot event arrived")
+	}
+
+	// The stream stays live past the snapshot.
+	st.PublishVersioned("/wsdl/S.wsdl", "text/xml", "<v51/>", 51)
+	select {
+	case ev := <-events:
+		if ev.Doc.Version != 51 || ev.Snapshot || ev.Replayed {
+			t.Errorf("post-snapshot live event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream went dead after the snapshot")
+	}
+}
+
+// TestStreamChurnUnderEvictingJournal hammers connect/disconnect,
+// store-subscriber churn, and publications against a journal small enough
+// to evict continuously — every client must still observe strictly
+// increasing versions (replays and snapshots included). Run under -race.
+func TestStreamChurnUnderEvictingJournal(t *testing.T) {
+	st, url := startStreamServer(t, time.Millisecond)
+	st.SetHistoryLen(4)
+	st.PublishVersioned("/wsdl/S.wsdl", "text/xml", "<v1/>", 1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Publisher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 2; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.PublishVersioned("/wsdl/S.wsdl", "text/xml", fmt.Sprintf("<v%d/>", i), uint64(i))
+			if i%13 == 0 {
+				st.Flush()
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Store-subscriber churn alongside the streams.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cancel := st.Subscribe(func(StoreEvent) {})
+			time.Sleep(time.Millisecond)
+			cancel()
+		}
+	}()
+
+	// Churning stream clients: each connection lives ~10ms, then reconnects
+	// with its last seen epoch. Versions must never move backwards —
+	// whether delivered live, replayed, or (after journal eviction) as the
+	// snapshot fallback.
+	var monotone atomic.Bool
+	monotone.Store(true)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeen, lastEpoch uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				_ = WatchStream(ctx, nil, url, lastEpoch, func(ev StreamEvent) {
+					if ev.Doc.Version < lastSeen {
+						monotone.Store(false)
+					}
+					lastSeen = ev.Doc.Version
+					lastEpoch = ev.Doc.Epoch
+				})
+				cancel()
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if !monotone.Load() {
+		t.Error("a stream client observed a version regression across reconnects")
+	}
+}
+
+// TestStreamAgainstLongPollOnlyServer: a server that only speaks the
+// long-poll protocol is detected and reported as ErrStreamUnsupported.
+func TestStreamAgainstLongPollOnlyServer(t *testing.T) {
+	// Simulate an old server: a handler that answers every watch as a
+	// long-poll 200 with the raw document.
+	old := http.NewServeMux()
+	old.HandleFunc("/doc", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml")
+		w.Header().Set(VersionHeader, "3")
+		_, _ = w.Write([]byte("<doc/>"))
+	})
+	srv := &http.Server{Handler: old}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer func() { _ = srv.Close() }()
+
+	err = WatchStream(context.Background(), nil, "http://"+ln.Addr().String()+"/doc", 0, func(StreamEvent) {
+		t.Error("no events expected from a non-streaming server")
+	})
+	if !errors.Is(err, ErrStreamUnsupported) {
+		t.Fatalf("err = %v, want ErrStreamUnsupported", err)
+	}
+}
+
+// TestPerPathFlushWindows: a path with its own window coalesces on that
+// window while sibling paths follow the store default.
+func TestPerPathFlushWindows(t *testing.T) {
+	st := NewStore(0, nil) // store-wide: immediate commits
+	defer st.Close()
+	st.SetPathWindow("/hot", 30*time.Millisecond)
+
+	st.Publish("/hot", "text/plain", "h0") // first publication: immediate
+	st.Publish("/cold", "text/plain", "c0")
+
+	// A burst against each: the cold path commits every write, the hot
+	// path coalesces into one trailing commit.
+	for i := 1; i <= 10; i++ {
+		st.Publish("/hot", "text/plain", fmt.Sprintf("h%d", i))
+		st.Publish("/cold", "text/plain", fmt.Sprintf("c%d", i))
+	}
+	if v := st.Version("/cold"); v != 11 {
+		t.Errorf("cold path version = %d, want 11 (no coalescing)", v)
+	}
+	if v := st.Version("/hot"); v != 1 {
+		t.Errorf("hot path version = %d, want 1 (burst staged)", v)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Version("/hot") != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d, err := st.Get("/hot")
+	if err != nil || d.Version != 2 || d.Content != "h10" {
+		t.Fatalf("hot path after window: %+v, %v (want one committed version with the last content)", d, err)
+	}
+}

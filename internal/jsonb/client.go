@@ -136,7 +136,7 @@ func (b *backend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, cde.DocV
 	b.mu.Lock()
 	b.caller = &Caller{Endpoint: endpoint, HTTPClient: b.httpClient}
 	b.mu.Unlock()
-	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion}, nil
+	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
 }
 
 // FetchInterface implements cde.Backend: fetch the JSON interface document
@@ -158,6 +158,18 @@ func (b *backend) WatchInterface(ctx context.Context, after uint64) (dyn.Interfa
 		return dyn.InterfaceDescriptor{}, cde.DocVersions{}, err
 	}
 	return b.compile(doc)
+}
+
+// StreamInterface implements cde.StreamingBackend over the Interface
+// Server's SSE watch transport, again with no extra server-side code.
+func (b *backend) StreamInterface(ctx context.Context, afterEpoch uint64, deliver func(cde.InterfaceEvent)) error {
+	return b.docs.Stream(ctx, afterEpoch, func(ev ifsvr.StreamEvent) {
+		desc, vers, err := b.compile(ev.Doc)
+		if err != nil {
+			return // a malformed intermediate version; the next event supersedes it
+		}
+		deliver(cde.InterfaceEvent{Desc: desc, Versions: vers, Replayed: ev.Replayed, Snapshot: ev.Snapshot})
+	})
 }
 
 // Invoke implements cde.Backend.

@@ -17,11 +17,14 @@
 //     turns the client's interface view into a push-invalidated cache —
 //     with a debugger supporting 'try again';
 //   - an event-driven publication core: every binding publishes through a
-//     versioned, epoch-numbered document store with subscriber fan-out and
-//     edit-storm coalescing (Config.FlushWindow), read by the Interface
-//     Server and watchable over HTTP long-poll; plus ReExport, the live
-//     binding-agnostic bridge (serve any registered binding's class over
-//     any other);
+//     versioned, epoch-numbered document store with subscriber fan-out,
+//     edit-storm coalescing (Config.FlushWindow, per-path overrides via
+//     WithPathFlushWindow), and a bounded replay journal
+//     (Config.HistoryLen), read by the Interface Server and watchable over
+//     two HTTP transports — streaming (SSE, one held connection per
+//     watcher, journal-replay catch-up on reconnect) and long-poll; plus
+//     ReExport, the live binding-agnostic bridge (serve any registered
+//     binding's class over any other);
 //   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
 //     DII/DSI ORBs) protocol stacks, built on the standard library only,
 //     plus a JSON/HTTP binding implemented purely against the public
@@ -117,7 +120,16 @@ type (
 	DLPublisher = core.DLPublisher
 	// PublisherStats counts publisher activity.
 	PublisherStats = core.PublisherStats
+	// PublishOption configures one Manager.PublishInterface call.
+	PublishOption = core.PublishOption
 )
+
+// WithPathFlushWindow overrides the store-wide coalescing window for one
+// published document: hot classes can coalesce harder than cold ones. Pass
+// it to Manager.PublishInterface / StartPublication.
+func WithPathFlushWindow(d time.Duration) PublishOption {
+	return core.WithPathFlushWindow(d)
+}
 
 // CDE types.
 type (
@@ -171,15 +183,16 @@ type (
 // implements cde.WatchableBackend — one extra method, WatchInterface(ctx,
 // after), blocking until the published document is newer than `after` and
 // returning the compiled view — becomes usable with WithWatch: clients get
-// push-invalidated interface caches instead of per-call refetches. Server
-// halves that publish through Manager.PublishInterface get the matching
-// long-poll watch endpoint ("?watch=1&after=N" on the document URL) for
-// free, because the Interface Server is a read view over the manager's
-// publication store; the usual implementation of WatchInterface is
-// therefore one call to ifsvr.WatchNewer plus the binding's document
-// compiler (see internal/jsonb for the three-line version). Bindings
-// without the capability still work everywhere except WithWatch, which
-// fails loudly at Dial time.
+// push-invalidated interface caches instead of per-call refetches. Adding
+// cde.StreamingBackend (StreamInterface, usually one call to
+// DocSource.Stream plus the binding's document compiler) upgrades the
+// watcher to the streaming transport. Server halves that publish through
+// Manager.PublishInterface get both watch endpoints ("?watch=1&after=N"
+// long-poll and "?watch=stream&after=N" SSE on the document URL) for free,
+// because the Interface Server is a read view over the manager's journaled
+// publication store (see internal/jsonb for the few-line version of both
+// client methods). Bindings without the capability still work everywhere
+// except WithWatch, which fails loudly at Dial time.
 //
 // internal/jsonb implements the full contract in ~400 lines and is wired
 // up purely through RegisterBinding.
@@ -263,13 +276,21 @@ func WithBinding(name string) Option {
 }
 
 // WithWatch subscribes the client to push-based interface updates: a
-// watcher long-polls the published interface document (the Interface
-// Server's "?watch=1&after=N" protocol) and installs each new version into
-// the client's view as it is committed. A stale call is then resolved from
-// this push-invalidated cache — the reactive refresh of Section 6 without a
-// per-call document refetch. Dial fails if the chosen binding's backend
-// does not implement the optional watch capability (cde.WatchableBackend);
-// all three built-in bindings do.
+// watcher follows the published interface document and installs each new
+// version into the client's view as it is committed. A stale call is then
+// resolved from this push-invalidated cache — the reactive refresh of
+// Section 6 without a per-call document refetch.
+//
+// The watcher picks its transport automatically: it prefers the Interface
+// Server's streaming watch ("?watch=stream&after=N", one held SSE
+// connection per client; a broken connection reconnects with the last seen
+// store epoch and is caught up from the server's journal replay instead of
+// refetching) and degrades to the long-poll protocol ("?watch=1&after=N")
+// against servers without the streaming endpoint. ClientStats
+// (StreamEvents, Reconnects, Replays vs Refreshes) makes the chosen path
+// observable. Dial fails if the chosen binding's backend does not implement
+// the optional watch capability (cde.WatchableBackend); all three built-in
+// bindings implement the streaming flavor (cde.StreamingBackend).
 func WithWatch() Option {
 	return func(o *DialOptions) { o.Watch = true }
 }

@@ -307,3 +307,47 @@ func TestIIOPPoolEvictsBrokenConnection(t *testing.T) {
 	}
 	_ = c1.Close()
 }
+
+// TestWatchRidesStreamTransportAllBindings pins the transport choice: a
+// WithWatch client against our own servers holds one SSE stream (per-commit
+// events, zero refetches) on every registered binding — the long-poll path
+// remains only a fallback for servers without the streaming endpoint.
+func TestWatchRidesStreamTransportAllBindings(t *testing.T) {
+	livedev.RegisterBinding(livedev.JSONBinding())
+	for _, tech := range []livedev.Technology{livedev.TechSOAP, livedev.TechCORBA, livedev.Technology("JSON")} {
+		t.Run(string(tech), func(t *testing.T) {
+			srv, class := startEchoServer(t, tech, livedev.Config{Timeout: time.Millisecond})
+			ctx := context.Background()
+			client, err := livedev.Dial(ctx, srv.InterfaceURL(), livedev.WithWatch())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() { _ = client.Close() }()
+
+			id, _ := class.MethodIDByName("echo")
+			if err := class.RenameMethod(id, "echoed"); err != nil {
+				t.Fatal(err)
+			}
+			srv.Publisher().PublishNow()
+			srv.Publisher().WaitIdle()
+
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if _, ok := client.Interface().Lookup("echoed"); ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("watch client did not converge on the edit")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			st := client.Stats()
+			if st.StreamEvents == 0 {
+				t.Errorf("stats = %+v: the update should have arrived over the streaming transport", st)
+			}
+			if st.Refreshes != 1 {
+				t.Errorf("stats = %+v: only the initial fetch should have hit the document endpoint", st)
+			}
+		})
+	}
+}
