@@ -138,8 +138,12 @@ func streamFollow(ctx context.Context, url string, doc ifsvr.Document, raw bool,
 }
 
 func printDoc(doc ifsvr.Document, raw bool, print func(ifsvr.Document) error) error {
-	fmt.Printf("document version %d (descriptor version %d, store epoch %d)\n",
-		doc.Version, doc.DescriptorVersion, doc.Epoch)
+	gen := ""
+	if doc.Generation != 0 {
+		gen = fmt.Sprintf(", generation %d", doc.Generation)
+	}
+	fmt.Printf("document version %d (descriptor version %d, store epoch %d%s)\n",
+		doc.Version, doc.DescriptorVersion, doc.Epoch, gen)
 	if raw {
 		fmt.Println(doc.Content)
 	}

@@ -17,7 +17,12 @@
 //
 //	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
 //	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
-//	          [-json PATH]
+//	          [-restart] [-restart-watchers N] [-json PATH]
+//
+// With -restart it also measures the durable store's restart-reconnect
+// latency: N streaming watchers ride an Interface Server restart over a
+// data dir, timed until every watcher is caught up — once recovered via
+// journal replay and once degraded to the snapshot stampede.
 package main
 
 import (
@@ -63,6 +68,8 @@ func run() int {
 	fanoutSizes := flag.String("fanout-watchers", "1,100,1000", "comma-separated watcher counts for the fan-out rows (empty disables)")
 	fanoutEdits := flag.Int("fanout-edits", 5, "edit rounds per fan-out configuration")
 	fanoutPoll := flag.Duration("fanout-poll", 25*time.Millisecond, "polling transport's interval for the fan-out rows")
+	restart := flag.Bool("restart", false, "also measure restart-reconnect latency (durable store; replay vs snapshot recovery)")
+	restartWatchers := flag.Int("restart-watchers", 1000, "watcher count for the restart-reconnect rows")
 	flag.Parse()
 
 	rows, err := experiments.RunTable1(experiments.Table1Config{
@@ -102,6 +109,22 @@ func run() int {
 		}
 		fmt.Println()
 		fmt.Print(experiments.FormatFanout(fanoutRows))
+	}
+
+	if *restart {
+		restartRows, err := experiments.RunRestartReconnect(experiments.RestartConfig{
+			Watchers: *restartWatchers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatFanout(restartRows))
+		// The restart rows share the fan-out row shape and land in the
+		// same artifact section (restart→all-caught-up latency instead of
+		// edit→all-notified).
+		fanoutRows = append(fanoutRows, restartRows...)
 	}
 
 	if *jsonPath != "" {

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-live] [-duration D]
+//	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-data-dir DIR]
+//	           [-live] [-duration D]
+//
+// With -data-dir the publication store is durable (snapshot + WAL): a
+// restarted sde-server resumes its epoch sequence, so watch clients ride
+// journal replay across the restart instead of refetching snapshots.
 package main
 
 import (
@@ -35,6 +40,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "publication stability timeout (Section 5.6)")
 	flushWindow := flag.Duration("flush-window", 0, "publication-store coalescing window (0 = commit immediately)")
 	historyLen := flag.Int("history-len", 0, "publication-store replay journal capacity (0 = default, negative disables)")
+	dataDir := flag.String("data-dir", "", "durable publication-store directory (snapshot + WAL; empty = in-memory)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	flag.Parse()
@@ -49,6 +55,7 @@ func run() int {
 		Timeout:       *timeout,
 		FlushWindow:   *flushWindow,
 		HistoryLen:    *historyLen,
+		DataDir:       *dataDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)
@@ -146,6 +153,10 @@ func run() int {
 	}
 
 	fmt.Println("SDE server running")
+	if *dataDir != "" {
+		fmt.Printf("  data dir: %s (store generation %d, epoch %d)\n",
+			*dataDir, mgr.Store().Generation(), mgr.Store().Epoch())
+	}
 	fmt.Println("  WSDL:", soapSrv.InterfaceURL())
 	fmt.Println("  SOAP endpoint:", soapSrv.(*core.SOAPServer).Endpoint())
 	fmt.Println("  IDL: ", cs.InterfaceURL())

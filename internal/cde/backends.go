@@ -122,7 +122,7 @@ func (b *soapBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocV
 		HTTPClient: b.httpClient,
 	}
 	b.mu.Unlock()
-	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
+	return parsed.Descriptor(), DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch, Generation: doc.Generation}, nil
 }
 
 // FetchInterface implements Backend: fetch the WSDL and compile it.
@@ -197,12 +197,19 @@ type corbaBackend struct {
 	conn    *orb.ClientORB
 	release func() error // returns the pooled connection
 	iface   string       // interface name from the IOR type id
+	// lastGeneration is the store restart generation of the last compiled
+	// IDL document. A change means the Interface Server process restarted
+	// — whether or not it recovered its durable state, the old ORB socket
+	// died with it — which triggers the pool probe below.
+	lastGeneration uint64
 	// lastDescriptor is the descriptor version of the last compiled IDL
-	// document. A watch update whose descriptor version went backwards
-	// means the server process restarted (a fresh class restarts its edit
-	// counter while the document version resumes its sequence) — the
-	// generation-change signal that triggers a pool probe, so the next
-	// call does not burn a round-trip on the dead socket.
+	// document — the legacy restart heuristic: against stores predating
+	// the generation header (Generation 0), and for a class server
+	// redeployed under a still-running store, a descriptor version moving
+	// backwards means the server restarted (a fresh class restarts its
+	// edit counter while the document version resumes its sequence), so
+	// the pooled connection is probed and, if dead, evicted — the next
+	// call must not burn a round-trip on the dead socket.
 	lastDescriptor uint64
 }
 
@@ -270,10 +277,11 @@ func (b *corbaBackend) connect(ctx context.Context) error {
 }
 
 // compile turns a fetched (or pushed) IDL document into the descriptor.
-// A descriptor version that moves backwards across compilations is the
-// server-restart (generation change) signal: the pooled IIOP connection is
-// probed and, if dead, evicted immediately instead of on the next failing
-// call.
+// A restart-generation change across compilations — or, against servers
+// predating the generation header and for class redeployments under a
+// still-running store, a descriptor version moving backwards — is the
+// server-restart signal: the pooled IIOP connection is probed and, if
+// dead, evicted immediately instead of on the next failing call.
 func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, DocVersions, error) {
 	parsed, err := idl.Parse(doc.Content)
 	if err != nil {
@@ -281,11 +289,13 @@ func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, Doc
 	}
 	b.mu.Lock()
 	name := b.iface
-	restarted := doc.DescriptorVersion < b.lastDescriptor
+	restarted := doc.DescriptorVersion < b.lastDescriptor ||
+		(doc.Generation != 0 && b.lastGeneration != 0 && doc.Generation != b.lastGeneration)
 	b.mu.Unlock()
 	if restarted {
 		// Probe before anything can fail below: the signal must not be lost
-		// to an unresolvable intermediate document.
+		// to an unresolvable intermediate document. A false alarm costs
+		// nothing — a live connection survives the probe.
 		b.evictRestartedConn()
 	}
 	desc, err := idl.Resolve(parsed, name)
@@ -294,8 +304,9 @@ func (b *corbaBackend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, Doc
 	}
 	b.mu.Lock()
 	b.lastDescriptor = doc.DescriptorVersion
+	b.lastGeneration = doc.Generation
 	b.mu.Unlock()
-	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
+	return desc, DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch, Generation: doc.Generation}, nil
 }
 
 // evictRestartedConn probes the backend's pooled IIOP connection after a

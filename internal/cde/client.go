@@ -125,6 +125,12 @@ type DocVersions struct {
 	// Epoch is the publication store's commit epoch for the document — the
 	// cursor a streaming watch reconnects with.
 	Epoch uint64
+	// Generation is the serving store's restart generation (0 against
+	// servers predating it). A generation change with an epoch regression
+	// is the restart signal: the new server incarnation did not recover
+	// the old one's state, so cursors must reset instead of parking on
+	// epochs that will not come back.
+	Generation uint64
 }
 
 // ClientStats counts client activity.
@@ -150,6 +156,13 @@ type ClientStats struct {
 	// a streaming-watch (re)connect — catch-up that cost no document fetch
 	// (Refreshes does not move).
 	Replays uint64
+	// Restarts counts server restarts the watcher detected and recovered
+	// from: a generation change whose epoch regressed below the client's
+	// cursor (the new incarnation did not recover the old state), forcing
+	// a view reset. A restarted server that did recover its state (same
+	// data dir) is NOT a restart here — the watcher rides journal replay
+	// and only Reconnects moves.
+	Restarts uint64
 }
 
 // Client is a live CDE client bound to one server.
@@ -253,7 +266,7 @@ func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
 	for {
 		after := c.Versions().Epoch
 		err := sb.StreamInterface(ctx, after, func(ev InterfaceEvent) {
-			installed := c.installView(ev.Desc, ev.Versions, true)
+			installed := c.installView(ev.Desc, ev.Versions, true, c.noteRestart(ev.Versions))
 			c.mu.Lock()
 			c.stats.StreamEvents++
 			if ev.Replayed && installed {
@@ -299,8 +312,34 @@ func (c *Client) runPollWatch(ctx context.Context, wb WatchableBackend) {
 			}
 			continue
 		}
-		c.installView(desc, vers, true)
+		c.installView(desc, vers, true, c.noteRestart(vers))
 	}
+}
+
+// noteRestart reports whether a watched view belongs to a new server
+// incarnation that did not recover the previous one's state — a restart-
+// generation change whose epoch OR document version regressed below the
+// client's cursors. That combination forces the view past the
+// no-backwards rule. The document-version check matters when the new
+// incarnation's store-wide epoch has already overtaken the client's
+// (path-scoped) epoch cursor: per-incarnation document versions are
+// monotone per path, so a regressed version under a new generation is
+// still proof of state loss. A generation change with both cursors
+// intact is a durable server restart the watcher rides via journal
+// replay, and a snapshot on an unchanged generation is merely a journal
+// eviction — neither forces anything.
+func (c *Client) noteRestart(vers DocVersions) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if vers.Generation == 0 || c.versions.Generation == 0 ||
+		vers.Generation == c.versions.Generation {
+		return false
+	}
+	if vers.Epoch >= c.versions.Epoch && vers.Doc >= c.versions.Doc {
+		return false
+	}
+	c.stats.Restarts++
+	return true
 }
 
 // watchRetryDelay paces watch resubscription after a transient failure.
@@ -336,14 +375,16 @@ func (c *Client) AddViewListener(fn func()) (remove func()) {
 
 // installView installs a fetched or pushed interface view. The view never
 // moves backwards: an older document than the current view is dropped (its
-// fetch is still counted). It reports whether the view was installed.
-func (c *Client) installView(desc dyn.InterfaceDescriptor, vers DocVersions, fromWatch bool) bool {
+// fetch is still counted) — unless force is set, the restart path, where
+// the regressed view is the new server's truth. It reports whether the
+// view was installed.
+func (c *Client) installView(desc dyn.InterfaceDescriptor, vers DocVersions, fromWatch, force bool) bool {
 	c.mu.Lock()
 	if !fromWatch {
 		// A fetch happened whether or not its result wins the race below.
 		c.stats.Refreshes++
 	}
-	if vers.Doc < c.versions.Doc {
+	if vers.Doc < c.versions.Doc && !force {
 		c.mu.Unlock()
 		return false
 	}
@@ -406,7 +447,7 @@ func (c *Client) RefreshContext(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	c.installView(desc, vers, false)
+	c.installView(desc, vers, false, c.noteRestart(vers))
 	return nil
 }
 

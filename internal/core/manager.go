@@ -93,6 +93,15 @@ type Config struct {
 	// disables the journal, so every stream (re)connect falls back to a
 	// full snapshot event.
 	HistoryLen int
+	// DataDir makes the publication store durable: every commit batch is
+	// appended to a write-ahead log under this directory and the full
+	// state (documents, epoch counter, replay journal, restart
+	// generation) is compacted into periodic snapshots. A manager
+	// restarted over the same directory resumes at an epoch past its
+	// pre-restart epoch, so reconnecting watchers ride journal replay
+	// instead of stampeding the snapshot path. Empty (the default) keeps
+	// the store in-memory.
+	DataDir string
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -150,25 +159,33 @@ type Manager struct {
 // HTTP endpoint server begin listening immediately.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
+	store, err := ifsvr.OpenStore(ifsvr.StoreConfig{
+		Window:     cfg.FlushWindow,
+		Clock:      cfg.Clock,
+		HistoryLen: cfg.HistoryLen,
+		Dir:        cfg.DataDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: opening publication store: %w", err)
+	}
 	m := &Manager{
 		cfg:     cfg,
-		store:   NewStore(cfg.FlushWindow, cfg.Clock),
+		store:   store,
 		httpMux: newDynamicMux(),
 		servers: make(map[string]Server),
-	}
-	if cfg.HistoryLen != 0 {
-		m.store.SetHistoryLen(cfg.HistoryLen)
 	}
 	// The Interface Server is a read view over the publication store: every
 	// binding publishes through the store, the HTTP view serves and watches
 	// it (Section 5.1 plus the watch protocol).
 	m.iface = ifsvr.NewView(m.store)
 	if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
+		m.store.Close()
 		return nil, fmt.Errorf("core: starting interface server: %w", err)
 	}
 	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
 		_ = m.iface.Close()
+		m.store.Close()
 		return nil, fmt.Errorf("core: starting HTTP endpoint server: %w", err)
 	}
 	m.httpLn = ln

@@ -28,9 +28,25 @@ type (
 	StoreStats = ifsvr.StoreStats
 )
 
-// NewStore returns a store with the given flush window (0 disables
-// coalescing: every publish commits immediately). clk drives the flush
-// timer; nil means the real clock.
+// NewStore returns an in-memory store with the given flush window (0
+// disables coalescing: every publish commits immediately). clk drives the
+// flush timer; nil means the real clock.
 func NewStore(window time.Duration, clk clock.Clock) *Store {
 	return ifsvr.NewStore(window, clk)
+}
+
+type (
+	// StoreConfig configures OpenStore; its Dir field (Config.DataDir on a
+	// Manager) enables the file persistence backend.
+	StoreConfig = ifsvr.StoreConfig
+	// Persistence is the pluggable durability backend of a Store.
+	Persistence = ifsvr.Persistence
+	// PersistentState is the recovered state a Persistence backend loads.
+	PersistentState = ifsvr.PersistentState
+)
+
+// OpenStore opens a store, recovering state from the configured
+// persistence backend (if any). See ifsvr.OpenStore.
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	return ifsvr.OpenStore(cfg)
 }

@@ -193,3 +193,28 @@ func TestStrategyAndStateStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestRestartReconnectSmoke runs the restart-reconnect experiment at a
+// small scale: both recovery paths must produce a row, the replay path
+// must come from a store that resumed its epoch sequence (the experiment
+// itself fails if watchers never converge), and the latencies are sane.
+func TestRestartReconnectSmoke(t *testing.T) {
+	rows, err := RunRestartReconnect(RestartConfig{Watchers: 8, Rounds: 1, DownCommits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (replay + snapshot)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Transport != "restart-replay" && r.Transport != "restart-snapshot" {
+			t.Errorf("unexpected transport %q", r.Transport)
+		}
+		if r.Watchers != 8 || r.Edits != 1 {
+			t.Errorf("row %+v: want 8 watchers, 1 round", r)
+		}
+		if r.Mean <= 0 || r.Mean > r.Max || r.P50 > r.Max {
+			t.Errorf("row %+v: implausible latencies", r)
+		}
+	}
+}

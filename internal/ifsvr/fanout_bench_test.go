@@ -1,0 +1,90 @@
+package ifsvr
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// benchStreamFanout measures the allocation cost of fanning one committed
+// edit out to N held streaming watchers. B/op divided by N is the
+// per-watcher marshaling cost — the number the commit-time shared payload
+// (marshal once per commit, fan the same bytes to every connection) is
+// meant to drive down versus the old marshal-per-connection emit path.
+func benchStreamFanout(b *testing.B, watchers int) {
+	st := NewStore(0, nil)
+	srv := NewView(st)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		st.Close()
+		_ = srv.Close()
+	}()
+	const path = "/wsdl/Fanout.wsdl"
+	url := base + path
+	st.PublishVersioned(path, "text/xml", "<v1/>", 1)
+
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = watchers + 4
+	hc := &http.Client{Transport: tr}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	seen := make([]atomic.Uint64, watchers)
+	for w := 0; w < watchers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				_ = WatchStream(ctx, hc, url, 0, func(ev StreamEvent) {
+					if ev.Doc.Version > seen[w].Load() {
+						seen[w].Store(ev.Doc.Version)
+					}
+				})
+			}
+		}(w)
+	}
+	waitAll := func(version uint64) {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			all := true
+			for w := range seen {
+				if seen[w].Load() < version {
+					all = false
+					break
+				}
+			}
+			if all {
+				return
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("watchers did not converge on version %d", version)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	waitAll(1)
+
+	version := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		version++
+		st.PublishVersioned(path, "text/xml", fmt.Sprintf("<v%d/>", version), version)
+		waitAll(version)
+	}
+}
+
+func BenchmarkStreamFanout100(b *testing.B)  { benchStreamFanout(b, 100) }
+func BenchmarkStreamFanout1000(b *testing.B) { benchStreamFanout(b, 1000) }

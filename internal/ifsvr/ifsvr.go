@@ -45,6 +45,14 @@ const DescriptorVersionHeader = "X-Descriptor-Version"
 // document was committed (0 for stores that do not number epochs).
 const EpochHeader = "X-Interface-Epoch"
 
+// GenerationHeader carries the backing store's restart generation — a
+// nonzero value identifying the store incarnation serving the response.
+// It is what lets a watch client distinguish "same server whose journal
+// evicted my epoch" (snapshot event, unchanged generation) from "a new
+// server" (generation change; the new server additionally lost the old
+// state when its epoch regressed). Absent on servers predating it.
+const GenerationHeader = "X-Store-Generation"
+
 // ErrNotFound reports a fetch of a never-published document.
 var ErrNotFound = errors.New("ifsvr: document not published")
 
@@ -64,6 +72,11 @@ type Document struct {
 	// Epoch is the backing store's commit epoch for this document (0 when
 	// the store does not number epochs).
 	Epoch uint64
+	// Generation is the serving store's restart generation. It is filled
+	// on documents fetched over HTTP (from GenerationHeader); 0 means the
+	// server predates the header. The store does not record it per
+	// document — an incarnation serves every document under one value.
+	Generation uint64
 	// ContentType is the MIME type served.
 	ContentType string
 }
@@ -91,6 +104,23 @@ type Backing interface {
 	// Wait blocks until a version newer than after is committed at path,
 	// the context ends (returning ctx.Err()), or the store closes.
 	Wait(ctx context.Context, path string, after uint64) (Document, error)
+}
+
+// Generational is the optional Backing capability behind the restart-
+// generation header; Store implements it. A Backing without it serves no
+// GenerationHeader, like a server predating the protocol.
+type Generational interface {
+	// Generation returns the store's incarnation identity (nonzero).
+	Generation() uint64
+}
+
+// backingGeneration resolves the store generation of b (0 when b lacks the
+// capability).
+func backingGeneration(b Backing) uint64 {
+	if g, ok := b.(Generational); ok {
+		return g.Generation()
+	}
+	return 0
 }
 
 // Server is the Interface Server: an HTTP read view over a Backing store.
@@ -193,12 +223,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveWatch(w, r, q)
 		return
 	}
-	d, err := s.backing().Get(r.URL.Path)
+	st := s.backing()
+	d, err := st.Get(r.URL.Path)
 	if err != nil {
 		http.NotFound(w, r)
 		return
 	}
-	writeDoc(w, d)
+	writeDoc(w, d, backingGeneration(st))
 }
 
 func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values) {
@@ -214,39 +245,45 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 	// Watch responses are point-in-time answers to a version question;
 	// a cached one would defeat the protocol.
 	w.Header().Set("Cache-Control", "no-store")
-	d, err := s.backing().Wait(ctx, r.URL.Path, after)
+	st := s.backing()
+	gen := backingGeneration(st)
+	d, err := st.Wait(ctx, r.URL.Path, after)
 	switch {
 	case err == nil:
-		writeDoc(w, d)
+		writeDoc(w, d, gen)
 	case r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
 	case errors.Is(err, context.DeadlineExceeded):
 		// Poll window elapsed with no newer version. The headers carry the
-		// current version AND epoch so the poller can resync its cursors
-		// without a document fetch, and Retry-After tells clients and
-		// intermediaries the polite re-poll pacing after an idle window.
-		cur, getErr := s.backing().Get(r.URL.Path)
+		// current version, epoch, AND generation so the poller can resync
+		// its cursors — and detect a restarted server — without a document
+		// fetch; Retry-After tells clients and intermediaries the polite
+		// re-poll pacing after an idle window.
+		cur, getErr := st.Get(r.URL.Path)
 		if getErr != nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Retry-After", "1")
-		writeHeaders(w, cur)
+		writeHeaders(w, cur, gen)
 		w.WriteHeader(http.StatusNotModified)
 	default:
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	}
 }
 
-func writeHeaders(w http.ResponseWriter, d Document) {
+func writeHeaders(w http.ResponseWriter, d Document, gen uint64) {
 	w.Header().Set(VersionHeader, strconv.FormatUint(d.Version, 10))
 	w.Header().Set(DescriptorVersionHeader, strconv.FormatUint(d.DescriptorVersion, 10))
 	w.Header().Set(EpochHeader, strconv.FormatUint(d.Epoch, 10))
+	if gen != 0 {
+		w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	}
 }
 
-func writeDoc(w http.ResponseWriter, d Document) {
+func writeDoc(w http.ResponseWriter, d Document, gen uint64) {
 	w.Header().Set("Content-Type", d.ContentType)
-	writeHeaders(w, d)
+	writeHeaders(w, d, gen)
 	_, _ = io.WriteString(w, d.Content)
 }
 
@@ -322,6 +359,7 @@ func FetchContext(ctx context.Context, client *http.Client, url string) (Documen
 		Version:           headerUint(resp, VersionHeader),
 		DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
 		Epoch:             headerUint(resp, EpochHeader),
+		Generation:        headerUint(resp, GenerationHeader),
 		ContentType:       resp.Header.Get("Content-Type"),
 	}, nil
 }

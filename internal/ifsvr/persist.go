@@ -1,0 +1,302 @@
+package ifsvr
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Store persistence: a snapshot+WAL pair.
+//
+// The durable state of a store is a compacted snapshot (documents, retired
+// versions, the epoch counter, the restart generation, and the bounded
+// replay journal) plus a write-ahead log of every commit batch and
+// retirement since that snapshot. Open loads the snapshot, replays the
+// log's longest valid prefix on top, bumps the generation, and rewrites a
+// fresh snapshot — so a restarted Interface Server resumes at an epoch
+// strictly past its pre-restart epoch and still answers reconnecting
+// watchers from the journal (event: replay) instead of forcing a snapshot
+// stampede.
+
+// SnapshotSchema identifies the snapshot file format.
+const SnapshotSchema = "livedev/ifsvr-snapshot/v1"
+
+// DefaultSnapshotEvery is how many commit batches are logged between
+// compacted snapshots.
+const DefaultSnapshotEvery = 64
+
+// PersistentState is everything a store needs to resume where a previous
+// incarnation left off.
+type PersistentState struct {
+	// Generation counts store incarnations over this state: the recovered
+	// value belongs to the incarnation that wrote it, and Open bumps it.
+	Generation uint64
+	// Epoch is the last committed epoch.
+	Epoch uint64
+	// FloorEpoch is the replay-journal floor: the journal covers epochs in
+	// (FloorEpoch, Epoch].
+	FloorEpoch uint64
+	// LSN is the log sequence number of the last logged operation this
+	// state covers. Recovery skips WAL records at or below it, so replay
+	// stays idempotent when a crash leaves already-snapshotted records in
+	// the log.
+	LSN uint64
+	// Docs are the committed documents by path.
+	Docs map[string]Document
+	// Retired maps removed paths to their last committed version, so a
+	// republication resumes the sequence.
+	Retired map[string]uint64
+	// Journal is the bounded replay journal, commit order.
+	Journal []StoreEvent
+}
+
+// Persistence is the pluggable durability backend of a Store. The file
+// implementation (StoreConfig.Dir) is the default; alternative backends
+// (a KV store, object storage) implement the same operations. Calls are
+// never concurrent — the store serializes them on its writer lock (the
+// appends under the state lock too; the cadence Snapshot deliberately off
+// it, so document readers never wait on snapshot IO) — but they do NOT
+// all hold the state lock: implementations must not rely on it for their
+// own synchronization, and must not call back into the store.
+type Persistence interface {
+	// Load recovers the persisted state: the last snapshot plus the longest
+	// valid prefix of the write-ahead log. A backend with no prior state
+	// returns a zero PersistentState and no error.
+	Load() (PersistentState, error)
+	// Append durably logs one committed batch, under the given log
+	// sequence number, before watchers are notified.
+	Append(lsn uint64, events []StoreEvent) error
+	// AppendRemove durably logs a path retirement.
+	AppendRemove(lsn uint64, path string, version uint64) error
+	// Snapshot writes a compacted snapshot of the full state and resets the
+	// log, so recovery cost stays bounded.
+	Snapshot(state PersistentState) error
+	// Close releases the backend's resources (after a final Snapshot).
+	Close() error
+}
+
+// snapshotWire is the JSON layout of the snapshot file. Documents and
+// journal entries use the same wire object as the SSE transport and the
+// WAL, keyed by path.
+type snapshotWire struct {
+	Schema     string            `json:"schema"`
+	Generation uint64            `json:"generation"`
+	Epoch      uint64            `json:"epoch"`
+	FloorEpoch uint64            `json:"floor_epoch"`
+	Lsn        uint64            `json:"lsn"`
+	Docs       []streamWire      `json:"docs"`
+	Retired    map[string]uint64 `json:"retired,omitempty"`
+	Journal    []streamWire      `json:"journal,omitempty"`
+}
+
+// filePersistence is the file-backed Persistence: <dir>/snapshot.json plus
+// <dir>/wal.log. Snapshots are written to a temp file and renamed into
+// place, so a crash mid-snapshot leaves the previous one intact.
+type filePersistence struct {
+	dir string
+	wal *os.File
+}
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.log"
+)
+
+// OpenFilePersistence opens (creating if needed) the snapshot+WAL pair
+// under dir. It is what StoreConfig.Dir resolves to.
+func OpenFilePersistence(dir string) (Persistence, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ifsvr: creating data dir: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ifsvr: opening WAL: %w", err)
+	}
+	return &filePersistence{dir: dir, wal: wal}, nil
+}
+
+// Load implements Persistence: snapshot, then the WAL's longest valid
+// prefix on top. The WAL file is truncated to that prefix so later appends
+// extend valid data, never garbage.
+func (p *filePersistence) Load() (PersistentState, error) {
+	state := PersistentState{
+		Docs:    make(map[string]Document),
+		Retired: make(map[string]uint64),
+	}
+	data, err := os.ReadFile(filepath.Join(p.dir, snapshotFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First open of this directory.
+	case err != nil:
+		return PersistentState{}, fmt.Errorf("ifsvr: reading snapshot: %w", err)
+	default:
+		var snap snapshotWire
+		if jerr := json.Unmarshal(data, &snap); jerr != nil {
+			return PersistentState{}, fmt.Errorf("ifsvr: parsing snapshot: %w", jerr)
+		}
+		if snap.Schema != SnapshotSchema {
+			return PersistentState{}, fmt.Errorf("ifsvr: snapshot schema %q, want %q", snap.Schema, SnapshotSchema)
+		}
+		state.Generation = snap.Generation
+		state.Epoch = snap.Epoch
+		state.FloorEpoch = snap.FloorEpoch
+		state.LSN = snap.Lsn
+		for _, w := range snap.Docs {
+			state.Docs[w.Path] = Document{
+				Content:           w.Content,
+				ContentType:       w.ContentType,
+				Version:           w.Version,
+				DescriptorVersion: w.DescriptorVersion,
+				Epoch:             w.Epoch,
+			}
+		}
+		for path, v := range snap.Retired {
+			state.Retired[path] = v
+		}
+		for _, w := range snap.Journal {
+			doc := Document{
+				Content:           w.Content,
+				ContentType:       w.ContentType,
+				Version:           w.Version,
+				DescriptorVersion: w.DescriptorVersion,
+				Epoch:             w.Epoch,
+			}
+			state.Journal = append(state.Journal, StoreEvent{Path: w.Path, Doc: doc, Payload: encodeEventPayload(w.Path, doc)})
+		}
+	}
+
+	if _, err := p.wal.Seek(0, io.SeekStart); err != nil {
+		return PersistentState{}, fmt.Errorf("ifsvr: seeking WAL: %w", err)
+	}
+	img, err := io.ReadAll(p.wal)
+	if err != nil {
+		return PersistentState{}, fmt.Errorf("ifsvr: reading WAL: %w", err)
+	}
+	recs, valid := scanWAL(img)
+	for _, rec := range recs {
+		switch rec.kind {
+		case walKindCommit:
+			lsn, evs, derr := decodeCommitPayload(rec.payload)
+			if derr != nil || len(evs) == 0 {
+				continue // CRC-valid but semantically bad; skip, keep scanning
+			}
+			if lsn <= state.LSN {
+				// An operation the snapshot already covers (crash between
+				// snapshot rename and WAL reset): replay is idempotent.
+				continue
+			}
+			state.LSN = lsn
+			for _, ev := range evs {
+				state.Docs[ev.Path] = ev.Doc
+				delete(state.Retired, ev.Path)
+				if ev.Doc.Epoch > state.Epoch {
+					state.Epoch = ev.Doc.Epoch
+				}
+			}
+			state.Journal = append(state.Journal, evs...)
+		case walKindRemove:
+			var rm walRemove
+			if json.Unmarshal(rec.payload, &rm) != nil {
+				continue
+			}
+			if rm.Lsn <= state.LSN {
+				continue // already covered by the snapshot
+			}
+			state.LSN = rm.Lsn
+			delete(state.Docs, rm.Path)
+			state.Retired[rm.Path] = rm.Version
+		}
+	}
+	if valid < len(img) {
+		// Torn or corrupt tail: keep the longest valid prefix.
+		if err := p.wal.Truncate(int64(valid)); err != nil {
+			return PersistentState{}, fmt.Errorf("ifsvr: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := p.wal.Seek(int64(valid), io.SeekStart); err != nil {
+		return PersistentState{}, fmt.Errorf("ifsvr: seeking WAL: %w", err)
+	}
+	return state, nil
+}
+
+// Append implements Persistence: one commit-batch record.
+func (p *filePersistence) Append(lsn uint64, events []StoreEvent) error {
+	_, err := p.wal.Write(encodeCommitRecord(lsn, events))
+	return err
+}
+
+// AppendRemove implements Persistence: one retirement record.
+func (p *filePersistence) AppendRemove(lsn uint64, path string, version uint64) error {
+	_, err := p.wal.Write(encodeRemoveRecord(lsn, path, version))
+	return err
+}
+
+// Snapshot implements Persistence: write-temp-and-rename, then reset the
+// WAL. A crash between the rename and the reset leaves already-covered
+// records in the log, which Load skips by lsn.
+func (p *filePersistence) Snapshot(state PersistentState) error {
+	snap := snapshotWire{
+		Schema:     SnapshotSchema,
+		Generation: state.Generation,
+		Epoch:      state.Epoch,
+		FloorEpoch: state.FloorEpoch,
+		Lsn:        state.LSN,
+		Retired:    state.Retired,
+	}
+	for path, d := range state.Docs {
+		snap.Docs = append(snap.Docs, streamWire{
+			Path:              path,
+			Version:           d.Version,
+			DescriptorVersion: d.DescriptorVersion,
+			Epoch:             d.Epoch,
+			ContentType:       d.ContentType,
+			Content:           d.Content,
+		})
+	}
+	for _, ev := range state.Journal {
+		snap.Journal = append(snap.Journal, streamWire{
+			Path:              ev.Path,
+			Version:           ev.Doc.Version,
+			DescriptorVersion: ev.Doc.DescriptorVersion,
+			Epoch:             ev.Doc.Epoch,
+			ContentType:       ev.Doc.ContentType,
+			Content:           ev.Doc.Content,
+		})
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("ifsvr: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(p.dir, snapshotFile+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ifsvr: creating snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("ifsvr: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(p.dir, snapshotFile)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("ifsvr: installing snapshot: %w", err)
+	}
+	if err := p.wal.Truncate(0); err != nil {
+		return fmt.Errorf("ifsvr: resetting WAL: %w", err)
+	}
+	if _, err := p.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ifsvr: seeking WAL: %w", err)
+	}
+	return nil
+}
+
+// Close implements Persistence.
+func (p *filePersistence) Close() error { return p.wal.Close() }

@@ -3,6 +3,8 @@ package ifsvr
 import (
 	"context"
 	"errors"
+	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +30,12 @@ type StoreEvent struct {
 	Path string
 	// Doc is the committed document (its Version and Epoch are final).
 	Doc Document
+	// Payload is the event's shared wire encoding: the JSON object that is
+	// both the SSE "data:" line every streaming watcher receives and the
+	// element of the WAL commit record. It is marshaled exactly once, at
+	// commit time, and fanned out by reference — receivers must treat it
+	// as immutable.
+	Payload []byte
 }
 
 // StoreStats counts store activity; all fields are cumulative.
@@ -48,6 +56,13 @@ type StoreStats struct {
 	// ReplayMisses counts Replay calls the journal no longer covered —
 	// each forces the caller onto the full-snapshot fallback.
 	ReplayMisses uint64
+	// WALAppends counts commit batches (and retirements) durably logged.
+	WALAppends uint64
+	// Snapshots counts compacted snapshots written.
+	Snapshots uint64
+	// PersistErrors counts failed persistence operations — the store keeps
+	// serving from memory, but durability of the failed batch is lost.
+	PersistErrors uint64
 }
 
 // Store is the event-driven publication core: a versioned interface-document
@@ -77,10 +92,39 @@ type StoreStats struct {
 // Replay(path, afterEpoch) returns the committed versions of a path a
 // reconnecting watcher missed — the streaming watch transport's catch-up
 // path, which turns a reconnect into a delta instead of a full fetch.
+//
+// Persistence: a store opened with OpenStore over a Persistence backend
+// (StoreConfig.Dir for the file implementation) appends every commit
+// batch to a write-ahead log before fan-out and compacts the full state
+// (documents, epoch counter, replay journal, restart generation) into a
+// snapshot every SnapshotEvery batches. A reopened store resumes at an
+// epoch strictly past its pre-restart epoch, so watchers reconnecting
+// with their last epoch ride journal replay across the restart instead
+// of forcing a snapshot stampede.
 type Store struct {
 	window  time.Duration
 	clk     clock.Clock
 	histLen int
+
+	// generation identifies this store incarnation (never 0): persistent
+	// stores count incarnations over their data directory (1, 2, ...);
+	// in-memory stores draw a random identity at creation. Served as the
+	// X-Store-Generation header so clients can tell "same server, journal
+	// evicted" (snapshot event, same generation) from "new server" (a
+	// generation change — with an epoch regression when the new server
+	// lost the old state).
+	generation uint64
+
+	// persist, when non-nil, is the durability backend: every commit batch
+	// is appended to its WAL (under mu, before fan-out), and every
+	// snapEvery batches the state is compacted into a snapshot — off mu,
+	// under deliverMu, so readers are not blocked by snapshot IO. lsn
+	// numbers the logged operations; the snapshot records the last lsn it
+	// covers so recovery can skip already-applied records.
+	persist   Persistence
+	snapEvery int
+	sinceSnap int
+	lsn       uint64
 
 	mu           sync.Mutex
 	docs         map[string]Document
@@ -109,24 +153,120 @@ type Store struct {
 
 var _ Backing = (*Store)(nil)
 
-// NewStore returns a store with the given flush window (0 disables
-// coalescing: every publish commits immediately) and the default journal
-// capacity. clk drives the flush timer; nil means the real clock.
+// NewStore returns an in-memory store with the given flush window (0
+// disables coalescing: every publish commits immediately) and the default
+// journal capacity. clk drives the flush timer; nil means the real clock.
+// For a store that survives process restarts, use OpenStore.
 func NewStore(window time.Duration, clk clock.Clock) *Store {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Store{
-		window:    window,
-		clk:       clk,
-		histLen:   DefaultHistoryLen,
-		docs:      make(map[string]Document),
-		retired:   make(map[string]uint64),
-		pending:   make(map[string]Document),
-		deadlines: make(map[string]time.Time),
-		changed:   make(chan struct{}),
-		subs:      make(map[uint64]func(StoreEvent)),
+	gen := rand.Uint64()
+	for gen == 0 {
+		gen = rand.Uint64()
 	}
+	return &Store{
+		window:     window,
+		clk:        clk,
+		histLen:    DefaultHistoryLen,
+		generation: gen,
+		snapEvery:  DefaultSnapshotEvery,
+		docs:       make(map[string]Document),
+		retired:    make(map[string]uint64),
+		pending:    make(map[string]Document),
+		deadlines:  make(map[string]time.Time),
+		changed:    make(chan struct{}),
+		subs:       make(map[uint64]func(StoreEvent)),
+	}
+}
+
+// StoreConfig configures OpenStore. The zero value matches
+// NewStore(0, nil): in-memory, coalescing disabled, default journal.
+type StoreConfig struct {
+	// Window is the store-wide edit-storm coalescing window (0 commits
+	// every publish immediately).
+	Window time.Duration
+	// Clock drives the flush timer; nil means the real clock.
+	Clock clock.Clock
+	// HistoryLen bounds the replay journal (0 means DefaultHistoryLen,
+	// negative disables it).
+	HistoryLen int
+	// Dir enables the file persistence backend (snapshot.json + wal.log
+	// under this directory) when Persistence is nil. Empty keeps the store
+	// in-memory.
+	Dir string
+	// Persistence is an explicit durability backend; it overrides Dir.
+	Persistence Persistence
+	// SnapshotEvery is how many commit batches are logged between
+	// compacted snapshots (0 means DefaultSnapshotEvery).
+	SnapshotEvery int
+}
+
+// OpenStore opens a store, recovering documents, versions, the epoch
+// counter, the bounded replay journal, and the restart generation from the
+// configured persistence backend (if any). The recovered generation is
+// bumped and a fresh compacted snapshot is written immediately, so every
+// open is durably distinguishable from the last. With no persistence
+// configured it is NewStore with options.
+func OpenStore(cfg StoreConfig) (*Store, error) {
+	s := NewStore(cfg.Window, cfg.Clock)
+	switch {
+	case cfg.HistoryLen < 0:
+		s.histLen = 0
+	case cfg.HistoryLen > 0:
+		s.histLen = cfg.HistoryLen
+	}
+	if cfg.SnapshotEvery > 0 {
+		s.snapEvery = cfg.SnapshotEvery
+	}
+	p := cfg.Persistence
+	if p == nil && cfg.Dir != "" {
+		fp, err := OpenFilePersistence(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		p = fp
+	}
+	if p == nil {
+		return s, nil
+	}
+	state, err := p.Load()
+	if err != nil {
+		_ = p.Close()
+		return nil, err
+	}
+	for path, d := range state.Docs {
+		s.docs[path] = d
+	}
+	for path, v := range state.Retired {
+		s.retired[path] = v
+	}
+	s.epoch = state.Epoch
+	s.lsn = state.LSN
+	s.generation = state.Generation + 1
+	if s.histLen > 0 {
+		s.journal = state.Journal
+		s.floorEpoch = state.FloorEpoch
+		s.trimJournalLocked()
+	} else {
+		s.floorEpoch = s.epoch
+	}
+	s.persist = p
+	// Compact immediately: the fresh snapshot records the bumped
+	// generation (so a crash before the first commit still counts as an
+	// incarnation) and resets the WAL the recovery just replayed.
+	if err := s.snapshotLocked(); err != nil {
+		_ = p.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Generation returns the store's incarnation identity (see the field doc).
+func (s *Store) Generation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.generation
 }
 
 // FlushWindow returns the configured store-wide coalescing window.
@@ -230,6 +370,7 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 		fns := s.subscribersLocked()
 		s.mu.Unlock()
 		fanOut(evs, fns)
+		s.maybeCompact()
 		return ver
 	}
 	if _, dup := s.pending[path]; dup {
@@ -272,12 +413,96 @@ func (s *Store) commitLocked(order []string, contents map[string]Document) []Sto
 		d.Version++
 		s.docs[path] = d
 		s.stats.Commits++
-		evs = append(evs, StoreEvent{Path: path, Doc: d})
+		// One marshal per committed version: the same bytes back the WAL
+		// record and every streaming watcher's "data:" line.
+		evs = append(evs, StoreEvent{Path: path, Doc: d, Payload: encodeEventPayload(path, d)})
 	}
 	s.journalLocked(evs)
+	if s.persist != nil {
+		s.lsn++
+		if err := s.persist.Append(s.lsn, evs); err != nil {
+			s.stats.PersistErrors++
+		} else {
+			s.stats.WALAppends++
+		}
+		s.sinceSnap++
+	}
 	close(s.changed)
 	s.changed = make(chan struct{})
 	return evs
+}
+
+// stateLocked assembles the persistent state. Caller holds s.mu; when the
+// state will outlive the lock (maybeCompact), pass copied=true to clone
+// the maps and journal so the compaction can marshal without the lock.
+func (s *Store) stateLocked(copied bool) PersistentState {
+	st := PersistentState{
+		Generation: s.generation,
+		Epoch:      s.epoch,
+		FloorEpoch: s.floorEpoch,
+		LSN:        s.lsn,
+		Docs:       s.docs,
+		Retired:    s.retired,
+		Journal:    s.journal,
+	}
+	if copied {
+		st.Docs = make(map[string]Document, len(s.docs))
+		for k, v := range s.docs {
+			st.Docs[k] = v
+		}
+		st.Retired = make(map[string]uint64, len(s.retired))
+		for k, v := range s.retired {
+			st.Retired[k] = v
+		}
+		st.Journal = append([]StoreEvent(nil), s.journal...)
+	}
+	return st
+}
+
+// snapshotLocked compacts the store state into the persistence backend and
+// resets the snapshot cadence counter. Caller holds s.mu (or, during
+// OpenStore/Close, has exclusive access) — only the open/close paths pay
+// snapshot IO under the lock; the steady-state cadence goes through
+// maybeCompact instead.
+func (s *Store) snapshotLocked() error {
+	if s.persist == nil {
+		return nil
+	}
+	if err := s.persist.Snapshot(s.stateLocked(false)); err != nil {
+		return err
+	}
+	s.sinceSnap = 0
+	s.stats.Snapshots++
+	return nil
+}
+
+// maybeCompact writes the cadence snapshot when one is due. Caller holds
+// deliverMu but NOT mu: deliverMu serializes every WAL writer (publish,
+// flush, remove, close), so the log cannot grow under the compaction,
+// while readers on mu — document GETs, parked Waits, journal replays for
+// a thousand held streams — never wait on snapshot file IO.
+func (s *Store) maybeCompact() {
+	s.mu.Lock()
+	due := s.persist != nil && !s.closed && s.sinceSnap >= s.snapEvery
+	var state PersistentState
+	var p Persistence
+	if due {
+		state = s.stateLocked(true)
+		p = s.persist
+	}
+	s.mu.Unlock()
+	if !due {
+		return
+	}
+	err := p.Snapshot(state)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.PersistErrors++
+	} else {
+		s.sinceSnap = 0
+		s.stats.Snapshots++
+	}
+	s.mu.Unlock()
 }
 
 // journalLocked appends the batch's events to the replay journal, evicting
@@ -316,13 +541,52 @@ func (s *Store) Replay(path string, afterEpoch uint64) ([]Document, bool) {
 		return nil, false
 	}
 	var docs []Document
-	for _, ev := range s.journal {
-		if ev.Path == path && ev.Doc.Epoch > afterEpoch {
+	for _, ev := range s.journal[s.journalFromLocked(afterEpoch):] {
+		if ev.Path == path {
 			docs = append(docs, ev.Doc)
 		}
 	}
 	s.stats.Replays++
 	return docs, true
+}
+
+// journalFromLocked binary-searches the (epoch-ordered) journal for the
+// first entry past afterEpoch, so a replay for a nearly-current watcher —
+// the per-commit wake of every held stream — scans only the tail, not the
+// whole ring. Caller holds s.mu.
+func (s *Store) journalFromLocked(afterEpoch uint64) int {
+	return sort.Search(len(s.journal), func(i int) bool {
+		return s.journal[i].Doc.Epoch > afterEpoch
+	})
+}
+
+// ReplayEvents is Replay returning the journal entries themselves, whose
+// Payload fields carry the commit-time shared wire encoding — the
+// streaming transport uses it to fan identical bytes out to every watcher
+// instead of re-marshaling per connection.
+func (s *Store) ReplayEvents(path string, afterEpoch uint64) ([]StoreEvent, bool) {
+	return s.ReplayEventsInto(path, afterEpoch, nil)
+}
+
+// ReplayEventsInto is ReplayEvents appending into buf[:0], so a held
+// stream waking once per commit reuses one buffer instead of allocating
+// per wake. On a journal miss it returns buf[:0] (not nil), preserving
+// the caller's buffer capacity for the next wake.
+func (s *Store) ReplayEventsInto(path string, afterEpoch uint64, buf []StoreEvent) ([]StoreEvent, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evs := buf[:0]
+	if afterEpoch < s.floorEpoch {
+		s.stats.ReplayMisses++
+		return evs, false
+	}
+	for _, ev := range s.journal[s.journalFromLocked(afterEpoch):] {
+		if ev.Path == path {
+			evs = append(evs, ev)
+		}
+	}
+	s.stats.Replays++
+	return evs, true
 }
 
 // rearmLocked (re)schedules the flush timer for the earliest pending
@@ -408,6 +672,7 @@ func (s *Store) onFlushTimer() {
 	fns := s.subscribersLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+	s.maybeCompact()
 }
 
 // Flush synchronously commits every staged publication — the forced-
@@ -425,6 +690,7 @@ func (s *Store) Flush() {
 	fns := s.subscribersLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+	s.maybeCompact()
 }
 
 // subscribersLocked snapshots the subscriber list. Caller holds s.mu.
@@ -483,6 +749,14 @@ func (s *Store) Remove(path string) {
 	if d, ok := s.docs[path]; ok {
 		s.retired[path] = d.Version
 		delete(s.docs, path)
+		if s.persist != nil && !s.closed {
+			s.lsn++
+			if err := s.persist.AppendRemove(s.lsn, path, d.Version); err != nil {
+				s.stats.PersistErrors++
+			} else {
+				s.stats.WALAppends++
+			}
+		}
 	}
 	delete(s.pathWindows, path)
 	if _, staged := s.pending[path]; staged {
@@ -552,7 +826,8 @@ func (s *Store) Wait(ctx context.Context, path string, after uint64) (Document, 
 }
 
 // Close flushes staged publications, wakes waiters, and stops the flush
-// timer. Subsequent publishes are dropped.
+// timer; a persistent store writes a final compacted snapshot and releases
+// its backend. Subsequent publishes are dropped.
 func (s *Store) Close() {
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
@@ -563,6 +838,15 @@ func (s *Store) Close() {
 	}
 	evs := s.flushLocked()
 	s.closed = true
+	if s.persist != nil {
+		if err := s.snapshotLocked(); err != nil {
+			s.stats.PersistErrors++
+		}
+		if err := s.persist.Close(); err != nil {
+			s.stats.PersistErrors++
+		}
+		s.persist = nil
+	}
 	close(s.changed)
 	s.changed = make(chan struct{})
 	fns := s.subscribersLocked()

@@ -51,16 +51,31 @@ type Journal interface {
 	Epoch() uint64
 }
 
+// EventJournal is a Journal whose entries carry the commit-time shared
+// wire payload (StoreEvent.Payload); Store implements it. The streaming
+// transport prefers it: one marshal per commit fans identical bytes out
+// to every held connection, instead of one marshal per watcher per event.
+type EventJournal interface {
+	Journal
+	// ReplayEventsInto is Replay returning the journal entries themselves,
+	// appended to buf[:0] so a looping caller (one held stream waking per
+	// commit) reuses one buffer instead of allocating per wake.
+	ReplayEventsInto(path string, afterEpoch uint64, buf []StoreEvent) ([]StoreEvent, bool)
+}
+
 // StreamEvent is one event of a streaming watch, as seen by the client.
 type StreamEvent struct {
-	// Doc is the committed (or snapshotted) document.
+	// Doc is the committed (or snapshotted) document. Its Generation field
+	// carries the serving store's restart generation (from the stream
+	// response headers; 0 against servers predating it).
 	Doc Document
 	// Replayed marks a version served from the store journal during
 	// (re)connect catch-up rather than live fan-out.
 	Replayed bool
 	// Snapshot marks the full-document fallback: the journal no longer
-	// covered the client's epoch, so this is the current document, not a
-	// step of the committed history.
+	// covered the client's epoch — or, on a generation change, the client
+	// was ahead of a restarted store that lost the old state — so this is
+	// the current document, not a step of the committed history.
 	Snapshot bool
 }
 
@@ -94,34 +109,80 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 		return
 	}
 	after, _ := strconv.ParseUint(q.Get("after"), 10, 64)
-	h := w.Header()
-	h.Set("Content-Type", StreamContentType)
-	h.Set("Cache-Control", "no-store")
-	h.Set("X-Accel-Buffering", "no") // do not let proxies buffer the stream
-	w.WriteHeader(http.StatusOK)
-	fl.Flush()
-
 	st := s.backing()
 	j, hasJournal := st.(Journal)
 	path := r.URL.Path
 
-	emit := func(event string, d Document) bool {
-		data, err := json.Marshal(streamWire{
-			Path:              path,
-			Version:           d.Version,
-			DescriptorVersion: d.DescriptorVersion,
-			Epoch:             d.Epoch,
-			ContentType:       d.ContentType,
-			Content:           d.Content,
-		})
-		if err != nil {
+	h := w.Header()
+	h.Set("Content-Type", StreamContentType)
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // do not let proxies buffer the stream
+	if gen := backingGeneration(st); gen != 0 {
+		// The restart generation, readable before the first event: the
+		// client's restart detector compares it across (re)connects.
+		h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+	}
+	if hasJournal {
+		// The store-wide epoch at connect, for cheap cursor resync.
+		h.Set(EpochHeader, strconv.FormatUint(j.Epoch(), 10))
+	}
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// emit writes one SSE event. Committed versions arrive with their
+	// commit-time shared payload (the same bytes every watcher gets and
+	// the WAL carries); payload==nil is the degraded path (snapshots, or
+	// a Backing without EventJournal) that marshals per connection. The
+	// framing is hand-appended into a per-connection scratch buffer —
+	// fmt boxing and per-event framing allocations would be paid once per
+	// watcher per commit, the exact multiplier shared payloads remove.
+	var frame []byte
+	emit := func(event string, d Document, payload []byte) bool {
+		if payload == nil {
+			payload = encodeEventPayload(path, d)
+		}
+		frame = frame[:0]
+		frame = append(frame, "id: "...)
+		frame = strconv.AppendUint(frame, d.Epoch, 10)
+		frame = append(frame, "\nevent: "...)
+		frame = append(frame, event...)
+		frame = append(frame, "\ndata: "...)
+		if _, err := w.Write(frame); err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", d.Epoch, event, data); err != nil {
+		if _, err := w.Write(payload); err != nil {
+			return false
+		}
+		if _, err := io.WriteString(w, "\n\n"); err != nil {
 			return false
 		}
 		fl.Flush()
 		return true
+	}
+
+	// replayEvs returns the journal entries of path past an epoch,
+	// payloads included when the backing shares them. evBuf is reused
+	// across wakes.
+	ej, hasEvents := st.(EventJournal)
+	var evBuf []StoreEvent
+	replayEvs := func(afterEpoch uint64) ([]StoreEvent, bool) {
+		if hasEvents {
+			var ok bool
+			evBuf, ok = ej.ReplayEventsInto(path, afterEpoch, evBuf[:0])
+			return evBuf, ok
+		}
+		if !hasJournal {
+			return nil, false
+		}
+		docs, ok := j.Replay(path, afterEpoch)
+		if !ok {
+			return nil, false
+		}
+		evs := make([]StoreEvent, len(docs))
+		for i, d := range docs {
+			evs[i] = StoreEvent{Path: path, Doc: d}
+		}
+		return evs, true
 	}
 
 	// Catch-up: replay the journal past the client's epoch, or fall back to
@@ -132,25 +193,35 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	cur, curErr := st.Get(path)
 	switch {
 	case curErr == nil && cur.Epoch <= after:
-		// The client is already current; open quietly and wait for commits.
+		if hasJournal && after > j.Epoch() {
+			// The client's cursor is ahead of the whole store: it watched
+			// a previous incarnation whose state this one does not have
+			// (a restart without recovery). Hand it the current document
+			// as a snapshot — paired with the generation header, that is
+			// the client's restart signal — instead of parking it on an
+			// epoch this store will never reach.
+			if !emit("snapshot", cur, nil) {
+				return
+			}
+		}
 		lastVer, lastEpoch = cur.Version, cur.Epoch
 	case curErr == nil:
-		docs, ok := replay(j, hasJournal, path, after)
+		evs, ok := replayEvs(after)
 		if !ok {
-			if !emit("snapshot", cur) {
+			if !emit("snapshot", cur, nil) {
 				return
 			}
 			lastVer, lastEpoch = cur.Version, cur.Epoch
 			break
 		}
-		for _, d := range docs {
-			if d.Version <= lastVer && lastVer != 0 {
+		for _, ev := range evs {
+			if ev.Doc.Version <= lastVer && lastVer != 0 {
 				continue
 			}
-			if !emit("replay", d) {
+			if !emit("replay", ev.Doc, ev.Payload) {
 				return
 			}
-			lastVer, lastEpoch = d.Version, d.Epoch
+			lastVer, lastEpoch = ev.Doc.Version, ev.Doc.Epoch
 		}
 	default:
 		// Not (yet) published: hold the stream open; the first publication
@@ -158,60 +229,74 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	}
 
 	// Live fan-out: park on the store's subscription code (the same Wait
-	// the long-poll uses), bounded per round by the heartbeat interval so
-	// idle streams still prove liveness.
+	// the long-poll uses), bounded by the heartbeat interval so idle
+	// streams still prove liveness. One heartbeat context spans every
+	// commit inside its window — recreating it per wake would charge a
+	// context+timer allocation to every watcher on every commit, the
+	// same per-watcher multiplier the shared payloads remove.
 	hb := s.heartbeat()
-	for {
+	liveWindow := func() (expired, alive bool) {
 		wctx, cancel := context.WithTimeout(r.Context(), hb)
-		d, err := st.Wait(wctx, path, lastVer)
-		cancel()
-		switch {
-		case err == nil:
-			// One or more commits landed. The common case — the next
-			// version in sequence — is emitted directly; only a real gap
-			// (a coalescing store can commit several versions between two
-			// wakes of a slow writer) pays the journal scan, and a gap the
-			// journal no longer covers degrades to the newest version.
-			if d.Version > lastVer+1 && lastVer > 0 {
-				if docs, ok := replay(j, hasJournal, path, lastEpoch); ok {
-					for _, rd := range docs {
-						if rd.Version <= lastVer {
+		defer cancel()
+		for {
+			d, err := st.Wait(wctx, path, lastVer)
+			switch {
+			case err == nil:
+				// One or more commits landed. Serve them from the journal
+				// so every watcher fans out the commit-time shared bytes
+				// (and a coalescing store's multi-version gap stays
+				// lossless); a range the journal no longer covers degrades
+				// to the newest version, marshaled per connection. A
+				// stream parked on a then-unpublished path (lastVer 0)
+				// takes the direct path: its cursor says nothing about
+				// what it saw, and the journal may hold a retired
+				// predecessor's stale history.
+				if lastVer > 0 {
+					if evs, ok := replayEvs(lastEpoch); ok {
+						emitted := false
+						for _, ev := range evs {
+							if ev.Doc.Version <= lastVer {
+								continue
+							}
+							if !emit("version", ev.Doc, ev.Payload) {
+								return false, false
+							}
+							lastVer, lastEpoch = ev.Doc.Version, ev.Doc.Epoch
+							emitted = true
+						}
+						if emitted {
 							continue
 						}
-						if !emit("version", rd) {
-							return
-						}
-						lastVer, lastEpoch = rd.Version, rd.Epoch
 					}
+				}
+				if d.Version <= lastVer {
 					continue
 				}
+				if !emit("version", d, nil) {
+					return false, false
+				}
+				lastVer, lastEpoch = d.Version, d.Epoch
+			case r.Context().Err() != nil:
+				return false, false // client went away
+			case errors.Is(err, context.DeadlineExceeded):
+				return true, true // window elapsed; heartbeat and renew
+			default:
+				return false, false // store closed
 			}
-			if d.Version <= lastVer {
-				continue
-			}
-			if !emit("version", d) {
-				return
-			}
-			lastVer, lastEpoch = d.Version, d.Epoch
-		case r.Context().Err() != nil:
-			return // client went away
-		case errors.Is(err, context.DeadlineExceeded):
+		}
+	}
+	for {
+		expired, alive := liveWindow()
+		if !alive {
+			return
+		}
+		if expired {
 			if _, werr := io.WriteString(w, ": hb\n\n"); werr != nil {
 				return
 			}
 			fl.Flush()
-		default:
-			return // store closed
 		}
 	}
-}
-
-// replay narrows the two-value Replay call behind the capability check.
-func replay(j Journal, has bool, path string, after uint64) ([]Document, bool) {
-	if !has {
-		return nil, false
-	}
-	return j.Replay(path, after)
 }
 
 // WatchStream performs one streaming watch against url: it connects with
@@ -254,14 +339,16 @@ func WatchStream(ctx context.Context, client *http.Client, url string, afterEpoc
 	if resp.StatusCode != http.StatusOK || !strings.EqualFold(strings.TrimSpace(ct), StreamContentType) {
 		return fmt.Errorf("%w (%s answered HTTP %d %s)", ErrStreamUnsupported, url, resp.StatusCode, ct)
 	}
-	return readStream(ctx, resp.Body, fn)
+	return readStream(ctx, resp.Body, headerUint(resp, GenerationHeader), fn)
 }
 
 // readStream parses the SSE framing: "field: value" lines accumulate into
 // an event dispatched at each blank line; comment lines (heartbeats) are
-// skipped. It returns when the stream ends (an error — streams are held
-// forever by a healthy server) or ctx is done.
-func readStream(ctx context.Context, body io.Reader, fn func(StreamEvent)) error {
+// skipped. gen is the serving store's restart generation (from the
+// response headers), stamped onto every delivered document. It returns
+// when the stream ends (an error — streams are held forever by a healthy
+// server) or ctx is done.
+func readStream(ctx context.Context, body io.Reader, gen uint64, fn func(StreamEvent)) error {
 	br := bufio.NewReader(body)
 	var event, data string
 	for {
@@ -284,6 +371,7 @@ func readStream(ctx context.Context, body io.Reader, fn func(StreamEvent)) error
 							Version:           wire.Version,
 							DescriptorVersion: wire.DescriptorVersion,
 							Epoch:             wire.Epoch,
+							Generation:        gen,
 							ContentType:       wire.ContentType,
 						},
 						Replayed: event == "replay",

@@ -298,6 +298,47 @@ func TestStreamChurnUnderEvictingJournal(t *testing.T) {
 	}
 }
 
+// TestStreamOnRepublishedPathSkipsStaleHistory: a stream parked on a
+// retired (currently unpublished) path must deliver the republication as
+// its first event — not the retired predecessor's stale journal history,
+// which is still in the ring (Remove does not purge journal entries).
+func TestStreamOnRepublishedPathSkipsStaleHistory(t *testing.T) {
+	st, url := startStreamServer(t, 0)
+	const path = "/wsdl/S.wsdl"
+	for i := 1; i <= 3; i++ {
+		st.PublishVersioned(path, "text/xml", fmt.Sprintf("<v%d/>", i), uint64(i))
+	}
+	st.Remove(path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan StreamEvent, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = WatchStream(ctx, nil, url, 0, func(ev StreamEvent) {
+			select {
+			case events <- ev:
+			default:
+			}
+		})
+	}()
+	// Let the stream park on the unpublished path, then republish.
+	time.Sleep(50 * time.Millisecond)
+	st.PublishVersioned(path, "text/xml", "<v4/>", 4)
+
+	select {
+	case ev := <-events:
+		if ev.Doc.Version != 4 || ev.Doc.Content != "<v4/>" {
+			t.Fatalf("first event after republication = %+v, want version 4 (not the retired history)", ev.Doc)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked stream never woke on the republication")
+	}
+	cancel()
+	<-done
+}
+
 // TestStreamAgainstLongPollOnlyServer: a server that only speaks the
 // long-poll protocol is detected and reported as ErrStreamUnsupported.
 func TestStreamAgainstLongPollOnlyServer(t *testing.T) {

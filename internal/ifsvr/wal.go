@@ -1,0 +1,186 @@
+package ifsvr
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// The write-ahead-log record format.
+//
+// The WAL is a sequence of length-prefixed, CRC-guarded records:
+//
+//	[4B little-endian payload length][4B little-endian CRC-32 (IEEE) of payload][payload]
+//
+// The first payload byte is the record kind; the rest is JSON. A commit
+// record's "events" array holds the exact per-event wire objects the SSE
+// transport sends as its "data:" lines (streamWire) — the store marshals
+// each committed event once and splices the same bytes into the log AND
+// every streaming watcher's connection, so the two encoders cannot drift
+// apart and the fan-out cost is one marshal per commit instead of one per
+// watcher.
+//
+// Every record carries the store's log sequence number (lsn, monotone per
+// logged operation). The snapshot records the last lsn it covers, and
+// recovery skips records at or below it — which makes replay idempotent
+// when a crash lands between the snapshot rename and the WAL reset and
+// old records linger in the log.
+//
+// Recovery reads records until the first torn or corrupt one (short frame,
+// absurd length, or CRC mismatch) and keeps the longest valid prefix: a
+// crash mid-append loses at most the batch being written, never an earlier
+// one. A record is only acted on after its CRC checks out, so a flipped
+// byte anywhere in the tail degrades to clean truncation.
+
+const (
+	// walHeaderLen frames every record: payload length + CRC.
+	walHeaderLen = 8
+	// walMaxRecord bounds a single record so a corrupt length prefix cannot
+	// drive a giant allocation during recovery (documents are capped at
+	// 16 MiB on the fetch path; a batch of a few of them fits comfortably).
+	walMaxRecord = 64 << 20
+
+	// walKindCommit is a committed publication batch:
+	// {"lsn":N,"events":[streamWire...]}.
+	walKindCommit = 'C'
+	// walKindRemove is a retired path: {"lsn":..., "path":..., "version":...}.
+	walKindRemove = 'R'
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	kind    byte
+	payload []byte // JSON, without the kind byte
+}
+
+// walCommit is the JSON layout of a walKindCommit payload.
+type walCommit struct {
+	Lsn    uint64       `json:"lsn"`
+	Events []streamWire `json:"events"`
+}
+
+// walRemove is the JSON payload of a walKindRemove record.
+type walRemove struct {
+	Lsn  uint64 `json:"lsn"`
+	Path string `json:"path"`
+	// Version is the retired path's last committed version — the floor a
+	// republication resumes from.
+	Version uint64 `json:"version"`
+}
+
+// appendWALRecord frames kind+payload onto buf and returns the extended
+// slice.
+func appendWALRecord(buf []byte, kind byte, payload []byte) []byte {
+	var hdr [walHeaderLen]byte
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, kind)
+	body = append(body, payload...)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// encodeCommitRecord renders one committed batch as a WAL record, splicing
+// the events' pre-marshaled wire payloads into the envelope without
+// re-marshaling them.
+func encodeCommitRecord(lsn uint64, evs []StoreEvent) []byte {
+	n := 40
+	for _, ev := range evs {
+		n += len(ev.Payload) + 1
+	}
+	body := make([]byte, 0, n)
+	body = append(body, `{"lsn":`...)
+	body = strconv.AppendUint(body, lsn, 10)
+	body = append(body, `,"events":[`...)
+	for i, ev := range evs {
+		if i > 0 {
+			body = append(body, ',')
+		}
+		body = append(body, ev.Payload...)
+	}
+	body = append(body, "]}"...)
+	return appendWALRecord(nil, walKindCommit, body)
+}
+
+// encodeRemoveRecord renders one retirement as a WAL record.
+func encodeRemoveRecord(lsn uint64, path string, version uint64) []byte {
+	body, _ := json.Marshal(walRemove{Lsn: lsn, Path: path, Version: version})
+	return appendWALRecord(nil, walKindRemove, body)
+}
+
+// decodeWALRecord parses the record at the head of data. It returns the
+// record and the number of bytes it occupied, or ok=false when the head is
+// not a complete, CRC-valid record (the recovery stop condition).
+func decodeWALRecord(data []byte) (rec walRecord, n int, ok bool) {
+	if len(data) < walHeaderLen {
+		return walRecord{}, 0, false
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	if length < 1 || length > walMaxRecord || int(length) > len(data)-walHeaderLen {
+		return walRecord{}, 0, false
+	}
+	body := data[walHeaderLen : walHeaderLen+int(length)]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
+		return walRecord{}, 0, false
+	}
+	return walRecord{kind: body[0], payload: body[1:]}, walHeaderLen + int(length), true
+}
+
+// scanWAL decodes the longest valid prefix of a WAL image, returning the
+// records and the prefix length in bytes (what recovery truncates the file
+// to).
+func scanWAL(data []byte) (recs []walRecord, valid int) {
+	for {
+		rec, n, ok := decodeWALRecord(data[valid:])
+		if !ok {
+			return recs, valid
+		}
+		recs = append(recs, rec)
+		valid += n
+	}
+}
+
+// decodeCommitPayload parses a commit record back into its lsn and events
+// (Document + re-usable wire payload per event).
+func decodeCommitPayload(payload []byte) (uint64, []StoreEvent, error) {
+	var rec walCommit
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, nil, fmt.Errorf("ifsvr: decoding WAL commit record: %w", err)
+	}
+	evs := make([]StoreEvent, 0, len(rec.Events))
+	for _, w := range rec.Events {
+		doc := Document{
+			Content:           w.Content,
+			ContentType:       w.ContentType,
+			Version:           w.Version,
+			DescriptorVersion: w.DescriptorVersion,
+			Epoch:             w.Epoch,
+		}
+		evs = append(evs, StoreEvent{Path: w.Path, Doc: doc, Payload: encodeEventPayload(w.Path, doc)})
+	}
+	return rec.Lsn, evs, nil
+}
+
+// encodeEventPayload marshals one committed version into the shared wire
+// form: the JSON object that is both the SSE "data:" line and the WAL
+// commit-record element. It is called once per event at commit time; the
+// resulting bytes are fanned out to every watcher and appended to the log,
+// so they must never be mutated afterwards.
+func encodeEventPayload(path string, d Document) []byte {
+	data, err := json.Marshal(streamWire{
+		Path:              path,
+		Version:           d.Version,
+		DescriptorVersion: d.DescriptorVersion,
+		Epoch:             d.Epoch,
+		ContentType:       d.ContentType,
+		Content:           d.Content,
+	})
+	if err != nil {
+		// streamWire is strings and integers; Marshal cannot fail on it.
+		panic("ifsvr: marshaling stream event: " + err.Error())
+	}
+	return data
+}

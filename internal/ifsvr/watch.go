@@ -60,6 +60,7 @@ func WatchContext(ctx context.Context, client *http.Client, url string, after ui
 			Version:           headerUint(resp, VersionHeader),
 			DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
 			Epoch:             headerUint(resp, EpochHeader),
+			Generation:        headerUint(resp, GenerationHeader),
 			ContentType:       resp.Header.Get("Content-Type"),
 		}, nil
 	case http.StatusNotModified:
@@ -67,6 +68,7 @@ func WatchContext(ctx context.Context, client *http.Client, url string, after ui
 			Version:           headerUint(resp, VersionHeader),
 			DescriptorVersion: headerUint(resp, DescriptorVersionHeader),
 			Epoch:             headerUint(resp, EpochHeader),
+			Generation:        headerUint(resp, GenerationHeader),
 		}, ErrNotModified
 	case http.StatusNotFound:
 		return Document{}, fmt.Errorf("%w: %s", ErrNotFound, url)
@@ -78,6 +80,14 @@ func WatchContext(ctx context.Context, client *http.Client, url string, after ui
 // WatchNewer polls url until a document version newer than after is
 // published, looping across 304 poll windows. It returns the new document,
 // or an error when ctx ends or the watch fails for another reason.
+//
+// A 304 reporting a current version *below* after means the server's state
+// regressed past the caller's cursor — a restarted server that did not
+// recover the old state (per-path versions are otherwise monotone, even
+// across retirement). Parking on a version such a server will not reach
+// for a long time would wedge the watcher, so WatchNewer fetches and
+// returns the current document instead; the caller detects the restart by
+// its Generation (and regressed Version) and resets its cursors.
 func WatchNewer(ctx context.Context, client *http.Client, url string, after uint64) (Document, error) {
 	for {
 		doc, err := WatchContext(ctx, client, url, after)
@@ -85,6 +95,9 @@ func WatchNewer(ctx context.Context, client *http.Client, url string, after uint
 		case err == nil:
 			return doc, nil
 		case errors.Is(err, ErrNotModified):
+			if doc.Version > 0 && doc.Version < after {
+				return FetchContext(ctx, client, url)
+			}
 			continue
 		default:
 			if ctx.Err() != nil {

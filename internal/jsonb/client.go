@@ -136,7 +136,7 @@ func (b *backend) compile(doc ifsvr.Document) (dyn.InterfaceDescriptor, cde.DocV
 	b.mu.Lock()
 	b.caller = &Caller{Endpoint: endpoint, HTTPClient: b.httpClient}
 	b.mu.Unlock()
-	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch}, nil
+	return desc, cde.DocVersions{Doc: doc.Version, Descriptor: doc.DescriptorVersion, Epoch: doc.Epoch, Generation: doc.Generation}, nil
 }
 
 // FetchInterface implements cde.Backend: fetch the JSON interface document

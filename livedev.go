@@ -19,12 +19,14 @@
 //   - an event-driven publication core: every binding publishes through a
 //     versioned, epoch-numbered document store with subscriber fan-out,
 //     edit-storm coalescing (Config.FlushWindow, per-path overrides via
-//     WithPathFlushWindow), and a bounded replay journal
-//     (Config.HistoryLen), read by the Interface Server and watchable over
-//     two HTTP transports — streaming (SSE, one held connection per
-//     watcher, journal-replay catch-up on reconnect) and long-poll; plus
-//     ReExport, the live binding-agnostic bridge (serve any registered
-//     binding's class over any other);
+//     WithPathFlushWindow), a bounded replay journal (Config.HistoryLen),
+//     and optional durability (Config.DataDir: snapshot+WAL persistence —
+//     a restarted server resumes its epoch sequence, so reconnecting
+//     watchers ride journal replay instead of refetching), read by the
+//     Interface Server and watchable over two HTTP transports — streaming
+//     (SSE, one held connection per watcher, journal-replay catch-up on
+//     reconnect) and long-poll; plus ReExport, the live binding-agnostic
+//     bridge (serve any registered binding's class over any other);
 //   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
 //     DII/DSI ORBs) protocol stacks, built on the standard library only,
 //     plus a JSON/HTTP binding implemented purely against the public
@@ -40,6 +42,8 @@
 //	class := livedev.NewClass("Calc")
 //	class.AddMethod(livedev.MethodSpec{ ... Distributed: true ... })
 //	mgr, _ := livedev.NewManager(livedev.Config{})
+//	// Production servers set Config.DataDir (sde-server: -data-dir) so the
+//	// publication store survives restarts.
 //	srv, _ := mgr.Register(class, livedev.TechSOAP)
 //	srv.CreateInstance()
 //
