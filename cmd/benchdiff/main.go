@@ -3,9 +3,12 @@
 //
 // Table 1 rows (the invocation hot path, measured in go-bench units) are
 // gated hard: a ns/op regression beyond -max-regress-pct fails the run, as
-// does a row that disappeared. The refresh and fan-out rows are wall-clock
-// latency experiments — inherently noisy on shared CI runners — so they are
-// diffed warn-only.
+// does a row that disappeared. The refresh, fan-out, and durability rows
+// are wall-clock (and, for durability, disk-bound) experiments — inherently
+// noisy on shared CI runners — so they are diffed warn-only. Artifact
+// sections this tool does not know at all are named and skipped, never
+// failed: a new rtt-bench section must not break the CI gate before its
+// diff logic exists.
 //
 // Usage:
 //
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"livedev/internal/benchfmt"
 )
@@ -97,12 +101,77 @@ func run() int {
 			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), key(base), base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs))
 	}
 
+	// Durability rows: warn-only. Throughput is ops/sec (a drop is the
+	// regression), recovery is wall-clock milliseconds (a rise is) — both
+	// disk-bound and far too machine-dependent to gate on.
+	dkey := func(r benchfmt.DurabilityRow) string {
+		if r.Kind == "throughput" {
+			return fmt.Sprintf("throughput/%s@%d-shard", r.Policy, r.Shards)
+		}
+		return fmt.Sprintf("recovery@%d-shard", r.Shards)
+	}
+	freshDur := make(map[string]benchfmt.DurabilityRow, len(fresh.DurabilityRows))
+	for _, r := range fresh.DurabilityRows {
+		freshDur[dkey(r)] = r
+	}
+	for _, base := range baseline.DurabilityRows {
+		now, ok := freshDur[dkey(base)]
+		if !ok {
+			fmt.Printf("warn %-26s durability row missing from the fresh run\n", dkey(base))
+			continue
+		}
+		if base.Kind == "throughput" {
+			drop := pct(now.OpsPerSec, base.OpsPerSec) // inverted: fewer ops = regression
+			fmt.Printf("%s %-26s %10.0f ops/s -> %10.0f (%+.1f%%)\n",
+				warnTag(drop, *maxRegress), dkey(base), base.OpsPerSec, now.OpsPerSec, -drop)
+		} else {
+			rise := pct(base.RecoveryMs, now.RecoveryMs)
+			fmt.Printf("%s %-26s %9.1fms recovery -> %9.1fms (%+.1f%%)\n",
+				warnTag(rise, *maxRegress), dkey(base), base.RecoveryMs, now.RecoveryMs, rise)
+		}
+	}
+
+	// Sections this tool has no diff logic for yet must not break the CI
+	// gate: name them so a future section lands green until a diff is
+	// written for it.
+	for _, name := range unknownSections(*freshPath) {
+		fmt.Printf("note %-26s section not diffed (unknown to benchdiff)\n", name)
+	}
+
 	if failed {
 		fmt.Printf("\nbenchdiff: Table 1 regression beyond %.0f%% — failing\n", *maxRegress)
 		return 1
 	}
 	fmt.Println("\nbenchdiff: within budget")
 	return 0
+}
+
+// knownSections are the artifact keys benchdiff understands (scalar header
+// fields included, so only genuinely new row sections are reported).
+var knownSections = map[string]bool{
+	"schema": true, "command": true, "calls": true, "payload_bytes": true,
+	"rows": true, "refresh_rows": true, "fanout_rows": true, "durability_rows": true,
+}
+
+// unknownSections lists top-level artifact keys this tool has no handling
+// for. Errors are ignored: the file already parsed once via load.
+func unknownSections(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil
+	}
+	var out []string
+	for name := range raw {
+		if !knownSections[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func load(path string) (benchfmt.File, error) {

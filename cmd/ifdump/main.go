@@ -11,10 +11,16 @@
 // the follow rides the SSE streaming transport on one held connection
 // instead, marking replayed (journal catch-up) and snapshot events.
 //
+// With -stats it also fetches the server's publication-store counters
+// (the /.stats endpoint on the same host as the document URL) and prints
+// them — commits, coalescing, journal replays, and for a durable store
+// the WAL durability block: per-shard lsns, fsyncs, group-commit batch
+// sizes, sync-wait totals.
+//
 // Usage:
 //
-//	ifdump -wsdl URL [-watch N] [-stream]
-//	ifdump -idl URL [-iface NAME] [-watch N] [-stream]
+//	ifdump -wsdl URL [-watch N] [-stream] [-stats]
+//	ifdump -idl URL [-iface NAME] [-watch N] [-stream] [-stats]
 package main
 
 import (
@@ -22,6 +28,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
 	"time"
 
@@ -41,16 +50,17 @@ func run() int {
 	raw := flag.Bool("raw", false, "print the raw document too")
 	watch := flag.Int("watch", -1, "after dumping, follow the document via the watch protocol for N updates (0 = forever)")
 	stream := flag.Bool("stream", false, "follow over the SSE streaming transport instead of long-polling")
+	stats := flag.Bool("stats", false, "also fetch and print the server's publication-store counters (/.stats)")
 	flag.Parse()
 
 	switch {
 	case *wsdlURL != "":
-		return dump(*wsdlURL, *raw, *watch, *stream, func(doc ifsvr.Document) error {
+		return dump(*wsdlURL, *raw, *watch, *stream, *stats, func(doc ifsvr.Document) error {
 			return printWSDL(doc)
 		})
 	case *idlURL != "":
 		name := *ifaceName
-		return dump(*idlURL, *raw, *watch, *stream, func(doc ifsvr.Document) error {
+		return dump(*idlURL, *raw, *watch, *stream, *stats, func(doc ifsvr.Document) error {
 			return printIDL(doc, name)
 		})
 	default:
@@ -59,9 +69,34 @@ func run() int {
 	}
 }
 
+// printStats fetches the Interface Server's store counters from the
+// /.stats endpoint on the document URL's host and prints them verbatim
+// (the server already emits indented JSON).
+func printStats(docURL string) error {
+	u, err := url.Parse(docURL)
+	if err != nil {
+		return fmt.Errorf("stats: parsing %s: %w", docURL, err)
+	}
+	statsURL := u.Scheme + "://" + u.Host + ifsvr.StatsPath
+	resp, err := http.Get(statsURL)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s returned %s", statsURL, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("stats: reading %s: %w", statsURL, err)
+	}
+	fmt.Printf("\nstore stats (%s):\n%s", statsURL, body)
+	return nil
+}
+
 // dump fetches and prints the document once, then optionally follows it
 // through the watch protocol (long-poll rounds, or one SSE stream).
-func dump(url string, raw bool, watch int, stream bool, print func(ifsvr.Document) error) int {
+func dump(url string, raw bool, watch int, stream, stats bool, print func(ifsvr.Document) error) int {
 	ctx := context.Background()
 	doc, err := ifsvr.FetchContext(ctx, nil, url)
 	if err != nil {
@@ -71,6 +106,12 @@ func dump(url string, raw bool, watch int, stream bool, print func(ifsvr.Documen
 	if err := printDoc(doc, raw, print); err != nil {
 		fmt.Fprintln(os.Stderr, "ifdump:", err)
 		return 1
+	}
+	if stats {
+		if err := printStats(url); err != nil {
+			fmt.Fprintln(os.Stderr, "ifdump:", err)
+			return 1
+		}
 	}
 	if watch < 0 {
 		return 0

@@ -17,12 +17,16 @@
 //
 //	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
 //	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
-//	          [-restart] [-restart-watchers N] [-json PATH]
+//	          [-restart] [-restart-watchers N] [-durability] [-json PATH]
 //
 // With -restart it also measures the durable store's restart-reconnect
 // latency: N streaming watchers ride an Interface Server restart over a
 // data dir, timed until every watcher is caught up — once recovered via
 // journal replay and once degraded to the snapshot stampede.
+//
+// With -durability it also measures the sharded WAL: commit throughput
+// per sync policy and cold-cache recovery time per shard count, landing
+// in the artifact's durability_rows section.
 package main
 
 import (
@@ -70,6 +74,7 @@ func run() int {
 	fanoutPoll := flag.Duration("fanout-poll", 25*time.Millisecond, "polling transport's interval for the fan-out rows")
 	restart := flag.Bool("restart", false, "also measure restart-reconnect latency (durable store; replay vs snapshot recovery)")
 	restartWatchers := flag.Int("restart-watchers", 1000, "watcher count for the restart-reconnect rows")
+	durability := flag.Bool("durability", false, "also measure WAL sync-policy throughput and sharded recovery time")
 	flag.Parse()
 
 	rows, err := experiments.RunTable1(experiments.Table1Config{
@@ -127,6 +132,17 @@ func run() int {
 		fanoutRows = append(fanoutRows, restartRows...)
 	}
 
+	var durabilityRows []experiments.DurabilityResult
+	if *durability {
+		durabilityRows, err = experiments.RunDurabilitySweep(experiments.DurabilityConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatDurability(durabilityRows))
+	}
+
 	if *jsonPath != "" {
 		out := benchfmt.File{
 			Schema:  benchfmt.Schema,
@@ -162,6 +178,22 @@ func run() int {
 				P50Ns:     float64(r.P50.Nanoseconds()),
 				MaxNs:     float64(r.Max.Nanoseconds()),
 			})
+		}
+		for _, r := range durabilityRows {
+			row := benchfmt.DurabilityRow{
+				Kind:       r.Kind,
+				Shards:     r.Shards,
+				Publishers: r.Publishers,
+				Commits:    r.Commits,
+				OpsPerSec:  r.OpsPerSec,
+			}
+			if r.Kind == "throughput" {
+				row.Policy = r.Policy.String()
+			}
+			if r.Recovery > 0 {
+				row.RecoveryMs = float64(r.Recovery.Nanoseconds()) / 1e6
+			}
+			out.DurabilityRows = append(out.DurabilityRows, row)
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

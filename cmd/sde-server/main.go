@@ -7,14 +7,19 @@
 // Usage:
 //
 //	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-data-dir DIR]
-//	           [-live] [-duration D]
+//	           [-sync none|group|always] [-shards K] [-live] [-duration D]
 //
 // With -data-dir the publication store is durable (snapshot + WAL): a
 // restarted sde-server resumes its epoch sequence, so watch clients ride
 // journal replay across the restart instead of refetching snapshots.
+// -sync picks the durability of the publication ack (group = group-commit
+// fsync) and -shards the WAL/snapshot shard count; SIGQUIT dumps the
+// store's counters, durability block included, without stopping the
+// server.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,9 +46,20 @@ func run() int {
 	flushWindow := flag.Duration("flush-window", 0, "publication-store coalescing window (0 = commit immediately)")
 	historyLen := flag.Int("history-len", 0, "publication-store replay journal capacity (0 = default, negative disables)")
 	dataDir := flag.String("data-dir", "", "durable publication-store directory (snapshot + WAL; empty = in-memory)")
+	syncMode := flag.String("sync", "", "durable-store sync policy: none, group (ack after group-commit fsync), or always (empty = store default)")
+	shards := flag.Int("shards", 0, "durable-store WAL/snapshot shard count (0 = store default)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	flag.Parse()
+
+	var syncPolicy core.SyncPolicy
+	if *syncMode != "" {
+		var err error
+		if syncPolicy, err = core.ParseSyncPolicy(*syncMode); err != nil {
+			fmt.Fprintln(os.Stderr, "sde-server:", err)
+			return 2
+		}
+	}
 
 	core.RegisterBinding(jsonb.New())
 
@@ -56,6 +72,8 @@ func run() int {
 		FlushWindow:   *flushWindow,
 		HistoryLen:    *historyLen,
 		DataDir:       *dataDir,
+		Sync:          syncPolicy,
+		WALShards:     *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)
@@ -156,6 +174,10 @@ func run() int {
 	if *dataDir != "" {
 		fmt.Printf("  data dir: %s (store generation %d, epoch %d)\n",
 			*dataDir, mgr.Store().Generation(), mgr.Store().Epoch())
+		if d := mgr.Store().Stats().Durability; d != nil {
+			fmt.Printf("  durability: sync=%s shards=%d (SIGQUIT dumps store stats)\n",
+				d.Policy, d.Shards)
+		}
 	}
 	fmt.Println("  WSDL:", soapSrv.InterfaceURL())
 	fmt.Println("  SOAP endpoint:", soapSrv.(*core.SOAPServer).Endpoint())
@@ -166,6 +188,11 @@ func run() int {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// SIGQUIT dumps the publication store's counters (including the
+	// durability block: per-shard lsns, fsyncs, group-commit batch sizes)
+	// without stopping the server — the live-ops view of -sync.
+	statsSig := make(chan os.Signal, 1)
+	signal.Notify(statsSig, syscall.SIGQUIT)
 
 	var deadline <-chan time.Time
 	if *duration > 0 {
@@ -180,6 +207,13 @@ func run() int {
 		case <-stop:
 			fmt.Println("\nshutting down")
 			return 0
+		case <-statsSig:
+			data, err := json.MarshalIndent(mgr.Store().Stats(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sde-server: stats:", err)
+				continue
+			}
+			fmt.Printf("store stats:\n%s\n", data)
 		case <-deadline:
 			return 0
 		case <-ticker.C:

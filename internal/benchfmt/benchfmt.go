@@ -39,15 +39,30 @@ type FanoutRow struct {
 	MaxNs     float64 `json:"max_ns"`
 }
 
+// DurabilityRow is one durable-store measurement (wall-clock experiment;
+// diffed warn-only): a "throughput" row reports the closed-loop commit
+// rate under one WAL sync policy, a "recovery" row the cold-cache replay
+// time for one shard count.
+type DurabilityRow struct {
+	Kind       string  `json:"kind"`
+	Policy     string  `json:"policy,omitempty"`
+	Shards     int     `json:"shards"`
+	Publishers int     `json:"publishers,omitempty"`
+	Commits    int     `json:"commits"`
+	OpsPerSec  float64 `json:"ops_per_sec,omitempty"`
+	RecoveryMs float64 `json:"recovery_ms,omitempty"`
+}
+
 // File is the artifact layout. Unknown extra fields (the hand-annotated
 // go_bench before/after notes) survive a read-modify cycle only if callers
 // preserve them; benchdiff is read-only.
 type File struct {
-	Schema      string       `json:"schema"`
-	Command     string       `json:"command"`
-	Calls       int          `json:"calls"`
-	Payload     int          `json:"payload_bytes"`
-	Rows        []BenchRow   `json:"rows"`
-	RefreshRows []RefreshRow `json:"refresh_rows,omitempty"`
-	FanoutRows  []FanoutRow  `json:"fanout_rows,omitempty"`
+	Schema         string          `json:"schema"`
+	Command        string          `json:"command"`
+	Calls          int             `json:"calls"`
+	Payload        int             `json:"payload_bytes"`
+	Rows           []BenchRow      `json:"rows"`
+	RefreshRows    []RefreshRow    `json:"refresh_rows,omitempty"`
+	FanoutRows     []FanoutRow     `json:"fanout_rows,omitempty"`
+	DurabilityRows []DurabilityRow `json:"durability_rows,omitempty"`
 }

@@ -102,6 +102,21 @@ type Config struct {
 	// instead of stampeding the snapshot path. Empty (the default) keeps
 	// the store in-memory.
 	DataDir string
+	// Sync selects when the durable store fsyncs its WAL (ignored without
+	// DataDir). The zero value SyncNone keeps today's buffered writes;
+	// SyncGroupCommit batches concurrent commits into shared fsyncs and
+	// blocks each publication until its record is durable; SyncAlways
+	// fsyncs every commit individually.
+	Sync SyncPolicy
+	// GroupCommitWindow bounds how long a lone commit may wait for
+	// company under SyncGroupCommit before its fsync is issued anyway.
+	// Zero means the ifsvr default.
+	GroupCommitWindow time.Duration
+	// WALShards is the number of hash-partitioned WAL/snapshot shard
+	// pairs the durable store spreads paths over (ignored without
+	// DataDir). Zero means the ifsvr default; an existing data directory
+	// written with a different count is resharded on open.
+	WALShards int
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -160,10 +175,13 @@ type Manager struct {
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	store, err := ifsvr.OpenStore(ifsvr.StoreConfig{
-		Window:     cfg.FlushWindow,
-		Clock:      cfg.Clock,
-		HistoryLen: cfg.HistoryLen,
-		Dir:        cfg.DataDir,
+		Window:      cfg.FlushWindow,
+		Clock:       cfg.Clock,
+		HistoryLen:  cfg.HistoryLen,
+		Dir:         cfg.DataDir,
+		Sync:        cfg.Sync,
+		GroupWindow: cfg.GroupCommitWindow,
+		Shards:      cfg.WALShards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: opening publication store: %w", err)

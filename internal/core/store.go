@@ -43,7 +43,24 @@ type (
 	Persistence = ifsvr.Persistence
 	// PersistentState is the recovered state a Persistence backend loads.
 	PersistentState = ifsvr.PersistentState
+	// SyncPolicy selects when a durable store fsyncs its write-ahead log.
+	SyncPolicy = ifsvr.SyncPolicy
+	// PersistStats counts durability-backend activity (per-shard log
+	// positions, fsyncs, group-commit batching, sync waits).
+	PersistStats = ifsvr.PersistStats
 )
+
+// The three WAL sync policies; see ifsvr.SyncPolicy.
+const (
+	SyncNone        = ifsvr.SyncNone
+	SyncGroupCommit = ifsvr.SyncGroupCommit
+	SyncAlways      = ifsvr.SyncAlways
+)
+
+// ParseSyncPolicy parses a -sync flag value ("none", "group", "always").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	return ifsvr.ParseSyncPolicy(s)
+}
 
 // OpenStore opens a store, recovering state from the configured
 // persistence backend (if any). See ifsvr.OpenStore.

@@ -1,0 +1,36 @@
+//go:build linux
+
+package experiments
+
+import (
+	"os"
+	"syscall"
+)
+
+// drainWriteback flushes all dirty pages to disk (sync(2)) so one
+// measurement's buffered writes cannot tax the next one's fsyncs with
+// background writeback.
+func drainWriteback() { syscall.Sync() }
+
+// posixFadvDontneed is POSIX_FADV_DONTNEED from <fcntl.h>.
+const posixFadvDontneed = 4
+
+// dropFileCache asks the kernel to evict path's pages from the page cache
+// so the next read is a real disk read. Dirty pages would survive the
+// advice, so the file is fsynced first; the eviction itself is advisory
+// (best effort) but measurably effective once the pages are clean.
+func dropFileCache(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// Length 0 means "to the end of the file".
+	if _, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, posixFadvDontneed, 0, 0); errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ package ifsvr
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -52,6 +53,13 @@ const EpochHeader = "X-Interface-Epoch"
 // server" (generation change; the new server additionally lost the old
 // state when its epoch regressed). Absent on servers predating it.
 const GenerationHeader = "X-Store-Generation"
+
+// StatsPath is the reserved path serving the backing store's counters as
+// JSON (StoreStats, including the Durability block on durable stores). It
+// exists for operational introspection — ifdump -stats and the SIGQUIT
+// dump read the same numbers — and is only served when the backing store
+// exposes Stats.
+const StatsPath = "/.stats"
 
 // ErrNotFound reports a fetch of a never-published document.
 var ErrNotFound = errors.New("ifsvr: document not published")
@@ -214,6 +222,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
+	if r.URL.Path == StatsPath {
+		s.serveStats(w)
+		return
+	}
 	q := r.URL.Query()
 	if q.Get("watch") == "stream" {
 		s.serveStream(w, r, q)
@@ -230,6 +242,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeDoc(w, d, backingGeneration(st))
+}
+
+// statsBacking is the optional Backing capability behind StatsPath; Store
+// implements it.
+type statsBacking interface {
+	Stats() StoreStats
+}
+
+func (s *Server) serveStats(w http.ResponseWriter) {
+	b, ok := s.backing().(statsBacking)
+	if !ok {
+		http.Error(w, "backing store exposes no stats", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(b.Stats())
 }
 
 func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values) {

@@ -63,6 +63,10 @@ type StoreStats struct {
 	// PersistErrors counts failed persistence operations — the store keeps
 	// serving from memory, but durability of the failed batch is lost.
 	PersistErrors uint64
+	// Durability is the persistence backend's own counter block (per-shard
+	// lsns, fsyncs, group-commit batch sizes, fsync lag); nil for an
+	// in-memory store.
+	Durability *PersistStats
 }
 
 // Store is the event-driven publication core: a versioned interface-document
@@ -95,9 +99,11 @@ type StoreStats struct {
 //
 // Persistence: a store opened with OpenStore over a Persistence backend
 // (StoreConfig.Dir for the file implementation) appends every commit
-// batch to a write-ahead log before fan-out and compacts the full state
-// (documents, epoch counter, replay journal, restart generation) into a
-// snapshot every SnapshotEvery batches. A reopened store resumes at an
+// batch to a path-hash-sharded write-ahead log before fan-out, compacts
+// each shard's state (documents, epoch counter, replay journal, restart
+// generation) into that shard's snapshot every SnapshotEvery of its
+// batches, and — under StoreConfig.Sync group or always — holds the
+// publisher's ack until the batch is fsynced. A reopened store resumes at an
 // epoch strictly past its pre-restart epoch, so watchers reconnecting
 // with their last epoch ride journal replay across the restart instead
 // of forcing a snapshot stampede.
@@ -116,15 +122,13 @@ type Store struct {
 	generation uint64
 
 	// persist, when non-nil, is the durability backend: every commit batch
-	// is appended to its WAL (under mu, before fan-out), and every
-	// snapEvery batches the state is compacted into a snapshot — off mu,
-	// under deliverMu, so readers are not blocked by snapshot IO. lsn
-	// numbers the logged operations; the snapshot records the last lsn it
-	// covers so recovery can skip already-applied records.
-	persist   Persistence
-	snapEvery int
-	sinceSnap int
-	lsn       uint64
+	// is appended to its WAL (under mu, before fan-out), and shards whose
+	// batch count is due are compacted into snapshots — off mu, under
+	// deliverMu, so readers are not blocked by snapshot IO. The sync wait
+	// of a committed batch (policy group/always) happens after BOTH locks
+	// release, which is what lets concurrent committers amortize one
+	// fsync.
+	persist Persistence
 
 	mu           sync.Mutex
 	docs         map[string]Document
@@ -170,7 +174,6 @@ func NewStore(window time.Duration, clk clock.Clock) *Store {
 		clk:        clk,
 		histLen:    DefaultHistoryLen,
 		generation: gen,
-		snapEvery:  DefaultSnapshotEvery,
 		docs:       make(map[string]Document),
 		retired:    make(map[string]uint64),
 		pending:    make(map[string]Document),
@@ -191,15 +194,27 @@ type StoreConfig struct {
 	// HistoryLen bounds the replay journal (0 means DefaultHistoryLen,
 	// negative disables it).
 	HistoryLen int
-	// Dir enables the file persistence backend (snapshot.json + wal.log
-	// under this directory) when Persistence is nil. Empty keeps the store
-	// in-memory.
+	// Dir enables the file persistence backend (sharded snapshot-NN.json
+	// + wal-NN.log pairs under this directory) when Persistence is nil.
+	// Empty keeps the store in-memory.
 	Dir string
-	// Persistence is an explicit durability backend; it overrides Dir.
+	// Persistence is an explicit durability backend; it overrides Dir
+	// (and Shards/Sync/GroupWindow/SnapshotEvery, which configure the
+	// file backend Dir resolves to).
 	Persistence Persistence
-	// SnapshotEvery is how many commit batches are logged between
-	// compacted snapshots (0 means DefaultSnapshotEvery).
+	// SnapshotEvery is how many commit batches one shard logs between
+	// cadence compactions of that shard (0 means DefaultSnapshotEvery).
 	SnapshotEvery int
+	// Shards is the WAL/snapshot shard count (0 means DefaultShards).
+	Shards int
+	// Sync selects what a committed publication's ack means for
+	// durability: SyncNone (buffered write, the default), SyncGroupCommit
+	// (ack after an fsync shared with concurrent committers), or
+	// SyncAlways (ack after a per-batch fsync).
+	Sync SyncPolicy
+	// GroupWindow bounds the extra time a lone commit may wait for
+	// company under SyncGroupCommit (0 means DefaultGroupWindow).
+	GroupWindow time.Duration
 }
 
 // OpenStore opens a store, recovering documents, versions, the epoch
@@ -216,12 +231,15 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 	case cfg.HistoryLen > 0:
 		s.histLen = cfg.HistoryLen
 	}
-	if cfg.SnapshotEvery > 0 {
-		s.snapEvery = cfg.SnapshotEvery
-	}
 	p := cfg.Persistence
 	if p == nil && cfg.Dir != "" {
-		fp, err := OpenFilePersistence(cfg.Dir)
+		fp, err := OpenFilePersistence(FileConfig{
+			Dir:           cfg.Dir,
+			Shards:        cfg.Shards,
+			Sync:          cfg.Sync,
+			GroupWindow:   cfg.GroupWindow,
+			SnapshotEvery: cfg.SnapshotEvery,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -242,7 +260,6 @@ func OpenStore(cfg StoreConfig) (*Store, error) {
 		s.retired[path] = v
 	}
 	s.epoch = state.Epoch
-	s.lsn = state.LSN
 	s.generation = state.Generation + 1
 	if s.histLen > 0 {
 		s.journal = state.Journal
@@ -328,11 +345,18 @@ func (s *Store) Epoch() uint64 {
 	return s.epoch
 }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of the store counters, including the
+// persistence backend's durability block for a persistent store.
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	p := s.persist
+	s.mu.Unlock()
+	if p != nil {
+		ps := p.Stats()
+		st.Durability = &ps
+	}
+	return st
 }
 
 // Publish is PublishVersioned without a descriptor version.
@@ -354,6 +378,13 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 		ContentType:       contentType,
 		DescriptorVersion: descriptorVersion,
 	}
+	// The durability wait runs after BOTH locks release (deferred calls
+	// run last-in-first-out): concurrent publishers park in Sync together
+	// and share the backend's next fsync, instead of serializing fsyncs
+	// behind deliverMu.
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
@@ -365,9 +396,11 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 	_, published := s.docs[path]
 	window := s.windowFor(path)
 	if window <= 0 || !published {
-		evs := s.commitLocked([]string{path}, map[string]Document{path: staged})
+		var evs []StoreEvent
+		evs, tok = s.commitLocked([]string{path}, map[string]Document{path: staged})
 		ver := s.docs[path].Version
 		fns := s.subscribersLocked()
+		p = s.persist
 		s.mu.Unlock()
 		fanOut(evs, fns)
 		s.maybeCompact()
@@ -388,11 +421,13 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 
 // commitLocked commits the given paths (drawing content from contents),
 // bumping the epoch once for the batch and journaling each committed
-// version. Caller holds s.mu and must fan the returned events out after
-// unlocking.
-func (s *Store) commitLocked(order []string, contents map[string]Document) []StoreEvent {
+// version. Caller holds s.mu, must fan the returned events out after
+// unlocking, and must pass the returned token to awaitDurable after
+// releasing deliverMu — the ack of a synced store is only honest once
+// that wait returns.
+func (s *Store) commitLocked(order []string, contents map[string]Document) ([]StoreEvent, SyncToken) {
 	if len(order) == 0 {
-		return nil
+		return nil, nil
 	}
 	s.epoch++
 	s.stats.Batches++
@@ -418,18 +453,35 @@ func (s *Store) commitLocked(order []string, contents map[string]Document) []Sto
 		evs = append(evs, StoreEvent{Path: path, Doc: d, Payload: encodeEventPayload(path, d)})
 	}
 	s.journalLocked(evs)
+	var tok SyncToken
 	if s.persist != nil {
-		s.lsn++
-		if err := s.persist.Append(s.lsn, evs); err != nil {
+		t, err := s.persist.Append(evs)
+		if err != nil {
 			s.stats.PersistErrors++
 		} else {
 			s.stats.WALAppends++
+			tok = t
 		}
-		s.sinceSnap++
 	}
 	close(s.changed)
 	s.changed = make(chan struct{})
-	return evs
+	return evs, tok
+}
+
+// awaitDurable blocks until the logged operation behind tok is durable
+// under the backend's sync policy. Callers must have released deliverMu
+// (and mu): the wait is where concurrent committers gather into one
+// group-commit fsync, and holding the writer lock through it would
+// serialize the groups back into per-commit fsyncs.
+func (s *Store) awaitDurable(p Persistence, tok SyncToken) {
+	if p == nil || tok == nil {
+		return
+	}
+	if err := p.Sync(tok); err != nil {
+		s.mu.Lock()
+		s.stats.PersistErrors++
+		s.mu.Unlock()
+	}
 }
 
 // stateLocked assembles the persistent state. Caller holds s.mu; when the
@@ -440,7 +492,6 @@ func (s *Store) stateLocked(copied bool) PersistentState {
 		Generation: s.generation,
 		Epoch:      s.epoch,
 		FloorEpoch: s.floorEpoch,
-		LSN:        s.lsn,
 		Docs:       s.docs,
 		Retired:    s.retired,
 		Journal:    s.journal,
@@ -459,11 +510,10 @@ func (s *Store) stateLocked(copied bool) PersistentState {
 	return st
 }
 
-// snapshotLocked compacts the store state into the persistence backend and
-// resets the snapshot cadence counter. Caller holds s.mu (or, during
-// OpenStore/Close, has exclusive access) — only the open/close paths pay
-// snapshot IO under the lock; the steady-state cadence goes through
-// maybeCompact instead.
+// snapshotLocked compacts the full store state — every shard — into the
+// persistence backend. Caller holds s.mu (or, during OpenStore/Close, has
+// exclusive access) — only the open/close paths pay snapshot IO under the
+// lock; the steady-state cadence goes through maybeCompact instead.
 func (s *Store) snapshotLocked() error {
 	if s.persist == nil {
 		return nil
@@ -471,19 +521,19 @@ func (s *Store) snapshotLocked() error {
 	if err := s.persist.Snapshot(s.stateLocked(false)); err != nil {
 		return err
 	}
-	s.sinceSnap = 0
 	s.stats.Snapshots++
 	return nil
 }
 
-// maybeCompact writes the cadence snapshot when one is due. Caller holds
-// deliverMu but NOT mu: deliverMu serializes every WAL writer (publish,
-// flush, remove, close), so the log cannot grow under the compaction,
-// while readers on mu — document GETs, parked Waits, journal replays for
-// a thousand held streams — never wait on snapshot file IO.
+// maybeCompact writes the cadence snapshot when the backend reports one
+// due (a shard crossed its batch budget). Caller holds deliverMu but NOT
+// mu: deliverMu serializes every WAL writer (publish, flush, remove,
+// close), so the logs cannot grow under the compaction, while readers on
+// mu — document GETs, parked Waits, journal replays for a thousand held
+// streams — never wait on snapshot file IO.
 func (s *Store) maybeCompact() {
 	s.mu.Lock()
-	due := s.persist != nil && !s.closed && s.sinceSnap >= s.snapEvery
+	due := s.persist != nil && !s.closed && s.persist.CompactDue()
 	var state PersistentState
 	var p Persistence
 	if due {
@@ -494,12 +544,11 @@ func (s *Store) maybeCompact() {
 	if !due {
 		return
 	}
-	err := p.Snapshot(state)
+	err := p.Compact(state)
 	s.mu.Lock()
 	if err != nil {
 		s.stats.PersistErrors++
 	} else {
-		s.sinceSnap = 0
 		s.stats.Snapshots++
 	}
 	s.mu.Unlock()
@@ -641,14 +690,14 @@ func (s *Store) dueLocked(now time.Time) (order []string, contents map[string]Do
 }
 
 // flushLocked stages-out and commits everything pending. Caller holds s.mu.
-func (s *Store) flushLocked() []StoreEvent {
+func (s *Store) flushLocked() ([]StoreEvent, SyncToken) {
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil
 	}
 	s.timerOn = false
 	if len(s.pendingOrder) == 0 {
-		return nil
+		return nil, nil
 	}
 	order, contents := s.pendingOrder, s.pending
 	s.pendingOrder = nil
@@ -658,6 +707,9 @@ func (s *Store) flushLocked() []StoreEvent {
 }
 
 func (s *Store) onFlushTimer() {
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
@@ -666,7 +718,8 @@ func (s *Store) onFlushTimer() {
 	var evs []StoreEvent
 	if !s.closed {
 		order, contents := s.dueLocked(s.clk.Now())
-		evs = s.commitLocked(order, contents)
+		evs, tok = s.commitLocked(order, contents)
+		p = s.persist
 		s.rearmLocked() // paths with longer windows stay staged
 	}
 	fns := s.subscribersLocked()
@@ -677,15 +730,19 @@ func (s *Store) onFlushTimer() {
 
 // Flush synchronously commits every staged publication — the forced-
 // publication path: after Flush returns, Get observes everything published
-// before the call.
+// before the call (and, under a syncing policy, the batch is durable).
 func (s *Store) Flush() {
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
 	s.stats.Flushes++
 	var evs []StoreEvent
 	if !s.closed {
-		evs = s.flushLocked()
+		evs, tok = s.flushLocked()
+		p = s.persist
 	}
 	fns := s.subscribersLocked()
 	s.mu.Unlock()
@@ -742,6 +799,9 @@ func (s *Store) Subscribe(fn func(StoreEvent)) (cancel func()) {
 // sitting out a flush window behind the dead server's entries. The retired
 // version floor is kept so republication continues the sequence.
 func (s *Store) Remove(path string) {
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
@@ -750,11 +810,13 @@ func (s *Store) Remove(path string) {
 		s.retired[path] = d.Version
 		delete(s.docs, path)
 		if s.persist != nil && !s.closed {
-			s.lsn++
-			if err := s.persist.AppendRemove(s.lsn, path, d.Version); err != nil {
+			t, err := s.persist.AppendRemove(path, d.Version)
+			if err != nil {
 				s.stats.PersistErrors++
 			} else {
 				s.stats.WALAppends++
+				tok = t
+				p = s.persist
 			}
 		}
 	}
@@ -836,7 +898,9 @@ func (s *Store) Close() {
 		s.mu.Unlock()
 		return
 	}
-	evs := s.flushLocked()
+	// The final flush's batch needs no sync wait: the full snapshot below
+	// durably captures it (and resets the logs) before the backend closes.
+	evs, _ := s.flushLocked()
 	s.closed = true
 	if s.persist != nil {
 		if err := s.snapshotLocked(); err != nil {
@@ -852,4 +916,29 @@ func (s *Store) Close() {
 	fns := s.subscribersLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+}
+
+// Crash closes the store the hard way: no final flush, no parting
+// snapshot — the data directory is left exactly as the crash-consistency
+// machinery (WAL framing, lsn watermarks, torn-tail truncation) would
+// find it after a process kill. It exists for crash-recovery tests and
+// the recovery benchmark; production shutdown is Close.
+func (s *Store) Crash() error {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	p := s.persist
+	s.persist = nil
+	close(s.changed)
+	s.changed = make(chan struct{})
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Close()
 }

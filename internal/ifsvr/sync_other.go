@@ -1,0 +1,9 @@
+//go:build !linux
+
+package ifsvr
+
+import "os"
+
+// walSync falls back to fsync where fdatasync(2) is unavailable; durability
+// is the same, each flush just pays the extra metadata journal commit.
+func walSync(f *os.File) error { return f.Sync() }

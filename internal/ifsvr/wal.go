@@ -47,7 +47,17 @@ const (
 	walKindCommit = 'C'
 	// walKindRemove is a retired path: {"lsn":..., "path":..., "version":...}.
 	walKindRemove = 'R'
+	// walKindShard is the shard-header record leading every shard WAL
+	// file: {"schema":..., "shard":i, "shards":K}. It is framing metadata
+	// only — recovery validates and skips it — written lazily before the
+	// first data record after a reset, so a compacted (empty) log stays
+	// zero bytes.
+	walKindShard = 'S'
 )
+
+// walSchema identifies the sharded WAL framing inside shard-header
+// records.
+const walSchema = "livedev/ifsvr-wal/v2"
 
 // walRecord is one decoded WAL record.
 type walRecord struct {
@@ -109,6 +119,20 @@ func encodeCommitRecord(lsn uint64, evs []StoreEvent) []byte {
 func encodeRemoveRecord(lsn uint64, path string, version uint64) []byte {
 	body, _ := json.Marshal(walRemove{Lsn: lsn, Path: path, Version: version})
 	return appendWALRecord(nil, walKindRemove, body)
+}
+
+// walShardHeader is the JSON payload of a walKindShard record.
+type walShardHeader struct {
+	Schema string `json:"schema"`
+	Shard  int    `json:"shard"`
+	Shards int    `json:"shards"`
+}
+
+// encodeShardHeaderRecord renders the header record that leads shard
+// `shard` of a K-way layout.
+func encodeShardHeaderRecord(shard, shards int) []byte {
+	body, _ := json.Marshal(walShardHeader{Schema: walSchema, Shard: shard, Shards: shards})
+	return appendWALRecord(nil, walKindShard, body)
 }
 
 // decodeWALRecord parses the record at the head of data. It returns the

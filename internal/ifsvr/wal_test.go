@@ -8,30 +8,26 @@ import (
 	"testing"
 )
 
-// buildTortureDir publishes batches 1..n into a durable store with the
-// snapshot cadence pushed out, so everything past the open-time snapshot
-// sits in the WAL. It returns the data dir and the WAL image.
+// buildTortureDir publishes batches 1..n into a durable single-shard
+// store with the snapshot cadence pushed out, so everything past the
+// open-time snapshot sits in the WAL, then crashes it (no parting
+// snapshot). It returns the data dir and the WAL image. Single-shard
+// keeps the K=1 recovery path covered; the K>1 equivalent is
+// TestShardTorture.
 func buildTortureDir(t *testing.T, n int) (string, []byte) {
 	t.Helper()
 	dir := t.TempDir()
-	st, err := OpenStore(StoreConfig{Dir: dir, SnapshotEvery: 1 << 20})
+	st, err := OpenStore(StoreConfig{Dir: dir, SnapshotEvery: 1 << 20, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i <= n; i++ {
 		st.PublishVersioned("/wsdl/T.wsdl", "text/xml", fmt.Sprintf("<v%d/>", i), uint64(i))
 	}
-	// Leave the store open-ended: no Close (it would compact the WAL).
-	// Tear down the persistence handle only.
-	st.mu.Lock()
-	p := st.persist
-	st.persist = nil
-	st.mu.Unlock()
-	if err := p.Close(); err != nil {
+	if err := st.Crash(); err != nil {
 		t.Fatal(err)
 	}
-	st.Close()
-	img, err := os.ReadFile(filepath.Join(dir, walFile))
+	img, err := os.ReadFile(filepath.Join(dir, shardWALFile(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +56,7 @@ func lastRecordStart(t *testing.T, img []byte) int {
 // the torture path plus the epoch.
 func reopenTorture(t *testing.T, dir string) (version, epoch uint64) {
 	t.Helper()
-	st, err := OpenStore(StoreConfig{Dir: dir})
+	st, err := OpenStore(StoreConfig{Dir: dir, Shards: 1})
 	if err != nil {
 		t.Fatalf("open after torture: %v", err)
 	}
@@ -76,8 +72,8 @@ func TestWALTortureTruncate(t *testing.T) {
 	const batches = 6
 	dir, img := buildTortureDir(t, batches)
 	last := lastRecordStart(t, img)
-	walPath := filepath.Join(dir, walFile)
-	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, shardWALFile(0))
+	snapPath := filepath.Join(dir, shardSnapshotFile(0))
 	snap, err := os.ReadFile(snapPath)
 	if err != nil {
 		t.Fatal(err)
@@ -106,8 +102,8 @@ func TestWALTortureCorrupt(t *testing.T) {
 	const batches = 6
 	dir, img := buildTortureDir(t, batches)
 	last := lastRecordStart(t, img)
-	walPath := filepath.Join(dir, walFile)
-	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, shardWALFile(0))
+	snapPath := filepath.Join(dir, shardSnapshotFile(0))
 	snap, err := os.ReadFile(snapPath)
 	if err != nil {
 		t.Fatal(err)
@@ -137,20 +133,20 @@ func TestWALRecoveryTruncatesTornTail(t *testing.T) {
 	const batches = 4
 	dir, img := buildTortureDir(t, batches)
 	last := lastRecordStart(t, img)
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, shardWALFile(0))
 	cut := last + (len(img)-last)/2
 	if err := os.WriteFile(walPath, img[:cut], 0o644); err != nil {
 		t.Fatal(err)
 	}
 
-	st, err := OpenStore(StoreConfig{Dir: dir})
+	st, err := OpenStore(StoreConfig{Dir: dir, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st.Publish("/wsdl/T.wsdl", "text/xml", "<after-recovery/>")
 	st.Close()
 
-	st2, err := OpenStore(StoreConfig{Dir: dir})
+	st2, err := OpenStore(StoreConfig{Dir: dir, Shards: 1})
 	if err != nil {
 		t.Fatalf("reopen after torn-tail recovery: %v", err)
 	}
@@ -168,14 +164,14 @@ func TestWALRecoveryTruncatesTornTail(t *testing.T) {
 // snapshot legitimately contains (the lsn guard).
 func TestWALRecoverySkipsSnapshottedRecords(t *testing.T) {
 	dir := t.TempDir()
-	st, err := OpenStore(StoreConfig{Dir: dir, SnapshotEvery: 1 << 20})
+	st, err := OpenStore(StoreConfig{Dir: dir, SnapshotEvery: 1 << 20, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	st.Publish("/p", "text/plain", "v1")
 	st.Remove("/p")
 	st.Publish("/p", "text/plain", "v2") // resumes the sequence: version 2
-	walPath := filepath.Join(dir, walFile)
+	walPath := filepath.Join(dir, shardWALFile(0))
 	img, err := os.ReadFile(walPath) // publish, remove, publish records
 	if err != nil {
 		t.Fatal(err)
@@ -186,7 +182,7 @@ func TestWALRecoverySkipsSnapshottedRecords(t *testing.T) {
 	if err := os.WriteFile(walPath, img, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	st2, err := OpenStore(StoreConfig{Dir: dir})
+	st2, err := OpenStore(StoreConfig{Dir: dir, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,6 +205,11 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add(rec)
 	f.Add(append(bytes.Clone(rec), encodeRemoveRecord(2, "/p", 1)...))
 	f.Add(rec[:len(rec)-3])
+	// The sharded framing: a shard-header record leading a data record, as
+	// every shard WAL file begins, plus a header from a different layout.
+	f.Add(append(encodeShardHeaderRecord(0, 8), rec...))
+	f.Add(encodeShardHeaderRecord(7, 8))
+	f.Add(encodeShardHeaderRecord(3, 4)[:walHeaderLen+2])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, valid := scanWAL(data)

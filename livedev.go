@@ -20,9 +20,11 @@
 //     versioned, epoch-numbered document store with subscriber fan-out,
 //     edit-storm coalescing (Config.FlushWindow, per-path overrides via
 //     WithPathFlushWindow), a bounded replay journal (Config.HistoryLen),
-//     and optional durability (Config.DataDir: snapshot+WAL persistence —
-//     a restarted server resumes its epoch sequence, so reconnecting
-//     watchers ride journal replay instead of refetching), read by the
+//     and optional durability (Config.DataDir: path-sharded snapshot+WAL
+//     persistence with parallel replay on open — a restarted server
+//     resumes its epoch sequence, so reconnecting watchers ride journal
+//     replay instead of refetching; Config.Sync picks the ack's
+//     durability, from buffered through group-commit fsync), read by the
 //     Interface Server and watchable over two HTTP transports — streaming
 //     (SSE, one held connection per watcher, journal-replay catch-up on
 //     reconnect) and long-poll; plus ReExport, the live binding-agnostic
@@ -43,7 +45,10 @@
 //	class.AddMethod(livedev.MethodSpec{ ... Distributed: true ... })
 //	mgr, _ := livedev.NewManager(livedev.Config{})
 //	// Production servers set Config.DataDir (sde-server: -data-dir) so the
-//	// publication store survives restarts.
+//	// publication store survives restarts, and pick the ack's durability
+//	// with Config.Sync (sde-server: -sync none|group|always; group = the
+//	// publish returns once its record is fsynced, concurrent commits
+//	// sharing each fsync).
 //	srv, _ := mgr.Register(class, livedev.TechSOAP)
 //	srv.CreateInstance()
 //
@@ -126,6 +131,18 @@ type (
 	PublisherStats = core.PublisherStats
 	// PublishOption configures one Manager.PublishInterface call.
 	PublishOption = core.PublishOption
+	// SyncPolicy picks when a durable store's publish ack is on disk
+	// (Config.Sync; meaningful only with Config.DataDir).
+	SyncPolicy = core.SyncPolicy
+)
+
+// Durability policies for Config.Sync, ordered by cost: acked once the OS
+// has the bytes (buffered), acked after a shared group-commit fsync, acked
+// after the commit's own inline fsync.
+const (
+	SyncNone        = core.SyncNone
+	SyncGroupCommit = core.SyncGroupCommit
+	SyncAlways      = core.SyncAlways
 )
 
 // WithPathFlushWindow overrides the store-wide coalescing window for one
