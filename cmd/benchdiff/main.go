@@ -3,9 +3,10 @@
 //
 // Table 1 rows (the invocation hot path, measured in go-bench units) are
 // gated hard: a ns/op regression beyond -max-regress-pct fails the run, as
-// does a row that disappeared. The refresh, fan-out, and durability rows
-// are wall-clock (and, for durability, disk-bound) experiments — inherently
-// noisy on shared CI runners — so they are diffed warn-only. Artifact
+// does a row that disappeared. The refresh, fan-out, durability, and
+// replication rows are wall-clock (and, for durability, disk-bound)
+// experiments — inherently noisy on shared CI runners — so they are
+// diffed warn-only. Artifact
 // sections this tool does not know at all are named and skipped, never
 // failed: a new rtt-bench section must not break the CI gate before its
 // diff logic exists.
@@ -131,6 +132,25 @@ func run() int {
 		}
 	}
 
+	// Replication rows: warn-only (wall-clock, multi-process-shaped
+	// experiment). Both the plane-wide notify latency and the follower
+	// apply lag are diffed.
+	rkey := func(r benchfmt.ReplicationRow) string { return fmt.Sprintf("%d-replicas@%d", r.Replicas, r.Watchers) }
+	freshRepl := make(map[string]benchfmt.ReplicationRow, len(fresh.ReplicationRows))
+	for _, r := range fresh.ReplicationRows {
+		freshRepl[rkey(r)] = r
+	}
+	for _, base := range baseline.ReplicationRows {
+		now, ok := freshRepl[rkey(base)]
+		if !ok {
+			fmt.Printf("warn %-22s replication row missing from the fresh run\n", rkey(base))
+			continue
+		}
+		fmt.Printf("%s %-22s mean %12.0fns -> %12.0fns (%+.1f%%), lag p99 %10.0fns -> %10.0fns\n",
+			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), rkey(base),
+			base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs), base.LagP99Ns, now.LagP99Ns)
+	}
+
 	// Sections this tool has no diff logic for yet must not break the CI
 	// gate: name them so a future section lands green until a diff is
 	// written for it.
@@ -151,6 +171,7 @@ func run() int {
 var knownSections = map[string]bool{
 	"schema": true, "command": true, "calls": true, "payload_bytes": true,
 	"rows": true, "refresh_rows": true, "fanout_rows": true, "durability_rows": true,
+	"replication_rows": true,
 }
 
 // unknownSections lists top-level artifact keys this tool has no handling

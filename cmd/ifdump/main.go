@@ -13,9 +13,12 @@
 //
 // With -stats it also fetches the server's publication-store counters
 // (the /.stats endpoint on the same host as the document URL) and prints
-// them — commits, coalescing, journal replays, and for a durable store
-// the WAL durability block: per-shard lsns, fsyncs, group-commit batch
-// sizes, sync-wait totals.
+// them — commits, coalescing, journal replays, for a durable store the
+// WAL durability block (per-shard lsns, fsyncs, group-commit batch
+// sizes, sync-wait totals), and for a replicated server the Replication
+// block: role, per-shard applied vs leader lsns, lag, bootstrap and
+// reconnect counts. Pointed at a read-only replica (sde-server -follow)
+// this is the quickest way to see how far behind its leader it is.
 //
 // Usage:
 //

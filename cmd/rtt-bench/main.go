@@ -18,6 +18,7 @@
 //	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
 //	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
 //	          [-restart] [-restart-watchers N] [-durability] [-json PATH]
+//	          [-replicas 1,2,4] [-replica-watchers N] [-replica-edits N]
 //
 // With -restart it also measures the durable store's restart-reconnect
 // latency: N streaming watchers ride an Interface Server restart over a
@@ -27,6 +28,12 @@
 // With -durability it also measures the sharded WAL: commit throughput
 // per sync policy and cold-cache recovery time per shard count, landing
 // in the artifact's durability_rows section.
+//
+// With -replicas it also measures the replicated watch plane: N SSE
+// watchers (-replica-watchers) spread round-robin across a leader and
+// its WAL-shipping read-only followers, timing edit→all-notified across
+// the plane plus the per-follower replication lag, landing in the
+// artifact's replication_rows section.
 package main
 
 import (
@@ -43,6 +50,10 @@ import (
 )
 
 func main() {
+	// The replication fan-out re-execs this binary as its leader and
+	// follower processes; when the child env var is set this runs the
+	// child role and exits instead of benchmarking.
+	experiments.ReplicationChild()
 	os.Exit(run())
 }
 
@@ -75,6 +86,9 @@ func run() int {
 	restart := flag.Bool("restart", false, "also measure restart-reconnect latency (durable store; replay vs snapshot recovery)")
 	restartWatchers := flag.Int("restart-watchers", 1000, "watcher count for the restart-reconnect rows")
 	durability := flag.Bool("durability", false, "also measure WAL sync-policy throughput and sharded recovery time")
+	replicaCounts := flag.String("replicas", "", "comma-separated replica counts for the replication rows (empty disables; ISSUE baseline: 1,2,4)")
+	replicaWatchers := flag.Int("replica-watchers", 10000, "total watcher population for the replication rows")
+	replicaEdits := flag.Int("replica-edits", 5, "edit rounds per replication configuration")
 	flag.Parse()
 
 	rows, err := experiments.RunTable1(experiments.Table1Config{
@@ -130,6 +144,21 @@ func run() int {
 		// same artifact section (restart→all-caught-up latency instead of
 		// edit→all-notified).
 		fanoutRows = append(fanoutRows, restartRows...)
+	}
+
+	var replicationRows []experiments.ReplicationRow
+	if counts := parseSizes(*replicaCounts); len(counts) > 0 {
+		replicationRows, err = experiments.RunReplicationFanout(experiments.ReplicationConfig{
+			Replicas: counts,
+			Watchers: *replicaWatchers,
+			Edits:    *replicaEdits,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatReplication(replicationRows))
 	}
 
 	var durabilityRows []experiments.DurabilityResult
@@ -194,6 +223,18 @@ func run() int {
 				row.RecoveryMs = float64(r.Recovery.Nanoseconds()) / 1e6
 			}
 			out.DurabilityRows = append(out.DurabilityRows, row)
+		}
+		for _, r := range replicationRows {
+			out.ReplicationRows = append(out.ReplicationRows, benchfmt.ReplicationRow{
+				Replicas: r.Replicas,
+				Watchers: r.Watchers,
+				Edits:    r.Edits,
+				MeanNs:   float64(r.Mean.Nanoseconds()),
+				P50Ns:    float64(r.P50.Nanoseconds()),
+				MaxNs:    float64(r.Max.Nanoseconds()),
+				LagP50Ns: float64(r.LagP50.Nanoseconds()),
+				LagP99Ns: float64(r.LagP99.Nanoseconds()),
+			})
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -1,0 +1,79 @@
+// Command sde-director fronts a replicated watch plane: given the base
+// URLs of a leader sde-server and its -follow replicas, it health-checks
+// them, publishes the current replica set at /.replicas (endpoint-aware
+// clients — livedev.WithDirector — fetch it once and fail over
+// client-side), and spreads endpoint-oblivious watchers by answering
+// every other GET with a 307 redirect to the next healthy replica
+// round-robin. Non-GET requests are misdirected (421) to the leader.
+//
+// Usage:
+//
+//	sde-director -endpoints http://leader:1234,http://replica:1235[,...]
+//	             [-addr ADDR] [-interval D]
+//
+// The first endpoint is assumed to be the leader until a health check
+// (the replica's /.stats Replication block) says otherwise. See
+// docs/replication.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"livedev/internal/repl"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:0", "director listen address")
+	endpoints := flag.String("endpoints", "", "comma-separated replica base URLs (leader first)")
+	interval := flag.Duration("interval", repl.DefaultHealthInterval, "replica health-check cadence")
+	flag.Parse()
+
+	var eps []string
+	for _, ep := range strings.Split(*endpoints, ",") {
+		if ep = strings.TrimSpace(strings.TrimSuffix(ep, "/")); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	if len(eps) == 0 {
+		fmt.Fprintln(os.Stderr, "sde-director: -endpoints is required (comma-separated replica base URLs)")
+		return 2
+	}
+
+	d := repl.NewDirector(repl.DirectorConfig{Endpoints: eps, Interval: *interval})
+	base, err := d.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-director:", err)
+		return 1
+	}
+	defer func() { _ = d.Close() }()
+
+	fmt.Println("SDE director running")
+	fmt.Println("  serving:  ", base)
+	fmt.Println("  replicas: ", strings.Join(eps, ", "))
+	fmt.Printf("  replica set at %s%s, health checks every %v\n", base, repl.ReplicasPath, *interval)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	statsSig := make(chan os.Signal, 1)
+	signal.Notify(statsSig, syscall.SIGQUIT)
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return 0
+		case <-statsSig:
+			for _, r := range d.Replicas().Endpoints {
+				fmt.Printf("  %-8s healthy=%-5v %s\n", r.Role, r.Healthy, r.URL)
+			}
+		}
+	}
+}

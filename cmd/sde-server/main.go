@@ -8,6 +8,7 @@
 //
 //	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-data-dir DIR]
 //	           [-sync none|group|always] [-shards K] [-live] [-duration D]
+//	           [-follow URL]
 //
 // With -data-dir the publication store is durable (snapshot + WAL): a
 // restarted sde-server resumes its epoch sequence, so watch clients ride
@@ -16,6 +17,13 @@
 // fsync) and -shards the WAL/snapshot shard count; SIGQUIT dumps the
 // store's counters, durability block included, without stopping the
 // server.
+//
+// With -follow the process is a read-only replica instead: no classes are
+// registered; the leader's write-ahead log is tailed and the replicated
+// documents (GETs, long-polls, SSE watch streams) are served under the
+// leader's restart generation, publications answered with 421 naming the
+// leader. Combine with -data-dir so a restarted replica resumes tailing
+// from its durable position. See docs/replication.md.
 package main
 
 import (
@@ -50,6 +58,7 @@ func run() int {
 	shards := flag.Int("shards", 0, "durable-store WAL/snapshot shard count (0 = store default)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	follow := flag.String("follow", "", "run as a read-only replica of the leader interface server at this base URL")
 	flag.Parse()
 
 	var syncPolicy core.SyncPolicy
@@ -74,12 +83,17 @@ func run() int {
 		DataDir:       *dataDir,
 		Sync:          syncPolicy,
 		WALShards:     *shards,
+		FollowURL:     *follow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)
 		return 1
 	}
 	defer func() { _ = mgr.Close() }()
+
+	if *follow != "" {
+		return runFollower(mgr, *duration)
+	}
 
 	class := dyn.NewClass("Calc")
 	addID, err := class.AddMethod(dyn.MethodSpec{
@@ -240,6 +254,43 @@ func run() int {
 				fmt.Printf("  publisher: %d published, %d skipped, %d forced\n",
 					st.Published, st.SkippedCurrent, st.Forced)
 			}
+		}
+	}
+}
+
+// runFollower is the -follow main loop: print the replica's identity,
+// dump replication stats on SIGQUIT, run until interrupted.
+func runFollower(mgr *core.Manager, duration time.Duration) int {
+	f := mgr.Follower()
+	fmt.Println("SDE replica running (read-only)")
+	fmt.Println("  leader:   ", f.Leader())
+	fmt.Println("  serving:  ", mgr.InterfaceBaseURL())
+	fmt.Printf("  generation %d, replication lag %d records (SIGQUIT dumps store stats)\n",
+		f.Generation(), f.Lag())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	statsSig := make(chan os.Signal, 1)
+	signal.Notify(statsSig, syscall.SIGQUIT)
+
+	var deadline <-chan time.Time
+	if duration > 0 {
+		deadline = time.After(duration)
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("\nshutting down")
+			return 0
+		case <-deadline:
+			return 0
+		case <-statsSig:
+			data, err := json.MarshalIndent(mgr.Store().Stats(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sde-server: stats:", err)
+				continue
+			}
+			fmt.Printf("store stats:\n%s\n", data)
 		}
 	}
 }

@@ -53,16 +53,32 @@ type DurabilityRow struct {
 	RecoveryMs float64 `json:"recovery_ms,omitempty"`
 }
 
+// ReplicationRow is one replication fan-out measurement (wall-clock
+// experiment; diffed warn-only): N SSE watchers spread round-robin across
+// a leader and its read-only replicas, timing edit→all-notified across
+// the whole plane plus the per-follower WAL-apply lag.
+type ReplicationRow struct {
+	Replicas int     `json:"replicas"`
+	Watchers int     `json:"watchers"`
+	Edits    int     `json:"edits"`
+	MeanNs   float64 `json:"mean_ns"`
+	P50Ns    float64 `json:"p50_ns"`
+	MaxNs    float64 `json:"max_ns"`
+	LagP50Ns float64 `json:"lag_p50_ns"`
+	LagP99Ns float64 `json:"lag_p99_ns"`
+}
+
 // File is the artifact layout. Unknown extra fields (the hand-annotated
 // go_bench before/after notes) survive a read-modify cycle only if callers
 // preserve them; benchdiff is read-only.
 type File struct {
-	Schema         string          `json:"schema"`
-	Command        string          `json:"command"`
-	Calls          int             `json:"calls"`
-	Payload        int             `json:"payload_bytes"`
-	Rows           []BenchRow      `json:"rows"`
-	RefreshRows    []RefreshRow    `json:"refresh_rows,omitempty"`
-	FanoutRows     []FanoutRow     `json:"fanout_rows,omitempty"`
-	DurabilityRows []DurabilityRow `json:"durability_rows,omitempty"`
+	Schema          string           `json:"schema"`
+	Command         string           `json:"command"`
+	Calls           int              `json:"calls"`
+	Payload         int              `json:"payload_bytes"`
+	Rows            []BenchRow       `json:"rows"`
+	RefreshRows     []RefreshRow     `json:"refresh_rows,omitempty"`
+	FanoutRows      []FanoutRow      `json:"fanout_rows,omitempty"`
+	DurabilityRows  []DurabilityRow  `json:"durability_rows,omitempty"`
+	ReplicationRows []ReplicationRow `json:"replication_rows,omitempty"`
 }

@@ -31,8 +31,10 @@ func init() {
 			},
 		},
 		Connect: func(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
+			docs := NewDocSource(url, opts.HTTPClient, opts.Prefetched)
+			docs.SetEndpoints(opts.Endpoints)
 			return NewClientContext(ctx,
-				&soapBackend{docs: NewDocSource(url, opts.HTTPClient, opts.Prefetched), httpClient: opts.HTTPClient}, opts)
+				&soapBackend{docs: docs, httpClient: opts.HTTPClient}, opts)
 		},
 	})
 	RegisterConnector(Connector{
@@ -83,6 +85,8 @@ func connectCORBA(ctx context.Context, url string, opts *DialOptions) (*Client, 
 		idlDocs: NewDocSource(idlURL, opts.HTTPClient, seedIDL),
 		iorDocs: NewDocSource(iorURL, opts.HTTPClient, seedIOR),
 	}
+	b.idlDocs.SetEndpoints(opts.Endpoints)
+	b.iorDocs.SetEndpoints(opts.Endpoints)
 	return NewClientContext(ctx, b, opts)
 }
 

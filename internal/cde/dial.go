@@ -2,8 +2,11 @@ package cde
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	neturl "net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +46,17 @@ type DialOptions struct {
 	// connector's backend can seed its initial interface compilation
 	// instead of re-fetching the same document.
 	Prefetched *ifsvr.Document
+	// Endpoints lists replica base URLs (a replicated watch plane's
+	// leader and followers) serving the same documents as the primary
+	// URL. Document fetches, watch polls, and watch streams rotate to the
+	// next endpoint when the current one fails — replica failover,
+	// client-side. Since every replica serves the leader's store
+	// generation and epochs, the switch is an ordinary
+	// reconnect-with-replay, not a restart.
+	Endpoints []string
+	// DirectorURL names a fronting director whose /.replicas endpoint
+	// list is fetched at Dial time and merged into Endpoints.
+	DirectorURL string
 }
 
 // DocMatch describes how a binding's published interface documents can be
@@ -117,8 +131,10 @@ type DocSource struct {
 	url string
 	hc  *http.Client
 
-	mu   sync.Mutex
-	seed *ifsvr.Document
+	mu    sync.Mutex
+	seed  *ifsvr.Document
+	bases []string // replica endpoints; rotation target on failure
+	cur   int
 }
 
 // NewDocSource returns a source for url. seed may be nil.
@@ -129,30 +145,101 @@ func NewDocSource(url string, hc *http.Client, seed *ifsvr.Document) *DocSource 
 // URL returns the document URL.
 func (s *DocSource) URL() string { return s.url }
 
+// SetEndpoints installs the replica endpoint list the source may rotate
+// across (DialOptions.Endpoints). Empty is a no-op: the source stays
+// pinned to its URL.
+func (s *DocSource) SetEndpoints(bases []string) {
+	if len(bases) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.bases = append([]string(nil), bases...)
+	s.mu.Unlock()
+}
+
+// currentURL resolves the document URL against the currently selected
+// endpoint: the path and query stay, the scheme and host come from the
+// endpoint base.
+func (s *DocSource) currentURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bases) == 0 {
+		return s.url
+	}
+	u, err := neturl.Parse(s.url)
+	b, berr := neturl.Parse(s.bases[s.cur%len(s.bases)])
+	if err != nil || berr != nil || b.Host == "" {
+		return s.url
+	}
+	u.Scheme = b.Scheme
+	u.Host = b.Host
+	return u.String()
+}
+
+// failOver rotates to the next endpoint after a failure on the current
+// one (no-op without an endpoint list).
+func (s *DocSource) failOver() {
+	s.mu.Lock()
+	if len(s.bases) > 0 {
+		s.cur++
+	}
+	s.mu.Unlock()
+}
+
 // Fetch returns the seeded document on the first call that finds one, and
-// fetches over HTTP otherwise.
+// fetches over HTTP otherwise — trying each configured replica endpoint
+// in rotation before giving up.
 func (s *DocSource) Fetch(ctx context.Context) (ifsvr.Document, error) {
 	s.mu.Lock()
 	seed := s.seed
 	s.seed = nil
+	attempts := 1
+	if len(s.bases) > 1 {
+		attempts = len(s.bases)
+	}
 	s.mu.Unlock()
 	if seed != nil {
 		return *seed, nil
 	}
-	return ifsvr.FetchContext(ctx, docClient(s.hc), s.url)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		doc, err := ifsvr.FetchContext(ctx, docClient(s.hc), s.currentURL())
+		if err == nil {
+			return doc, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		s.failOver()
+	}
+	return ifsvr.Document{}, lastErr
 }
 
 // Watch performs one blocking watch for a version of the document newer
 // than after, using the shared document client when none was configured.
+// A failed poll rotates the source to the next replica endpoint; the
+// caller's retry loop lands there.
 func (s *DocSource) Watch(ctx context.Context, after uint64) (ifsvr.Document, error) {
-	return ifsvr.WatchNewer(ctx, docClient(s.hc), s.url, after)
+	d, err := ifsvr.WatchNewer(ctx, docClient(s.hc), s.currentURL(), after)
+	if err != nil && ctx.Err() == nil {
+		s.failOver()
+	}
+	return d, err
 }
 
 // Stream holds one streaming watch on the document, delivering every
 // version committed after the given store epoch (replayed catch-up first,
-// then live pushes) until ctx ends or the connection breaks.
+// then live pushes) until ctx ends or the connection breaks. A broken
+// stream rotates the source to the next replica endpoint — except on
+// ErrStreamUnsupported, which must keep pointing at the server that
+// answered so the long-poll degrade stays coherent.
 func (s *DocSource) Stream(ctx context.Context, afterEpoch uint64, fn func(ifsvr.StreamEvent)) error {
-	return ifsvr.WatchStream(ctx, docClient(s.hc), s.url, afterEpoch, fn)
+	err := ifsvr.WatchStream(ctx, docClient(s.hc), s.currentURL(), afterEpoch, fn)
+	if ctx.Err() == nil && !errors.Is(err, ifsvr.ErrStreamUnsupported) {
+		s.failOver()
+	}
+	return err
 }
 
 // Dial builds a live client from a published interface-document URL. Unless
@@ -172,6 +259,13 @@ func Dial(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
 			ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 			defer cancel()
 		}
+	}
+	if opts.DirectorURL != "" {
+		resolved, err := resolveDirector(ctx, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cde: resolving director endpoints: %w", err)
+		}
+		opts = resolved
 	}
 	if opts.Binding != "" {
 		c, ok := LookupConnector(opts.Binding)
@@ -195,6 +289,53 @@ func Dial(ctx context.Context, url string, opts *DialOptions) (*Client, error) {
 	seeded := *opts
 	seeded.Prefetched = &doc
 	return c.Connect(ctx, url, &seeded)
+}
+
+// replicaSetWire mirrors the director's /.replicas JSON — kept local so
+// the client side does not depend on the replication package.
+type replicaSetWire struct {
+	Endpoints []struct {
+		URL     string `json:"url"`
+		Healthy bool   `json:"healthy"`
+	} `json:"endpoints"`
+}
+
+// resolveDirector fetches the replica endpoint list from the configured
+// director and returns a copy of opts with it merged into Endpoints
+// (explicit endpoints first, then the director's, deduplicated).
+func resolveDirector(ctx context.Context, opts *DialOptions) (*DialOptions, error) {
+	url := strings.TrimSuffix(opts.DirectorURL, "/") + "/.replicas"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := docClient(opts.HTTPClient).Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching %s: HTTP %d", url, resp.StatusCode)
+	}
+	var set replicaSetWire
+	if err := json.NewDecoder(resp.Body).Decode(&set); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	merged := append([]string(nil), opts.Endpoints...)
+	seen := make(map[string]bool, len(merged))
+	for _, ep := range merged {
+		seen[ep] = true
+	}
+	for _, r := range set.Endpoints {
+		if r.URL != "" && !seen[r.URL] {
+			seen[r.URL] = true
+			merged = append(merged, r.URL)
+		}
+	}
+	resolved := *opts
+	resolved.Endpoints = merged
+	resolved.DirectorURL = ""
+	return &resolved, nil
 }
 
 // matchConnector scores every registered connector against the fetched

@@ -11,6 +11,7 @@ import (
 	"livedev/internal/clock"
 	"livedev/internal/dyn"
 	"livedev/internal/ifsvr"
+	"livedev/internal/repl"
 )
 
 // Technology names an RMI technology integrated into the SDE. Since the
@@ -117,6 +118,16 @@ type Config struct {
 	// DataDir). Zero means the ifsvr default; an existing data directory
 	// written with a different count is resharded on open.
 	WALShards int
+	// FollowURL turns the manager into a read-only replica: instead of
+	// hosting live server classes it tails the write-ahead log of the
+	// leader Interface Server at this base URL (all shards concurrently)
+	// and applies every committed publication into its own store, which
+	// the local Interface Server serves under the leader's restart
+	// generation. Register fails in this mode, and publications arriving
+	// over HTTP are answered with 421 Misdirected Request naming the
+	// leader. DataDir still applies: a durable follower resumes tailing
+	// from its persisted position after a restart.
+	FollowURL string
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -156,8 +167,10 @@ func (c Config) withDefaults() Config {
 type Manager struct {
 	cfg Config
 
-	store *Store
-	iface *ifsvr.Server
+	store    *Store
+	iface    *ifsvr.Server
+	tail     *repl.TailServer // leader mode: WAL-tail endpoint on the iface
+	follower *repl.Follower   // follower mode (Config.FollowURL)
 
 	httpMux  *dynamicMux
 	httpSrv  *http.Server
@@ -174,7 +187,7 @@ type Manager struct {
 // HTTP endpoint server begin listening immediately.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
-	store, err := ifsvr.OpenStore(ifsvr.StoreConfig{
+	storeCfg := ifsvr.StoreConfig{
 		Window:      cfg.FlushWindow,
 		Clock:       cfg.Clock,
 		HistoryLen:  cfg.HistoryLen,
@@ -182,23 +195,44 @@ func NewManager(cfg Config) (*Manager, error) {
 		Sync:        cfg.Sync,
 		GroupWindow: cfg.GroupCommitWindow,
 		Shards:      cfg.WALShards,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: opening publication store: %w", err)
 	}
 	m := &Manager{
 		cfg:     cfg,
-		store:   store,
 		httpMux: newDynamicMux(),
 		servers: make(map[string]Server),
 	}
-	// The Interface Server is a read view over the publication store: every
-	// binding publishes through the store, the HTTP view serves and watches
-	// it (Section 5.1 plus the watch protocol).
-	m.iface = ifsvr.NewView(m.store)
-	if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
-		m.store.Close()
-		return nil, fmt.Errorf("core: starting interface server: %w", err)
+	if cfg.FollowURL != "" {
+		// Follower mode: the store is fed by tailing the leader's WAL,
+		// not by local publishers, and the Interface Server serves it
+		// read-only under the leader's generation.
+		f, err := repl.OpenFollower(repl.FollowerConfig{Leader: cfg.FollowURL, Store: storeCfg})
+		if err != nil {
+			return nil, fmt.Errorf("core: opening follower of %s: %w", cfg.FollowURL, err)
+		}
+		if _, err := f.Serve(cfg.InterfaceAddr); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: starting interface server: %w", err)
+		}
+		m.follower = f
+		m.store = f.Store()
+		m.iface = f.Iface()
+	} else {
+		store, err := ifsvr.OpenStore(storeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: opening publication store: %w", err)
+		}
+		m.store = store
+		// The Interface Server is a read view over the publication store:
+		// every binding publishes through the store, the HTTP view serves
+		// and watches it (Section 5.1 plus the watch protocol).
+		m.iface = ifsvr.NewView(m.store)
+		if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
+			m.store.Close()
+			return nil, fmt.Errorf("core: starting interface server: %w", err)
+		}
+		// Every leader-mode manager exposes the replication tail, so any
+		// other manager (or sde-server -follow) can replicate from it.
+		m.tail = repl.Attach(m.store, m.iface, repl.TailConfig{})
 	}
 	ln, err := net.Listen("tcp", cfg.HTTPAddr)
 	if err != nil {
@@ -220,6 +254,14 @@ func NewManager(cfg Config) (*Manager, error) {
 // InterfaceServer returns the shared Interface Server (the HTTP read view
 // over the publication store).
 func (m *Manager) InterfaceServer() *ifsvr.Server { return m.iface }
+
+// Follower returns the replication follower when the manager runs in
+// follower mode (Config.FollowURL), nil on a leader.
+func (m *Manager) Follower() *repl.Follower { return m.follower }
+
+// TailServer returns the leader's replication WAL-tail endpoint, nil in
+// follower mode.
+func (m *Manager) TailServer() *repl.TailServer { return m.tail }
 
 // Store returns the manager's publication store — the versioned document
 // store with subscriber fan-out and edit-storm coalescing that every
@@ -351,6 +393,9 @@ func (m *Manager) CORBAAddr() string { return m.cfg.CORBAAddr }
 // the process-wide binding registry, so technologies added with
 // RegisterBinding deploy exactly like the built-in pair.
 func (m *Manager) Register(class *dyn.Class, tech Technology) (Server, error) {
+	if m.follower != nil {
+		return nil, fmt.Errorf("core: manager is a read-only replica of %s; deploy classes on the leader", m.cfg.FollowURL)
+	}
 	b, ok := LookupBinding(string(tech))
 	if !ok {
 		return nil, fmt.Errorf("core: no binding registered for technology %q (registered: %v)", tech, BindingNames())
@@ -432,6 +477,15 @@ func (m *Manager) Close() error {
 	}
 	err := m.httpSrv.Close()
 	<-m.httpDone
+	if m.follower != nil {
+		// The follower owns the iface and store: stop tailing, persist
+		// the replication cursor, then close both.
+		m.follower.Close()
+		return err
+	}
+	if m.tail != nil {
+		m.tail.Close()
+	}
 	if e := m.iface.Close(); err == nil {
 		err = e
 	}

@@ -218,3 +218,27 @@ func TestRestartReconnectSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicationFanoutSmoke(t *testing.T) {
+	rows, err := RunReplicationFanout(ReplicationConfig{Replicas: []int{1, 2}, Watchers: 20, Edits: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Watchers != 20 || r.Edits != 2 || r.Mean <= 0 {
+			t.Errorf("malformed row %+v", r)
+		}
+	}
+	if rows[0].Replicas != 1 || rows[0].LagP99 != 0 {
+		t.Errorf("leader-only row must carry zero lag: %+v", rows[0])
+	}
+	if rows[1].Replicas != 2 || rows[1].LagP99 == 0 {
+		t.Errorf("2-replica row must carry a follower lag: %+v", rows[1])
+	}
+	if FormatReplication(rows) == "" {
+		t.Error("empty table")
+	}
+}

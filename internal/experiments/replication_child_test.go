@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the replication fan-out experiment re-exec this test
+// binary as its leader/follower child processes: ReplicationChild runs
+// the child role and exits when the re-exec env var is set, and is a
+// no-op for an ordinary test run.
+func TestMain(m *testing.M) {
+	ReplicationChild()
+	os.Exit(m.Run())
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package experiments
+
+// raiseFDLimit is a no-op off unix.
+func raiseFDLimit(uint64) {}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package experiments
+
+import "syscall"
+
+// raiseFDLimit lifts the process's soft file-descriptor limit toward want,
+// best-effort: a 10k-watcher replication run holds both ends of several
+// sockets per watcher in one process, far past the usual defaults. A
+// privileged process (CAP_SYS_RESOURCE) may raise the hard limit too, so
+// try that first and fall back to the hard-limit cap.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	if lim.Max < want {
+		raised := lim
+		raised.Cur, raised.Max = want, want
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised) == nil {
+			return
+		}
+	}
+	lim.Cur = want
+	if lim.Cur > lim.Max {
+		lim.Cur = lim.Max
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -144,6 +144,15 @@ type Server struct {
 	// watches (0 means DefaultHeartbeat). Set it before Start.
 	HeartbeatInterval time.Duration
 
+	// LeaderURL, when set, marks this server a read-only replica fronting
+	// a replication follower: non-GET requests are answered with
+	// 421 Misdirected Request and a Location header naming the leader,
+	// where publications belong. Set it before Start.
+	LeaderURL string
+
+	auxMu sync.RWMutex
+	aux   map[string]http.Handler
+
 	httpSrv  *http.Server
 	listener net.Listener
 	baseURL  string
@@ -218,7 +227,19 @@ const maxWatchWait = 25 * time.Second
 // stream: journal replay of everything committed after epoch N, then one
 // event per live commit, on a single held connection (see stream.go).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := s.auxHandler(r.URL.Path); h != nil {
+		h.ServeHTTP(w, r)
+		return
+	}
 	if r.Method != http.MethodGet {
+		if s.LeaderURL != "" {
+			// A replica does not take writes: misdirect the request to the
+			// leader, whose address rides in Location.
+			w.Header().Set("Location", s.LeaderURL+r.URL.RequestURI())
+			http.Error(w, "read-only replica; publish to the leader at "+s.LeaderURL,
+				http.StatusMisdirectedRequest)
+			return
+		}
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -242,6 +263,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeDoc(w, d, backingGeneration(st))
+}
+
+// Handle mounts an auxiliary handler on a reserved path (e.g. the
+// replication subsystem's WAL-tail endpoint), checked before the document
+// routes and exempt from the GET-only rule. Later mounts on the same path
+// replace earlier ones; a nil handler unmounts.
+func (s *Server) Handle(path string, h http.Handler) {
+	s.auxMu.Lock()
+	if s.aux == nil {
+		s.aux = make(map[string]http.Handler)
+	}
+	if h == nil {
+		delete(s.aux, path)
+	} else {
+		s.aux[path] = h
+	}
+	s.auxMu.Unlock()
+}
+
+// auxHandler resolves an auxiliary mount (nil if none).
+func (s *Server) auxHandler(path string) http.Handler {
+	s.auxMu.RLock()
+	h := s.aux[path]
+	s.auxMu.RUnlock()
+	return h
 }
 
 // statsBacking is the optional Backing capability behind StatsPath; Store

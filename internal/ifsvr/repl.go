@@ -1,0 +1,380 @@
+package ifsvr
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// The replication seam: what the internal/repl package needs from the
+// publication store without reaching into its internals.
+//
+// A replication LEADER observes every logged operation through
+// SubscribeOps — commit batches with their commit-time shared wire
+// payloads, and retirements — and ships them to followers as CRC-framed
+// records (the WAL record format, re-used as the wire format so the two
+// encoders cannot drift). A replication FOLLOWER feeds received records
+// back in through ApplyReplicated / ApplyReplicatedRemove, which run the
+// ordinary commit machinery (journal, fan-out, optional persistence) but
+// install the leader's versions and epochs verbatim instead of assigning
+// new ones — so a watcher on a follower sees byte-identical events, at
+// identical epochs, under the leader's restart generation
+// (AdoptGeneration), and fail-over between replicas looks like an
+// ordinary reconnect rather than a state-loss restart.
+
+// StoreOp is one logged store operation delivered to SubscribeOps: either
+// a committed publication batch (Events non-empty) or a retirement
+// (RemovePath non-empty).
+type StoreOp struct {
+	// Events is the committed batch, in commit order, payloads included.
+	Events []StoreEvent
+	// RemovePath is the retired path (empty for a commit batch).
+	RemovePath string
+	// RemoveVersion is the retired path's last committed version — the
+	// floor a republication resumes from.
+	RemoveVersion uint64
+}
+
+// SubscribeOps registers fn for every logged operation — committed
+// batches AND retirements, unlike Subscribe which sees only committed
+// versions — and returns a cancel function. Delivery runs on the
+// committing goroutine in commit order (under the same ordering lock as
+// watcher fan-out); fn must not call back into the store's publish,
+// flush, or apply paths.
+func (s *Store) SubscribeOps(fn func(StoreOp)) (cancel func()) {
+	s.mu.Lock()
+	if s.opsSubs == nil {
+		s.opsSubs = make(map[uint64]func(StoreOp))
+	}
+	id := s.nextOpsSub
+	s.nextOpsSub++
+	s.opsSubs[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.opsSubs, id)
+		s.mu.Unlock()
+	}
+}
+
+// opsSubsLocked snapshots the ops-subscriber list. Caller holds s.mu.
+func (s *Store) opsSubsLocked() []func(StoreOp) {
+	if len(s.opsSubs) == 0 {
+		return nil
+	}
+	fns := make([]func(StoreOp), 0, len(s.opsSubs))
+	for _, fn := range s.opsSubs {
+		fns = append(fns, fn)
+	}
+	return fns
+}
+
+// deliverOps hands one logged operation to the snapshotted ops
+// subscribers. Callers hold deliverMu (not mu), the same ordering rule as
+// fanOut.
+func deliverOps(fns []func(StoreOp), op StoreOp) {
+	if len(op.Events) == 0 && op.RemovePath == "" {
+		return
+	}
+	for _, fn := range fns {
+		fn(op)
+	}
+}
+
+// SetReadOnly marks the store as a replica: PublishVersioned and Remove
+// become no-ops (returning 0), so the only writers are the replication
+// apply methods below. The Interface Server pairs this with
+// Server.LeaderURL, which misdirects HTTP writes to the leader with a
+// 421.
+func (s *Store) SetReadOnly(ro bool) {
+	s.mu.Lock()
+	s.readOnly = ro
+	s.mu.Unlock()
+}
+
+// AdoptGeneration overrides the store's restart generation with the
+// replication leader's. A follower serves the leader's generation on
+// every response, so a watcher failing over between replicas — or from
+// the leader to a replica — does not misread the switch as a state-loss
+// restart. The adopted value lands in the next snapshot like a native
+// one.
+func (s *Store) AdoptGeneration(gen uint64) {
+	if gen == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.generation = gen
+	s.mu.Unlock()
+}
+
+// CloneState returns a copy of the store's persistent state (documents,
+// retired floors, epoch, generation, journal) — what a replication leader
+// packs into a snapshot bootstrap for a follower whose cursor has been
+// compacted away.
+func (s *Store) CloneState() PersistentState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked(true)
+}
+
+// SetReplicationStats installs the replication subsystem's counter
+// callback; Stats() invokes it to fill StoreStats.Replication. fn must be
+// safe for concurrent use and must not call back into Stats.
+func (s *Store) SetReplicationStats(fn func() *ReplicationStats) {
+	s.mu.Lock()
+	s.replStats = fn
+	s.mu.Unlock()
+}
+
+// ReplicationStats is the replication counter block surfaced in
+// StoreStats (and the /.stats endpoint) when the store is a replication
+// leader or follower. Slices are indexed by replication shard.
+type ReplicationStats struct {
+	// Role is "leader" or "follower".
+	Role string
+	// LeaderURL is the leader a follower tails ("" on the leader).
+	LeaderURL string
+	// Generation is the replication generation every replica serves: the
+	// leader's store generation, adopted by followers.
+	Generation uint64
+	// Shards is the replication shard count from the handshake.
+	Shards int
+	// LSN is the per-shard log position: the leader's last assigned lsn,
+	// or the follower's last applied lsn.
+	LSN []uint64
+	// FloorLSN is the leader's oldest still-serveable cursor per shard; a
+	// follower below it is bootstrapped from a snapshot.
+	FloorLSN []uint64
+	// LeaderLSN is the follower's view of the leader's per-shard lsn
+	// (from received records and heartbeats).
+	LeaderLSN []uint64
+	// Lag is the follower's total backlog: sum over shards of
+	// LeaderLSN-LSN.
+	Lag uint64
+	// Records counts shipped (leader) or applied (follower) data records.
+	Records uint64
+	// Batches counts commit batches, Removes retirements.
+	Batches, Removes uint64
+	// Bootstraps counts snapshot bootstraps served or applied.
+	Bootstraps uint64
+	// Heartbeats counts liveness records sent or received.
+	Heartbeats uint64
+	// Reconnects counts follower tail reconnects after broken streams.
+	Reconnects uint64
+	// FrameErrors counts torn or CRC-rejected records on the wire — each
+	// forces a reconnect and a re-fetch from the last applied lsn.
+	FrameErrors uint64
+	// Tails is the leader's count of currently held tail streams.
+	Tails int
+}
+
+// ApplyReplicated commits a batch of replicated events into the store,
+// installing the leader's versions and epochs verbatim: documents update,
+// the journal extends (insertion-sorted by epoch — shard streams may
+// interleave), persistence appends, and watchers fan out the leader's
+// exact payload bytes. Events at or below the path's current version (or
+// its retired floor) are skipped, which makes re-applying an overlapping
+// record — a reconnect, a bootstrap, a durable-cursor lag window — both
+// miss-free and duplicate-free. It returns the number of events applied.
+func (s *Store) ApplyReplicated(evs []StoreEvent) int {
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0
+	}
+	fresh := make([]StoreEvent, 0, len(evs))
+	for _, ev := range evs {
+		if cur, ok := s.docs[ev.Path]; ok && ev.Doc.Version <= cur.Version {
+			continue
+		}
+		if rv, retired := s.retired[ev.Path]; retired && ev.Doc.Version <= rv {
+			continue
+		}
+		delete(s.retired, ev.Path)
+		if ev.Payload == nil {
+			ev.Payload = encodeEventPayload(ev.Path, ev.Doc)
+		}
+		s.docs[ev.Path] = ev.Doc
+		s.stats.Commits++
+		fresh = append(fresh, ev)
+	}
+	if len(fresh) == 0 {
+		s.mu.Unlock()
+		return 0
+	}
+	s.stats.Batches++
+	if e := fresh[len(fresh)-1].Doc.Epoch; e > s.epoch {
+		s.epoch = e
+	}
+	s.journalInsertLocked(fresh)
+	if s.persist != nil {
+		t, err := s.persist.Append(fresh)
+		if err != nil {
+			s.stats.PersistErrors++
+		} else {
+			s.stats.WALAppends++
+			tok = t
+		}
+	}
+	close(s.changed)
+	s.changed = make(chan struct{})
+	fns := s.subscribersLocked()
+	ops := s.opsSubsLocked()
+	p = s.persist
+	s.mu.Unlock()
+	fanOut(fresh, fns)
+	deliverOps(ops, StoreOp{Events: fresh})
+	s.maybeCompact()
+	return len(fresh)
+}
+
+// ApplyReplicatedRemove retires a path from a replicated remove record.
+// A committed version newer than the removed one outranks the (stale)
+// remove; without a committed document the retired floor is still
+// adopted so a later republication resumes the leader's sequence. It
+// reports whether a document was actually retired.
+func (s *Store) ApplyReplicatedRemove(path string, version uint64) bool {
+	var p Persistence
+	var tok SyncToken
+	defer func() { s.awaitDurable(p, tok) }()
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	d, ok := s.docs[path]
+	if ok && d.Version > version {
+		s.mu.Unlock()
+		return false
+	}
+	if !ok {
+		if s.retired[path] < version {
+			s.retired[path] = version
+		}
+		s.mu.Unlock()
+		return false
+	}
+	s.retired[path] = version
+	delete(s.docs, path)
+	if s.persist != nil {
+		t, err := s.persist.AppendRemove(path, version)
+		if err != nil {
+			s.stats.PersistErrors++
+		} else {
+			s.stats.WALAppends++
+			tok = t
+			p = s.persist
+		}
+	}
+	ops := s.opsSubsLocked()
+	s.mu.Unlock()
+	deliverOps(ops, StoreOp{RemovePath: path, RemoveVersion: version})
+	return true
+}
+
+// journalInsertLocked extends the replay journal with one replicated
+// commit record's events (all sharing one epoch), keeping the ring sorted
+// by epoch: concurrent shard streams interleave their epochs, and the
+// replay binary search requires order. An epoch at or below the journal
+// floor is dropped — it is already-evicted territory. Caller holds s.mu.
+func (s *Store) journalInsertLocked(evs []StoreEvent) {
+	if s.histLen <= 0 {
+		s.floorEpoch = s.epoch
+		return
+	}
+	if len(evs) == 0 {
+		return
+	}
+	e := evs[0].Doc.Epoch
+	if e <= s.floorEpoch {
+		return
+	}
+	idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].Doc.Epoch > e })
+	if idx == len(s.journal) {
+		s.journal = append(s.journal, evs...)
+	} else {
+		tail := append(append([]StoreEvent(nil), evs...), s.journal[idx:]...)
+		s.journal = append(s.journal[:idx], tail...)
+	}
+	s.trimJournalLocked()
+}
+
+// ShardOf is the store's stable path→shard assignment (FNV-1a mod
+// shards), shared by the WAL layout and the replication transport so a
+// path's records land in the same shard on every process.
+func ShardOf(path string, shards int) int {
+	return shardOf(path, shards)
+}
+
+// MaxFrame bounds a single replication frame, mirroring the WAL record
+// bound: a corrupt length prefix must not drive a giant allocation.
+const MaxFrame = walMaxRecord
+
+// Replication frame kinds shared with the WAL record format.
+const (
+	// FrameCommit is a committed batch: {"lsn":N,"events":[...]} — the
+	// exact WAL commit record.
+	FrameCommit = walKindCommit
+	// FrameRemove is a retirement: {"lsn":N,"path":...,"version":...}.
+	FrameRemove = walKindRemove
+)
+
+// AppendFrame frames kind+payload in the WAL record format
+// ([4B LE length][4B LE CRC-32][kind byte + payload]) onto buf and
+// returns the extended slice — the replication transport's (and the
+// WAL's) one framing.
+func AppendFrame(buf []byte, kind byte, payload []byte) []byte {
+	return appendWALRecord(buf, kind, payload)
+}
+
+// DecodeFrame parses the frame at the head of data, returning its kind,
+// payload, and total size, or ok=false when the head is not a complete,
+// CRC-valid frame.
+func DecodeFrame(data []byte) (kind byte, payload []byte, n int, ok bool) {
+	rec, n, ok := decodeWALRecord(data)
+	if !ok {
+		return 0, nil, 0, false
+	}
+	return rec.kind, rec.payload, n, true
+}
+
+// EncodeCommitFrame renders one committed batch as a CRC-framed commit
+// record, splicing the events' commit-time payloads without
+// re-marshaling.
+func EncodeCommitFrame(lsn uint64, evs []StoreEvent) []byte {
+	return encodeCommitRecord(lsn, evs)
+}
+
+// DecodeCommitFrame parses a commit-record payload back into its lsn and
+// events; each event's Payload is re-derived deterministically, so the
+// bytes a follower fans out are identical to the leader's.
+func DecodeCommitFrame(payload []byte) (uint64, []StoreEvent, error) {
+	return decodeCommitPayload(payload)
+}
+
+// EncodeRemoveFrame renders one retirement as a CRC-framed remove record.
+func EncodeRemoveFrame(lsn uint64, path string, version uint64) []byte {
+	return encodeRemoveRecord(lsn, path, version)
+}
+
+// DecodeRemoveFrame parses a remove-record payload.
+func DecodeRemoveFrame(payload []byte) (lsn uint64, path string, version uint64, err error) {
+	var rec walRemove
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, "", 0, err
+	}
+	return rec.Lsn, rec.Path, rec.Version, nil
+}
+
+// EventPayload marshals one committed version into the shared wire form
+// (the SSE "data:" line / WAL commit element) — what a leader packs into
+// a snapshot bootstrap for documents whose commit-time payload is gone.
+func EventPayload(path string, d Document) []byte {
+	return encodeEventPayload(path, d)
+}

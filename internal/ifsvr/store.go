@@ -67,6 +67,9 @@ type StoreStats struct {
 	// lsns, fsyncs, group-commit batch sizes, fsync lag); nil for an
 	// in-memory store.
 	Durability *PersistStats
+	// Replication is the replication subsystem's counter block (role,
+	// per-shard lsns, lag, reconnects); nil for an unreplicated store.
+	Replication *ReplicationStats
 }
 
 // Store is the event-driven publication core: a versioned interface-document
@@ -147,6 +150,10 @@ type Store struct {
 	changed      chan struct{} // closed and replaced on every commit batch
 	subs         map[uint64]func(StoreEvent)
 	nextSub      uint64
+	opsSubs      map[uint64]func(StoreOp) // replication taps (SubscribeOps)
+	nextOpsSub   uint64
+	readOnly     bool // replica: local publishes/removes are dropped
+	replStats    func() *ReplicationStats
 	closed       bool
 
 	// deliverMu serializes commit+fan-out so events arrive in commit order
@@ -351,10 +358,14 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	st := s.stats
 	p := s.persist
+	rs := s.replStats
 	s.mu.Unlock()
 	if p != nil {
 		ps := p.Stats()
 		st.Durability = &ps
+	}
+	if rs != nil {
+		st.Replication = rs()
 	}
 	return st
 }
@@ -389,7 +400,7 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
 	s.stats.Publishes++
-	if s.closed {
+	if s.closed || s.readOnly {
 		s.mu.Unlock()
 		return 0
 	}
@@ -400,9 +411,11 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 		evs, tok = s.commitLocked([]string{path}, map[string]Document{path: staged})
 		ver := s.docs[path].Version
 		fns := s.subscribersLocked()
+		ops := s.opsSubsLocked()
 		p = s.persist
 		s.mu.Unlock()
 		fanOut(evs, fns)
+		deliverOps(ops, StoreOp{Events: evs})
 		s.maybeCompact()
 		return ver
 	}
@@ -723,8 +736,10 @@ func (s *Store) onFlushTimer() {
 		s.rearmLocked() // paths with longer windows stay staged
 	}
 	fns := s.subscribersLocked()
+	ops := s.opsSubsLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+	deliverOps(ops, StoreOp{Events: evs})
 	s.maybeCompact()
 }
 
@@ -745,8 +760,10 @@ func (s *Store) Flush() {
 		p = s.persist
 	}
 	fns := s.subscribersLocked()
+	ops := s.opsSubsLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+	deliverOps(ops, StoreOp{Events: evs})
 	s.maybeCompact()
 }
 
@@ -805,8 +822,13 @@ func (s *Store) Remove(path string) {
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.readOnly {
+		s.mu.Unlock()
+		return
+	}
+	var removed uint64
 	if d, ok := s.docs[path]; ok {
+		removed = d.Version
 		s.retired[path] = d.Version
 		delete(s.docs, path)
 		if s.persist != nil && !s.closed {
@@ -831,6 +853,11 @@ func (s *Store) Remove(path string) {
 			}
 		}
 		s.pendingOrder = order
+	}
+	ops := s.opsSubsLocked()
+	s.mu.Unlock()
+	if removed != 0 {
+		deliverOps(ops, StoreOp{RemovePath: path, RemoveVersion: removed})
 	}
 }
 
@@ -914,8 +941,10 @@ func (s *Store) Close() {
 	close(s.changed)
 	s.changed = make(chan struct{})
 	fns := s.subscribersLocked()
+	ops := s.opsSubsLocked()
 	s.mu.Unlock()
 	fanOut(evs, fns)
+	deliverOps(ops, StoreOp{Events: evs})
 }
 
 // Crash closes the store the hard way: no final flush, no parting

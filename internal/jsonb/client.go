@@ -222,7 +222,11 @@ func (Binding) Connect(ctx context.Context, url string, opts *cde.DialOptions) (
 		hc = opts.HTTPClient
 		seed = opts.Prefetched
 	}
-	b := &backend{docs: cde.NewDocSource(url, hc, seed), httpClient: hc}
+	docs := cde.NewDocSource(url, hc, seed)
+	if opts != nil {
+		docs.SetEndpoints(opts.Endpoints)
+	}
+	b := &backend{docs: docs, httpClient: hc}
 	return cde.NewClientContext(ctx, b, opts)
 }
 

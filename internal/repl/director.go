@@ -1,0 +1,248 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultHealthInterval paces the director's replica health checks.
+const DefaultHealthInterval = time.Second
+
+// Replica is one entry of the director's endpoint list.
+type Replica struct {
+	// URL is the replica's Interface Server base URL.
+	URL string `json:"url"`
+	// Role is "leader" or "follower" (from the replica's /.stats
+	// Replication block; an unreplicated single server reads as
+	// "leader").
+	Role string `json:"role"`
+	// Healthy reports the last health check.
+	Healthy bool `json:"healthy"`
+}
+
+// ReplicaSet is the ReplicasPath resource body.
+type ReplicaSet struct {
+	Endpoints []Replica `json:"endpoints"`
+}
+
+// DirectorConfig configures NewDirector.
+type DirectorConfig struct {
+	// Endpoints lists the replicas to front. The first entry is assumed
+	// the leader until a health check says otherwise.
+	Endpoints []string
+	// Interval paces health checks (0 means DefaultHealthInterval).
+	Interval time.Duration
+	// HTTPClient overrides the health-check client.
+	HTTPClient *http.Client
+}
+
+// Director is the tiny fronting tier: it health-checks the replicas,
+// publishes the endpoint list at ReplicasPath (endpoint-aware clients —
+// livedev.WithDirector — fetch it once and fail over client-side), and
+// spreads endpoint-oblivious watchers by answering every other GET with
+// a 307 redirect to the next healthy replica round-robin (http.Client
+// follows a 307 GET transparently, SSE streams included). Non-GET
+// requests are misdirected (421) to the leader, like a follower would.
+type Director struct {
+	endpoints []string
+	interval  time.Duration
+	hc        *http.Client
+
+	mu      sync.Mutex
+	replica []Replica
+	next    int
+
+	httpSrv  *http.Server
+	listener net.Listener
+	baseURL  string
+	done     chan struct{}
+	cancel   context.CancelFunc
+}
+
+// NewDirector builds a director over the given replica endpoints and
+// starts its health loop; call Start to serve, Close to stop.
+func NewDirector(cfg DirectorConfig) *Director {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Second}
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	d := &Director{
+		endpoints: append([]string(nil), cfg.Endpoints...),
+		interval:  interval,
+		hc:        hc,
+		replica:   make([]Replica, len(cfg.Endpoints)),
+	}
+	for i, ep := range d.endpoints {
+		role := "follower"
+		if i == 0 {
+			role = "leader"
+		}
+		// Optimistically healthy until the first check: a client arriving
+		// before the loop's first pass should be spread, not bounced.
+		d.replica[i] = Replica{URL: ep, Role: role, Healthy: true}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d.cancel = cancel
+	go d.healthLoop(ctx)
+	return d
+}
+
+// healthLoop polls every replica's /.stats on the configured cadence.
+func (d *Director) healthLoop(ctx context.Context) {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		d.checkAll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (d *Director) checkAll(ctx context.Context) {
+	for i, ep := range d.endpoints {
+		healthy, role := d.checkOne(ctx, ep)
+		d.mu.Lock()
+		d.replica[i].Healthy = healthy
+		if role != "" {
+			d.replica[i].Role = role
+		}
+		d.mu.Unlock()
+	}
+}
+
+// checkOne probes one replica's stats endpoint; a 200 is healthy, and
+// the Replication block (when present) names the replica's role.
+func (d *Director) checkOne(ctx context.Context, ep string) (healthy bool, role string) {
+	cctx, cancel := context.WithTimeout(ctx, d.interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, ep+"/.stats", nil)
+	if err != nil {
+		return false, ""
+	}
+	resp, err := d.hc.Do(req)
+	if err != nil {
+		return false, ""
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return false, ""
+	}
+	var stats struct {
+		Replication *struct {
+			Role string
+		}
+	}
+	if json.NewDecoder(resp.Body).Decode(&stats) == nil && stats.Replication != nil {
+		role = stats.Replication.Role
+	}
+	return true, role
+}
+
+// Replicas snapshots the endpoint list.
+func (d *Director) Replicas() ReplicaSet {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return ReplicaSet{Endpoints: append([]Replica(nil), d.replica...)}
+}
+
+// leaderURL is the current leader's endpoint (falling back to the first
+// endpoint when no replica reports the role).
+func (d *Director) leaderURL() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, r := range d.replica {
+		if r.Role == "leader" {
+			return r.URL
+		}
+	}
+	if len(d.replica) > 0 {
+		return d.replica[0].URL
+	}
+	return ""
+}
+
+// pick returns the next healthy replica round-robin ("" when none is).
+func (d *Director) pick() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < len(d.replica); i++ {
+		r := d.replica[d.next%len(d.replica)]
+		d.next++
+		if r.Healthy {
+			return r.URL
+		}
+	}
+	return ""
+}
+
+// ServeHTTP implements the director's three behaviors: the endpoint
+// list, the leader misdirect for writes, and the round-robin redirect
+// for everything else.
+func (d *Director) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		leader := d.leaderURL()
+		if leader == "" {
+			http.Error(w, "no replicas configured", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Location", leader+r.URL.RequestURI())
+		http.Error(w, "director is read-routing only; publish to the leader at "+leader,
+			http.StatusMisdirectedRequest)
+		return
+	}
+	if r.URL.Path == ReplicasPath {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		_ = json.NewEncoder(w).Encode(d.Replicas())
+		return
+	}
+	target := d.pick()
+	if target == "" {
+		http.Error(w, "no healthy replica", http.StatusServiceUnavailable)
+		return
+	}
+	http.Redirect(w, r, target+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+}
+
+// Start begins serving on addr and returns the base URL.
+func (d *Director) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("repl: director listen %s: %w", addr, err)
+	}
+	d.listener = ln
+	d.baseURL = "http://" + ln.Addr().String()
+	d.httpSrv = &http.Server{Handler: d, ReadHeaderTimeout: 10 * time.Second}
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		_ = d.httpSrv.Serve(ln)
+	}()
+	return d.baseURL, nil
+}
+
+// BaseURL returns the director's base URL ("" before Start).
+func (d *Director) BaseURL() string { return d.baseURL }
+
+// Close stops the health loop and the HTTP server.
+func (d *Director) Close() error {
+	d.cancel()
+	if d.httpSrv == nil {
+		return nil
+	}
+	err := d.httpSrv.Close()
+	<-d.done
+	return err
+}

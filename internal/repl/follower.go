@@ -1,0 +1,407 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"livedev/internal/ifsvr"
+)
+
+// cursorFile is the follower's sidecar next to its store data: the
+// leader generation and per-shard applied lsns a restart resumes from.
+// It is written without fsync — the apply path is idempotent, so a
+// cursor that lags (or tears and parses as nothing) only widens the
+// re-fetch overlap, never loses or duplicates a commit.
+const cursorFile = "repl-state.json"
+
+// DefaultRetryDelay paces follower reconnects after a broken, torn, or
+// corrupt tail stream.
+const DefaultRetryDelay = 200 * time.Millisecond
+
+// FollowerConfig configures OpenFollower.
+type FollowerConfig struct {
+	// Leader is the leader Interface Server's base URL (the TailPath
+	// endpoint must be mounted there).
+	Leader string
+	// Store configures the follower's own store — in-memory by default,
+	// durable when Dir is set (the replication cursor persists next to
+	// the shards, so a restarted follower resumes tailing from its
+	// durable position instead of re-bootstrapping).
+	Store ifsvr.StoreConfig
+	// HTTPClient overrides the tailing client (nil means a private one).
+	HTTPClient *http.Client
+	// RetryDelay overrides reconnect pacing (0 means DefaultRetryDelay).
+	RetryDelay time.Duration
+}
+
+// Follower tails every shard of a leader's WAL concurrently and applies
+// the records through the store's commit path into its own (optionally
+// durable) store. The store serves doc GETs, long-polls, and SSE watch
+// streams read-only under the leader's generation and epochs; Serve
+// starts an Interface Server view that additionally answers writes with
+// 421 Misdirected Request naming the leader.
+type Follower struct {
+	leader string
+	hc     *http.Client
+	store  *ifsvr.Store
+	iface  *ifsvr.Server
+	dir    string
+	gen    uint64
+	shards int
+	retry  time.Duration
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	curMu     sync.Mutex // serializes cursor-sidecar writes
+	mu        sync.Mutex
+	applied   []uint64 // per-shard last applied lsn
+	leaderLSN []uint64 // per-shard leader head, from records and heartbeats
+	counters  struct {
+		records, batches, removes, bootstraps, heartbeats uint64
+		reconnects, frameErrors                           uint64
+	}
+}
+
+// cursorState is the cursorFile layout.
+type cursorState struct {
+	Generation uint64   `json:"generation"`
+	Shards     int      `json:"shards"`
+	Applied    []uint64 `json:"applied"`
+}
+
+// OpenFollower handshakes with the leader, opens (or recovers) the local
+// store, and starts tailing every shard. The returned follower's store
+// is read-only and already adopting the leader's generation.
+func OpenFollower(cfg FollowerConfig) (*Follower, error) {
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	retry := cfg.RetryDelay
+	if retry <= 0 {
+		retry = DefaultRetryDelay
+	}
+	hello, err := handshake(context.Background(), hc, cfg.Leader)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ifsvr.OpenStore(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		leader:    cfg.Leader,
+		hc:        hc,
+		store:     st,
+		dir:       cfg.Store.Dir,
+		gen:       hello.Generation,
+		shards:    hello.Shards,
+		retry:     retry,
+		applied:   make([]uint64, hello.Shards),
+		leaderLSN: append([]uint64(nil), hello.LSNs...),
+	}
+	// Serve the LEADER's restart generation, not our own incarnation
+	// count: a watcher failing over between replicas must not misread
+	// the replica switch as a state-loss restart.
+	st.AdoptGeneration(hello.Generation)
+	st.SetReadOnly(true)
+	st.SetReplicationStats(f.replicationStats)
+	if cur, ok := f.loadCursor(); ok && cur.Generation == hello.Generation && cur.Shards == hello.Shards {
+		copy(f.applied, cur.Applied)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	for i := 0; i < f.shards; i++ {
+		f.wg.Add(1)
+		go f.tailShard(ctx, i)
+	}
+	return f, nil
+}
+
+// handshake fetches the leader's Hello.
+func handshake(ctx context.Context, hc *http.Client, leader string) (Hello, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, leader+TailPath, nil)
+	if err != nil {
+		return Hello{}, fmt.Errorf("repl: building handshake request: %w", err)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Hello{}, fmt.Errorf("repl: handshaking with leader %s: %w", leader, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return Hello{}, fmt.Errorf("repl: handshaking with leader %s: HTTP %d", leader, resp.StatusCode)
+	}
+	var h Hello
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Hello{}, fmt.Errorf("repl: decoding handshake: %w", err)
+	}
+	if h.Schema != Schema {
+		return Hello{}, fmt.Errorf("repl: leader speaks %q, want %q", h.Schema, Schema)
+	}
+	if h.Shards <= 0 || h.Generation == 0 {
+		return Hello{}, fmt.Errorf("repl: malformed handshake (shards=%d generation=%d)", h.Shards, h.Generation)
+	}
+	return h, nil
+}
+
+// Serve starts the follower's read-only Interface Server on addr and
+// returns its base URL.
+func (f *Follower) Serve(addr string) (string, error) {
+	f.iface = ifsvr.NewView(f.store)
+	f.iface.LeaderURL = f.leader
+	return f.iface.Start(addr)
+}
+
+// Iface returns the follower's Interface Server (nil before Serve).
+func (f *Follower) Iface() *ifsvr.Server { return f.iface }
+
+// Store returns the follower's local store.
+func (f *Follower) Store() *ifsvr.Store { return f.store }
+
+// Generation returns the adopted leader generation.
+func (f *Follower) Generation() uint64 { return f.gen }
+
+// Leader returns the leader base URL.
+func (f *Follower) Leader() string { return f.leader }
+
+// Close stops tailing, persists the final cursor, and closes the local
+// store (and the Serve HTTP server, if started).
+func (f *Follower) Close() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.wg.Wait()
+	f.saveCursor()
+	if f.iface != nil {
+		_ = f.iface.Close()
+	}
+	f.store.Close()
+}
+
+// Crash is Close the hard way — no final cursor write, no store
+// snapshot — for restart-torture tests.
+func (f *Follower) Crash() error {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	f.wg.Wait()
+	if f.iface != nil {
+		_ = f.iface.Close()
+	}
+	return f.store.Crash()
+}
+
+// tailShard is one shard's tail loop: stream records from the last
+// applied lsn, apply, and on ANY break — connection loss, torn frame,
+// CRC mismatch — reconnect and re-fetch from the last applied lsn. The
+// apply path skips versions it already has, so overlap is harmless.
+func (f *Follower) tailShard(ctx context.Context, shard int) {
+	defer f.wg.Done()
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			f.mu.Lock()
+			f.counters.reconnects++
+			f.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(f.retry):
+			}
+		}
+		first = false
+		f.tailOnce(ctx, shard)
+	}
+}
+
+// tailOnce holds one tail stream until it breaks or ctx ends.
+func (f *Follower) tailOnce(ctx context.Context, shard int) {
+	after := f.appliedLSN(shard)
+	url := fmt.Sprintf("%s%s?shard=%d&after=%d", f.leader, TailPath, shard, after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != TailContentType {
+		return
+	}
+	fr := newFrameReader(resp.Body)
+	for {
+		kind, payload, err := fr.next()
+		if err != nil {
+			if err == errCorruptFrame {
+				f.mu.Lock()
+				f.counters.frameErrors++
+				f.mu.Unlock()
+			}
+			return
+		}
+		if err := f.applyFrame(shard, kind, payload); err != nil {
+			f.mu.Lock()
+			f.counters.frameErrors++
+			f.mu.Unlock()
+			return
+		}
+	}
+}
+
+// applyFrame applies one decoded record and advances the shard cursor.
+func (f *Follower) applyFrame(shard int, kind byte, payload []byte) error {
+	switch kind {
+	case FrameCommit:
+		lsn, evs, err := ifsvr.DecodeCommitFrame(payload)
+		if err != nil {
+			return err
+		}
+		f.store.ApplyReplicated(evs)
+		f.advance(shard, lsn, func(c *Follower) { c.counters.batches++; c.counters.records++ })
+	case FrameRemove:
+		lsn, path, version, err := ifsvr.DecodeRemoveFrame(payload)
+		if err != nil {
+			return err
+		}
+		f.store.ApplyReplicatedRemove(path, version)
+		f.advance(shard, lsn, func(c *Follower) { c.counters.removes++; c.counters.records++ })
+	case FrameBootstrap:
+		lsn, evs, err := ifsvr.DecodeCommitFrame(payload)
+		if err != nil {
+			return err
+		}
+		var meta bootstrapMeta
+		if err := json.Unmarshal(payload, &meta); err != nil {
+			return err
+		}
+		f.store.ApplyReplicated(evs)
+		for path, v := range meta.Retired {
+			f.store.ApplyReplicatedRemove(path, v)
+		}
+		f.advance(shard, lsn, func(c *Follower) { c.counters.bootstraps++ })
+	case FrameHeartbeat:
+		var hb heartbeatWire
+		if err := json.Unmarshal(payload, &hb); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		if hb.Lsn > f.leaderLSN[shard] {
+			f.leaderLSN[shard] = hb.Lsn
+		}
+		f.counters.heartbeats++
+		f.mu.Unlock()
+	default:
+		return fmt.Errorf("repl: unknown frame kind %q", kind)
+	}
+	return nil
+}
+
+// advance records a shard's applied lsn (and the implied leader head)
+// and persists the cursor sidecar.
+func (f *Follower) advance(shard int, lsn uint64, count func(*Follower)) {
+	f.mu.Lock()
+	if lsn > f.applied[shard] {
+		f.applied[shard] = lsn
+	}
+	if lsn > f.leaderLSN[shard] {
+		f.leaderLSN[shard] = lsn
+	}
+	count(f)
+	f.mu.Unlock()
+	f.saveCursor()
+}
+
+func (f *Follower) appliedLSN(shard int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied[shard]
+}
+
+// loadCursor reads the cursor sidecar ("" dir, a missing file, or a torn
+// write all read as no cursor — the follower just bootstraps).
+func (f *Follower) loadCursor() (cursorState, bool) {
+	if f.dir == "" {
+		return cursorState{}, false
+	}
+	data, err := os.ReadFile(filepath.Join(f.dir, cursorFile))
+	if err != nil {
+		return cursorState{}, false
+	}
+	var cur cursorState
+	if json.Unmarshal(data, &cur) != nil || len(cur.Applied) != cur.Shards {
+		return cursorState{}, false
+	}
+	return cur, true
+}
+
+// saveCursor writes the cursor sidecar (best-effort, unsynced; see
+// cursorFile).
+func (f *Follower) saveCursor() {
+	if f.dir == "" {
+		return
+	}
+	f.mu.Lock()
+	cur := cursorState{Generation: f.gen, Shards: f.shards, Applied: append([]uint64(nil), f.applied...)}
+	f.mu.Unlock()
+	data, err := json.Marshal(cur)
+	if err != nil {
+		return
+	}
+	f.curMu.Lock()
+	defer f.curMu.Unlock()
+	tmp := filepath.Join(f.dir, cursorFile+".tmp")
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(f.dir, cursorFile))
+}
+
+// Lag is the follower's total backlog: sum over shards of the leader
+// head minus the applied lsn, as last observed.
+func (f *Follower) Lag() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lagLocked()
+}
+
+func (f *Follower) lagLocked() uint64 {
+	var lag uint64
+	for i := range f.applied {
+		if f.leaderLSN[i] > f.applied[i] {
+			lag += f.leaderLSN[i] - f.applied[i]
+		}
+	}
+	return lag
+}
+
+// replicationStats is the follower's StoreStats.Replication block.
+func (f *Follower) replicationStats() *ifsvr.ReplicationStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return &ifsvr.ReplicationStats{
+		Role:        "follower",
+		LeaderURL:   f.leader,
+		Generation:  f.gen,
+		Shards:      f.shards,
+		LSN:         append([]uint64(nil), f.applied...),
+		LeaderLSN:   append([]uint64(nil), f.leaderLSN...),
+		Lag:         f.lagLocked(),
+		Records:     f.counters.records,
+		Batches:     f.counters.batches,
+		Removes:     f.counters.removes,
+		Bootstraps:  f.counters.bootstraps,
+		Heartbeats:  f.counters.heartbeats,
+		Reconnects:  f.counters.reconnects,
+		FrameErrors: f.counters.frameErrors,
+	}
+}

@@ -1,0 +1,530 @@
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"livedev/internal/ifsvr"
+	"livedev/internal/repl"
+)
+
+// startLeader builds a leader: store, Interface Server view, tail server
+// mounted at repl.TailPath.
+func startLeader(t *testing.T, cfg repl.TailConfig) (*ifsvr.Store, *repl.TailServer, string) {
+	t.Helper()
+	st := ifsvr.NewStore(0, nil)
+	srv := ifsvr.NewView(st)
+	ts := repl.Attach(st, srv, cfg)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("starting leader: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ts.Close()
+		st.Close()
+	})
+	return st, ts, base
+}
+
+// waitConverged blocks until every follower store holds every leader
+// path at (at least) the leader's version, then asserts content, epoch,
+// and descriptor version match exactly.
+func waitConverged(t *testing.T, leader *ifsvr.Store, followers ...*ifsvr.Store) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, path := range leader.Paths() {
+		want, err := leader.Get(path)
+		if err != nil {
+			t.Fatalf("leader lost %s: %v", path, err)
+		}
+		for i, f := range followers {
+			for {
+				got, err := f.Get(path)
+				if err == nil && got.Version >= want.Version {
+					if got != want {
+						t.Fatalf("follower %d diverged on %s:\n got %+v\nwant %+v", i, path, got, want)
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("follower %d never converged on %s (leader v%d)", i, path, want.Version)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+}
+
+func openFollower(t *testing.T, leader string, storeCfg ifsvr.StoreConfig) *repl.Follower {
+	t.Helper()
+	f, err := repl.OpenFollower(repl.FollowerConfig{Leader: leader, Store: storeCfg, RetryDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("opening follower: %v", err)
+	}
+	return f
+}
+
+// TestReplicationSmoke is the CI convergence smoke: a leader plus two
+// followers, a few publishes and a retirement, everyone converges, the
+// followers serve the leader's generation over HTTP, and a write to a
+// follower is misdirected (421) to the leader.
+func TestReplicationSmoke(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{})
+
+	f1 := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f1.Close()
+	f2 := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f2.Close()
+	f1URL, err := f1.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serving follower: %v", err)
+	}
+
+	for i := 0; i < 20; i++ {
+		st.Publish(fmt.Sprintf("/doc/%d", i%5), "text/plain", fmt.Sprintf("content-%d", i))
+	}
+	st.Remove("/doc/4")
+	waitConverged(t, st, f1.Store(), f2.Store())
+
+	// The retirement replicated too.
+	awaitRemoved(t, "/doc/4", f1.Store(), f2.Store())
+
+	// Satellite fix: followers serve X-Store-Generation derived from the
+	// LEADER's generation, not their own restart counter.
+	doc, err := ifsvr.FetchContext(context.Background(), nil, f1URL+"/doc/1")
+	if err != nil {
+		t.Fatalf("fetching from follower: %v", err)
+	}
+	if doc.Generation != st.Generation() {
+		t.Fatalf("follower served generation %d, want the leader's %d", doc.Generation, st.Generation())
+	}
+
+	// Publications to a follower are misdirected to the leader.
+	resp, err := http.Post(f1URL+"/doc/1", "text/plain", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatalf("posting to follower: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("publish to follower: HTTP %d, want %d", resp.StatusCode, http.StatusMisdirectedRequest)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, base) {
+		t.Fatalf("misdirect Location = %q, want leader %q", loc, base)
+	}
+	// And the follower's own store drops local publishes.
+	if v := f1.Store().Publish("/doc/1", "text/plain", "local write"); v != 0 {
+		t.Fatalf("read-only follower store accepted a publish (v%d)", v)
+	}
+
+	// Replication stats blocks carry the roles.
+	if rs := st.Stats().Replication; rs == nil || rs.Role != "leader" {
+		t.Fatalf("leader Replication block = %+v", rs)
+	}
+	rs := f1.Store().Stats().Replication
+	if rs == nil || rs.Role != "follower" || rs.Generation != st.Generation() {
+		t.Fatalf("follower Replication block = %+v", rs)
+	}
+	if rs.Records == 0 {
+		t.Fatalf("follower applied no records: %+v", rs)
+	}
+}
+
+func awaitRemoved(t *testing.T, path string, stores ...*ifsvr.Store) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for _, st := range stores {
+		for {
+			if _, err := st.Get(path); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never retired on follower", path)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestFollowerRestartResumes kills a durable follower mid-stream and
+// restarts it over the same data dir: it must resume from its durable
+// lsn with zero missed and zero duplicated versions across the two
+// incarnations.
+func TestFollowerRestartResumes(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{History: 100000})
+	dir := t.TempDir()
+
+	const paths = 4
+	const versionsPerPath = 120
+	pathOf := func(i int) string { return fmt.Sprintf("/storm/%d", i) }
+
+	type seenEvent struct {
+		path    string
+		version uint64
+	}
+	var seenMu sync.Mutex
+	var seen []seenEvent
+	record := func(ev ifsvr.StoreEvent) {
+		seenMu.Lock()
+		seen = append(seen, seenEvent{ev.Path, ev.Doc.Version})
+		seenMu.Unlock()
+	}
+
+	f := openFollower(t, base, ifsvr.StoreConfig{Dir: dir})
+	f.Store().Subscribe(record)
+
+	// Storm while the follower tails.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := 0; v < versionsPerPath; v++ {
+			for p := 0; p < paths; p++ {
+				st.Publish(pathOf(p), "text/plain", fmt.Sprintf("v%d", v))
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Let some of the storm replicate, then kill the follower mid-stream.
+	// The subscription rides until Close: everything applied is recorded.
+	time.Sleep(15 * time.Millisecond)
+	f.Close()
+
+	<-done // leader finishes the storm while the follower is down
+
+	// Restart over the same dir: tailing resumes from the durable cursor.
+	f2 := openFollower(t, base, ifsvr.StoreConfig{Dir: dir})
+	defer f2.Close()
+	f2.Store().Subscribe(record)
+	waitConverged(t, st, f2.Store())
+
+	// Zero miss, zero dup: per path, the two incarnations together fanned
+	// out every version exactly once, in order.
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	next := make(map[string]uint64)
+	for p := 0; p < paths; p++ {
+		next[pathOf(p)] = 1
+	}
+	for _, ev := range seen {
+		if ev.version != next[ev.path] {
+			t.Fatalf("%s: fanned out v%d, want v%d (dup or miss across restart)", ev.path, ev.version, next[ev.path])
+		}
+		next[ev.path]++
+	}
+	for p := 0; p < paths; p++ {
+		if got := next[pathOf(p)] - 1; got != versionsPerPath {
+			t.Fatalf("%s: fanned out %d versions, want %d", pathOf(p), got, versionsPerPath)
+		}
+	}
+	if rs := f2.Store().Stats().Replication; rs == nil || rs.Bootstraps != 0 {
+		t.Fatalf("restart should resume by tailing, not bootstrap: %+v", rs)
+	}
+}
+
+// TestLeaderCompactionBootstrap forces the snapshot-bootstrap path: the
+// leader's tail ring is tiny, the follower connects after far more
+// commits than the ring holds, so its cursor is below the floor and the
+// leader answers with a state transfer before live records.
+func TestLeaderCompactionBootstrap(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{Shards: 2, History: 4})
+
+	for i := 0; i < 200; i++ {
+		st.Publish(fmt.Sprintf("/doc/%d", i%8), "text/plain", fmt.Sprintf("content-%d", i))
+	}
+	st.Remove("/doc/7")
+
+	f := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f.Close()
+	waitConverged(t, st, f.Store())
+	awaitRemoved(t, "/doc/7", f.Store())
+
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Bootstraps == 0 {
+		t.Fatalf("follower should have bootstrapped: %+v", rs)
+	}
+	// Live records flow after the bootstrap.
+	st.Publish("/doc/0", "text/plain", "after-bootstrap")
+	waitConverged(t, st, f.Store())
+}
+
+// corruptingProxy proxies the leader's tail endpoint, flipping one byte
+// of the record stream after `after` bytes — once. The follower must
+// reject the frame by CRC, reconnect (through the now-clean proxy), and
+// re-fetch from its last applied lsn.
+func corruptingProxy(t *testing.T, leader string, after int) *httptest.Server {
+	t.Helper()
+	var corrupted atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, leader+r.URL.RequestURI(), nil)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		fl := w.(http.Flusher)
+		fl.Flush()
+		streaming := r.URL.Query().Get("shard") != ""
+		buf := make([]byte, 4096)
+		total := 0
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				chunk := buf[:n]
+				if streaming && total+n > after && corrupted.CompareAndSwap(false, true) {
+					i := after - total
+					if i < 0 || i >= n {
+						i = n - 1
+					}
+					chunk[i] ^= 0xFF
+				}
+				total += n
+				if _, werr := w.Write(chunk); werr != nil {
+					return
+				}
+				fl.Flush()
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	t.Cleanup(proxy.Close)
+	return proxy
+}
+
+// TestCorruptTailFrameRefetched injects a bit-flipped record on the wire
+// and asserts the follower rejects it by CRC, reconnects, re-fetches,
+// and still converges byte-exactly.
+func TestCorruptTailFrameRefetched(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{Shards: 1, History: 100000})
+	for i := 0; i < 40; i++ {
+		st.Publish("/doc/a", "text/plain", fmt.Sprintf("content-%d", i))
+	}
+
+	proxy := corruptingProxy(t, base, 700)
+	f := openFollower(t, proxy.URL, ifsvr.StoreConfig{})
+	defer f.Close()
+
+	waitConverged(t, st, f.Store())
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.FrameErrors == 0 {
+		t.Fatalf("expected a CRC-rejected frame: %+v", rs)
+	}
+	if rs.Reconnects == 0 {
+		t.Fatalf("expected a reconnect after the rejected frame: %+v", rs)
+	}
+}
+
+// TestEditStormByteIdentical runs a concurrent edit storm on the leader
+// (race-enabled in CI) and asserts every epoch's fanned-out event bytes
+// are identical on leader and follower.
+func TestEditStormByteIdentical(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{History: 100000})
+
+	collect := func(st *ifsvr.Store) (*sync.Mutex, map[uint64][]string) {
+		mu := &sync.Mutex{}
+		m := make(map[uint64][]string)
+		st.Subscribe(func(ev ifsvr.StoreEvent) {
+			mu.Lock()
+			m[ev.Doc.Epoch] = append(m[ev.Doc.Epoch], string(ev.Payload))
+			mu.Unlock()
+		})
+		return mu, m
+	}
+	lmu, leaderEvents := collect(st)
+
+	f := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f.Close()
+	fmu, followerEvents := collect(f.Store())
+
+	const writers = 4
+	const editsPerWriter = 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < editsPerWriter; i++ {
+				st.Publish(fmt.Sprintf("/storm/%d", w), "text/plain", fmt.Sprintf("w%d-i%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	waitConverged(t, st, f.Store())
+
+	lmu.Lock()
+	defer lmu.Unlock()
+	fmu.Lock()
+	defer fmu.Unlock()
+	if len(leaderEvents) != writers*editsPerWriter {
+		t.Fatalf("leader fanned out %d epochs, want %d", len(leaderEvents), writers*editsPerWriter)
+	}
+	for epoch, levs := range leaderEvents {
+		fevs := followerEvents[epoch]
+		if len(fevs) != len(levs) {
+			t.Fatalf("epoch %d: follower fanned out %d events, leader %d", epoch, len(fevs), len(levs))
+		}
+		for i := range levs {
+			if fevs[i] != levs[i] {
+				t.Fatalf("epoch %d event %d: follower bytes differ:\n  leader   %s\n  follower %s",
+					epoch, i, levs[i], fevs[i])
+			}
+		}
+	}
+}
+
+// TestDirector pins the fronting tier: /.replicas lists the fleet with
+// roles, GETs are spread (307) across healthy replicas, and writes are
+// misdirected (421) to the leader.
+func TestDirector(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{})
+	st.Publish("/doc/a", "text/plain", "hello")
+
+	f1 := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f1.Close()
+	f2 := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f2.Close()
+	f1URL, err := f1.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serving follower 1: %v", err)
+	}
+	f2URL, err := f2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serving follower 2: %v", err)
+	}
+	waitConverged(t, st, f1.Store(), f2.Store())
+
+	d := repl.NewDirector(repl.DirectorConfig{
+		Endpoints: []string{base, f1URL, f2URL},
+		Interval:  20 * time.Millisecond,
+	})
+	dURL, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("starting director: %v", err)
+	}
+	defer func() { _ = d.Close() }()
+
+	// The endpoint list names every replica; roles settle after a check.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		set := d.Replicas()
+		roles := make(map[string]string)
+		for _, r := range set.Endpoints {
+			if r.Healthy {
+				roles[r.URL] = r.Role
+			}
+		}
+		if roles[base] == "leader" && roles[f1URL] == "follower" && roles[f2URL] == "follower" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("director never settled roles: %+v", set)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// GETs through the director spread across replicas: the 307 target
+	// host changes across consecutive requests.
+	targets := make(map[string]bool)
+	noFollow := &http.Client{CheckRedirect: func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for i := 0; i < 9; i++ {
+		resp, err := noFollow.Get(dURL + "/doc/a")
+		if err != nil {
+			t.Fatalf("GET via director: %v", err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("director GET: HTTP %d, want 307", resp.StatusCode)
+		}
+		targets[resp.Header.Get("Location")] = true
+	}
+	if len(targets) < 3 {
+		t.Fatalf("director only spread across %d replicas: %v", len(targets), targets)
+	}
+
+	// A default client follows the redirect to a real document.
+	resp, err := http.Get(dURL + "/doc/a")
+	if err != nil {
+		t.Fatalf("GET via director: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("GET via director served %q", body)
+	}
+
+	// Writes are misdirected to the leader.
+	resp, err = http.Post(dURL+"/doc/a", "text/plain", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatalf("POST via director: %v", err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("POST via director: HTTP %d, want 421", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, base) {
+		t.Fatalf("POST misdirect Location = %q, want leader %q", loc, base)
+	}
+}
+
+// TestFollowerWatchStream pins that a held SSE watch on a FOLLOWER sees
+// live leader commits — the whole point of the read plane.
+func TestFollowerWatchStream(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{})
+	st.Publish("/doc/w", "text/plain", "v1")
+
+	f := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f.Close()
+	fURL, err := f.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serving follower: %v", err)
+	}
+	waitConverged(t, st, f.Store())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got := make(chan ifsvr.StreamEvent, 16)
+	go func() {
+		_ = ifsvr.WatchStream(ctx, nil, fURL+"/doc/w", 0, func(ev ifsvr.StreamEvent) {
+			got <- ev
+		})
+	}()
+
+	// First the replayed/current v1, then a live v2 published on the
+	// LEADER must arrive over the follower's stream.
+	ev := <-got
+	if ev.Doc.Version != 1 {
+		t.Fatalf("first stream event v%d, want v1", ev.Doc.Version)
+	}
+	st.Publish("/doc/w", "text/plain", "v2")
+	select {
+	case ev = <-got:
+		if ev.Doc.Version != 2 || ev.Doc.Content != "v2" {
+			t.Fatalf("live event = %+v, want v2", ev.Doc)
+		}
+	case <-ctx.Done():
+		t.Fatal("live leader commit never reached the follower's SSE stream")
+	}
+}

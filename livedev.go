@@ -64,6 +64,23 @@
 // wrappers of the v1 API (ConnectSOAP, ConnectCORBA, Client.Call) remain
 // as thin deprecated shims.
 //
+// # Replication
+//
+// The watch plane scales out horizontally: a manager started with
+// Config.FollowURL (sde-server: -follow <leader-url>) is a read-only
+// replica that tails the leader's write-ahead log and serves the
+// replicated documents — GETs, long-polls, and SSE watch streams — under
+// the leader's restart generation, while answering publications with 421
+// Misdirected Request naming the leader. Clients spread across replicas
+// with WithEndpoints(leader, replicaA, replicaB) — failover between them
+// is the watcher's ordinary reconnect, never a visible restart — or ask a
+// fronting sde-director for the current replica set via WithDirector:
+//
+//	client, _ := livedev.Dial(ctx, docURL,
+//	    livedev.WithWatch(), livedev.WithDirector("http://director:8080"))
+//
+// See docs/replication.md for the WAL-shipping protocol.
+//
 // # Adding an RMI technology
 //
 // An RMI technology is a Binding: a named pair of a server half (Serve
@@ -328,6 +345,24 @@ func WithDebugger(prompt func(Exception)) Option {
 // the IDL URL by path convention (or vice versa).
 func WithAuxURL(url string) Option {
 	return func(o *DialOptions) { o.AuxURL = url }
+}
+
+// WithEndpoints supplies equivalent Interface Server base URLs — a leader
+// and its read-only replicas (Config.FollowURL / sde-server -follow).
+// Document fetches and watch streams rotate to the next endpoint when the
+// current one fails, so a replica dying mid-session is ridden out by the
+// watcher's ordinary reconnect: the replicas serve the leader's restart
+// generation, so the switch is journal catch-up, never a state-loss
+// restart. The dialed URL's path is kept; only scheme and host rotate.
+func WithEndpoints(urls ...string) Option {
+	return func(o *DialOptions) { o.Endpoints = append(o.Endpoints, urls...) }
+}
+
+// WithDirector points the client at a fronting director (sde-director):
+// Dial asks it for the current replica set once and dials with those
+// endpoints, as if they had been passed to WithEndpoints.
+func WithDirector(url string) Option {
+	return func(o *DialOptions) { o.DirectorURL = url }
 }
 
 // Dial builds a live CDE client from a published interface-document URL.
