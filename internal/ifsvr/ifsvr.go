@@ -323,8 +323,11 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 	// a cached one would defeat the protocol.
 	w.Header().Set("Cache-Control", "no-store")
 	st := s.backing()
-	gen := backingGeneration(st)
 	d, err := st.Wait(ctx, r.URL.Path, after)
+	// The generation is read AFTER the park: a replica can reset (adopt a
+	// new leader generation) while the poll is held, and the response must
+	// name the incarnation that produced it.
+	gen := backingGeneration(st)
 	switch {
 	case err == nil:
 		writeDoc(w, d, gen)

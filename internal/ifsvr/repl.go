@@ -106,6 +106,41 @@ func (s *Store) AdoptGeneration(gen uint64) {
 	s.mu.Unlock()
 }
 
+// ResetReplicated wipes a replica's state for a new leader incarnation:
+// documents, retired floors, the replay journal, and the epoch counter
+// all reset, and the new generation is adopted. The follower calls it
+// after a re-handshake reveals a generation (or shard-count) change —
+// the old incarnation's versions and epochs mean nothing under the new
+// one, and leaving them in place would make the version filter silently
+// skip the new leader's lower-numbered commits. Parked waiters wake (the
+// forced snapshot bootstrap that follows rebuilds state), held watch
+// streams end on their next generation check so clients reconnect and
+// read the new generation — their ordinary restart signal — and a
+// durable replica snapshots the cleared state so its own restart cannot
+// resurrect the dead incarnation's documents.
+func (s *Store) ResetReplicated(gen uint64) {
+	s.deliverMu.Lock()
+	defer s.deliverMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.docs = make(map[string]Document)
+	s.retired = make(map[string]uint64)
+	s.journal = nil
+	s.epoch = 0
+	s.floorEpoch = 0
+	if gen != 0 {
+		s.generation = gen
+	}
+	if err := s.snapshotLocked(); err != nil {
+		s.stats.PersistErrors++
+	}
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
 // CloneState returns a copy of the store's persistent state (documents,
 // retired floors, epoch, generation, journal) — what a replication leader
 // packs into a snapshot bootstrap for a follower whose cursor has been
@@ -160,6 +195,10 @@ type ReplicationStats struct {
 	Heartbeats uint64
 	// Reconnects counts follower tail reconnects after broken streams.
 	Reconnects uint64
+	// Resets counts follower re-handshakes that revealed a new leader
+	// incarnation (generation or shard-count change) — each wiped the
+	// local state and re-bootstrapped under the new generation.
+	Resets uint64
 	// FrameErrors counts torn or CRC-rejected records on the wire — each
 	// forces a reconnect and a re-fetch from the last applied lsn.
 	FrameErrors uint64
@@ -278,29 +317,38 @@ func (s *Store) ApplyReplicatedRemove(path string, version uint64) bool {
 	return true
 }
 
-// journalInsertLocked extends the replay journal with one replicated
-// commit record's events (all sharing one epoch), keeping the ring sorted
-// by epoch: concurrent shard streams interleave their epochs, and the
-// replay binary search requires order. An epoch at or below the journal
-// floor is dropped — it is already-evicted territory. Caller holds s.mu.
+// journalInsertLocked extends the replay journal with a replicated
+// record's events, keeping the ring sorted by epoch: concurrent shard
+// streams interleave their epochs, and the replay binary search requires
+// order. Events are inserted one epoch-run at a time — a commit record
+// (every event sharing the batch epoch) is a single insertion, while a
+// multi-epoch bootstrap block splits at its epoch boundaries, so an
+// epoch another shard's stream already journaled cannot land inside the
+// block and unsort the ring. An epoch at or below the journal floor is
+// dropped — it is already-evicted territory. Caller holds s.mu.
 func (s *Store) journalInsertLocked(evs []StoreEvent) {
 	if s.histLen <= 0 {
 		s.floorEpoch = s.epoch
 		return
 	}
-	if len(evs) == 0 {
-		return
-	}
-	e := evs[0].Doc.Epoch
-	if e <= s.floorEpoch {
-		return
-	}
-	idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].Doc.Epoch > e })
-	if idx == len(s.journal) {
-		s.journal = append(s.journal, evs...)
-	} else {
-		tail := append(append([]StoreEvent(nil), evs...), s.journal[idx:]...)
-		s.journal = append(s.journal[:idx], tail...)
+	for len(evs) > 0 {
+		e := evs[0].Doc.Epoch
+		n := 1
+		for n < len(evs) && evs[n].Doc.Epoch == e {
+			n++
+		}
+		run := evs[:n]
+		evs = evs[n:]
+		if e <= s.floorEpoch {
+			continue
+		}
+		idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].Doc.Epoch > e })
+		if idx == len(s.journal) {
+			s.journal = append(s.journal, run...)
+		} else {
+			tail := append(append([]StoreEvent(nil), run...), s.journal[idx:]...)
+			s.journal = append(s.journal[:idx], tail...)
+		}
 	}
 	s.trimJournalLocked()
 }

@@ -117,10 +117,11 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	h.Set("Content-Type", StreamContentType)
 	h.Set("Cache-Control", "no-store")
 	h.Set("X-Accel-Buffering", "no") // do not let proxies buffer the stream
-	if gen := backingGeneration(st); gen != 0 {
+	startGen := backingGeneration(st)
+	if startGen != 0 {
 		// The restart generation, readable before the first event: the
 		// client's restart detector compares it across (re)connects.
-		h.Set(GenerationHeader, strconv.FormatUint(gen, 10))
+		h.Set(GenerationHeader, strconv.FormatUint(startGen, 10))
 	}
 	if hasJournal {
 		// The store-wide epoch at connect, for cheap cursor resync.
@@ -288,6 +289,17 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	for {
 		expired, alive := liveWindow()
 		if !alive {
+			return
+		}
+		if startGen != 0 && backingGeneration(st) != startGen {
+			// The backing adopted a new generation mid-stream — a replica
+			// that reset after its leader restarted. The stream's cursors
+			// (and everything already emitted) describe the dead
+			// incarnation, so end the stream: the client reconnects, reads
+			// the new generation header, and handles it as the ordinary
+			// restart signal. Checked once per heartbeat window, not per
+			// event — a reset wipes the store, so a stale stream parks
+			// rather than emits, and the window bounds the detection lag.
 			return
 		}
 		if expired {

@@ -52,6 +52,11 @@ type TailServer struct {
 	history   int
 	heartbeat time.Duration
 	cancel    func()
+	// primed marks a store that already held state when this tail server
+	// was created (a durable leader after restart): that state predates
+	// every ring, so a fresh follower's after=0 cursor must be answered
+	// with a snapshot bootstrap, not an empty stream.
+	primed bool
 
 	mu   sync.Mutex
 	logs []*shardLog
@@ -101,6 +106,7 @@ func NewTailServer(st *ifsvr.Store, cfg TailConfig) *TailServer {
 		shards:    shards,
 		history:   history,
 		heartbeat: hb,
+		primed:    st.Epoch() > 0,
 		logs:      make([]*shardLog, shards),
 	}
 	for i := range t.logs {
@@ -242,10 +248,11 @@ func (t *TailServer) serveHello(w http.ResponseWriter) {
 
 // serveTail streams shard records past `after` until the client goes
 // away: pending records, then live pushes as they commit, heartbeats
-// when idle. An unserveable cursor (compacted away, or past the head —
-// the follower outlived a leader restart) is answered inline with one
-// bootstrap record, after which tailing resumes from the bootstrap's
-// lsn.
+// when idle. An unserveable cursor — compacted away, past the head (the
+// follower outlived a leader restart, or sent the forced-bootstrap
+// sentinel), or zero against a primed store whose state predates the
+// rings — is answered inline with one bootstrap record, after which
+// tailing resumes from the bootstrap's lsn.
 func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int, after uint64) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -267,11 +274,19 @@ func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int
 
 	sl := t.logs[shard]
 	cursor := after
+	// booted guards the primed-store rule: a fresh follower (after=0)
+	// against a store that predates the rings gets one state transfer,
+	// after which a zero cursor (an empty shard's head) is ordinary.
+	booted := false
 	hb := time.NewTimer(t.heartbeat)
 	defer hb.Stop()
 	for {
 		frames, wake, needBootstrap := sl.collect(cursor)
+		if t.primed && cursor == 0 && !booted {
+			needBootstrap = true
+		}
 		if needBootstrap {
+			booted = true
 			frame, lsn := t.bootstrap(shard)
 			if _, err := w.Write(frame); err != nil {
 				return

@@ -37,8 +37,12 @@ const (
 	// TailContentType marks a record stream (the handshake is plain JSON).
 	TailContentType = "application/x-livedev-waltail"
 
-	// GenerationHeader and ShardsHeader ride on every tail response so a
-	// follower can cheaply detect a leader swap or reshard mid-stream.
+	// GenerationHeader and ShardsHeader ride on every tail response. A
+	// follower compares them to its adopted topology on each (re)connect
+	// — a leader swap breaks the old stream, so the next connect's
+	// headers reveal it — and treats a mismatch as a topology change:
+	// re-handshake, reset local state, re-bootstrap. (Mid-stream, the
+	// same check rides on every bootstrap frame's generation field.)
 	GenerationHeader = "X-Repl-Generation"
 	ShardsHeader     = "X-Repl-Shards"
 

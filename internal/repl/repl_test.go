@@ -528,3 +528,267 @@ func TestFollowerWatchStream(t *testing.T) {
 		t.Fatal("live leader commit never reached the follower's SSE stream")
 	}
 }
+
+// swappableFront fronts a replaceable leader handler behind one stable
+// URL — a stand-in for a leader process restarting behind its address.
+// Swapping the handler does NOT break held connections (neither does a
+// reverse proxy); callers use CloseClientConnections on the fronting
+// httptest server to simulate the TCP teardown of a real process death.
+type swappableFront struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappableFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "leader down", http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+func (s *swappableFront) swap(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+// leaderBehind builds a leader (store + view + tail server) mounted on
+// a swappable front instead of its own listener.
+func leaderBehind(t *testing.T, sw *swappableFront, st *ifsvr.Store, cfg repl.TailConfig) *repl.TailServer {
+	t.Helper()
+	srv := ifsvr.NewView(st)
+	ts := repl.Attach(st, srv, cfg)
+	sw.swap(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func awaitResets(t *testing.T, f *repl.Follower, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rs := f.Store().Stats().Replication
+		if rs != nil && rs.Resets >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reset (want >= %d): %+v", want, rs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestLeaderStateLossReset is the review's headline scenario: the leader
+// dies losing all state, and a new one (new generation, fresh low
+// versions) comes up at the same address. The follower must detect the
+// generation change, re-handshake, wipe its stale state, re-bootstrap,
+// and converge on the new incarnation — not silently keep serving the
+// dead one while its version filter swallows every new commit.
+func TestLeaderStateLossReset(t *testing.T) {
+	sw := &swappableFront{}
+	front := httptest.NewServer(sw)
+	t.Cleanup(front.Close)
+
+	st1 := ifsvr.NewStore(0, nil)
+	t.Cleanup(st1.Close)
+	leaderBehind(t, sw, st1, repl.TailConfig{})
+	for i := 0; i < 5; i++ {
+		st1.Publish("/doc/a", "text/plain", fmt.Sprintf("old-%d", i))
+	}
+	st1.Publish("/old/only", "text/plain", "stale")
+
+	f := openFollower(t, front.URL, ifsvr.StoreConfig{})
+	defer f.Close()
+	fURL, err := f.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serving follower: %v", err)
+	}
+	f.Iface().HeartbeatInterval = 20 * time.Millisecond
+	waitConverged(t, st1, f.Store())
+
+	// A held SSE watch on the follower, to be cut loose by the reset.
+	watchCtx, watchCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer watchCancel()
+	watchErr := make(chan error, 1)
+	go func() {
+		watchErr <- ifsvr.WatchStream(watchCtx, nil, fURL+"/doc/a", 0, func(ifsvr.StreamEvent) {})
+	}()
+
+	// The leader dies with total state loss; its replacement has one low
+	// version of /doc/a and a brand-new path.
+	st2 := ifsvr.NewStore(0, nil)
+	t.Cleanup(st2.Close)
+	st2.Publish("/doc/a", "text/plain", "fresh")
+	st2.Publish("/new/only", "text/plain", "born")
+	leaderBehind(t, sw, st2, repl.TailConfig{})
+	front.CloseClientConnections()
+
+	awaitResets(t, f, 1)
+	waitConverged(t, st2, f.Store())
+	awaitRemoved(t, "/old/only", f.Store())
+
+	// The new leader's LOW version won, not the dead incarnation's high one.
+	got, err := f.Store().Get("/doc/a")
+	if err != nil || got.Version != 1 || got.Content != "fresh" {
+		t.Fatalf("follower /doc/a = %+v, %v; want v1 %q", got, err, "fresh")
+	}
+	if g := f.Store().Generation(); g != st2.Generation() {
+		t.Fatalf("follower generation %d, want the new leader's %d", g, st2.Generation())
+	}
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Generation != st2.Generation() || rs.Resets == 0 {
+		t.Fatalf("follower Replication block after reset = %+v", rs)
+	}
+
+	// The held stream ended (the follower's restart signal to watchers):
+	// the client reconnects and reads the new generation.
+	select {
+	case err := <-watchErr:
+		if err == nil {
+			t.Fatal("watch stream returned nil, want a broken-stream error")
+		}
+	case <-watchCtx.Done():
+		t.Fatal("held SSE stream survived the generation reset")
+	}
+	doc, err := ifsvr.FetchContext(context.Background(), nil, fURL+"/doc/a")
+	if err != nil || doc.Generation != st2.Generation() {
+		t.Fatalf("post-reset fetch = %+v, %v; want generation %d", doc, err, st2.Generation())
+	}
+}
+
+// TestLeaderRestartDurableRehandshake restarts a DURABLE leader over its
+// data dir: the generation bumps (every open does), the in-memory tail
+// rings restart at lsn 0, and the follower must re-handshake and
+// re-bootstrap — converging on the preserved state with its original
+// versions intact.
+func TestLeaderRestartDurableRehandshake(t *testing.T) {
+	sw := &swappableFront{}
+	front := httptest.NewServer(sw)
+	t.Cleanup(front.Close)
+	dir := t.TempDir()
+
+	st1, err := ifsvr.OpenStore(ifsvr.StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("opening leader store: %v", err)
+	}
+	ts1 := leaderBehind(t, sw, st1, repl.TailConfig{})
+	for i := 0; i < 3; i++ {
+		st1.Publish("/doc/d", "text/plain", fmt.Sprintf("v%d", i+1))
+	}
+	st1.Publish("/doc/e", "text/plain", "only")
+
+	f := openFollower(t, front.URL, ifsvr.StoreConfig{})
+	defer f.Close()
+	waitConverged(t, st1, f.Store())
+
+	// Clean restart of the leader process over the same dir.
+	sw.swap(nil)
+	ts1.Close()
+	st1.Close()
+	front.CloseClientConnections()
+	st2, err := ifsvr.OpenStore(ifsvr.StoreConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopening leader store: %v", err)
+	}
+	t.Cleanup(st2.Close)
+	if st2.Generation() == st1.Generation() {
+		t.Fatalf("reopen did not bump the generation (%d)", st2.Generation())
+	}
+	leaderBehind(t, sw, st2, repl.TailConfig{})
+
+	awaitResets(t, f, 1)
+	waitConverged(t, st2, f.Store())
+	got, err := f.Store().Get("/doc/d")
+	if err != nil || got.Version != 3 {
+		t.Fatalf("follower /doc/d = %+v, %v; want the durable v3", got, err)
+	}
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Generation != st2.Generation() || rs.Bootstraps == 0 {
+		t.Fatalf("durable restart should re-bootstrap under the new generation: %+v", rs)
+	}
+
+	// Post-restart commits keep flowing.
+	st2.Publish("/doc/d", "text/plain", "v4")
+	waitConverged(t, st2, f.Store())
+}
+
+// TestLeaderReshardRebuild restarts the leader with FEWER replication
+// shards: the follower's extra tailers are answered 400 (shard out of
+// range) and must treat that as a topology change — re-handshake and
+// rebuild the tailer set — instead of hot-spinning on the dead shard
+// forever while the survivors cover only part of the keyspace.
+func TestLeaderReshardRebuild(t *testing.T) {
+	sw := &swappableFront{}
+	front := httptest.NewServer(sw)
+	t.Cleanup(front.Close)
+
+	st1 := ifsvr.NewStore(0, nil)
+	t.Cleanup(st1.Close)
+	leaderBehind(t, sw, st1, repl.TailConfig{Shards: 4})
+	for i := 0; i < 16; i++ {
+		st1.Publish(fmt.Sprintf("/doc/%d", i), "text/plain", "four-shards")
+	}
+
+	f := openFollower(t, front.URL, ifsvr.StoreConfig{})
+	defer f.Close()
+	waitConverged(t, st1, f.Store())
+
+	st2 := ifsvr.NewStore(0, nil)
+	t.Cleanup(st2.Close)
+	for i := 0; i < 16; i++ {
+		st2.Publish(fmt.Sprintf("/doc/%d", i), "text/plain", "two-shards")
+	}
+	leaderBehind(t, sw, st2, repl.TailConfig{Shards: 2})
+	front.CloseClientConnections()
+
+	awaitResets(t, f, 1)
+	waitConverged(t, st2, f.Store())
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Shards != 2 || len(rs.LSN) != 2 {
+		t.Fatalf("follower did not adopt the new shard count: %+v", rs)
+	}
+	// Live commits reach every path — both surviving shards are tailed.
+	for i := 0; i < 16; i++ {
+		st2.Publish(fmt.Sprintf("/doc/%d", i), "text/plain", "two-shards-live")
+	}
+	waitConverged(t, st2, f.Store())
+}
+
+// TestPrimedLeaderFirstConnectBootstraps attaches the tail server to a
+// store that ALREADY has state (a restarted durable leader): its rings
+// are empty and its lsns start at 0, so a fresh follower's after=0 can
+// not be served by streaming — the leader must answer it with a
+// snapshot bootstrap, not an empty caught-up stream.
+func TestPrimedLeaderFirstConnectBootstraps(t *testing.T) {
+	st := ifsvr.NewStore(0, nil)
+	srv := ifsvr.NewView(st)
+	for i := 0; i < 10; i++ {
+		st.Publish(fmt.Sprintf("/pre/%d", i%3), "text/plain", fmt.Sprintf("v%d", i))
+	}
+	// Attach AFTER the state exists — none of it is in the rings.
+	ts := repl.Attach(st, srv, repl.TailConfig{})
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("starting leader: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ts.Close()
+		st.Close()
+	})
+
+	f := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f.Close()
+	waitConverged(t, st, f.Store())
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Bootstraps == 0 {
+		t.Fatalf("pre-attach state must arrive by bootstrap: %+v", rs)
+	}
+	// And live tailing resumes past the bootstrap.
+	st.Publish("/pre/0", "text/plain", "live")
+	waitConverged(t, st, f.Store())
+}
