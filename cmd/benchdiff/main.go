@@ -98,8 +98,9 @@ func run() int {
 			fmt.Printf("warn %-22s fan-out row missing from the fresh run\n", key(base))
 			continue
 		}
-		fmt.Printf("%s %-22s mean %12.0fns -> %12.0fns (%+.1f%%)\n",
-			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), key(base), base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs))
+		fmt.Printf("%s %-22s mean %12.0fns -> %12.0fns (%+.1f%%), p99 %12.0fns -> %12.0fns\n",
+			warnTag(pct(base.MeanNs, now.MeanNs), *maxRegress), key(base), base.MeanNs, now.MeanNs,
+			pct(base.MeanNs, now.MeanNs), base.P99Ns, now.P99Ns)
 	}
 
 	// Durability rows: warn-only. Throughput is ops/sec (a drop is the

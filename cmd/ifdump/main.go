@@ -15,10 +15,13 @@
 // (the /.stats endpoint on the same host as the document URL) and prints
 // them — commits, coalescing, journal replays, for a durable store the
 // WAL durability block (per-shard lsns, fsyncs, group-commit batch
-// sizes, sync-wait totals), and for a replicated server the Replication
-// block: role, per-shard applied vs leader lsns, lag, bootstrap and
-// reconnect counts. Pointed at a read-only replica (sde-server -follow)
-// this is the quickest way to see how far behind its leader it is.
+// sizes, sync-wait totals), for a replicated server the Replication
+// block (role, per-shard applied vs leader lsns, lag, bootstrap and
+// reconnect counts), and the watch fan-out block: held watchers per
+// registry shard, commit wakeups, delivery batch-size percentiles, and
+// the backpressure evictions/resets. Pointed at a read-only replica
+// (sde-server -follow) this is the quickest way to see how far behind
+// its leader it is.
 //
 // Usage:
 //

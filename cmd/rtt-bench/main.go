@@ -17,8 +17,19 @@
 //
 //	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
 //	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
+//	          [-fanout-payload BYTES] [-fanout-stall] [-fanout-stall-watchers N]
+//	          [-fanout-stall-edits N] [-fanout-stall-payload BYTES]
 //	          [-restart] [-restart-watchers N] [-durability] [-json PATH]
 //	          [-replicas 1,2,4] [-replica-watchers N] [-replica-edits N]
+//
+// Fan-out sizes past a couple thousand watchers move the serving store to
+// a re-exec'd child process (fd limits; honest scheduling) and run the
+// stream transport only. With -fanout-stall it also measures backpressure
+// isolation: the same N-watcher stream population once alone
+// ("stream-base") and once sharing the server with a stalled client that
+// never reads its socket ("stream-stall") — the delivery-pump fan-out
+// keeps the two rows indistinguishable where a push-per-commit loop
+// would have dragged every healthy watcher behind the stalled one.
 //
 // With -restart it also measures the durable store's restart-reconnect
 // latency: N streaming watchers ride an Interface Server restart over a
@@ -83,6 +94,11 @@ func run() int {
 	fanoutSizes := flag.String("fanout-watchers", "1,100,1000", "comma-separated watcher counts for the fan-out rows (empty disables)")
 	fanoutEdits := flag.Int("fanout-edits", 5, "edit rounds per fan-out configuration")
 	fanoutPoll := flag.Duration("fanout-poll", 25*time.Millisecond, "polling transport's interval for the fan-out rows")
+	fanoutPayload := flag.Int("fanout-payload", 0, "published document payload for the fan-out rows, in bytes (0 = tiny)")
+	fanoutStall := flag.Bool("fanout-stall", false, "also measure stalled-watcher backpressure isolation (stream-base vs stream-stall rows)")
+	stallWatchers := flag.Int("fanout-stall-watchers", 10000, "healthy stream-watcher population for the stall rows")
+	stallEdits := flag.Int("fanout-stall-edits", 8, "edit rounds for the stall rows")
+	stallPayload := flag.Int("fanout-stall-payload", 16384, "published document payload for the stall rows, in bytes")
 	restart := flag.Bool("restart", false, "also measure restart-reconnect latency (durable store; replay vs snapshot recovery)")
 	restartWatchers := flag.Int("restart-watchers", 1000, "watcher count for the restart-reconnect rows")
 	durability := flag.Bool("durability", false, "also measure WAL sync-policy throughput and sharded recovery time")
@@ -121,6 +137,7 @@ func run() int {
 			Watchers:     sizes,
 			Edits:        *fanoutEdits,
 			PollInterval: *fanoutPoll,
+			Payload:      *fanoutPayload,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
@@ -128,6 +145,21 @@ func run() int {
 		}
 		fmt.Println()
 		fmt.Print(experiments.FormatFanout(fanoutRows))
+	}
+
+	if *fanoutStall {
+		stallRows, err := experiments.RunFanoutStall(experiments.FanoutStallConfig{
+			Watchers: *stallWatchers,
+			Edits:    *stallEdits,
+			Payload:  *stallPayload,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatFanout(stallRows))
+		fanoutRows = append(fanoutRows, stallRows...)
 	}
 
 	if *restart {
@@ -205,6 +237,7 @@ func run() int {
 				Edits:     r.Edits,
 				MeanNs:    float64(r.Mean.Nanoseconds()),
 				P50Ns:     float64(r.P50.Nanoseconds()),
+				P99Ns:     float64(r.P99.Nanoseconds()),
 				MaxNs:     float64(r.Max.Nanoseconds()),
 			})
 		}

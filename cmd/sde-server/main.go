@@ -8,15 +8,19 @@
 //
 //	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-data-dir DIR]
 //	           [-sync none|group|always] [-shards K] [-live] [-duration D]
-//	           [-follow URL]
+//	           [-max-watcher-lag N] [-watch-write-timeout D] [-follow URL]
 //
 // With -data-dir the publication store is durable (snapshot + WAL): a
 // restarted sde-server resumes its epoch sequence, so watch clients ride
 // journal replay across the restart instead of refetching snapshots.
 // -sync picks the durability of the publication ack (group = group-commit
-// fsync) and -shards the WAL/snapshot shard count; SIGQUIT dumps the
-// store's counters, durability block included, without stopping the
-// server.
+// fsync) and -shards the WAL/snapshot shard count. -max-watcher-lag and
+// -watch-write-timeout are the watch-stream backpressure valves: a
+// streaming watcher pending more than N events, or unable to absorb a
+// write within D, is evicted with a terminal event and reconnects
+// through ordinary replay. SIGQUIT dumps the store's counters — the
+// durability, replication, and watch fan-out blocks included — without
+// stopping the server.
 //
 // With -follow the process is a read-only replica instead: no classes are
 // registered; the leader's write-ahead log is tailed and the replicated
@@ -56,6 +60,8 @@ func run() int {
 	dataDir := flag.String("data-dir", "", "durable publication-store directory (snapshot + WAL; empty = in-memory)")
 	syncMode := flag.String("sync", "", "durable-store sync policy: none, group (ack after group-commit fsync), or always (empty = store default)")
 	shards := flag.Int("shards", 0, "durable-store WAL/snapshot shard count (0 = store default)")
+	maxLag := flag.Int("max-watcher-lag", 0, "evict a streaming watcher pending more than this many events (0 = unbounded)")
+	watchWriteTimeout := flag.Duration("watch-write-timeout", 0, "per-write deadline on held watch streams (0 = default, negative disables)")
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	follow := flag.String("follow", "", "run as a read-only replica of the leader interface server at this base URL")
@@ -73,17 +79,19 @@ func run() int {
 	core.RegisterBinding(jsonb.New())
 
 	mgr, err := core.NewManager(core.Config{
-		InterfaceAddr: *ifaceAddr,
-		HTTPAddr:      *httpAddr,
-		SOAPAddr:      *soapAddr, // honored when -http is unset (Config alias rule)
-		CORBAAddr:     *corbaAddr,
-		Timeout:       *timeout,
-		FlushWindow:   *flushWindow,
-		HistoryLen:    *historyLen,
-		DataDir:       *dataDir,
-		Sync:          syncPolicy,
-		WALShards:     *shards,
-		FollowURL:     *follow,
+		InterfaceAddr:     *ifaceAddr,
+		HTTPAddr:          *httpAddr,
+		SOAPAddr:          *soapAddr, // honored when -http is unset (Config alias rule)
+		CORBAAddr:         *corbaAddr,
+		Timeout:           *timeout,
+		FlushWindow:       *flushWindow,
+		HistoryLen:        *historyLen,
+		DataDir:           *dataDir,
+		Sync:              syncPolicy,
+		WALShards:         *shards,
+		FollowURL:         *follow,
+		MaxWatcherLag:     *maxLag,
+		WatchWriteTimeout: *watchWriteTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sde-server:", err)

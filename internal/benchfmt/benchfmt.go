@@ -36,6 +36,7 @@ type FanoutRow struct {
 	Edits     int     `json:"edits"`
 	MeanNs    float64 `json:"mean_ns"`
 	P50Ns     float64 `json:"p50_ns"`
+	P99Ns     float64 `json:"p99_ns,omitempty"`
 	MaxNs     float64 `json:"max_ns"`
 }
 

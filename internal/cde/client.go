@@ -152,6 +152,10 @@ type ClientStats struct {
 	// Reconnects counts streaming-watch reconnects after a broken
 	// connection.
 	Reconnects uint64
+	// Evictions counts streams the server terminated for backpressure
+	// (this client lagged past the server's watcher budget). Each is also
+	// a Reconnect — the recovery is the ordinary reconnect-with-replay.
+	Evictions uint64
 	// Replays counts interface views installed from journal replay during
 	// a streaming-watch (re)connect — catch-up that cost no document fetch
 	// (Refreshes does not move).
@@ -280,9 +284,13 @@ func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
 		if errors.Is(err, ifsvr.ErrStreamUnsupported) {
 			return false
 		}
-		// Broken stream (server restart, network blip): back off briefly
-		// and reconnect; the server replays what we missed.
+		// Broken stream (server restart, network blip, or a backpressure
+		// eviction because this client lagged): back off briefly and
+		// reconnect; the server replays what we missed.
 		c.mu.Lock()
+		if errors.Is(err, ifsvr.ErrStreamEvicted) {
+			c.stats.Evictions++
+		}
 		c.stats.Reconnects++
 		c.mu.Unlock()
 		select {

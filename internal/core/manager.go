@@ -128,6 +128,17 @@ type Config struct {
 	// leader. DataDir still applies: a durable follower resumes tailing
 	// from its persisted position after a restart.
 	FollowURL string
+	// MaxWatcherLag bounds how many committed-but-undelivered events a
+	// streaming watcher of the Interface Server may have pending before
+	// its stream is evicted with a terminal event (the client reconnects
+	// through ordinary replay). Zero disables the budget: a laggard is
+	// then bounded only by the journal capacity (snapshot reset) and the
+	// write deadline.
+	MaxWatcherLag int
+	// WatchWriteTimeout bounds each write on a held watch stream (events,
+	// heartbeats): a peer that cannot absorb a write within it is evicted.
+	// Zero means the ifsvr default; negative disables the deadline.
+	WatchWriteTimeout time.Duration
 	// Clock drives publication timers; nil means the real clock.
 	Clock clock.Clock
 	// ActivePublishingOnly disables the Section 5.7 reactive publication
@@ -209,6 +220,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: opening follower of %s: %w", cfg.FollowURL, err)
 		}
+		f.Iface().MaxWatcherLag = cfg.MaxWatcherLag
+		f.Iface().StreamWriteTimeout = cfg.WatchWriteTimeout
 		if _, err := f.Serve(cfg.InterfaceAddr); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("core: starting interface server: %w", err)
@@ -226,6 +239,8 @@ func NewManager(cfg Config) (*Manager, error) {
 		// every binding publishes through the store, the HTTP view serves
 		// and watches it (Section 5.1 plus the watch protocol).
 		m.iface = ifsvr.NewView(m.store)
+		m.iface.MaxWatcherLag = cfg.MaxWatcherLag
+		m.iface.StreamWriteTimeout = cfg.WatchWriteTimeout
 		if _, err := m.iface.Start(cfg.InterfaceAddr); err != nil {
 			m.store.Close()
 			return nil, fmt.Errorf("core: starting interface server: %w", err)

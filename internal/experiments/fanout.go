@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +26,18 @@ import (
 //     re-requests.
 //   - "stream": each watcher holds one SSE connection (this PR). A commit
 //     is N event writes on already-open sockets.
+//
+// Past fanoutChildWatchers the stream server runs as a separate PROCESS
+// (re-exec, the same leader child the replication experiment uses): both
+// ends of every SSE socket in one fd table blows the descriptor limit,
+// and an in-process server would share the Go scheduler with N client
+// goroutines, measuring contention instead of fan-out. The
+// request-per-round transports are skipped at those sizes — they would
+// measure a connect storm, not a transport.
+
+// fanoutChildWatchers is the fan-out size past which the serving store
+// moves to a child process and the non-stream transports are skipped.
+const fanoutChildWatchers = 2000
 
 // FanoutRow summarizes one (transport, watcher-count) configuration.
 type FanoutRow struct {
@@ -33,9 +47,10 @@ type FanoutRow struct {
 	Watchers int
 	// Edits is the number of measured edit rounds.
 	Edits int
-	// Mean, P50, and Max summarize the edit→all-notified latency: the time
-	// from the commit until the LAST watcher has observed the new version.
-	Mean, P50, Max time.Duration
+	// Mean, P50, P99, and Max summarize the edit→all-notified latency: the
+	// time from the commit until the LAST watcher has observed the new
+	// version.
+	Mean, P50, P99, Max time.Duration
 }
 
 // FanoutConfig parameterizes the fan-out experiment.
@@ -50,6 +65,10 @@ type FanoutConfig struct {
 	// Transports restricts the run ("poll", "long-poll", "stream"); empty
 	// means all three.
 	Transports []string
+	// Payload pads each published document to roughly this many bytes
+	// (default 0: the tiny "<vN/>" form, so the numbers measure the
+	// transport, not the payload).
+	Payload int
 }
 
 func (c FanoutConfig) withDefaults() FanoutConfig {
@@ -68,16 +87,43 @@ func (c FanoutConfig) withDefaults() FanoutConfig {
 	return c
 }
 
+// FanoutStallConfig parameterizes the stalled-watcher torture run.
+type FanoutStallConfig struct {
+	// Watchers is the healthy stream-watcher population (default 10000).
+	Watchers int
+	// Edits is the number of measured edit rounds (default 8).
+	Edits int
+	// Payload pads each published document to roughly this many bytes
+	// (default 16384) so the stalled connection's socket buffers actually
+	// fill.
+	Payload int
+}
+
+func (c FanoutStallConfig) withDefaults() FanoutStallConfig {
+	if c.Watchers <= 0 {
+		c.Watchers = 10000
+	}
+	if c.Edits <= 0 {
+		c.Edits = 8
+	}
+	if c.Payload <= 0 {
+		c.Payload = 16384
+	}
+	return c
+}
+
 // RunWatchFanout measures the edit→all-notified latency of each transport
 // at each fan-out size. Every configuration gets a fresh store and HTTP
-// view; the document is tiny so the numbers measure the transport, not the
-// payload.
+// view.
 func RunWatchFanout(cfg FanoutConfig) ([]FanoutRow, error) {
 	cfg = cfg.withDefaults()
 	var rows []FanoutRow
 	for _, transport := range cfg.Transports {
 		for _, n := range cfg.Watchers {
-			row, err := runFanoutOne(transport, n, cfg)
+			if transport != "stream" && n >= fanoutChildWatchers {
+				continue
+			}
+			row, err := runFanoutOne(transport, n, cfg, false, "")
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fan-out %s/%d: %w", transport, n, err)
 			}
@@ -87,20 +133,112 @@ func RunWatchFanout(cfg FanoutConfig) ([]FanoutRow, error) {
 	return rows, nil
 }
 
-func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, error) {
-	st := ifsvr.NewStore(0, nil)
-	srv := ifsvr.NewView(st)
-	base, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		return FanoutRow{}, err
+// RunFanoutStall measures backpressure isolation: the edit→all-notified
+// latency of N healthy stream watchers, once on its own ("stream-base")
+// and once with a stalled client — a connection that completes the SSE
+// request and then never reads — sharing the server ("stream-stall"). If
+// the delivery pumps isolate the stall, the two rows match; under the old
+// push-per-commit fan-out the stalled socket would have dragged every
+// healthy watcher down with it.
+func RunFanoutStall(cfg FanoutStallConfig) ([]FanoutRow, error) {
+	cfg = cfg.withDefaults()
+	fc := FanoutConfig{Edits: cfg.Edits, Payload: cfg.Payload}
+	var rows []FanoutRow
+	for _, run := range []struct {
+		label string
+		stall bool
+	}{{"stream-base", false}, {"stream-stall", true}} {
+		row, err := runFanoutOne("stream", cfg.Watchers, fc, run.stall, run.label)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fan-out %s/%d: %w", run.label, cfg.Watchers, err)
+		}
+		rows = append(rows, row)
 	}
-	defer func() {
-		st.Close()
-		_ = srv.Close()
-	}()
-	const path = "/wsdl/Fanout.wsdl"
-	url := base + path
-	st.PublishVersioned(path, "text/xml", "<v1/>", 1)
+	return rows, nil
+}
+
+// fanoutDoc renders the published document body for one version. A zero
+// payload keeps the tiny "<vN/>" form; a positive payload pads the body
+// to roughly that many bytes so the socket writes carry real weight.
+func fanoutDoc(version uint64, payload int) string {
+	head := fmt.Sprintf("<v%d>", version)
+	tail := fmt.Sprintf("</v%d>", version)
+	if payload <= len(head)+len(tail) {
+		return fmt.Sprintf("<v%d/>", version)
+	}
+	return head + strings.Repeat("x", payload-len(head)-len(tail)) + tail
+}
+
+// openStalledStream opens a raw SSE request against the server and never
+// reads the response — a frozen client. The shrunken receive buffer makes
+// the kernel's flow control bite after a few events instead of a few
+// hundred, so the server's write deadline (its backpressure valve) is
+// actually exercised.
+func openStalledStream(base, path string) (net.Conn, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096)
+	}
+	req := fmt.Sprintf("GET %s?watch=stream&after=0 HTTP/1.1\r\nHost: %s\r\nAccept: text/event-stream\r\n\r\n", path, u.Host)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func runFanoutOne(transport string, watchers int, cfg FanoutConfig, stall bool, label string) (FanoutRow, error) {
+	raiseFDLimit(uint64(watchers) + 1024)
+
+	// The serving side: in-process for small populations, a re-exec'd
+	// child process (the replication experiment's leader role) past
+	// fanoutChildWatchers.
+	var (
+		path    string
+		base    string
+		publish func(v uint64) error
+		cleanup func()
+	)
+	if transport == "stream" && watchers >= fanoutChildWatchers {
+		child, err := spawnReplChild("leader", "")
+		if err != nil {
+			return FanoutRow{}, err
+		}
+		path = replPath
+		base = child.base
+		publish = func(v uint64) error {
+			_, err := fmt.Fprintf(child.stdin, "%d %d\n", v, cfg.Payload)
+			return err
+		}
+		cleanup = child.stop
+	} else {
+		st := ifsvr.NewStore(0, nil)
+		srv := ifsvr.NewView(st)
+		b, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return FanoutRow{}, err
+		}
+		path = "/wsdl/Fanout.wsdl"
+		base = b
+		st.PublishVersioned(path, "text/xml", fanoutDoc(1, cfg.Payload), 1)
+		publish = func(v uint64) error {
+			st.PublishVersioned(path, "text/xml", fanoutDoc(v, cfg.Payload), v)
+			return nil
+		}
+		cleanup = func() {
+			st.Close()
+			_ = srv.Close()
+		}
+	}
+	defer cleanup()
+	docURL := base + path
 
 	// One shared client with enough connection capacity for N concurrent
 	// watchers; no client-level timeout (streams and long-polls are long by
@@ -136,7 +274,7 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 			case "stream":
 				for ctx.Err() == nil {
 					markReady()
-					_ = ifsvr.WatchStream(ctx, hc, url, 0, func(ev ifsvr.StreamEvent) {
+					_ = ifsvr.WatchStream(ctx, hc, docURL, 0, func(ev ifsvr.StreamEvent) {
 						if ev.Doc.Version > seen[w].Load() {
 							seen[w].Store(ev.Doc.Version)
 						}
@@ -145,7 +283,7 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 			case "long-poll":
 				for ctx.Err() == nil {
 					markReady()
-					d, err := ifsvr.WatchNewer(ctx, hc, url, cur)
+					d, err := ifsvr.WatchNewer(ctx, hc, docURL, cur)
 					if err != nil {
 						continue
 					}
@@ -162,7 +300,7 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 						return
 					case <-t.C:
 					}
-					d, err := ifsvr.FetchContext(ctx, hc, url)
+					d, err := ifsvr.FetchContext(ctx, hc, docURL)
 					if err == nil && d.Version > seen[w].Load() {
 						seen[w].Store(d.Version)
 					}
@@ -177,15 +315,45 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 			return FanoutRow{}, fmt.Errorf("watchers did not start")
 		}
 	}
-	// Give parked transports a moment to actually connect before edit 1.
-	time.Sleep(50 * time.Millisecond)
+	// Wait for every watcher to have actually connected and observed the
+	// seed version, so edit 1 times the fan-out and not the connect ramp
+	// (at 10k watchers the ramp dwarfs any single edit).
+	seedDeadline := time.Now().Add(120 * time.Second)
+	for {
+		all := true
+		for w := range seen {
+			if seen[w].Load() < 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			break
+		}
+		if time.Now().After(seedDeadline) {
+			return FanoutRow{}, fmt.Errorf("watchers never observed the seed version")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if stall {
+		stalled, err := openStalledStream(base, path)
+		if err != nil {
+			return FanoutRow{}, err
+		}
+		defer func() { _ = stalled.Close() }()
+		// Let the server accept the stalled stream before the edit storm.
+		time.Sleep(100 * time.Millisecond)
+	}
 
 	var latencies []time.Duration
 	version := uint64(1)
 	for e := 0; e < cfg.Edits; e++ {
 		version++
 		start := time.Now()
-		st.PublishVersioned(path, "text/xml", fmt.Sprintf("<v%d/>", version), version)
+		if err := publish(version); err != nil {
+			return FanoutRow{}, fmt.Errorf("publishing version %d: %w", version, err)
+		}
 		deadline := start.Add(60 * time.Second)
 		for {
 			all := true
@@ -206,9 +374,12 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 		latencies = append(latencies, time.Since(start))
 	}
 
-	name := transport
-	if transport == "poll" {
-		name = fmt.Sprintf("poll-%s", cfg.PollInterval)
+	name := label
+	if name == "" {
+		name = transport
+		if transport == "poll" {
+			name = fmt.Sprintf("poll-%s", cfg.PollInterval)
+		}
 	}
 	row := FanoutRow{Transport: name, Watchers: watchers, Edits: len(latencies)}
 	sorted := append([]time.Duration(nil), latencies...)
@@ -219,6 +390,7 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 	}
 	row.Mean = total / time.Duration(len(sorted))
 	row.P50 = sorted[len(sorted)/2]
+	row.P99 = sorted[len(sorted)*99/100]
 	row.Max = sorted[len(sorted)-1]
 	return row, nil
 }
@@ -227,11 +399,12 @@ func runFanoutOne(transport string, watchers int, cfg FanoutConfig) (FanoutRow, 
 func FormatFanout(rows []FanoutRow) string {
 	var b strings.Builder
 	b.WriteString("Watcher fan-out: edit→all-notified latency per transport\n")
-	fmt.Fprintf(&b, "%-12s %9s %6s %12s %12s %12s\n", "transport", "watchers", "edits", "mean", "p50", "max")
+	fmt.Fprintf(&b, "%-14s %9s %6s %12s %12s %12s %12s\n", "transport", "watchers", "edits", "mean", "p50", "p99", "max")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s %9d %6d %12s %12s %12s\n",
+		fmt.Fprintf(&b, "%-14s %9d %6d %12s %12s %12s %12s\n",
 			r.Transport, r.Watchers, r.Edits,
-			r.Mean.Round(10*time.Microsecond), r.P50.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
+			r.Mean.Round(10*time.Microsecond), r.P50.Round(10*time.Microsecond),
+			r.P99.Round(10*time.Microsecond), r.Max.Round(10*time.Microsecond))
 	}
 	return b.String()
 }

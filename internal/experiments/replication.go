@@ -100,7 +100,9 @@ func ReplicationChild() {
 
 // runReplicationLeaderChild serves a fresh store (WAL-tail endpoint
 // attached), prints its base URL, then publishes one version per line
-// read from stdin until EOF.
+// read from stdin until EOF. A line is "V" or "V SIZE": the version to
+// publish, optionally padded to roughly SIZE bytes (the fan-out stall
+// experiment publishes fat documents through the same child).
 func runReplicationLeaderChild() {
 	st := ifsvr.NewStore(0, nil)
 	srv := ifsvr.NewView(st)
@@ -115,11 +117,21 @@ func runReplicationLeaderChild() {
 	fmt.Println(base)
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
-		v, err := strconv.ParseUint(strings.TrimSpace(sc.Text()), 10, 64)
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil || v == 0 {
 			continue
 		}
-		st.PublishVersioned(replPath, "text/xml", fmt.Sprintf("<v%d/>", v), v)
+		payload := 0
+		if len(fields) > 1 {
+			if p, perr := strconv.Atoi(fields[1]); perr == nil && p > 0 {
+				payload = p
+			}
+		}
+		st.PublishVersioned(replPath, "text/xml", fanoutDoc(v, payload), v)
 	}
 	st.Close()
 	_ = srv.Close()

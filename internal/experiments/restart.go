@@ -195,6 +195,7 @@ func runRestartOne(mode string, cfg RestartConfig) (FanoutRow, error) {
 		Edits:     len(latencies),
 		Mean:      total / time.Duration(len(latencies)),
 		P50:       latencies[len(latencies)/2],
+		P99:       latencies[len(latencies)*99/100],
 		Max:       latencies[len(latencies)-1],
 	}, nil
 }

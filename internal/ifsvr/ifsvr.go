@@ -144,6 +144,21 @@ type Server struct {
 	// watches (0 means DefaultHeartbeat). Set it before Start.
 	HeartbeatInterval time.Duration
 
+	// MaxWatcherLag bounds how many committed-but-undelivered events a
+	// streaming watcher may have pending before its stream is evicted with
+	// a terminal "eviction" event (the client reconnects through the
+	// ordinary replay path). 0 disables the budget: a laggard is then
+	// bounded only by the journal capacity (snapshot-reset past the floor)
+	// and the write deadline. Set it before Start.
+	MaxWatcherLag int
+
+	// StreamWriteTimeout bounds each write on a held stream (events,
+	// heartbeats) via http.ResponseController.SetWriteDeadline: a peer
+	// that cannot absorb a write within it is evicted instead of pinning
+	// the connection's delivery pump. 0 means DefaultStreamWriteTimeout;
+	// negative disables the deadline. Set it before Start.
+	StreamWriteTimeout time.Duration
+
 	// LeaderURL, when set, marks this server a read-only replica fronting
 	// a replication follower: non-GET requests are answered with
 	// 421 Misdirected Request and a Location header naming the leader,
@@ -152,6 +167,11 @@ type Server struct {
 
 	auxMu sync.RWMutex
 	aux   map[string]http.Handler
+
+	// sweep is the shared heartbeat ticker over every held stream's
+	// delivery pump — one goroutine, not one timer per connection.
+	sweepMu sync.Mutex
+	sweep   *PumpSweep
 
 	httpSrv  *http.Server
 	listener net.Listener

@@ -1,0 +1,141 @@
+package ifsvr
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStreamWriteTimeout bounds each write on a held watch stream
+// when Server.StreamWriteTimeout is zero. A peer that cannot absorb a
+// write within this budget is evicted rather than allowed to pin a pump
+// goroutine (and its batch buffer) indefinitely.
+const DefaultStreamWriteTimeout = 5 * time.Second
+
+// A Pump is one held connection's delivery handle: a capacity-1 wake
+// channel the commit path (or the shared heartbeat sweep) nudges, plus
+// the timestamp of the connection's last successful write. The goroutine
+// that owns the connection blocks on WakeChan, and on each wake drains
+// everything pending behind its own cursor — so a commit never writes to
+// a socket, and a slow socket never slows a commit.
+//
+// The same type serves the interface-server SSE streams and the
+// replication leader's WAL tails; both planes share PumpSweep so N held
+// connections cost one ticker goroutine, not N timers.
+type Pump struct {
+	wake      chan struct{}
+	lastWrite atomic.Int64 // unix nanos of the last completed write+flush
+}
+
+// NewPump returns a pump whose idle clock starts now (the response
+// headers just went out when a connection creates one).
+func NewPump() *Pump {
+	p := &Pump{wake: make(chan struct{}, 1)}
+	p.Touch()
+	return p
+}
+
+// WakeChan is the channel the pump's owner blocks on. Register it with
+// Store.watchPath (streams) or select it alongside a data wake (tails).
+func (p *Pump) WakeChan() chan struct{} { return p.wake }
+
+// Nudge delivers a non-blocking wake; a full channel means one is
+// already pending, which is all a level-triggered pump needs.
+func (p *Pump) Nudge() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Touch records a completed write, resetting the idle clock the
+// heartbeat sweep reads.
+func (p *Pump) Touch() { p.lastWrite.Store(time.Now().UnixNano()) }
+
+// Idle reports how long ago the connection last wrote successfully.
+func (p *Pump) Idle() time.Duration {
+	return time.Duration(time.Now().UnixNano() - p.lastWrite.Load())
+}
+
+// PumpSweep replaces per-connection heartbeat timers with one shared
+// ticker: a single goroutine periodically nudges every registered pump,
+// and each pump decides for itself (via Idle) whether a liveness write
+// is due. The sweeping goroutine starts with the first registration and
+// exits when the registry empties, so an idle server runs no ticker.
+type PumpSweep struct {
+	interval time.Duration
+
+	mu       sync.Mutex
+	pumps    map[*Pump]struct{}
+	sweeping bool
+}
+
+// NewPumpSweep returns a sweep ticking at the given interval (clamped to
+// at least 1ms). Sweep at half the heartbeat interval so an idle
+// connection's liveness write lands within 1.5× the nominal heartbeat.
+func NewPumpSweep(interval time.Duration) *PumpSweep {
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return &PumpSweep{interval: interval, pumps: make(map[*Pump]struct{})}
+}
+
+// Add registers a pump, starting the sweeping goroutine if it is the
+// first.
+func (s *PumpSweep) Add(p *Pump) {
+	s.mu.Lock()
+	s.pumps[p] = struct{}{}
+	if !s.sweeping {
+		s.sweeping = true
+		go s.run()
+	}
+	s.mu.Unlock()
+}
+
+// Remove unregisters a pump; the sweeping goroutine retires on its own
+// once the registry is empty.
+func (s *PumpSweep) Remove(p *Pump) {
+	s.mu.Lock()
+	delete(s.pumps, p)
+	s.mu.Unlock()
+}
+
+// streamWriteTimeout resolves the server's per-write deadline for held
+// streams (0 means deadlines are disabled).
+func (s *Server) streamWriteTimeout() time.Duration {
+	switch {
+	case s.StreamWriteTimeout > 0:
+		return s.StreamWriteTimeout
+	case s.StreamWriteTimeout < 0:
+		return 0
+	}
+	return DefaultStreamWriteTimeout
+}
+
+// pumpSweep lazily builds the server's shared heartbeat sweep, ticking at
+// half the heartbeat interval.
+func (s *Server) pumpSweep() *PumpSweep {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.sweep == nil {
+		s.sweep = NewPumpSweep(s.heartbeat() / 2)
+	}
+	return s.sweep
+}
+
+func (s *PumpSweep) run() {
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for range t.C {
+		s.mu.Lock()
+		if len(s.pumps) == 0 {
+			s.sweeping = false
+			s.mu.Unlock()
+			return
+		}
+		for p := range s.pumps {
+			p.Nudge()
+		}
+		s.mu.Unlock()
+	}
+}

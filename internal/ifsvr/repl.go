@@ -122,8 +122,8 @@ func (s *Store) ResetReplicated(gen uint64) {
 	s.deliverMu.Lock()
 	defer s.deliverMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.docs = make(map[string]Document)
@@ -137,8 +137,10 @@ func (s *Store) ResetReplicated(gen uint64) {
 	if err := s.snapshotLocked(); err != nil {
 		s.stats.PersistErrors++
 	}
-	close(s.changed)
-	s.changed = make(chan struct{})
+	s.mu.Unlock()
+	// Wake everything: parked waiters re-check, and held stream pumps see
+	// the generation change on their next collect and unwind.
+	s.wakeAllWatchers()
 }
 
 // CloneState returns a copy of the store's persistent state (documents,
@@ -195,6 +197,9 @@ type ReplicationStats struct {
 	Heartbeats uint64
 	// Reconnects counts follower tail reconnects after broken streams.
 	Reconnects uint64
+	// Evictions counts tail streams the leader dropped for backpressure —
+	// a peer whose writes missed the tail server's write deadline.
+	Evictions uint64
 	// Resets counts follower re-handshakes that revealed a new leader
 	// incarnation (generation or shard-count change) — each wiped the
 	// local state and re-bootstrapped under the new generation.
@@ -259,13 +264,11 @@ func (s *Store) ApplyReplicated(evs []StoreEvent) int {
 			tok = t
 		}
 	}
-	close(s.changed)
-	s.changed = make(chan struct{})
 	fns := s.subscribersLocked()
 	ops := s.opsSubsLocked()
 	p = s.persist
 	s.mu.Unlock()
-	fanOut(fresh, fns)
+	s.fanOut(fresh, fns)
 	deliverOps(ops, StoreOp{Events: fresh})
 	s.maybeCompact()
 	return len(fresh)

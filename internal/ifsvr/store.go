@@ -70,6 +70,10 @@ type StoreStats struct {
 	// Replication is the replication subsystem's counter block (role,
 	// per-shard lsns, lag, reconnects); nil for an unreplicated store.
 	Replication *ReplicationStats
+	// Fanout is the delivery plane's counter block: registered watchers,
+	// commit-time wakeups, flush batch sizes, and the backpressure valves
+	// (evictions, snapshot resets).
+	Fanout FanoutStats
 }
 
 // Store is the event-driven publication core: a versioned interface-document
@@ -147,7 +151,6 @@ type Store struct {
 	journal      []StoreEvent // commit-ordered ring, capacity histLen
 	floorEpoch   uint64       // journal covers epochs in (floorEpoch, epoch]
 	stats        StoreStats
-	changed      chan struct{} // closed and replaced on every commit batch
 	subs         map[uint64]func(StoreEvent)
 	nextSub      uint64
 	opsSubs      map[uint64]func(StoreOp) // replication taps (SubscribeOps)
@@ -155,6 +158,15 @@ type Store struct {
 	readOnly     bool // replica: local publishes/removes are dropped
 	replStats    func() *ReplicationStats
 	closed       bool
+
+	// watchers is the path-hash-sharded wake registry (see watchers.go):
+	// parked long-polls and held streams register a capacity-1 wake
+	// channel per path, and a commit nudges only the shards its batch
+	// dirtied. Shard locks nest strictly inside mu (registration and
+	// wakeup never hold mu) and are never held across a callback.
+	watchers [watchShardCount]watchShard
+	// fanout is the delivery plane's lock-free instrumentation.
+	fanout fanoutCounters
 
 	// deliverMu serializes commit+fan-out so events arrive in commit order
 	// even when a timer flush races an explicit Flush or an immediate
@@ -185,7 +197,6 @@ func NewStore(window time.Duration, clk clock.Clock) *Store {
 		retired:    make(map[string]uint64),
 		pending:    make(map[string]Document),
 		deadlines:  make(map[string]time.Time),
-		changed:    make(chan struct{}),
 		subs:       make(map[uint64]func(StoreEvent)),
 	}
 }
@@ -367,6 +378,7 @@ func (s *Store) Stats() StoreStats {
 	if rs != nil {
 		st.Replication = rs()
 	}
+	st.Fanout = s.fanoutStats()
 	return st
 }
 
@@ -414,7 +426,7 @@ func (s *Store) PublishVersioned(path, contentType, content string, descriptorVe
 		ops := s.opsSubsLocked()
 		p = s.persist
 		s.mu.Unlock()
-		fanOut(evs, fns)
+		s.fanOut(evs, fns)
 		deliverOps(ops, StoreOp{Events: evs})
 		s.maybeCompact()
 		return ver
@@ -476,8 +488,6 @@ func (s *Store) commitLocked(order []string, contents map[string]Document) ([]St
 			tok = t
 		}
 	}
-	close(s.changed)
-	s.changed = make(chan struct{})
 	return evs, tok
 }
 
@@ -651,6 +661,42 @@ func (s *Store) ReplayEventsInto(path string, afterEpoch uint64, buf []StoreEven
 	return evs, true
 }
 
+// pumpView is one delivery pump's per-wake read of the store: the events
+// pending past the pump's cursor (ok reports whether the journal still
+// covers that range), plus the store-wide state the pump must react to
+// (close, generation change, and the epoch its cursor lands on after a
+// full drain).
+type pumpView struct {
+	events []StoreEvent
+	ok     bool
+	closed bool
+	gen    uint64
+	epoch  uint64
+}
+
+// pumpCollect gathers everything a waking delivery pump needs under one
+// mu acquisition: the journal delta for path past afterEpoch (counted as
+// a replay or replay-miss like any journal read), appended into buf[:0]
+// so a held stream reuses one buffer across wakes. On ok=false the
+// cursor fell below the journal floor and the pump must snapshot-reset.
+func (s *Store) pumpCollect(path string, afterEpoch uint64, buf []StoreEvent) pumpView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := pumpView{events: buf[:0], closed: s.closed, gen: s.generation, epoch: s.epoch}
+	if afterEpoch < s.floorEpoch {
+		s.stats.ReplayMisses++
+		return v
+	}
+	for _, ev := range s.journal[s.journalFromLocked(afterEpoch):] {
+		if ev.Path == path {
+			v.events = append(v.events, ev)
+		}
+	}
+	s.stats.Replays++
+	v.ok = true
+	return v
+}
+
 // rearmLocked (re)schedules the flush timer for the earliest pending
 // deadline. Caller holds s.mu.
 func (s *Store) rearmLocked() {
@@ -738,7 +784,7 @@ func (s *Store) onFlushTimer() {
 	fns := s.subscribersLocked()
 	ops := s.opsSubsLocked()
 	s.mu.Unlock()
-	fanOut(evs, fns)
+	s.fanOut(evs, fns)
 	deliverOps(ops, StoreOp{Events: evs})
 	s.maybeCompact()
 }
@@ -762,7 +808,7 @@ func (s *Store) Flush() {
 	fns := s.subscribersLocked()
 	ops := s.opsSubsLocked()
 	s.mu.Unlock()
-	fanOut(evs, fns)
+	s.fanOut(evs, fns)
 	deliverOps(ops, StoreOp{Events: evs})
 	s.maybeCompact()
 }
@@ -779,12 +825,18 @@ func (s *Store) subscribersLocked() []func(StoreEvent) {
 	return fns
 }
 
-// fanOut delivers committed events to the snapshotted subscribers. Callers
-// hold deliverMu (acquired before the commit), which is what keeps
-// delivery in commit order across concurrent committers. Callbacks run on
-// the committing goroutine and must not call back into the store's
-// publish/flush paths.
-func fanOut(evs []StoreEvent, fns []func(StoreEvent)) {
+// fanOut wakes the watchers of the batch's paths, then delivers the
+// events to the snapshotted subscribers. Callers hold deliverMu (acquired
+// before the commit), which is what keeps delivery in commit order across
+// concurrent committers. Waking a watcher is a non-blocking send — the
+// actual socket writes happen on each watcher's own delivery pump, so the
+// committing goroutine's cost here is O(watchers of the dirty paths), not
+// O(bytes). Subscriber callbacks run on the committing goroutine and must
+// not call back into the store's publish/flush paths.
+func (s *Store) fanOut(evs []StoreEvent, fns []func(StoreEvent)) {
+	if len(evs) > 0 {
+		s.wakeWatchers(evs)
+	}
 	for _, ev := range evs {
 		for _, fn := range fns {
 			fn(ev)
@@ -892,12 +944,20 @@ func (s *Store) Paths() []string {
 }
 
 // Wait implements Backing: block until a version newer than after is
-// committed at path, ctx ends, or the store closes.
+// committed at path, ctx ends, or the store closes. The wait parks on the
+// sharded watcher registry, so a commit wakes only the waiters of the
+// paths it actually touched — not, as the old store-wide broadcast
+// channel did, every parked long-poll in the process.
 func (s *Store) Wait(ctx context.Context, path string, after uint64) (Document, error) {
+	// Register before the first check: a commit landing between the check
+	// and the park must not be missed. The capacity-1 channel absorbs a
+	// wake that arrives while this waiter is off checking.
+	wake := make(chan struct{}, 1)
+	cancel := s.watchPath(path, wake)
+	defer cancel()
 	for {
 		s.mu.Lock()
 		d, ok := s.docs[path]
-		ch := s.changed
 		closed := s.closed
 		s.mu.Unlock()
 		if ok && d.Version > after {
@@ -909,7 +969,7 @@ func (s *Store) Wait(ctx context.Context, path string, after uint64) (Document, 
 		select {
 		case <-ctx.Done():
 			return Document{}, ctx.Err()
-		case <-ch:
+		case <-wake:
 		}
 	}
 }
@@ -938,13 +998,14 @@ func (s *Store) Close() {
 		}
 		s.persist = nil
 	}
-	close(s.changed)
-	s.changed = make(chan struct{})
 	fns := s.subscribersLocked()
 	ops := s.opsSubsLocked()
 	s.mu.Unlock()
-	fanOut(evs, fns)
+	s.fanOut(evs, fns)
 	deliverOps(ops, StoreOp{Events: evs})
+	// Every held watcher — not just those on the final batch's paths —
+	// must notice the close and unwind.
+	s.wakeAllWatchers()
 }
 
 // Crash closes the store the hard way: no final flush, no parting
@@ -963,9 +1024,8 @@ func (s *Store) Crash() error {
 	s.closed = true
 	p := s.persist
 	s.persist = nil
-	close(s.changed)
-	s.changed = make(chan struct{})
 	s.mu.Unlock()
+	s.wakeAllWatchers()
 	if p == nil {
 		return nil
 	}

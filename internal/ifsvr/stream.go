@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -24,9 +25,18 @@ import (
 // journal (catch-up without a document refetch), then carries one event per
 // live commit, with comment heartbeats while idle. When the journal no
 // longer covers the client's epoch, the stream opens with one full-snapshot
-// event instead — the bounded fallback. Both transports sit on the same
-// store-side subscription code (Backing.Wait), so the liveness rules live
-// in exactly one place.
+// event instead — the bounded fallback.
+//
+// Against the native Store, each held connection runs a DELIVERY PUMP
+// (pumpStream): a commit only nudges the pump's wake channel, and the
+// pump advances its own epoch cursor through the store journal, writing
+// every pending event as one batch per flush. The committing goroutine
+// therefore never writes to a socket, a slow peer lags only itself, and
+// backpressure is explicit: a cursor below the journal floor gets a
+// mid-stream snapshot reset, while a peer that misses its write deadline
+// or exceeds the server's lag budget is evicted with a terminal
+// "eviction" event and reconnects through ordinary replay. Foreign
+// Backings keep the generic Wait-driven loop.
 
 // StreamContentType is the MIME type of the streaming watch response.
 const StreamContentType = "text/event-stream"
@@ -38,6 +48,14 @@ const DefaultHeartbeat = 15 * time.Second
 // with something other than an event stream — an older server that only
 // speaks the long-poll protocol. Callers degrade to WatchNewer.
 var ErrStreamUnsupported = errors.New("ifsvr: server does not support the streaming watch transport")
+
+// ErrStreamEvicted reports a streaming watch the server terminated for
+// backpressure: the client fell past the server's lag budget and was
+// dropped with a terminal "eviction" event. Reconnecting with the last
+// seen epoch rides the ordinary replay path (or its snapshot fallback),
+// so the right response is the same reconnect loop as any broken stream —
+// the error exists so clients can count the evictions they caused.
+var ErrStreamEvicted = errors.New("ifsvr: stream evicted by server backpressure")
 
 // Journal is the optional Backing capability the streaming transport's
 // catch-up rides on; Store implements it. Without it every (re)connect
@@ -129,6 +147,14 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	}
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+
+	if store, isStore := st.(*Store); isStore {
+		// The native Store gets the delivery-pump path: cursor-driven
+		// batched delivery with explicit backpressure. The generic
+		// Wait-driven loop below stays for foreign Backings.
+		s.pumpStream(w, r, store, path, after, startGen)
+		return
+	}
 
 	// emit writes one SSE event. Committed versions arrive with their
 	// commit-time shared payload (the same bytes every watcher gets and
@@ -311,6 +337,249 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	}
 }
 
+// pumpStream is the delivery-pump body of a streaming watch against the
+// native Store. The connection owns an epoch cursor; a commit to the
+// watched path only nudges the pump's capacity-1 wake channel (see
+// Store.fanOut), and each wake drains EVERYTHING pending behind the
+// cursor from the journal in one batch — one Flush syscall per batch, not
+// per event — under a per-write deadline. Backpressure is explicit:
+//
+//   - cursor below the journal floor → one mid-stream "snapshot" event of
+//     the current document (a reset, counted in FanoutStats.Resets);
+//   - pending events past Server.MaxWatcherLag → terminal "eviction"
+//     event and disconnect (FanoutStats.Evictions);
+//   - a write or flush missing Server.StreamWriteTimeout with the client
+//     still connected → disconnect, also counted as an eviction.
+//
+// Idle liveness comments ride the server's shared PumpSweep instead of a
+// per-connection timer.
+func (s *Server) pumpStream(w http.ResponseWriter, r *http.Request, st *Store, path string, after, startGen uint64) {
+	st.fanout.streams.Add(1)
+	rc := http.NewResponseController(w)
+	wt := s.streamWriteTimeout()
+	budget := s.MaxWatcherLag
+	hb := s.heartbeat()
+
+	// Register the wake BEFORE the catch-up read: a commit landing between
+	// the two must nudge the pump, not vanish. The capacity-1 channel
+	// absorbs wakes that arrive while the pump is busy writing.
+	p := NewPump()
+	cancel := st.watchPath(path, p.WakeChan())
+	defer cancel()
+	sweep := s.pumpSweep()
+	sweep.Add(p)
+	defer sweep.Remove(p)
+
+	// arm sets the next writes' shared deadline; a peer that cannot absorb
+	// a batch within it makes the write fail instead of pinning the pump.
+	arm := func() {
+		if wt > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(wt))
+		}
+	}
+	// write appends one SSE event into the reused frame buffer and writes
+	// it (buffered; the batch reaches the socket at the next flush).
+	var frame []byte
+	write := func(event string, d Document, payload []byte) error {
+		if payload == nil {
+			payload = encodeEventPayload(path, d)
+		}
+		frame = frame[:0]
+		frame = append(frame, "id: "...)
+		frame = strconv.AppendUint(frame, d.Epoch, 10)
+		frame = append(frame, "\nevent: "...)
+		frame = append(frame, event...)
+		frame = append(frame, "\ndata: "...)
+		frame = append(frame, payload...)
+		frame = append(frame, "\n\n"...)
+		_, err := w.Write(frame)
+		return err
+	}
+	// flush pushes the accumulated batch to the socket; n > 0 records a
+	// delivery batch of that many events.
+	flush := func(n int) error {
+		if err := rc.Flush(); err != nil {
+			return err
+		}
+		p.Touch()
+		if n > 0 {
+			st.fanout.noteBatch(n)
+		}
+		return nil
+	}
+	// evicted classifies a failed write. A missed write deadline is ALWAYS
+	// an eviction — the error check matters because the http server
+	// cancels the request context on any connection write error, so by the
+	// time this runs a deadline miss is indistinguishable from a hangup by
+	// the context alone. A dead context without a deadline error is the
+	// client hanging up (not backpressure).
+	evicted := func(err error) {
+		if errors.Is(err, os.ErrDeadlineExceeded) || r.Context().Err() == nil {
+			st.fanout.evictions.Add(1)
+		}
+	}
+	// emit1 arms the deadline, writes one event, and flushes it as a batch
+	// of one — the single-event delivery every non-batch site uses.
+	emit1 := func(event string, d Document, payload []byte) bool {
+		arm()
+		err := write(event, d, payload)
+		if err == nil {
+			err = flush(1)
+		}
+		if err != nil {
+			evicted(err)
+			return false
+		}
+		return true
+	}
+
+	// Catch-up, one batch: journal replay past the client's epoch, or the
+	// snapshot fallback. lastVer/lastEpoch are the pump's cursors; every
+	// later write must strictly advance lastVer.
+	var lastVer, lastEpoch uint64
+	lastEpoch = after
+	virgin := false
+	var evBuf []StoreEvent
+	cur, curErr := st.Get(path)
+	switch {
+	case curErr == nil && cur.Epoch <= after:
+		if after > st.Epoch() {
+			// Ahead of the whole store: the client watched an incarnation
+			// this store does not have. The snapshot (with the generation
+			// header) is its restart signal.
+			if !emit1("snapshot", cur, nil) {
+				return
+			}
+		}
+		lastVer, lastEpoch = cur.Version, cur.Epoch
+	case curErr == nil:
+		var ok bool
+		evBuf, ok = st.ReplayEventsInto(path, after, evBuf[:0])
+		if !ok {
+			if !emit1("snapshot", cur, nil) {
+				return
+			}
+			lastVer, lastEpoch = cur.Version, cur.Epoch
+			break
+		}
+		arm()
+		n := 0
+		for _, ev := range evBuf {
+			if ev.Doc.Version <= lastVer && lastVer != 0 {
+				continue
+			}
+			if err := write("replay", ev.Doc, ev.Payload); err != nil {
+				evicted(err)
+				return
+			}
+			lastVer, lastEpoch = ev.Doc.Version, ev.Doc.Epoch
+			n++
+		}
+		if n > 0 {
+			if err := flush(n); err != nil {
+				evicted(err)
+				return
+			}
+		}
+	default:
+		// Not (yet) published: hold the stream open. The journal may hold
+		// a retired predecessor's history under this path, so the first
+		// wake serves the current document directly instead of replaying.
+		virgin = true
+	}
+
+	// The pump loop: block on the wake channel, drain, repeat.
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-p.WakeChan():
+		}
+		view := st.pumpCollect(path, lastEpoch, evBuf[:0])
+		evBuf = view.events
+		if view.closed {
+			return
+		}
+		if startGen != 0 && view.gen != startGen {
+			// The backing adopted a new generation mid-stream — a replica
+			// that reset after its leader restarted. Everything emitted
+			// describes the dead incarnation; end the stream so the client
+			// reconnects and reads the new generation header.
+			return
+		}
+		switch {
+		case virgin:
+			if d, err := st.Get(path); err == nil && d.Version > lastVer {
+				if !emit1("version", d, nil) {
+					return
+				}
+				lastVer, lastEpoch = d.Version, d.Epoch
+				virgin = false
+			}
+		case !view.ok:
+			// The cursor fell below the journal floor: the bounded
+			// catch-up history is gone, so reset the stream from the
+			// current document instead of buffering the gap.
+			if d, err := st.Get(path); err == nil && d.Version > lastVer {
+				st.fanout.resets.Add(1)
+				if !emit1("snapshot", d, nil) {
+					return
+				}
+				lastVer, lastEpoch = d.Version, d.Epoch
+			} else {
+				lastEpoch = view.epoch
+			}
+		default:
+			if budget > 0 && len(evBuf) > budget {
+				// Lag budget exceeded: hand the peer the terminal event
+				// and disconnect — it reconnects through ordinary replay
+				// (or its snapshot fallback) and catches up at its own
+				// pace without holding journal history for everyone else.
+				st.fanout.evictions.Add(1)
+				arm()
+				fmt.Fprintf(w, "event: eviction\ndata: {\"pending\":%d,\"budget\":%d}\n\n", len(evBuf), budget)
+				_ = rc.Flush()
+				return
+			}
+			n := 0
+			if len(evBuf) > 0 {
+				arm()
+			}
+			for _, ev := range evBuf {
+				if ev.Doc.Version <= lastVer {
+					continue
+				}
+				if err := write("version", ev.Doc, ev.Payload); err != nil {
+					evicted(err)
+					return
+				}
+				lastVer = ev.Doc.Version
+				n++
+			}
+			lastEpoch = view.epoch
+			if n > 0 {
+				if err := flush(n); err != nil {
+					evicted(err)
+					return
+				}
+			}
+		}
+		// A sweep nudge with nothing to deliver: prove liveness when due.
+		if p.Idle() >= hb {
+			arm()
+			_, err := io.WriteString(w, ": hb\n\n")
+			if err == nil {
+				err = flush(0)
+			}
+			if err != nil {
+				evicted(err)
+				return
+			}
+			st.fanout.heartbeats.Add(1)
+		}
+	}
+}
+
 // WatchStream performs one streaming watch against url: it connects with
 // "?watch=stream&after=N" (N an epoch, typically the Epoch of the last
 // document the caller saw) and invokes fn for every event — replayed
@@ -374,6 +643,13 @@ func readStream(ctx context.Context, body io.Reader, gen uint64, fn func(StreamE
 		line = strings.TrimRight(line, "\r\n")
 		switch {
 		case line == "":
+			if event == "eviction" {
+				// Terminal backpressure event: the server dropped this
+				// stream for lagging. Reconnect-with-replay is the cure,
+				// same as any broken stream — the sentinel lets the caller
+				// count it.
+				return fmt.Errorf("%w: %s", ErrStreamEvicted, data)
+			}
 			if data != "" {
 				var wire streamWire
 				if jerr := json.Unmarshal([]byte(data), &wire); jerr == nil {

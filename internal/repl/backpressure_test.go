@@ -1,0 +1,102 @@
+package repl_test
+
+import (
+	"fmt"
+	"net"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"livedev/internal/ifsvr"
+	"livedev/internal/repl"
+)
+
+// dialStalledTail opens a raw WAL-tail request for one shard and never
+// reads the response — a frozen replication peer. The shrunken receive
+// buffer keeps the kernel from absorbing the whole storm client-side.
+func dialStalledTail(t *testing.T, base string, shard int) net.Conn {
+	t.Helper()
+	u, err := url.Parse(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", u.Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096)
+	}
+	req := fmt.Sprintf("GET %s?shard=%d&after=0 HTTP/1.1\r\nHost: %s\r\n\r\n", repl.TailPath, shard, u.Host)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		_ = conn.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+// TestTailStalledClientEvictedFollowerUnaffected mirrors the watch-plane
+// stall torture on the replication plane: a real follower and a stalled
+// raw tail client share the leader. The publish storm must evict the
+// stalled tail via the write deadline — counted in the leader's
+// ReplicationStats.Evictions — while the follower rides the same storm
+// out and converges on every byte.
+func TestTailStalledClientEvictedFollowerUnaffected(t *testing.T) {
+	st, _, base := startLeader(t, repl.TailConfig{
+		Heartbeat:    100 * time.Millisecond,
+		WriteTimeout: 300 * time.Millisecond,
+		// The ring must outlast the storm so the follower tails it without
+		// ever needing a bootstrap.
+		History: 8192,
+	})
+
+	f := openFollower(t, base, ifsvr.StoreConfig{})
+	defer f.Close()
+
+	// A path pinned to shard 0, so the storm's records land on the shard
+	// the stalled tail holds.
+	var path string
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/doc/stall-%d", i)
+		if ifsvr.ShardOf(p, repl.DefaultTailShards) == 0 {
+			path = p
+			break
+		}
+	}
+	pad := strings.Repeat("x", 8<<10)
+	st.Publish(path, "text/plain", "seed-"+pad)
+	waitConverged(t, st, f.Store())
+
+	_ = dialStalledTail(t, base, 0)
+	// Let the leader accept the stalled tail before the storm.
+	time.Sleep(100 * time.Millisecond)
+
+	// The storm: publish until the write deadline evicts the stalled
+	// tail. The cap exists because the kernel absorbs the first few MB in
+	// socket buffers before the tail's write ever blocks.
+	const maxEdits = 3000
+	edits := 0
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		if rs := st.Stats().Replication; rs != nil && rs.Evictions > 0 {
+			break
+		}
+		if edits >= maxEdits || time.Now().After(deadline) {
+			t.Fatalf("stalled tail never evicted (%d edits)", edits)
+		}
+		edits++
+		st.Publish(path, "text/plain", fmt.Sprintf("content-%d-%s", edits, pad))
+		time.Sleep(time.Millisecond)
+	}
+
+	// The follower was never the evicted party: it converges on the
+	// post-storm state and its tail kept applying records throughout.
+	st.Publish(path, "text/plain", "final-"+pad)
+	waitConverged(t, st, f.Store())
+	rs := f.Store().Stats().Replication
+	if rs == nil || rs.Role != "follower" || rs.Records == 0 {
+		t.Fatalf("follower Replication block = %+v", rs)
+	}
+}

@@ -2,7 +2,9 @@ package repl
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -25,6 +27,13 @@ const DefaultTailHistory = 256
 // DefaultTailHeartbeat paces liveness records on idle tail streams.
 const DefaultTailHeartbeat = 15 * time.Second
 
+// DefaultTailWriteTimeout bounds each tail-response write when
+// TailConfig.WriteTimeout is zero: a follower (or any tail client) that
+// cannot absorb a record within this budget is evicted rather than
+// allowed to pin its serving goroutine — it reconnects from its durable
+// cursor like any broken tail.
+const DefaultTailWriteTimeout = 5 * time.Second
+
 // TailConfig configures a leader's TailServer. The zero value uses the
 // defaults above.
 type TailConfig struct {
@@ -32,11 +41,20 @@ type TailConfig struct {
 	Shards int
 	// History bounds each shard's record ring (0 means
 	// DefaultTailHistory; negative keeps nothing — every resume
-	// bootstraps).
+	// bootstraps). The ring is also the tail plane's lag budget: a client
+	// that falls more than History records behind loses its cursor to
+	// eviction from the ring and is snapshot-bootstrapped on its next
+	// collect instead of tailing the gap.
 	History int
 	// Heartbeat paces idle-stream liveness records (0 means
 	// DefaultTailHeartbeat).
 	Heartbeat time.Duration
+	// WriteTimeout bounds each tail-response write via
+	// http.ResponseController.SetWriteDeadline (0 means
+	// DefaultTailWriteTimeout; negative disables the deadline). A write
+	// missing it with the client still connected counts as an eviction in
+	// ReplicationStats.
+	WriteTimeout time.Duration
 }
 
 // TailServer is the leader half of replication: it taps the store's
@@ -46,12 +64,16 @@ type TailConfig struct {
 // away, and heartbeats. Mount it on the Interface Server at TailPath
 // (Attach does both steps).
 type TailServer struct {
-	store     *ifsvr.Store
-	gen       uint64
-	shards    int
-	history   int
-	heartbeat time.Duration
-	cancel    func()
+	store        *ifsvr.Store
+	gen          uint64
+	shards       int
+	history      int
+	heartbeat    time.Duration
+	writeTimeout time.Duration
+	// sweep is the shared heartbeat ticker over every held tail's pump —
+	// one goroutine total, not one timer per tail connection.
+	sweep  *ifsvr.PumpSweep
+	cancel func()
 	// primed marks a store that already held state when this tail server
 	// was created (a durable leader after restart): that state predates
 	// every ring, so a fresh follower's after=0 cursor must be answered
@@ -64,6 +86,7 @@ type TailServer struct {
 	statsMu sync.Mutex
 	stats   struct {
 		records, batches, removes, bootstraps, heartbeats uint64
+		evictions                                         uint64
 		tails                                             int
 	}
 }
@@ -100,14 +123,23 @@ func NewTailServer(st *ifsvr.Store, cfg TailConfig) *TailServer {
 	if hb <= 0 {
 		hb = DefaultTailHeartbeat
 	}
+	wt := cfg.WriteTimeout
+	switch {
+	case wt == 0:
+		wt = DefaultTailWriteTimeout
+	case wt < 0:
+		wt = 0
+	}
 	t := &TailServer{
-		store:     st,
-		gen:       st.Generation(),
-		shards:    shards,
-		history:   history,
-		heartbeat: hb,
-		primed:    st.Epoch() > 0,
-		logs:      make([]*shardLog, shards),
+		store:        st,
+		gen:          st.Generation(),
+		shards:       shards,
+		history:      history,
+		heartbeat:    hb,
+		writeTimeout: wt,
+		sweep:        ifsvr.NewPumpSweep(hb / 2),
+		primed:       st.Epoch() > 0,
+		logs:         make([]*shardLog, shards),
 	}
 	for i := range t.logs {
 		t.logs[i] = &shardLog{changed: make(chan struct{})}
@@ -247,21 +279,28 @@ func (t *TailServer) serveHello(w http.ResponseWriter) {
 }
 
 // serveTail streams shard records past `after` until the client goes
-// away: pending records, then live pushes as they commit, heartbeats
-// when idle. An unserveable cursor — compacted away, past the head (the
-// follower outlived a leader restart, or sent the forced-bootstrap
-// sentinel), or zero against a primed store whose state predates the
-// rings — is answered inline with one bootstrap record, after which
-// tailing resumes from the bootstrap's lsn.
+// away: pending records (batched — one flush per collect, not per
+// record), then live pushes as they commit, heartbeats when idle. An
+// unserveable cursor — compacted away, past the head (the follower
+// outlived a leader restart, or sent the forced-bootstrap sentinel), or
+// zero against a primed store whose state predates the rings — is
+// answered inline with one bootstrap record, after which tailing resumes
+// from the bootstrap's lsn.
+//
+// Backpressure mirrors the watch streams: every write runs under the
+// configured write deadline, a peer that misses it while still connected
+// is evicted (counted in ReplicationStats.Evictions), and a peer that
+// falls below the ring floor is bootstrapped rather than buffered for.
+// Idle heartbeats ride the shared PumpSweep, not a per-tail timer.
 func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int, after uint64) {
-	fl, ok := w.(http.Flusher)
-	if !ok {
+	if _, ok := w.(http.Flusher); !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", TailContentType)
 	w.WriteHeader(http.StatusOK)
-	fl.Flush()
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
 
 	t.statsMu.Lock()
 	t.stats.tails++
@@ -272,14 +311,34 @@ func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int
 		t.statsMu.Unlock()
 	}()
 
+	p := ifsvr.NewPump()
+	t.sweep.Add(p)
+	defer t.sweep.Remove(p)
+	arm := func() {
+		if t.writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(t.writeTimeout))
+		}
+	}
+	// evicted classifies a failed write. A missed write deadline is ALWAYS
+	// an eviction — the error check matters because the http server
+	// cancels the request context on any connection write error, so by the
+	// time this runs a deadline miss is indistinguishable from a hangup by
+	// the context alone. A dead context without a deadline error is the
+	// client hanging up (not backpressure).
+	evicted := func(err error) {
+		if errors.Is(err, os.ErrDeadlineExceeded) || r.Context().Err() == nil {
+			t.statsMu.Lock()
+			t.stats.evictions++
+			t.statsMu.Unlock()
+		}
+	}
+
 	sl := t.logs[shard]
 	cursor := after
 	// booted guards the primed-store rule: a fresh follower (after=0)
 	// against a store that predates the rings gets one state transfer,
 	// after which a zero cursor (an empty shard's head) is ordinary.
 	booted := false
-	hb := time.NewTimer(t.heartbeat)
-	defer hb.Stop()
 	for {
 		frames, wake, needBootstrap := sl.collect(cursor)
 		if t.primed && cursor == 0 && !booted {
@@ -288,40 +347,57 @@ func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int
 		if needBootstrap {
 			booted = true
 			frame, lsn := t.bootstrap(shard)
+			arm()
 			if _, err := w.Write(frame); err != nil {
+				evicted(err)
 				return
 			}
-			fl.Flush()
+			if err := rc.Flush(); err != nil {
+				evicted(err)
+				return
+			}
+			p.Touch()
 			cursor = lsn
 			t.statsMu.Lock()
 			t.stats.bootstraps++
 			t.statsMu.Unlock()
 			continue
 		}
-		for _, fr := range frames {
-			if _, err := w.Write(fr.data); err != nil {
+		if len(frames) > 0 {
+			arm()
+			for _, fr := range frames {
+				if _, err := w.Write(fr.data); err != nil {
+					evicted(err)
+					return
+				}
+				cursor = fr.lsn
+			}
+			if err := rc.Flush(); err != nil {
+				evicted(err)
 				return
 			}
-			cursor = fr.lsn
-		}
-		if len(frames) > 0 {
-			fl.Flush()
-			if !hb.Stop() {
-				<-hb.C
-			}
-			hb.Reset(t.heartbeat)
+			p.Touch()
 			continue
 		}
 		select {
 		case <-r.Context().Done():
 			return
 		case <-wake:
-		case <-hb.C:
-			hb.Reset(t.heartbeat)
+		case <-p.WakeChan():
+			// Sweep nudge: write the liveness record when due.
+			if p.Idle() < t.heartbeat {
+				continue
+			}
+			arm()
 			if _, err := w.Write(encodeHeartbeatFrame(cursor)); err != nil {
+				evicted(err)
 				return
 			}
-			fl.Flush()
+			if err := rc.Flush(); err != nil {
+				evicted(err)
+				return
+			}
+			p.Touch()
 			t.statsMu.Lock()
 			t.stats.heartbeats++
 			t.statsMu.Unlock()
@@ -398,6 +474,7 @@ func (t *TailServer) replicationStats() *ifsvr.ReplicationStats {
 	rs.Removes = t.stats.removes
 	rs.Bootstraps = t.stats.bootstraps
 	rs.Heartbeats = t.stats.heartbeats
+	rs.Evictions = t.stats.evictions
 	rs.Tails = t.stats.tails
 	t.statsMu.Unlock()
 	return rs
