@@ -22,6 +22,7 @@ import (
 	"livedev/internal/core"
 	"livedev/internal/dyn"
 	"livedev/internal/experiments"
+	"livedev/internal/h2b"
 	"livedev/internal/idl"
 	"livedev/internal/jsonb"
 	"livedev/internal/orb"
@@ -203,6 +204,167 @@ func BenchmarkTable1_SDEJSON(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTable1_SDEH2B measures the CDR-over-HTTP/2 row: a live SDE H2B
+// server called with pooled CDR encoding over a prior-knowledge h2c stream.
+func BenchmarkTable1_SDEH2B(b *testing.B) {
+	core.RegisterBinding(h2b.New())
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("B6"), core.Technology(h2b.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	caller := &h2b.Caller{Endpoint: srv.(*h2b.Server).Endpoint(), Mux: srv.(*h2b.Server).MuxAddr()}
+	sig := echoSig()
+	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := caller.Call(ctx, sig, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1, parallel rows: the multiplexed fast path ---
+//
+// The *Parallel variants drive the same echo workload from GOMAXPROCS
+// goroutines. For the HTTP bindings this is where connection handling
+// dominates: JSON opens/queues HTTP/1.1 connections per caller while H2B
+// multiplexes every caller as a stream on one TCP connection.
+
+// BenchmarkTable1_SDESOAPParallel measures SDE SOAP under concurrent callers.
+func BenchmarkTable1_SDESOAPParallel(b *testing.B) {
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("BP1"), core.TechSOAP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	client := &soap.Client{Endpoint: srv.(*core.SOAPServer).Endpoint(), ServiceNS: "urn:BP1"}
+	args := []soap.NamedValue{{Name: "s", Value: dyn.StringValue(benchPayload)}}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.CallContext(ctx, "echo", args, dyn.StringT); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1_SDECORBAParallel measures SDE CORBA under concurrent
+// callers sharing one GIOP connection.
+func BenchmarkTable1_SDECORBAParallel(b *testing.B) {
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("BP2"), core.TechCORBA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := orb.DialIOR(srv.(*core.CORBAServer).IOR())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	sig := echoSig()
+	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := conn.InvokeContext(ctx, sig, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1_SDEJSONParallel measures the JSON binding under
+// concurrent callers (HTTP/1.1 connection-per-request semantics).
+func BenchmarkTable1_SDEJSONParallel(b *testing.B) {
+	core.RegisterBinding(jsonb.New())
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("BP3"), core.Technology(jsonb.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	caller := &jsonb.Caller{Endpoint: srv.(*jsonb.Server).Endpoint()}
+	sig := echoSig()
+	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := caller.Call(ctx, sig, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTable1_SDEH2BParallel measures the CDR-over-HTTP/2 binding
+// under concurrent callers — every worker's calls multiplex as h2 streams
+// over the binding's single shared TCP connection to the endpoint.
+func BenchmarkTable1_SDEH2BParallel(b *testing.B) {
+	core.RegisterBinding(h2b.New())
+	mgr, err := core.NewManager(core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(echoClass("BP4"), core.Technology(h2b.Name))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		b.Fatal(err)
+	}
+	caller := &h2b.Caller{Endpoint: srv.(*h2b.Server).Endpoint(), Mux: srv.(*h2b.Server).MuxAddr()}
+	sig := echoSig()
+	args := []dyn.Value{dyn.StringValue(benchPayload)}
+	ctx := context.Background()
+	b.ResetTimer()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := caller.Call(ctx, sig, args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Figures 7 and 8 ---

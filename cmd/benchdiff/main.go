@@ -71,6 +71,31 @@ func run() int {
 			status, base.Config, base.NsPerOp, now.NsPerOp, delta, base.AllocsPerOp, now.AllocsPerOp)
 	}
 
+	// Parallel rows: hard gate on ns/op, like the serial Table 1 rows —
+	// both measure the invocation hot path. Keyed by config only: workers
+	// tracks GOMAXPROCS and legitimately differs between the machine that
+	// committed the baseline and the CI runner.
+	freshParallel := make(map[string]benchfmt.ParallelRow, len(fresh.ParallelRows))
+	for _, r := range fresh.ParallelRows {
+		freshParallel[r.Config] = r
+	}
+	for _, base := range baseline.ParallelRows {
+		now, ok := freshParallel[base.Config]
+		if !ok {
+			fmt.Printf("FAIL %-22s parallel row missing from the fresh run\n", base.Config)
+			failed = true
+			continue
+		}
+		delta := pct(base.NsPerOp, now.NsPerOp)
+		status := "ok  "
+		if base.NsPerOp > 0 && delta > *maxRegress {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-22s parallel ns/op %10.0f -> %10.0f  (%+.1f%%, workers %d -> %d)\n",
+			status, base.Config, base.NsPerOp, now.NsPerOp, delta, base.Workers, now.Workers)
+	}
+
 	// Refresh rows: warn-only (wall-clock experiment).
 	freshRefresh := make(map[string]benchfmt.RefreshRow, len(fresh.RefreshRows))
 	for _, r := range fresh.RefreshRows {
@@ -171,8 +196,8 @@ func run() int {
 // fields included, so only genuinely new row sections are reported).
 var knownSections = map[string]bool{
 	"schema": true, "command": true, "calls": true, "payload_bytes": true,
-	"rows": true, "refresh_rows": true, "fanout_rows": true, "durability_rows": true,
-	"replication_rows": true,
+	"rows": true, "parallel_rows": true, "refresh_rows": true, "fanout_rows": true,
+	"durability_rows": true, "replication_rows": true,
 }
 
 // unknownSections lists top-level artifact keys this tool has no handling

@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	cde-client -url URL [-binding NAME] [-timeout D] [-watch]  [method arg...]
+//	cde-client -url URL [-binding NAME] [-timeout D] [-watch] [-parallel N]  [method arg...]
 //	cde-client -wsdl URL                              [method arg...]
 //	cde-client -idl URL -ior URL                      [method arg...]
 //
 // -url is the v2 entry point: any registered binding's interface-document
-// URL (WSDL, CORBA-IDL, IOR, JSON). The binding is sniffed from the
+// URL (WSDL, CORBA-IDL, IOR, JSON, h2b). The binding is sniffed from the
 // document, or forced with -binding. -timeout bounds each call. The -wsdl
 // and -idl/-ior forms remain for compatibility.
+//
+// -parallel N issues the call N times concurrently instead of once — an
+// ad-hoc smoke run of a binding's concurrent-call path (for the h2b
+// binding, N calls multiplex as N streams on one TCP connection). The
+// wall-clock for the batch and any per-call errors are reported.
 //
 // Arguments are parsed against the method's current signature: int32/int64
 // as decimal, float32/float64 as decimal floats, booleans as true/false,
@@ -27,10 +32,13 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"sync"
+	"time"
 
 	"livedev"
 	"livedev/internal/cde"
 	"livedev/internal/dyn"
+	"livedev/internal/h2b"
 	"livedev/internal/jsonb"
 )
 
@@ -43,12 +51,14 @@ func run() int {
 	binding := flag.String("binding", "", "force a binding name instead of sniffing the document")
 	timeout := flag.Duration("timeout", 0, "per-call timeout (0 = none)")
 	watch := flag.Bool("watch", false, "subscribe to push-based interface updates (SSE stream, long-poll fallback)")
+	parallel := flag.Int("parallel", 1, "issue the call N times concurrently (concurrent-call smoke run)")
 	wsdlURL := flag.String("wsdl", "", "WSDL document URL (SOAP mode)")
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL (CORBA mode)")
 	iorURL := flag.String("ior", "", "stringified IOR URL (CORBA mode)")
 	flag.Parse()
 
 	livedev.RegisterBinding(jsonb.New())
+	livedev.RegisterBinding(h2b.New())
 
 	ctx := context.Background()
 	var client *cde.Client
@@ -112,6 +122,10 @@ func run() int {
 		vals[i] = v
 	}
 
+	if *parallel > 1 {
+		return runParallel(ctx, client, method, vals, *parallel)
+	}
+
 	result, err := client.CallContext(ctx, method, vals...)
 	if err != nil {
 		var stale *cde.StaleMethodError
@@ -131,6 +145,56 @@ func run() int {
 		st := client.Stats()
 		fmt.Printf("watch stats: %d stream events (%d replayed, %d reconnects), %d watch updates, %d refreshes\n",
 			st.StreamEvents, st.Replays, st.Reconnects, st.WatchUpdates, st.Refreshes)
+	}
+	return 0
+}
+
+// runParallel issues the same call n times concurrently and reports the
+// batch wall-clock plus any per-call failures — a smoke run of the
+// binding's concurrent-call path (one multiplexed connection under h2b,
+// pooled connections elsewhere).
+func runParallel(ctx context.Context, client *cde.Client, method string, vals []dyn.Value, n int) int {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstVal dyn.Value
+		gotFirst bool
+		errs     []error
+	)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := client.CallContext(ctx, method, vals...)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			if !gotFirst {
+				firstVal, gotFirst = v, true
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if gotFirst {
+		fmt.Println(firstVal)
+	}
+	fmt.Printf("%d concurrent calls in %v (%.0f calls/s), %d failed\n",
+		n, elapsed, float64(n)/elapsed.Seconds(), len(errs))
+	for i, err := range errs {
+		if i == 3 {
+			fmt.Fprintf(os.Stderr, "cde-client: ... and %d more errors\n", len(errs)-i)
+			break
+		}
+		fmt.Fprintln(os.Stderr, "cde-client:", err)
+	}
+	if len(errs) > 0 {
+		return 1
 	}
 	return 0
 }

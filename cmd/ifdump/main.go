@@ -1,8 +1,8 @@
-// Command ifdump fetches a published interface description (WSDL or
-// CORBA-IDL) from an SDE Interface Server, compiles it the way a CDE
-// client would, and prints both the raw document and the resolved method
-// signatures with their version headers — a debugging window into the
-// publication protocol.
+// Command ifdump fetches a published interface description (WSDL,
+// CORBA-IDL, or an h2b binary-binding descriptor) from an SDE Interface
+// Server, compiles it the way a CDE client would, and prints both the raw
+// document and the resolved method signatures with their version headers —
+// a debugging window into the publication protocol.
 //
 // With -watch N it then follows the document through the Interface
 // Server's long-poll watch protocol, printing each newly committed version
@@ -27,6 +27,7 @@
 //
 //	ifdump -wsdl URL [-watch N] [-stream] [-stats]
 //	ifdump -idl URL [-iface NAME] [-watch N] [-stream] [-stats]
+//	ifdump -h2b URL [-watch N] [-stream] [-stats]
 package main
 
 import (
@@ -40,6 +41,7 @@ import (
 	"os"
 	"time"
 
+	"livedev/internal/h2b"
 	"livedev/internal/idl"
 	"livedev/internal/ifsvr"
 	"livedev/internal/wsdl"
@@ -52,6 +54,7 @@ func main() {
 func run() int {
 	wsdlURL := flag.String("wsdl", "", "WSDL document URL")
 	idlURL := flag.String("idl", "", "CORBA-IDL document URL")
+	h2bURL := flag.String("h2b", "", "h2b binary-binding descriptor URL")
 	ifaceName := flag.String("iface", "", "interface name to resolve (IDL mode; default: the only interface)")
 	raw := flag.Bool("raw", false, "print the raw document too")
 	watch := flag.Int("watch", -1, "after dumping, follow the document via the watch protocol for N updates (0 = forever)")
@@ -69,8 +72,10 @@ func run() int {
 		return dump(*idlURL, *raw, *watch, *stream, *stats, func(doc ifsvr.Document) error {
 			return printIDL(doc, name)
 		})
+	case *h2bURL != "":
+		return dump(*h2bURL, *raw, *watch, *stream, *stats, printH2B)
 	default:
-		fmt.Fprintln(os.Stderr, "ifdump: need -wsdl URL or -idl URL")
+		fmt.Fprintln(os.Stderr, "ifdump: need -wsdl URL, -idl URL, or -h2b URL")
 		return 2
 	}
 }
@@ -204,6 +209,22 @@ func printWSDL(doc ifsvr.Document) error {
 	}
 	fmt.Printf("service %s at %s\n", parsed.ServiceName, parsed.Endpoint)
 	for _, m := range parsed.Methods {
+		fmt.Println("  ", m)
+	}
+	return nil
+}
+
+func printH2B(doc ifsvr.Document) error {
+	desc, endpoint, mux, err := h2b.ParseDoc(doc.Content)
+	if err != nil {
+		return fmt.Errorf("parsing h2b descriptor: %w", err)
+	}
+	fmt.Printf("class %s at %s", desc.ClassName, endpoint)
+	if mux != "" {
+		fmt.Printf(" (mux %s)", mux)
+	}
+	fmt.Println()
+	for _, m := range desc.Methods {
 		fmt.Println("  ", m)
 	}
 	return nil

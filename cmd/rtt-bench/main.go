@@ -13,9 +13,14 @@
 // path and the publication path can be tracked PR over PR; CI diffs each
 // fresh run against the committed baseline (cmd/benchdiff).
 //
+// With -parallel N it also measures the four SDE bindings under N
+// concurrent callers each — throughput rows (wall-clock over total calls)
+// that reward call multiplexing, landing in the artifact's parallel_rows
+// section and gated hard by benchdiff like the serial rows.
+//
 // Usage:
 //
-//	rtt-bench [-calls N] [-payload BYTES] [-refresh-rounds N] [-poll D]
+//	rtt-bench [-calls N] [-payload BYTES] [-parallel N] [-refresh-rounds N] [-poll D]
 //	          [-fanout-watchers 1,100,1000] [-fanout-edits N] [-fanout-poll D]
 //	          [-fanout-payload BYTES] [-fanout-stall] [-fanout-stall-watchers N]
 //	          [-fanout-stall-edits N] [-fanout-stall-payload BYTES]
@@ -88,6 +93,7 @@ func parseSizes(s string) []int {
 func run() int {
 	calls := flag.Int("calls", 100, "RMI calls per configuration (the paper used 100)")
 	payload := flag.Int("payload", 64, "echoed string payload size in bytes")
+	parallel := flag.Int("parallel", 0, "concurrent callers for the parallel-call rows (0 disables)")
 	refreshRounds := flag.Int("refresh-rounds", 12, "refresh-after-edit rounds per client strategy (0 disables)")
 	pollInterval := flag.Duration("poll", 50*time.Millisecond, "polling client's refresh interval for the refresh rows")
 	jsonPath := flag.String("json", "BENCH_rtt.json", "path for the machine-readable results (empty disables)")
@@ -116,6 +122,20 @@ func run() int {
 		return 1
 	}
 	fmt.Print(experiments.FormatTable1(rows))
+
+	var parallelRows []experiments.ParallelRTTRow
+	if *parallel > 0 {
+		parallelRows, err = experiments.RunTable1Parallel(experiments.Table1Config{
+			Calls:        *calls,
+			PayloadBytes: *payload,
+		}, *parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rtt-bench:", err)
+			return 1
+		}
+		fmt.Println()
+		fmt.Print(experiments.FormatParallel(parallelRows))
+	}
 
 	var refreshRows []experiments.RefreshRow
 	if *refreshRounds > 0 {
@@ -220,6 +240,14 @@ func run() int {
 				BytesPerOp:  r.BytesPerOp,
 				AllocsPerOp: r.AllocsPerOp,
 				N:           r.Measured.N,
+			})
+		}
+		for _, r := range parallelRows {
+			out.ParallelRows = append(out.ParallelRows, benchfmt.ParallelRow{
+				Config:  r.Config,
+				Workers: r.Workers,
+				Calls:   r.Calls,
+				NsPerOp: r.NsPerOp,
 			})
 		}
 		for _, r := range refreshRows {

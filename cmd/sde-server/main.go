@@ -1,8 +1,9 @@
-// Command sde-server runs a live SDE server: it registers a calculator
-// class with both the SOAP and CORBA subsystems, prints the published
-// interface URLs, and (with -live) keeps mutating the server interface the
-// way a developer editing the class would, so connected cde-client
-// processes can observe live updates and stale-call recovery.
+// Command sde-server runs a live SDE server: it registers calculator
+// classes with the SOAP, CORBA, JSON, and h2b (multiplexed binary)
+// subsystems, prints the published interface URLs, and (with -live) keeps
+// mutating the server interface the way a developer editing the class
+// would, so connected cde-client processes can observe live updates and
+// stale-call recovery.
 //
 // Usage:
 //
@@ -42,6 +43,7 @@ import (
 
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/h2b"
 	"livedev/internal/jsonb"
 )
 
@@ -77,6 +79,7 @@ func run() int {
 	}
 
 	core.RegisterBinding(jsonb.New())
+	core.RegisterBinding(h2b.New())
 
 	mgr, err := core.NewManager(core.Config{
 		InterfaceAddr:     *ifaceAddr,
@@ -192,6 +195,33 @@ func run() int {
 		return 1
 	}
 
+	// A fourth class serves the same logic over the multiplexed binary
+	// binding (CDR bodies over HTTP/2 streams) — the high-concurrency
+	// counterpart of the JSON class.
+	h2bClass := dyn.NewClass("CalcH2B")
+	if _, err := h2bClass.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	h2bSrv, err := mgr.Register(h2bClass, core.Technology(h2b.Name))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	if _, err := h2bSrv.CreateInstance(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server:", err)
+		return 1
+	}
+	hs := h2bSrv.(*h2b.Server)
+
 	fmt.Println("SDE server running")
 	if *dataDir != "" {
 		fmt.Printf("  data dir: %s (store generation %d, epoch %d)\n",
@@ -207,6 +237,8 @@ func run() int {
 	fmt.Println("  IOR: ", cs.IORURL())
 	fmt.Println("  JSON doc:", jsonSrv.InterfaceURL())
 	fmt.Println("  JSON endpoint:", jsonSrv.(*jsonb.Server).Endpoint())
+	fmt.Println("  H2B doc: ", hs.InterfaceURL())
+	fmt.Println("  H2B endpoint:", hs.Endpoint(), "(mux", hs.MuxAddr()+")")
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -19,6 +19,18 @@ type BenchRow struct {
 	N           int     `json:"n"`
 }
 
+// ParallelRow is one parallel-call throughput row: the Table 1 echo
+// workload driven by `workers` concurrent callers, ns/op as wall-clock
+// over total calls. These rows measure call multiplexing on the hot path
+// and are gated hard by benchdiff, keyed by config only — workers tracks
+// GOMAXPROCS and may differ between machines.
+type ParallelRow struct {
+	Config  string  `json:"config"`
+	Workers int     `json:"workers"`
+	Calls   int     `json:"calls"`
+	NsPerOp float64 `json:"ns_op"`
+}
+
 // RefreshRow is one refresh-after-edit latency row (wall-clock experiment;
 // diffed warn-only).
 type RefreshRow struct {
@@ -78,6 +90,7 @@ type File struct {
 	Calls           int              `json:"calls"`
 	Payload         int              `json:"payload_bytes"`
 	Rows            []BenchRow       `json:"rows"`
+	ParallelRows    []ParallelRow    `json:"parallel_rows,omitempty"`
 	RefreshRows     []RefreshRow     `json:"refresh_rows,omitempty"`
 	FanoutRows      []FanoutRow      `json:"fanout_rows,omitempty"`
 	DurabilityRows  []DurabilityRow  `json:"durability_rows,omitempty"`

@@ -10,18 +10,21 @@ import (
 	"livedev/internal/cde"
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/h2b"
 	"livedev/internal/jsonb"
 )
 
-// The bridge is binding-agnostic: the matrix tests below need all three
-// built-in technologies registered on both halves of the registry.
+// The bridge is binding-agnostic: the matrix tests below need all four
+// technologies registered on both halves of the registry.
 func init() {
 	core.RegisterBinding(jsonb.New())
 	cde.RegisterConnector(jsonb.Connector())
+	core.RegisterBinding(h2b.New())
+	cde.RegisterConnector(h2b.Connector())
 }
 
-// allTechs are the three registered bindings the matrix tests span.
-var allTechs = []core.Technology{core.TechSOAP, core.TechCORBA, core.Technology(jsonb.Name)}
+// allTechs are the four registered bindings the matrix tests span.
+var allTechs = []core.Technology{core.TechSOAP, core.TechCORBA, core.Technology(jsonb.Name), core.Technology(h2b.Name)}
 
 // newFailingSpec is a distributed method whose body always errors.
 func newFailingSpec() dyn.MethodSpec {
@@ -217,6 +220,18 @@ func TestBridgeChainedFronts(t *testing.T) {
 	}
 	if got.Int32() != 4 {
 		t.Errorf("chained lookup = %v", got)
+	}
+
+	// One more link: the binary binding fronting the whole chain (H2B over
+	// SOAP over JSON over CORBA).
+	front3, h2bClient := startFront(t, soapClient, core.Technology(h2b.Name))
+	defer func() { _ = front3.Close() }()
+	got, err = h2bClient.CallContext(context.Background(), "lookup", dyn.StringValue("WXYZAB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 6 {
+		t.Errorf("h2b-fronted chained lookup = %v", got)
 	}
 }
 

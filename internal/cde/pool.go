@@ -29,11 +29,13 @@ import (
 // explicit HTTP client is configured. It deliberately has no client-level
 // Timeout: watch polls are long by design and are bounded by their
 // contexts; per-call deadlines come from Dial's WithTimeout option.
-var sharedDocClient = &http.Client{Transport: func() *http.Transport {
-	t := http.DefaultTransport.(*http.Transport).Clone()
-	t.MaxIdleConnsPerHost = 16
-	return t
-}()}
+//
+// Its transport prefers cleartext HTTP/2: against an h2c-enabled Interface
+// Server (every ifsvr listener since EnableH2C) all of one process's SSE
+// watch streams and long-polls multiplex onto one TCP connection per
+// endpoint instead of one per watcher, and it degrades per host to plain
+// HTTP/1.1 against servers without the protocol (see h2cProbeTransport).
+var sharedDocClient = &http.Client{Transport: newDocTransport()}
 
 // docClient resolves the HTTP client used for document traffic.
 func docClient(hc *http.Client) *http.Client {

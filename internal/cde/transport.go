@@ -1,0 +1,251 @@
+package cde
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"livedev/internal/ifsvr"
+)
+
+// The shared document transport: cleartext HTTP/2 with per-host HTTP/1.1
+// fallback.
+//
+// Go's client-side h2c is prior-knowledge only — a Transport configured
+// for UnencryptedHTTP2 sends the h2 preface immediately and cannot
+// negotiate down — so speaking h2c to servers while staying compatible
+// with plain-HTTP/1.1 ones needs per-host discovery. Probing with the h2
+// preface is out: an HTTP/1.1 server parses the preface as a junk
+// "PRI * HTTP/2.0" request-line that its handler observes, so every
+// fetch against a plain server would make the handler see two requests.
+// Instead the first request to an unknown host rides HTTP/1.1 — always
+// safe — and this system's h2c-capable listeners advertise themselves on
+// their HTTP/1.1 responses (ifsvr.H2CHeader, the Alt-Svc idea): an
+// advertising host is pinned to h2c for every later request, a silent
+// one to HTTP/1.1. A pinned-h2 host whose request later fails has its
+// verdict cleared so the next request re-discovers (covering a server
+// downgraded across a restart).
+//
+// The first request to an unknown host scouts alone; concurrent requests
+// to that host wait for its verdict instead of racing their own dials.
+// That matters beyond politeness: http.Transport has no dial
+// singleflight, so N simultaneous first-requests would open N TCP
+// connections even though one HTTP/2 connection could carry all N
+// streams. Once a verdict exists the shared connection sits in the idle
+// pool (HTTP/2 conns are handed out without being removed from it) and
+// every follow-up request multiplexes onto it.
+//
+// Every TCP connection either inner transport dials is counted per host
+// (HTTPDials / HTTPConnStats), so "N watchers share one connection" is a
+// test-assertable claim rather than an eyeballed one — the HTTP-side
+// analogue of IIOPPoolStats.
+
+// docTransportTuning applies the shared keep-alive pool sizing both inner
+// transports (h2c and HTTP/1.1) use, with the dial hook that feeds the
+// per-host connection counters.
+func docTransportTuning(t *http.Transport) *http.Transport {
+	t.MaxIdleConnsPerHost = 16
+	t.ReadBufferSize = 1 << 16
+	t.WriteBufferSize = 1 << 16
+	dial := (&net.Dialer{Timeout: 30 * time.Second, KeepAlive: 30 * time.Second}).DialContext
+	t.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := dial(ctx, network, addr)
+		if err == nil {
+			countDial(addr)
+		}
+		return c, err
+	}
+	return t
+}
+
+// newDocTransport builds the probing transport sharedDocClient rides.
+func newDocTransport() http.RoundTripper {
+	h1 := docTransportTuning(http.DefaultTransport.(*http.Transport).Clone())
+	// TLS endpoints negotiate h2 the standard way (ALPN); the probe only
+	// exists for cleartext.
+	h1.ForceAttemptHTTP2 = true
+
+	h2 := docTransportTuning(http.DefaultTransport.(*http.Transport).Clone())
+	var p http.Protocols
+	p.SetUnencryptedHTTP2(true)
+	h2.Protocols = &p
+	// One multiplexed connection per host is the whole point; without the
+	// cap, N simultaneous requests that find no established conn each
+	// race their own dial instead of queueing for the first.
+	h2.MaxConnsPerHost = 1
+	h2.HTTP2 = &http.HTTP2Config{
+		MaxConcurrentStreams:          512,
+		MaxReceiveBufferPerConnection: 1 << 20,
+		MaxReceiveBufferPerStream:     1 << 18,
+	}
+	return &h2cProbeTransport{
+		h1:       h1,
+		h2:       h2,
+		verdicts: make(map[string]bool),
+		probes:   make(map[string]chan struct{}),
+	}
+}
+
+// h2cProbeTransport discovers per host whether cleartext HTTP/2 is
+// spoken: the first request scouts over HTTP/1.1 and reads the server's
+// h2c advertisement from the response, pinning the host to h2c or
+// HTTP/1.1 for later requests. A pinned-h2 host whose request fails has
+// its verdict cleared so the next request re-scouts.
+type h2cProbeTransport struct {
+	h1, h2 http.RoundTripper
+
+	mu       sync.Mutex
+	verdicts map[string]bool          // host -> speaks h2c
+	probes   map[string]chan struct{} // host -> in-flight probe; closed on settle
+}
+
+func (t *h2cProbeTransport) verdict(host string) (speaksH2, known bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	speaksH2, known = t.verdicts[host]
+	return
+}
+
+func (t *h2cProbeTransport) record(host string, speaksH2 bool) {
+	t.mu.Lock()
+	t.verdicts[host] = speaksH2
+	t.mu.Unlock()
+}
+
+func (t *h2cProbeTransport) forget(host string) {
+	t.mu.Lock()
+	delete(t.verdicts, host)
+	t.mu.Unlock()
+}
+
+// acquireProbe resolves how a request to host should proceed. It returns
+// the cached verdict when one exists; otherwise the first caller becomes
+// the scout (probe=true) and everyone else blocks until that scout
+// settles, then re-checks. A settled scout that recorded no verdict (host
+// unreachable) promotes the next waiter to scout, so retries keep
+// discovering without ever stampeding.
+func (t *h2cProbeTransport) acquireProbe(ctx context.Context, host string) (speaksH2, probe bool, err error) {
+	for {
+		t.mu.Lock()
+		if v, known := t.verdicts[host]; known {
+			t.mu.Unlock()
+			return v, false, nil
+		}
+		ch := t.probes[host]
+		if ch == nil {
+			t.probes[host] = make(chan struct{})
+			t.mu.Unlock()
+			return false, true, nil
+		}
+		t.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false, false, ctx.Err()
+		}
+	}
+}
+
+// settleProbe releases the waiters parked on host's in-flight probe.
+func (t *h2cProbeTransport) settleProbe(host string) {
+	t.mu.Lock()
+	if ch := t.probes[host]; ch != nil {
+		close(ch)
+		delete(t.probes, host)
+	}
+	t.mu.Unlock()
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *h2cProbeTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.URL.Scheme != "http" {
+		// TLS negotiates h2 via ALPN on the h1 transport's
+		// ForceAttemptHTTP2; no cleartext discovery involved.
+		return t.h1.RoundTrip(req)
+	}
+	host := req.URL.Host
+	speaksH2, probe, err := t.acquireProbe(req.Context(), host)
+	if err != nil {
+		return nil, err
+	}
+	if !probe {
+		if speaksH2 {
+			return t.roundTripH2(req, host)
+		}
+		return t.h1.RoundTrip(req)
+	}
+	// Scout: the request itself rides HTTP/1.1 (correct against any
+	// server), and the response's h2c advertisement pins the verdict. A
+	// transport-level failure records nothing — a host that is simply
+	// down stays unknown and the next request re-scouts.
+	defer t.settleProbe(host)
+	resp, err := t.h1.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	t.record(host, resp.Header.Get(ifsvr.H2CHeader) == ifsvr.H2CSupported)
+	return resp, nil
+}
+
+// roundTripH2 sends req over the h2c transport against a host already
+// pinned to h2. A non-cancellation failure clears the verdict so the next
+// request re-probes — covering a server downgraded across a restart —
+// and surfaces the error to the caller's ordinary retry loop.
+func (t *h2cProbeTransport) roundTripH2(req *http.Request, host string) (*http.Response, error) {
+	resp, err := t.h2.RoundTrip(req)
+	if err != nil && req.Context().Err() == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.forget(host)
+	}
+	return resp, err
+}
+
+// Per-host TCP dial counters for the shared document transport.
+var (
+	dialMu    sync.Mutex
+	dialCount = make(map[string]int)
+)
+
+func countDial(addr string) {
+	dialMu.Lock()
+	dialCount[addr]++
+	dialMu.Unlock()
+}
+
+// HTTPDials reports how many TCP connections the shared document transport
+// has dialed to addr (a "host:port") over the process lifetime. With h2c
+// multiplexing, N concurrent watch streams to one endpoint should move
+// this by one or two, not by N.
+func HTTPDials(addr string) int {
+	dialMu.Lock()
+	defer dialMu.Unlock()
+	return dialCount[addr]
+}
+
+// HTTPConnStats reports the shared document transport's total dialed
+// connections and the number of distinct endpoints dialed — the HTTP-side
+// sibling of IIOPPoolStats.
+func HTTPConnStats() (dials, hosts int) {
+	dialMu.Lock()
+	defer dialMu.Unlock()
+	for _, n := range dialCount {
+		dials += n
+	}
+	return dials, len(dialCount)
+}
+
+// HTTPDialedHosts returns the dialed endpoints, sorted — a debugging aid
+// for connection-count assertions.
+func HTTPDialedHosts() []string {
+	dialMu.Lock()
+	defer dialMu.Unlock()
+	hosts := make([]string, 0, len(dialCount))
+	for h := range dialCount {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}

@@ -1,0 +1,151 @@
+package cde
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"livedev/internal/clock"
+	"livedev/internal/ifsvr"
+)
+
+// TestWatchStreamsShareConnsUnderH2 pins the h2c coalescing claim: N
+// concurrent SSE watch streams from one process to one Interface Server
+// share at most two TCP connections (one, plus one for the pre-stream
+// document fetch racing the pool), instead of one connection per watcher.
+func TestWatchStreamsShareConnsUnderH2(t *testing.T) {
+	store := ifsvr.NewStore(0, clock.Real{})
+	defer store.Close()
+	store.Publish("/if/conns.json", "application/json", "{}")
+	srv := ifsvr.NewView(store)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	docURL := base + "/if/conns.json"
+	addr := strings.TrimPrefix(base, "http://")
+
+	before := HTTPDials(addr)
+
+	const watchers = 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	got := make(chan struct{}, watchers)
+	for i := 0; i < watchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// after=0 with one committed version: the journal replays it
+			// immediately, so every stream observes one event and we know
+			// all N are connected and served.
+			_ = ifsvr.WatchStream(ctx, docClient(nil), docURL, 0, func(ifsvr.StreamEvent) {
+				select {
+				case got <- struct{}{}:
+				default:
+				}
+			})
+		}()
+	}
+	for i := 0; i < watchers; i++ {
+		select {
+		case <-got:
+		case <-time.After(10 * time.Second):
+			t.Fatal("watch streams did not all deliver their replay event")
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	if dials := HTTPDials(addr) - before; dials > 2 {
+		t.Errorf("%d watch streams dialed %d TCP connections; h2c multiplexing should need at most 2", watchers, dials)
+	}
+}
+
+// TestDocTransportFallsBackToHTTP11 pins the degrade path: a plain
+// HTTP/1.1 server (no h2c advertisement) serves document fetches through
+// the shared transport, its handler sees exactly one request per fetch
+// (no preface junk, no double execution), and the per-host verdict pins
+// later requests to HTTP/1.1.
+func TestDocTransportFallsBackToHTTP11(t *testing.T) {
+	hits := 0
+	h1srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if r.Method != http.MethodGet {
+			t.Errorf("handler saw a %s %s request; discovery must not send anything but the real GET", r.Method, r.URL)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(ifsvr.VersionHeader, "1")
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer h1srv.Close()
+
+	doc, err := ifsvr.FetchContext(context.Background(), docClient(nil), h1srv.URL+"/doc.json")
+	if err != nil {
+		t.Fatalf("fetch through the discovering transport against an HTTP/1.1 server: %v", err)
+	}
+	if doc.Content != `{"ok":true}` || doc.Version != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if hits != 1 {
+		t.Errorf("handler executed %d requests for one fetch, want exactly 1", hits)
+	}
+
+	u, _ := url.Parse(h1srv.URL)
+	if _, err := ifsvr.FetchContext(context.Background(), docClient(nil), h1srv.URL+"/doc.json"); err != nil {
+		t.Fatalf("second fetch: %v", err)
+	}
+	tr, ok := sharedDocClient.Transport.(*h2cProbeTransport)
+	if !ok {
+		t.Fatalf("sharedDocClient transport is %T, want *h2cProbeTransport", sharedDocClient.Transport)
+	}
+	if speaksH2, known := tr.verdict(u.Host); !known || speaksH2 {
+		t.Errorf("verdict for the HTTP/1.1 host = (h2=%v, known=%v), want pinned to HTTP/1.1", speaksH2, known)
+	}
+}
+
+// TestDocTransportUpgradesOnAdvertisement pins the upgrade path: an
+// h2c-capable listener advertises on its HTTP/1.1 responses, the scout
+// request records the verdict, and later requests to the host ride
+// cleartext HTTP/2.
+func TestDocTransportUpgradesOnAdvertisement(t *testing.T) {
+	store := ifsvr.NewStore(0, clock.Real{})
+	defer store.Close()
+	store.Publish("/if/up.json", "application/json", "{}")
+	srv := ifsvr.NewView(store)
+	base, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	host := strings.TrimPrefix(base, "http://")
+
+	if _, err := ifsvr.FetchContext(context.Background(), docClient(nil), base+"/if/up.json"); err != nil {
+		t.Fatal(err)
+	}
+	tr := sharedDocClient.Transport.(*h2cProbeTransport)
+	if speaksH2, known := tr.verdict(host); !known || !speaksH2 {
+		t.Fatalf("verdict after the scout = (h2=%v, known=%v), want pinned to h2c", speaksH2, known)
+	}
+
+	// A later request actually rides HTTP/2.
+	req, err := http.NewRequest(http.MethodGet, base+"/if/up.json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := sharedDocClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Proto != "HTTP/2.0" {
+		t.Errorf("pinned host answered over %s, want HTTP/2.0", resp.Proto)
+	}
+}

@@ -258,6 +258,10 @@ func NewManager(cfg Config) (*Manager, error) {
 	m.httpLn = ln
 	m.httpBase = "http://" + ln.Addr().String()
 	m.httpSrv = &http.Server{Handler: m.httpMux, ReadHeaderTimeout: 10 * time.Second}
+	// Cleartext HTTP/2 alongside HTTP/1.1 on the shared endpoint listener:
+	// existing SOAP/JSON traffic is untouched (preface-sniffed), and the
+	// h2b binding's multiplexed CDR calls ride h2 streams on one conn.
+	ifsvr.EnableH2C(m.httpSrv)
 	m.httpDone = make(chan struct{})
 	go func() {
 		defer close(m.httpDone)

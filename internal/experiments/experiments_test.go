@@ -19,8 +19,9 @@ func TestTable1Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Four paper configurations plus the JSON binding-seam row.
-	if len(rows) != 5 {
+	// Four paper configurations plus the JSON binding-seam row and the
+	// h2b multiplexed-binary row.
+	if len(rows) != 6 {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	byName := map[string]workload.RTTStats{}

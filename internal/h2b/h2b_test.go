@@ -1,0 +1,495 @@
+package h2b
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"livedev/internal/cde"
+	"livedev/internal/core"
+	"livedev/internal/dyn"
+	"livedev/internal/jsonb"
+)
+
+func init() {
+	// Wire the binding exactly the way livedev.RegisterBinding does —
+	// through the public registries, no core edits.
+	core.RegisterBinding(New())
+	cde.RegisterConnector(Connector())
+}
+
+func calcClass(t *testing.T) *dyn.Class {
+	t.Helper()
+	c := dyn.NewClass("HCalc")
+	_, err := c.AddMethod(dyn.MethodSpec{
+		Name:        "add",
+		Params:      []dyn.Param{{Name: "a", Type: dyn.Int32T}, {Name: "b", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.Int32Value(args[0].Int32() + args[1].Int32()), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	point := dyn.MustStructOf("Point",
+		dyn.StructField{Name: "x", Type: dyn.Float64T},
+		dyn.StructField{Name: "y", Type: dyn.Float64T})
+	c := dyn.NewClass("HGeo")
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name:        "mid",
+		Params:      []dyn.Param{{Name: "a", Type: point}, {Name: "b", Type: point}},
+		Result:      dyn.SequenceOf(point),
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			return dyn.SequenceValue(point, args[0], args[1])
+		},
+	})
+	desc := c.Interface()
+	text, err := GenerateDoc(desc, "http://example/h2b/HGeo", "example:7412")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, DocFormat) {
+		t.Errorf("document does not carry its format tag:\n%s", text)
+	}
+	got, endpoint, mux, err := ParseDoc(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if endpoint != "http://example/h2b/HGeo" {
+		t.Errorf("endpoint = %q", endpoint)
+	}
+	if mux != "example:7412" {
+		t.Errorf("mux endpoint = %q", mux)
+	}
+	if !got.Equal(desc) {
+		t.Errorf("descriptor round trip mismatch:\n got %v\nwant %v", got.Methods, desc.Methods)
+	}
+
+	// A document without the fast-path key still compiles (mux empty).
+	plain, err := GenerateDoc(desc, "http://example/h2b/HGeo", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, mux, err := ParseDoc(plain); err != nil || mux != "" {
+		t.Errorf("mux-less document: mux=%q err=%v", mux, err)
+	}
+
+	// The two bindings share a document grammar but not a format tag: each
+	// parser must reject the other's documents, or Dial sniffing would be
+	// ambiguous.
+	jsonText, err := jsonb.GenerateDoc(desc, "http://example/json/HGeo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ParseDoc(jsonText); err == nil {
+		t.Error("h2b.ParseDoc accepted a JSON-binding document")
+	}
+	if _, _, err := jsonb.ParseDoc(text); err == nil {
+		t.Error("jsonb.ParseDoc accepted an h2b document")
+	}
+}
+
+func TestServeRegisterAndCall(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Technology() != core.Technology("H2B") {
+		t.Errorf("technology = %s", srv.Technology())
+	}
+
+	// Calls before CreateInstance must be refused.
+	ctx := context.Background()
+	client, err := cde.Dial(ctx, srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.CallContext(ctx, "add", dyn.Int32Value(1), dyn.Int32Value(2)); err == nil {
+		t.Fatal("call before CreateInstance should fail")
+	}
+
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.CallContext(ctx, "add", dyn.Int32Value(20), dyn.Int32Value(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 42 {
+		t.Errorf("add = %d", got.Int32())
+	}
+	if client.Technology() != "H2B" {
+		t.Errorf("client technology = %s", client.Technology())
+	}
+}
+
+// TestCallsRideHTTP2 pins the transport claim the interface document
+// makes: the advertised endpoint answers prior-knowledge cleartext
+// HTTP/2, and calls through the shared call client are h2 streams.
+func TestCallsRideHTTP2(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	h2bSrv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2bSrv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	srv := h2bSrv.(*Server)
+
+	req, err := http.NewRequest(http.MethodPost, srv.Endpoint(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", CallContentType)
+	req.Header.Set(MethodHeader, "add")
+	resp, err := sharedCallClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST to the h2b endpoint: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.Proto != "HTTP/2.0" {
+		t.Errorf("call answered over %s, the h2b endpoint must speak HTTP/2", resp.Proto)
+	}
+	// An empty body for a two-argument method is a stale-encoded call.
+	if code := resp.Header.Get(ErrorHeader); code != CodeNonExistentMethod {
+		t.Errorf("error code = %q, want %q", code, CodeNonExistentMethod)
+	}
+}
+
+// TestParallelCallsShareOneConn pins the binding's fast-path design: many
+// concurrent calls against one endpoint multiplex as HTTP/2 streams of
+// one TCP connection instead of opening one connection each.
+func TestParallelCallsShareOneConn(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+
+	u, err := url.Parse(srv.(*Server).Endpoint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Dials(u.Host)
+
+	sig, ok := srv.Class().Interface().Lookup("add")
+	if !ok {
+		t.Fatal("no signature for add")
+	}
+	caller := &Caller{Endpoint: srv.(*Server).Endpoint()}
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int32) {
+			defer wg.Done()
+			got, err := caller.Call(context.Background(), sig, []dyn.Value{dyn.Int32Value(i), dyn.Int32Value(1)})
+			if err == nil && got.Int32() != i+1 {
+				err = fmt.Errorf("add(%d, 1) = %d", i, got.Int32())
+			}
+			errs <- err
+		}(int32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dials := Dials(u.Host) - before; dials > 1 {
+		t.Errorf("%d parallel calls dialed %d TCP connections; HTTP/2 multiplexing should need 1", callers, dials)
+	}
+}
+
+// TestMuxParallelCallsShareOneConn is the fast path's version of the
+// conn-sharing pin: parallel calls through the mux endpoint ride streams
+// of one pooled h2x connection, single-flight dialed.
+func TestMuxParallelCallsShareOneConn(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+
+	muxAddr := srv.(*Server).MuxAddr()
+	if muxAddr == "" {
+		t.Fatal("server advertises no mux endpoint")
+	}
+	before := Dials(muxAddr)
+
+	sig, ok := srv.Class().Interface().Lookup("add")
+	if !ok {
+		t.Fatal("no signature for add")
+	}
+	caller := &Caller{Endpoint: srv.(*Server).Endpoint(), Mux: muxAddr}
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int32) {
+			defer wg.Done()
+			got, err := caller.Call(context.Background(), sig, []dyn.Value{dyn.Int32Value(i), dyn.Int32Value(1)})
+			if err == nil && got.Int32() != i+1 {
+				err = fmt.Errorf("add(%d, 1) = %d", i, got.Int32())
+			}
+			errs <- err
+		}(int32(i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dials := Dials(muxAddr) - before; dials > 1 {
+		t.Errorf("%d parallel fast-path calls dialed %d TCP connections; the pool should need 1", callers, dials)
+	}
+}
+
+// TestMuxStaleCallMatchesHTTPPath pins wire-contract parity: the fast
+// path reports stale calls with the same error the HTTP path does, so
+// the CDE's Section 5.7 reaction works identically on either transport.
+func TestMuxStaleCallMatchesHTTPPath(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	srv, err := mgr.Register(calcClass(t), core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	caller := &Caller{Endpoint: srv.(*Server).Endpoint(), Mux: srv.(*Server).MuxAddr()}
+	sig := dyn.MethodSig{Name: "vanished", Result: dyn.Int32T}
+	_, err = caller.Call(context.Background(), sig, nil)
+	if !errors.Is(err, ErrNonExistentMethod) {
+		t.Fatalf("want ErrNonExistentMethod over the fast path, got %v", err)
+	}
+}
+
+// TestDeadlineExceededUnderConcurrentStreams is the h2b face of the IIOP
+// deadline-storm test: many concurrent streams on one connection, half
+// with deadlines shorter than the server's work. Expired calls must
+// surface context.DeadlineExceeded; their stream resets must not disturb
+// the replies of the surviving streams.
+func TestDeadlineExceededUnderConcurrentStreams(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	c := dyn.NewClass("HWork")
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name:        "work",
+		Params:      []dyn.Param{{Name: "n", Type: dyn.Int32T}},
+		Result:      dyn.Int32T,
+		Distributed: true,
+		Body: func(_ *dyn.Instance, args []dyn.Value) (dyn.Value, error) {
+			time.Sleep(30 * time.Millisecond)
+			return dyn.Int32Value(args[0].Int32() * 2), nil
+		},
+	})
+	srv, err := mgr.Register(c, core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	sig, ok := c.Interface().Lookup("work")
+	if !ok {
+		t.Fatal("no signature for work")
+	}
+
+	// The same storm over both transports: deadline semantics are part of
+	// the wire contract, not a property of one stack.
+	for _, tc := range []struct {
+		name   string
+		caller *Caller
+	}{
+		{"http", &Caller{Endpoint: srv.(*Server).Endpoint()}},
+		{"mux", &Caller{Endpoint: srv.(*Server).Endpoint(), Mux: srv.(*Server).MuxAddr()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const calls = 64
+			var wg sync.WaitGroup
+			errs := make(chan error, calls)
+			for i := 0; i < calls; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					ctx := context.Background()
+					if i%2 == 0 {
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, 5*time.Millisecond)
+						defer cancel()
+					}
+					got, err := tc.caller.Call(ctx, sig, []dyn.Value{dyn.Int32Value(int32(i))})
+					switch {
+					case i%2 == 0:
+						if !errors.Is(err, context.DeadlineExceeded) {
+							errs <- fmt.Errorf("call %d: want DeadlineExceeded, got %v", i, err)
+							return
+						}
+					case err != nil:
+						errs <- fmt.Errorf("call %d: %v", i, err)
+						return
+					case got.Int32() != int32(i)*2:
+						errs <- fmt.Errorf("call %d: work = %d, want %d", i, got.Int32(), i*2)
+						return
+					}
+					errs <- nil
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+}
+
+func TestStaleCallRunsReactiveProtocol(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 30 * time.Minute}) // timer effectively never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	class := calcClass(t)
+	srv, err := mgr.Register(class, core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	client, err := cde.Dial(ctx, srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Rename the method; with a huge stability timeout the document stays
+	// stale until a client call forces it current (Section 5.7).
+	id, ok := class.MethodIDByName("add")
+	if !ok {
+		t.Fatal("no method id for add")
+	}
+	if err := class.RenameMethod(id, "plus"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = client.CallContext(ctx, "add", dyn.Int32Value(1), dyn.Int32Value(2))
+	var stale *cde.StaleMethodError
+	if !errors.As(err, &stale) {
+		t.Fatalf("want StaleMethodError, got %v", err)
+	}
+	// The client's view must already contain the rename.
+	if _, ok := client.Interface().Lookup("plus"); !ok {
+		t.Error("client view should have been reactively refreshed to contain plus")
+	}
+	got, err := client.CallContext(ctx, "plus", dyn.Int32Value(40), dyn.Int32Value(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int32() != 42 {
+		t.Errorf("plus = %d", got.Int32())
+	}
+}
+
+func TestCancellationAbortsInFlightCall(t *testing.T) {
+	mgr, err := core.NewManager(core.Config{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	c := dyn.NewClass("HSlow")
+	_, _ = c.AddMethod(dyn.MethodSpec{
+		Name: "hang", Result: dyn.StringT, Distributed: true,
+		Body: func(_ *dyn.Instance, _ []dyn.Value) (dyn.Value, error) {
+			<-block
+			return dyn.StringValue("late"), nil
+		},
+	})
+	srv, err := mgr.Register(c, core.Technology(Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.CreateInstance(); err != nil {
+		t.Fatal(err)
+	}
+	client, err := cde.Dial(context.Background(), srv.InterfaceURL(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = client.CallContext(ctx, "hang")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, should be prompt", elapsed)
+	}
+}

@@ -1,0 +1,327 @@
+package h2x
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startStdlibH2C starts a net/http server speaking prior-knowledge
+// cleartext HTTP/2 (the same stack the manager's listener runs).
+func startStdlibH2C(t *testing.T, h http.Handler) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var protocols http.Protocols
+	protocols.SetHTTP1(true)
+	protocols.SetUnencryptedHTTP2(true)
+	srv := &http.Server{Handler: h, Protocols: &protocols}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return l.Addr().String()
+}
+
+// stdlibH2Client returns an http.Client speaking prior-knowledge h2c.
+func stdlibH2Client() *http.Client {
+	var protocols http.Protocols
+	protocols.SetUnencryptedHTTP2(true)
+	return &http.Client{Transport: &http.Transport{Protocols: &protocols}}
+}
+
+// TestClientAgainstStdlibServer is the client half's conformance test:
+// the engine's frames, HPACK, and flow control must interoperate with
+// the standard library's HTTP/2 server — including Huffman-coded and
+// dynamic-table-free response headers.
+func TestClientAgainstStdlibServer(t *testing.T) {
+	addr := startStdlibH2C(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Proto != "HTTP/2.0" {
+			http.Error(w, "not http/2", http.StatusBadRequest)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Echo-Method", r.Header.Get("X-Test-Method"))
+		w.Header().Set("Content-Type", "application/x-livedev-cdr")
+		_, _ = w.Write(bytes.ToUpper(body))
+	}))
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Do(context.Background(), &Request{
+		Method:    "POST",
+		Authority: addr,
+		Path:      "/echo",
+		Header:    [][2]string{{"x-test-method", "add"}, {"content-type", "application/x-livedev-cdr"}},
+		Body:      []byte("hello h2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d", resp.Status)
+	}
+	if got := string(resp.Body); got != "HELLO H2" {
+		t.Fatalf("body = %q", got)
+	}
+	if got := resp.HeaderValue("x-echo-method"); got != "add" {
+		t.Fatalf("x-echo-method = %q (Huffman-coded header decode)", got)
+	}
+}
+
+// TestStdlibClientAgainstServer is the server half's conformance test:
+// the standard library's HTTP/2 client (the same stack as the shared
+// doc transport) calls the engine.
+func TestStdlibClientAgainstServer(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(_ context.Context, req *Request) *Response {
+		return &Response{
+			Status: 200,
+			Header: [][2]string{{"content-type", "text/plain"}, {"x-path", req.Path}},
+			Body:   append([]byte("got: "), req.Body...),
+		}
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := stdlibH2Client()
+	resp, err := client.Post("http://"+addr+"/call/X", "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.Proto != "HTTP/2.0" {
+		t.Fatalf("proto = %s", resp.Proto)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "got: payload" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := resp.Header.Get("X-Path"); got != "/call/X" {
+		t.Fatalf("x-path = %q", got)
+	}
+
+	// GET (END_STREAM on HEADERS) exercises the no-body dispatch path.
+	resp2, err := client.Get("http://" + addr + "/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if string(body2) != "got: " {
+		t.Fatalf("GET body = %q", body2)
+	}
+}
+
+// TestEngineRoundTrip pins the fast path end to end: our client against
+// our server, concurrent calls multiplexed on one connection.
+func TestEngineRoundTrip(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(_ context.Context, req *Request) *Response {
+		return &Response{Status: 200, Body: append([]byte("r:"), req.Body...)}
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("call-%d", i))
+			resp, err := c.Do(context.Background(), &Request{
+				Method: "POST", Authority: addr, Path: "/x", Body: payload,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := "r:" + string(payload); string(resp.Body) != want {
+				errs <- fmt.Errorf("call %d: body %q, want %q", i, resp.Body, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestLargeBodiesFlowControlled pushes bodies past the initial stream
+// window in both directions, so DATA chunking, WINDOW_UPDATE crediting,
+// and send-window blocking all engage.
+func TestLargeBodiesFlowControlled(t *testing.T) {
+	srv := NewServer(HandlerFunc(func(_ context.Context, req *Request) *Response {
+		return &Response{Status: 200, Body: req.Body}
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	big := make([]byte, 4<<20) // 4 MiB > the 1 MiB stream window
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	resp, err := c.Do(context.Background(), &Request{Method: "POST", Authority: addr, Path: "/big", Body: big})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp.Body, big) {
+		t.Fatalf("4 MiB round trip corrupted: got %d bytes", len(resp.Body))
+	}
+}
+
+// TestCancellationResetsStream proves a cancelled call returns promptly
+// with ctx.Err() and the server observes the reset as a cancelled
+// handler context.
+func TestCancellationResetsStream(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	serverSawCancel := make(chan struct{}, 1)
+	srv := NewServer(HandlerFunc(func(ctx context.Context, req *Request) *Response {
+		if req.Path != "/hang" {
+			return &Response{Status: 200}
+		}
+		select {
+		case <-ctx.Done():
+			serverSawCancel <- struct{}{}
+			return nil
+		case <-block:
+			return &Response{Status: 200}
+		}
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Do(ctx, &Request{Method: "POST", Authority: addr, Path: "/hang", Body: []byte("x")})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	select {
+	case <-serverSawCancel:
+	case <-time.After(2 * time.Second):
+		t.Fatal("server handler never observed the RST_STREAM cancellation")
+	}
+
+	// The connection survives the reset: a fresh call still works.
+	resp, err := c.Do(context.Background(), &Request{Method: "GET", Authority: addr, Path: "/ok"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("call after cancellation: %v (status %d)", err, resp.Status)
+	}
+}
+
+// TestConnDeathFailsInFlightCalls kills the server mid-call and checks
+// every waiter is released with ErrConnClosed.
+func TestConnDeathFailsInFlightCalls(t *testing.T) {
+	block := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(ctx context.Context, _ *Request) *Response {
+		<-ctx.Done()
+		return nil
+	}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-block
+			_, err := c.Do(context.Background(), &Request{Method: "POST", Authority: addr, Path: "/hang", Body: []byte("x")})
+			if !errors.Is(err, ErrConnClosed) {
+				t.Errorf("want ErrConnClosed, got %v", err)
+			}
+		}()
+	}
+	close(block)
+	time.Sleep(50 * time.Millisecond) // let the calls reach the server
+	_ = srv.Close()
+	wg.Wait()
+	if c.Alive() {
+		t.Error("conn should be dead after the server closed it")
+	}
+}
+
+// TestHuffmanDecode pins the decoder against strings encoded with the
+// RFC 7541 example codes.
+func TestHuffmanDecode(t *testing.T) {
+	// RFC 7541 C.4.1: "www.example.com" huffman-encodes to these octets.
+	enc := []byte{0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff}
+	got, err := huffmanDecode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "www.example.com" {
+		t.Fatalf("decoded %q", got)
+	}
+	// C.6.1: "302" -> 0x64 0x02
+	got, err = huffmanDecode([]byte{0x64, 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "302" {
+		t.Fatalf("decoded %q", got)
+	}
+	// An EOS-coded string is invalid.
+	if _, err := huffmanDecode([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("EOS should be rejected")
+	}
+}

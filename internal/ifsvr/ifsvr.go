@@ -397,6 +397,9 @@ func (s *Server) Start(addr string) (string, error) {
 	s.listener = ln
 	s.baseURL = "http://" + ln.Addr().String()
 	s.httpSrv = &http.Server{Handler: s, ReadHeaderTimeout: 10 * time.Second}
+	// Cleartext HTTP/2 with HTTP/1.1 preface sniffing: watch streams from
+	// one client process coalesce onto one TCP connection.
+	EnableH2C(s.httpSrv)
 	s.done = make(chan struct{})
 	go func() {
 		defer close(s.done)

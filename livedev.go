@@ -8,9 +8,9 @@
 //   - the SDE (Server Development Environment) middleware: automated
 //     deployment of servers from dynamic classes over any registered RMI
 //     technology, automated publication of interface descriptions (WSDL /
-//     CORBA-IDL / IOR / JSON) via an Interface Server, the stable-timeout
-//     publication algorithm, and reactive forced publication on stale
-//     client calls;
+//     CORBA-IDL / IOR / JSON / h2b descriptor) via an Interface Server,
+//     the stable-timeout publication algorithm, and reactive forced
+//     publication on stale client calls;
 //   - the CDE (Client Development Environment): live clients whose stubs
 //     are compiled from the published interface descriptions and refreshed
 //     reactively — or pushed via the watch protocol (WithWatch), which
@@ -31,8 +31,10 @@
 //     bridge (serve any registered binding's class over any other);
 //   - complete SOAP 1.1 + WSDL 1.1 and CORBA (CDR, GIOP/IIOP, IOR, IDL,
 //     DII/DSI ORBs) protocol stacks, built on the standard library only,
-//     plus a JSON/HTTP binding implemented purely against the public
-//     binding seam.
+//     plus two bindings implemented purely against the public binding
+//     seam: JSON/HTTP, and h2b — CDR-encoded call bodies multiplexed as
+//     cleartext HTTP/2 streams, one TCP connection per endpoint no matter
+//     how many calls are in flight (docs/h2b-protocol.md).
 //
 // # The v2 API: Dial, options, bindings
 //
@@ -60,9 +62,20 @@
 //
 // Dial fetches the interface document once and sniffs which registered
 // binding it belongs to (WSDL -> SOAP, IDL/IOR -> CORBA, JSON document ->
-// JSON), or obeys an explicit WithBinding option. The context-free
-// wrappers of the v1 API (ConnectSOAP, ConnectCORBA, Client.Call) remain
-// as thin deprecated shims.
+// JSON, h2b descriptor -> H2B), or obeys an explicit WithBinding option.
+// The context-free wrappers of the v1 API (ConnectSOAP, ConnectCORBA,
+// Client.Call) remain as thin deprecated shims.
+//
+// Concurrent callers should consider the h2b binding (H2BBinding): its
+// CDR-over-HTTP/2 wire format multiplexes any number of in-flight calls
+// as streams on one TCP connection per endpoint, where the text bindings
+// pay per-call encode cost and HTTP/1.1 connection churn:
+//
+//	livedev.RegisterBinding(livedev.H2BBinding())
+//	srv, _ := mgr.Register(class, livedev.Technology("H2B"))
+//	client, _ := livedev.Dial(ctx, srv.InterfaceURL())
+//	// N goroutines calling client share one connection; a cancelled
+//	// context resets only that call's stream.
 //
 // # Replication
 //
@@ -101,6 +114,7 @@ import (
 	"livedev/internal/cde"
 	"livedev/internal/core"
 	"livedev/internal/dyn"
+	"livedev/internal/h2b"
 	"livedev/internal/jsonb"
 )
 
@@ -234,6 +248,17 @@ type (
 //
 // internal/jsonb implements the full contract in ~400 lines and is wired
 // up purely through RegisterBinding.
+//
+// internal/h2b is the binary worked example: the same contract carrying
+// CDR-encoded bodies over HTTP/2 streams. It shows the two degrees of
+// freedom HTTP-based bindings have beyond jsonb — a binding may own a
+// dedicated listener next to its MountHTTP mount (h2b's multiplexed fast
+// path, the way CORBA owns its IIOP port) as long as Close releases it,
+// and its interface document may carry extra transport keys (h2b's
+// "mux_endpoint") provided Describe still recognizes documents without
+// them. Neither needs core or cde edits: both halves arrive through
+// RegisterBinding like any other technology. See docs/h2b-protocol.md
+// for its wire format.
 type Binding interface {
 	// Name is the technology name ("SOAP", "CORBA", "JSON", ...).
 	Name() string
@@ -289,6 +314,17 @@ func ReExport(m *Manager, name string, backend *Client, tech Technology) (*Bridg
 //	srv, _ := mgr.Register(class, livedev.Technology("JSON"))
 //	client, _ := livedev.Dial(ctx, srv.InterfaceURL())
 func JSONBinding() Binding { return jsonb.New() }
+
+// H2BBinding returns the built-in multiplexed binary binding — dynamic
+// classes called with CDR-encoded bodies over cleartext HTTP/2 (one TCP
+// connection per endpoint, concurrent calls as concurrent streams; see
+// docs/h2b-protocol.md). It is not registered by default; pass it to
+// RegisterBinding to enable it:
+//
+//	livedev.RegisterBinding(livedev.H2BBinding())
+//	srv, _ := mgr.Register(class, livedev.Technology("H2B"))
+//	client, _ := livedev.Dial(ctx, srv.InterfaceURL())
+func H2BBinding() Binding { return h2b.New() }
 
 // Option configures a Dial.
 type Option func(*DialOptions)

@@ -196,10 +196,11 @@ func TestDialOptions(t *testing.T) {
 
 // TestCancellationAcrossAllBindings proves the tentpole's end-to-end
 // context guarantee on every registered technology: a context cancelled
-// mid-call aborts an in-flight invocation on SOAP, CORBA, and JSON alike,
-// returning an error wrapping context.Canceled, promptly.
+// mid-call aborts an in-flight invocation on SOAP, CORBA, JSON, and H2B
+// alike, returning an error wrapping context.Canceled, promptly.
 func TestCancellationAcrossAllBindings(t *testing.T) {
 	livedev.RegisterBinding(livedev.JSONBinding())
+	livedev.RegisterBinding(livedev.H2BBinding())
 
 	block := make(chan struct{})
 	newSlowClass := func(name string) *livedev.Class {
@@ -230,6 +231,9 @@ func TestCancellationAcrossAllBindings(t *testing.T) {
 		{livedev.TechSOAP, "SlowSOAP"},
 		{livedev.TechCORBA, "SlowCORBA"},
 		{livedev.Technology("JSON"), "SlowJSONC"},
+		// A cancelled h2b call must reset its HTTP/2 stream, not linger
+		// until the method body returns.
+		{livedev.Technology("H2B"), "SlowH2B"},
 	}
 	for _, tc := range cases {
 		t.Run(string(tc.tech), func(t *testing.T) {
