@@ -177,6 +177,29 @@ func run() int {
 			base.MeanNs, now.MeanNs, pct(base.MeanNs, now.MeanNs), base.LagP99Ns, now.LagP99Ns)
 	}
 
+	// Loadgen rows: warn-only (mixed-traffic wall-clock soak). Latency is
+	// diffed like the other wall-clock sections; a nonzero dropped count is
+	// called out loudly but the soak itself is the hard gate on drops.
+	lkey := func(r benchfmt.LoadgenRow) string { return r.Binding }
+	freshLoad := make(map[string]benchfmt.LoadgenRow, len(fresh.LoadgenRows))
+	for _, r := range fresh.LoadgenRows {
+		freshLoad[lkey(r)] = r
+	}
+	for _, base := range baseline.LoadgenRows {
+		now, ok := freshLoad[lkey(base)]
+		if !ok {
+			fmt.Printf("warn %-22s loadgen row missing from the fresh run\n", lkey(base))
+			continue
+		}
+		tag := warnTag(pct(base.P99Ns, now.P99Ns), *maxRegress)
+		if now.Dropped > 0 {
+			tag = "warn"
+		}
+		fmt.Printf("%s %-22s loadgen p50 %10.0fns -> %10.0fns, p99 %10.0fns -> %10.0fns (%+.1f%%), dropped %d\n",
+			tag, lkey(base), base.P50Ns, now.P50Ns, base.P99Ns, now.P99Ns,
+			pct(base.P99Ns, now.P99Ns), now.Dropped)
+	}
+
 	// Sections this tool has no diff logic for yet must not break the CI
 	// gate: name them so a future section lands green until a diff is
 	// written for it.
@@ -197,7 +220,7 @@ func run() int {
 var knownSections = map[string]bool{
 	"schema": true, "command": true, "calls": true, "payload_bytes": true,
 	"rows": true, "parallel_rows": true, "refresh_rows": true, "fanout_rows": true,
-	"durability_rows": true, "replication_rows": true,
+	"durability_rows": true, "replication_rows": true, "loadgen_rows": true,
 }
 
 // unknownSections lists top-level artifact keys this tool has no handling

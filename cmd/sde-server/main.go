@@ -10,6 +10,13 @@
 //	sde-server [-iface ADDR] [-soap ADDR] [-timeout D] [-data-dir DIR]
 //	           [-sync none|group|always] [-shards K] [-live] [-duration D]
 //	           [-max-watcher-lag N] [-watch-write-timeout D] [-follow URL]
+//	           [-drain-timeout D]
+//
+// SIGTERM and SIGINT drain before exiting: registrations and new HTTP
+// connections are refused, in-flight calls run to completion (bounded by
+// -drain-timeout), held watch streams end with a terminal draining event
+// so clients reconnect to another replica, and the WAL is flushed. See
+// docs/ops.md.
 //
 // With -data-dir the publication store is durable (snapshot + WAL): a
 // restarted sde-server resumes its epoch sequence, so watch clients ride
@@ -32,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -67,6 +75,7 @@ func run() int {
 	live := flag.Bool("live", false, "keep editing the server interface live")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
 	follow := flag.String("follow", "", "run as a read-only replica of the leader interface server at this base URL")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline on SIGTERM/SIGINT (held streams get a terminal draining event)")
 	flag.Parse()
 
 	var syncPolicy core.SyncPolicy
@@ -103,7 +112,7 @@ func run() int {
 	defer func() { _ = mgr.Close() }()
 
 	if *follow != "" {
-		return runFollower(mgr, *duration)
+		return runFollower(mgr, *duration, *drainTimeout)
 	}
 
 	class := dyn.NewClass("Calc")
@@ -259,8 +268,7 @@ func run() int {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("\nshutting down")
-			return 0
+			return drainAndExit(mgr, *drainTimeout)
 		case <-statsSig:
 			data, err := json.MarshalIndent(mgr.Store().Stats(), "", "  ")
 			if err != nil {
@@ -298,9 +306,27 @@ func run() int {
 	}
 }
 
+// drainAndExit is the signal path: drain gracefully — stop accepting new
+// work, finish in-flight calls, end held watch streams with a terminal
+// draining event so clients reconnect elsewhere, flush the WAL — then stop.
+func drainAndExit(mgr *core.Manager, drainTimeout time.Duration) int {
+	fmt.Println("\ndraining (in-flight calls finish, held streams get a terminal event)")
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server: drain:", err)
+	}
+	if err := mgr.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-server: stop:", err)
+		return 1
+	}
+	fmt.Println("shut down cleanly")
+	return 0
+}
+
 // runFollower is the -follow main loop: print the replica's identity,
 // dump replication stats on SIGQUIT, run until interrupted.
-func runFollower(mgr *core.Manager, duration time.Duration) int {
+func runFollower(mgr *core.Manager, duration, drainTimeout time.Duration) int {
 	f := mgr.Follower()
 	fmt.Println("SDE replica running (read-only)")
 	fmt.Println("  leader:   ", f.Leader())
@@ -320,8 +346,7 @@ func runFollower(mgr *core.Manager, duration time.Duration) int {
 	for {
 		select {
 		case <-stop:
-			fmt.Println("\nshutting down")
-			return 0
+			return drainAndExit(mgr, drainTimeout)
 		case <-deadline:
 			return 0
 		case <-statsSig:

@@ -1,0 +1,99 @@
+// Package backoff implements capped, jittered exponential backoff for
+// retry loops. A Backoff tracks a failure streak; each Fail doubles the
+// base delay up to a cap, Reset clears the streak after a success, and
+// Delay draws a uniformly jittered duration in [d/2, d] so that a fleet
+// of clients retrying against the same dead endpoint spreads out instead
+// of dialing in lockstep.
+//
+// The zero value is ready to use with DefaultBase and DefaultCap.
+package backoff
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Default parameters used when a Backoff's Base or Cap is zero.
+const (
+	DefaultBase = 100 * time.Millisecond
+	DefaultCap  = 5 * time.Second
+)
+
+// Backoff is a capped exponential backoff with uniform jitter. It is
+// safe for concurrent use.
+type Backoff struct {
+	// Base is the delay after the first failure. Zero means DefaultBase.
+	Base time.Duration
+	// Cap bounds the exponential growth. Zero means DefaultCap.
+	Cap time.Duration
+
+	mu    sync.Mutex
+	fails int
+}
+
+// Fail records a failure, lengthening subsequent delays.
+func (b *Backoff) Fail() {
+	b.mu.Lock()
+	if b.fails < 62 { // avoid shift overflow; cap dominates long before this
+		b.fails++
+	}
+	b.mu.Unlock()
+}
+
+// Reset clears the failure streak. Call it after a successful attempt so
+// the next failure starts over at the base delay.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// Streak reports the current number of consecutive failures.
+func (b *Backoff) Streak() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails
+}
+
+// Delay returns the jittered delay for the current streak: zero when no
+// failure has been recorded, otherwise uniform in [d/2, d] where
+// d = min(Base << (streak-1), Cap).
+func (b *Backoff) Delay() time.Duration {
+	b.mu.Lock()
+	fails := b.fails
+	b.mu.Unlock()
+	if fails == 0 {
+		return 0
+	}
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	d := base
+	for i := 1; i < fails; i++ {
+		d *= 2
+		if d >= cap {
+			d = cap
+			break
+		}
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + rand.N(d-half+1)
+}
+
+// Next records a failure and returns the delay to sleep before the next
+// attempt. Equivalent to Fail followed by Delay.
+func (b *Backoff) Next() time.Duration {
+	b.Fail()
+	return b.Delay()
+}

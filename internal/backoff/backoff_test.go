@@ -1,0 +1,90 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayZeroBeforeFirstFailure(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(); d != 0 {
+		t.Fatalf("Delay before any failure = %v, want 0", d)
+	}
+}
+
+func TestExponentialGrowthWithJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second,
+		5 * time.Second, // stays at cap
+	}
+	for i, max := range want {
+		b.Fail()
+		// Jitter is uniform in [max/2, max]; sample a few times.
+		for j := 0; j < 20; j++ {
+			d := b.Delay()
+			if d < max/2 || d > max {
+				t.Fatalf("streak %d sample %d: Delay = %v, want in [%v, %v]", i+1, j, d, max/2, max)
+			}
+		}
+	}
+}
+
+func TestResetClearsStreak(t *testing.T) {
+	b := Backoff{Base: time.Second, Cap: time.Minute}
+	for i := 0; i < 10; i++ {
+		b.Fail()
+	}
+	if b.Streak() != 10 {
+		t.Fatalf("Streak = %d, want 10", b.Streak())
+	}
+	b.Reset()
+	if b.Streak() != 0 {
+		t.Fatalf("Streak after Reset = %d, want 0", b.Streak())
+	}
+	if d := b.Delay(); d != 0 {
+		t.Fatalf("Delay after Reset = %v, want 0", d)
+	}
+	// First failure after reset starts back at base.
+	if d := b.Next(); d < 500*time.Millisecond || d > time.Second {
+		t.Fatalf("Next after Reset = %v, want in [500ms, 1s]", d)
+	}
+}
+
+func TestZeroValueUsesDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Next(); d < DefaultBase/2 || d > DefaultBase {
+		t.Fatalf("zero-value first Next = %v, want in [%v, %v]", d, DefaultBase/2, DefaultBase)
+	}
+	// Drive far past the cap threshold.
+	for i := 0; i < 30; i++ {
+		b.Fail()
+	}
+	if d := b.Delay(); d < DefaultCap/2 || d > DefaultCap {
+		t.Fatalf("capped Delay = %v, want in [%v, %v]", d, DefaultCap/2, DefaultCap)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var b Backoff
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				b.Fail()
+				_ = b.Delay()
+				b.Reset()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -81,6 +81,25 @@ type ReplicationRow struct {
 	LagP99Ns float64 `json:"lag_p99_ns"`
 }
 
+// LoadgenRow is one mixed-traffic soak summary from cmd/loadgen (wall-clock
+// experiment; diffed warn-only): per-binding call latency histograms under
+// concurrent edit storms, watcher churn, and — when the soak exercises the
+// lifecycle — a drain cycle, with the dropped-call count that the soak
+// asserts to be zero.
+type LoadgenRow struct {
+	Binding  string  `json:"binding"`
+	Calls    int     `json:"calls"`
+	Errors   int     `json:"errors"`
+	Dropped  int     `json:"dropped"`
+	MeanNs   float64 `json:"mean_ns"`
+	P50Ns    float64 `json:"p50_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+	P999Ns   float64 `json:"p999_ns"`
+	MaxNs    float64 `json:"max_ns"`
+	Drains   int     `json:"drains,omitempty"`
+	Watchers int     `json:"watchers,omitempty"`
+}
+
 // File is the artifact layout. Unknown extra fields (the hand-annotated
 // go_bench before/after notes) survive a read-modify cycle only if callers
 // preserve them; benchdiff is read-only.
@@ -95,4 +114,5 @@ type File struct {
 	FanoutRows      []FanoutRow      `json:"fanout_rows,omitempty"`
 	DurabilityRows  []DurabilityRow  `json:"durability_rows,omitempty"`
 	ReplicationRows []ReplicationRow `json:"replication_rows,omitempty"`
+	LoadgenRows     []LoadgenRow     `json:"loadgen_rows,omitempty"`
 }

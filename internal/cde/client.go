@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"livedev/internal/backoff"
 	"livedev/internal/dyn"
 	"livedev/internal/ifsvr"
 )
@@ -167,6 +168,16 @@ type ClientStats struct {
 	// data dir) is NOT a restart here — the watcher rides journal replay
 	// and only Reconnects moves.
 	Restarts uint64
+	// Backoffs counts backoff waits the watcher's retry loop performed:
+	// consecutive failures lengthen the wait exponentially (capped,
+	// jittered, reset on success), so each is a dial that hot-spin retry
+	// would have made many times over.
+	Backoffs uint64
+	// Drains counts streams the server ended with a terminal "draining"
+	// event (graceful shutdown). Each is followed by an immediate
+	// reconnect to the next replica — no backoff, the server asked us to
+	// move, we did not fail.
+	Drains uint64
 }
 
 // Client is a live CDE client bound to one server.
@@ -267,6 +278,7 @@ func (c *Client) startWatch(wb WatchableBackend) {
 // refetch. It reports true when ctx ended (the watcher is done) and false
 // when the server does not support streaming (degrade to long-poll).
 func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
+	bo := &backoff.Backoff{Base: watchRetryDelay, Cap: watchRetryCap}
 	for {
 		after := c.Versions().Epoch
 		err := sb.StreamInterface(ctx, after, func(ev InterfaceEvent) {
@@ -277,6 +289,9 @@ func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
 				c.stats.Replays++
 			}
 			c.mu.Unlock()
+			// A delivered event proves the stream healthy: the next break
+			// starts a fresh failure streak.
+			bo.Reset()
 		})
 		if ctx.Err() != nil {
 			return true
@@ -284,19 +299,32 @@ func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
 		if errors.Is(err, ifsvr.ErrStreamUnsupported) {
 			return false
 		}
+		if errors.Is(err, ifsvr.ErrStreamDraining) {
+			// The server ended the stream because it is shutting down
+			// gracefully: reconnect immediately — the backend's endpoint
+			// rotation already points at the next replica, and our cursors
+			// ride replay there. No backoff; this was not a failure.
+			c.mu.Lock()
+			c.stats.Drains++
+			c.stats.Reconnects++
+			c.mu.Unlock()
+			continue
+		}
 		// Broken stream (server restart, network blip, or a backpressure
-		// eviction because this client lagged): back off briefly and
-		// reconnect; the server replays what we missed.
+		// eviction because this client lagged): back off — exponentially
+		// while the breaks continue — and reconnect; the server replays
+		// what we missed.
 		c.mu.Lock()
 		if errors.Is(err, ifsvr.ErrStreamEvicted) {
 			c.stats.Evictions++
 		}
 		c.stats.Reconnects++
+		c.stats.Backoffs++
 		c.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return true
-		case <-time.After(watchRetryDelay):
+		case <-time.After(bo.Next()):
 		}
 	}
 }
@@ -304,6 +332,7 @@ func (c *Client) runStreamWatch(ctx context.Context, sb StreamingBackend) bool {
 // runPollWatch is the long-poll watcher: one blocking WatchInterface round
 // per committed version.
 func (c *Client) runPollWatch(ctx context.Context, wb WatchableBackend) {
+	bo := &backoff.Backoff{Base: watchRetryDelay, Cap: watchRetryCap}
 	for {
 		after := c.Versions().Doc
 		desc, vers, err := wb.WatchInterface(ctx, after)
@@ -311,15 +340,21 @@ func (c *Client) runPollWatch(ctx context.Context, wb WatchableBackend) {
 			if ctx.Err() != nil {
 				return
 			}
-			// Transient watch failure (server restarting, network
-			// blip): back off briefly and resubscribe.
+			// Transient watch failure (server restarting or draining,
+			// network blip): back off — exponentially while the failures
+			// continue — and resubscribe (against the next replica when
+			// the backend rotates endpoints).
+			c.mu.Lock()
+			c.stats.Backoffs++
+			c.mu.Unlock()
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(watchRetryDelay):
+			case <-time.After(bo.Next()):
 			}
 			continue
 		}
+		bo.Reset()
 		c.installView(desc, vers, true, c.noteRestart(vers))
 	}
 }
@@ -350,8 +385,14 @@ func (c *Client) noteRestart(vers DocVersions) bool {
 	return true
 }
 
-// watchRetryDelay paces watch resubscription after a transient failure.
-const watchRetryDelay = 200 * time.Millisecond
+// watchRetryDelay is the base pacing of watch resubscription after a
+// transient failure; consecutive failures back off exponentially up to
+// watchRetryCap (jittered, reset on success). Vars, not consts, so tests
+// can compress the schedule.
+var (
+	watchRetryDelay = 200 * time.Millisecond
+	watchRetryCap   = 5 * time.Second
+)
 
 // Watching reports whether the push watcher is running.
 func (c *Client) Watching() bool {

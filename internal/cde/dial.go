@@ -10,8 +10,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"livedev/internal/backoff"
 	"livedev/internal/ifsvr"
 )
 
@@ -131,6 +133,13 @@ type DocSource struct {
 	url string
 	hc  *http.Client
 
+	// bo paces retries once every endpoint in the rotation has failed:
+	// capped jittered exponential backoff, reset by the next success, so a
+	// client whose endpoints all die makes O(log) dials per second instead
+	// of spinning hot through failOver. waits counts the sleeps it caused.
+	bo    backoff.Backoff
+	waits atomic.Uint64
+
 	mu    sync.Mutex
 	seed  *ifsvr.Document
 	bases []string // replica endpoints; rotation target on failure
@@ -177,14 +186,56 @@ func (s *DocSource) currentURL() string {
 }
 
 // failOver rotates to the next endpoint after a failure on the current
-// one (no-op without an endpoint list).
+// one (no-op without an endpoint list) and records the failure in the
+// source's backoff streak.
 func (s *DocSource) failOver() {
 	s.mu.Lock()
 	if len(s.bases) > 0 {
 		s.cur++
 	}
 	s.mu.Unlock()
+	s.bo.Fail()
 }
+
+// rotation is the number of distinct endpoints a failure streak must
+// cover before pacing kicks in: a single replica loss fails over
+// immediately; pacing starts only once the whole rotation has failed.
+func (s *DocSource) rotation() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bases) > 1 {
+		return len(s.bases)
+	}
+	return 1
+}
+
+// pace sleeps out the source's current backoff delay — but only when the
+// failure streak already spans the whole endpoint rotation, so plain
+// replica failover stays immediate. It returns early (with ctx.Err())
+// when ctx ends first.
+func (s *DocSource) pace(ctx context.Context) error {
+	if s.bo.Streak() < s.rotation() {
+		return nil
+	}
+	d := s.bo.Delay()
+	if d <= 0 {
+		return nil
+	}
+	s.waits.Add(1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Backoffs reports how many backoff sleeps the source has performed —
+// each one is a retry that would have been a hot-spin dial without the
+// pacing.
+func (s *DocSource) Backoffs() uint64 { return s.waits.Load() }
 
 // Fetch returns the seeded document on the first call that finds one, and
 // fetches over HTTP otherwise — trying each configured replica endpoint
@@ -201,10 +252,14 @@ func (s *DocSource) Fetch(ctx context.Context) (ifsvr.Document, error) {
 	if seed != nil {
 		return *seed, nil
 	}
+	if err := s.pace(ctx); err != nil {
+		return ifsvr.Document{}, err
+	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		doc, err := ifsvr.FetchContext(ctx, docClient(s.hc), s.currentURL())
 		if err == nil {
+			s.bo.Reset()
 			return doc, nil
 		}
 		lastErr = err
@@ -221,8 +276,14 @@ func (s *DocSource) Fetch(ctx context.Context) (ifsvr.Document, error) {
 // A failed poll rotates the source to the next replica endpoint; the
 // caller's retry loop lands there.
 func (s *DocSource) Watch(ctx context.Context, after uint64) (ifsvr.Document, error) {
+	if err := s.pace(ctx); err != nil {
+		return ifsvr.Document{}, err
+	}
 	d, err := ifsvr.WatchNewer(ctx, docClient(s.hc), s.currentURL(), after)
-	if err != nil && ctx.Err() == nil {
+	switch {
+	case err == nil:
+		s.bo.Reset()
+	case ctx.Err() == nil:
 		s.failOver()
 	}
 	return d, err
@@ -233,10 +294,32 @@ func (s *DocSource) Watch(ctx context.Context, after uint64) (ifsvr.Document, er
 // then live pushes) until ctx ends or the connection breaks. A broken
 // stream rotates the source to the next replica endpoint — except on
 // ErrStreamUnsupported, which must keep pointing at the server that
-// answered so the long-poll degrade stays coherent.
+// answered so the long-poll degrade stays coherent. A stream ended by a
+// server drain rotates without counting a failure: the server told us to
+// go, so the reconnect to the next replica should be immediate.
 func (s *DocSource) Stream(ctx context.Context, afterEpoch uint64, fn func(ifsvr.StreamEvent)) error {
-	err := ifsvr.WatchStream(ctx, docClient(s.hc), s.currentURL(), afterEpoch, fn)
-	if ctx.Err() == nil && !errors.Is(err, ifsvr.ErrStreamUnsupported) {
+	if err := s.pace(ctx); err != nil {
+		return err
+	}
+	err := ifsvr.WatchStream(ctx, docClient(s.hc), s.currentURL(), afterEpoch, func(ev ifsvr.StreamEvent) {
+		// A delivered event proves the endpoint healthy; the next break
+		// starts a fresh failure streak.
+		s.bo.Reset()
+		fn(ev)
+	})
+	switch {
+	case ctx.Err() != nil:
+	case errors.Is(err, ifsvr.ErrStreamUnsupported):
+		// The server answered (with the long-poll-only protocol): not a
+		// failure, and the degrade must keep pointing at it.
+		s.bo.Reset()
+	case errors.Is(err, ifsvr.ErrStreamDraining):
+		s.mu.Lock()
+		if len(s.bases) > 0 {
+			s.cur++
+		}
+		s.mu.Unlock()
+	default:
 		s.failOver()
 	}
 	return err

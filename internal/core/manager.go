@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"livedev/internal/clock"
@@ -128,6 +130,11 @@ type Config struct {
 	// leader. DataDir still applies: a durable follower resumes tailing
 	// from its persisted position after a restart.
 	FollowURL string
+	// ReadyLagBound is the replication lag (in unapplied WAL records,
+	// summed over shards) above which a follower-mode manager reports not
+	// ready from Probe. Zero means DefaultReadyLagBound. Ignored on a
+	// leader.
+	ReadyLagBound uint64
 	// MaxWatcherLag bounds how many committed-but-undelivered events a
 	// streaming watcher of the Interface Server may have pending before
 	// its stream is evicted with a terminal event (the client reconnects
@@ -189,9 +196,10 @@ type Manager struct {
 	httpBase string
 	httpDone chan struct{}
 
-	mu      sync.Mutex
-	servers map[string]Server
-	closed  bool
+	mu       sync.Mutex
+	servers  map[string]Server
+	draining bool
+	closed   bool
 }
 
 // NewManager creates and starts a manager: the Interface Server and the
@@ -257,6 +265,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	}
 	m.httpLn = ln
 	m.httpBase = "http://" + ln.Addr().String()
+	// The ops plane rides the shared endpoint mux: scrapers hit the same
+	// listener the bindings serve on, so one address covers both.
+	m.httpMux.handle("/metrics", http.HandlerFunc(m.serveMetrics))
 	m.httpSrv = &http.Server{Handler: m.httpMux, ReadHeaderTimeout: 10 * time.Second}
 	// Cleartext HTTP/2 alongside HTTP/1.1 on the shared endpoint listener:
 	// existing SOAP/JSON traffic is untouched (preface-sniffed), and the
@@ -425,6 +436,10 @@ func (m *Manager) Register(class *dyn.Class, tech Technology) (Server, error) {
 		m.mu.Unlock()
 		return nil, errors.New("core: manager closed")
 	}
+	if m.draining {
+		m.mu.Unlock()
+		return nil, errors.New("core: manager is draining; no new registrations")
+	}
 	if _, dup := m.servers[class.Name()]; dup {
 		m.mu.Unlock()
 		return nil, fmt.Errorf("core: class %s is already managed", class.Name())
@@ -474,9 +489,126 @@ func (m *Manager) Unregister(className string) {
 	m.mu.Unlock()
 }
 
-// Close shuts down every managed server, the HTTP endpoint server, and the
-// Interface Server.
-func (m *Manager) Close() error {
+// The staged lifecycle. NewManager is the Start stage (both listeners are
+// live when it returns); Probe answers readiness; Drain stops taking new
+// work while letting in-flight work finish; Stop tears down. Close is
+// kept as Drain-then-Stop under a short default deadline.
+
+// DefaultDrainTimeout bounds the implicit drain inside Close (and the
+// sde-server signal path when no explicit deadline is configured): long
+// enough for in-flight calls to finish, short enough that an operator's
+// ^C never feels stuck.
+const DefaultDrainTimeout = 2 * time.Second
+
+// DefaultReadyLagBound is the Probe readiness bound on a follower's
+// replication lag when Config.ReadyLagBound is zero. It matches the tail
+// plane's default ring history: a follower further behind than the ring
+// would have to bootstrap anyway, so it has no business taking traffic.
+const DefaultReadyLagBound = uint64(repl.DefaultTailHistory)
+
+// ErrDraining reports an operation refused because the manager is
+// draining.
+var ErrDraining = errors.New("core: manager draining")
+
+// Probe answers the readiness question: the listeners are up, the store
+// recovered its state, and (in follower mode) replication is caught up
+// within Config.ReadyLagBound. A nil return means the manager can take
+// traffic; the error otherwise says what is not ready — the load
+// balancer's health-check contract, also served over HTTP as
+// /metrics' lifecycle gauge.
+func (m *Manager) Probe() error {
+	m.mu.Lock()
+	closed, draining := m.closed, m.draining
+	m.mu.Unlock()
+	if closed {
+		return errors.New("core: manager closed")
+	}
+	if draining {
+		return ErrDraining
+	}
+	if m.iface.BaseURL() == "" {
+		return errors.New("core: interface server not listening")
+	}
+	if m.httpBase == "" {
+		return errors.New("core: HTTP endpoint server not listening")
+	}
+	if m.store.Generation() == 0 {
+		return errors.New("core: publication store not recovered")
+	}
+	if m.follower != nil {
+		bound := m.cfg.ReadyLagBound
+		if bound == 0 {
+			bound = DefaultReadyLagBound
+		}
+		if lag := m.follower.Lag(); lag > bound {
+			return fmt.Errorf("core: follower lags the leader by %d records (readiness bound %d)", lag, bound)
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Drain takes the manager out of service without dropping work:
+//
+//  1. new registrations are refused (Register returns an error) and
+//     Probe reports not-ready, so orchestrators stop routing here;
+//  2. the HTTP endpoint server stops accepting connections and waits —
+//     bounded by ctx — for in-flight calls to complete
+//     (http.Server.Shutdown, not Close: nothing in flight is dropped);
+//  3. held replication tails are ended so followers reconnect elsewhere;
+//  4. the Interface Server drains: parked long-polls answer immediately
+//     and held watch streams end with a terminal "draining" frame, so
+//     watchers reconnect to another replica instead of timing out;
+//  5. staged publications are flushed through the WAL.
+//
+// Drain is idempotent, reversible only by Stop (there is no undrain), and
+// leaves every serving structure intact — a drained manager still answers
+// requests that were in flight when it began. Errors from the stages are
+// joined, not discarded.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil // nothing left to drain
+	}
+	m.draining = true
+	m.mu.Unlock()
+
+	var errs []error
+	// In-flight calls finish; new conns are refused from here on.
+	if err := m.httpSrv.Shutdown(ctx); err != nil {
+		errs = append(errs, fmt.Errorf("core: draining HTTP endpoint server: %w", err))
+	}
+	// End held WAL tails first: a parked follower would otherwise stall
+	// the Interface Server's shutdown until the deadline.
+	if m.tail != nil {
+		m.tail.Drain()
+	}
+	if err := m.iface.Shutdown(ctx); err != nil {
+		errs = append(errs, fmt.Errorf("core: draining interface server: %w", err))
+	}
+	if m.follower == nil {
+		// Commit anything staged in a coalescing window through the WAL
+		// (and, under a sync policy, through its fsync) before Stop can
+		// close the store.
+		m.store.Flush()
+	}
+	return errors.Join(errs...)
+}
+
+// Stop tears the manager down: every managed server, the HTTP endpoint
+// server, the Interface Server, and the store (or the replication
+// follower, which owns both in that mode). Unlike the pre-lifecycle
+// Close it joins per-server Close errors instead of discarding them.
+// Idempotent. Callers wanting a graceful exit call Drain first (or just
+// Close, which does both).
+func (m *Manager) Stop() error {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -491,42 +623,75 @@ func (m *Manager) Close() error {
 	}
 	m.mu.Unlock()
 
+	var errs []error
 	for _, s := range servers {
-		_ = s.Close()
+		if err := s.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("core: closing %s server %q: %w", s.Technology(), s.Class().Name(), err))
+		}
 	}
-	err := m.httpSrv.Close()
+	if err := m.httpSrv.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("core: closing HTTP endpoint server: %w", err))
+	}
 	<-m.httpDone
 	if m.follower != nil {
 		// The follower owns the iface and store: stop tailing, persist
 		// the replication cursor, then close both.
 		m.follower.Close()
-		return err
+		return errors.Join(errs...)
 	}
 	if m.tail != nil {
 		m.tail.Close()
 	}
-	if e := m.iface.Close(); err == nil {
-		err = e
+	if err := m.iface.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("core: closing interface server: %w", err))
 	}
 	// Closing the store wakes parked watch polls so they drain promptly.
 	m.store.Close()
-	return err
+	return errors.Join(errs...)
+}
+
+// Close shuts the manager down gracefully: Drain under
+// DefaultDrainTimeout, then Stop. In-flight calls get the drain window to
+// complete; whatever outlasts it is cut off by Stop. Errors from both
+// stages are joined.
+func (m *Manager) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), DefaultDrainTimeout)
+	defer cancel()
+	derr := m.Drain(ctx)
+	return errors.Join(derr, m.Stop())
 }
 
 // dynamicMux routes endpoint paths to handlers and supports removal
 // (http.ServeMux cannot unregister, and SDE servers come and go live).
+// Each mount carries request/error counters — the per-binding call
+// counts the /metrics endpoint exposes.
 type dynamicMux struct {
 	mu       sync.RWMutex
-	handlers map[string]http.Handler
+	handlers map[string]*muxEntry
+}
+
+// muxEntry is one mounted handler plus its counters. Counters survive as
+// long as the mount; remounting a path (a class re-registered) starts
+// fresh.
+type muxEntry struct {
+	h        http.Handler
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// muxStat is one mount's counter snapshot.
+type muxStat struct {
+	path              string
+	requests, errors_ uint64
 }
 
 func newDynamicMux() *dynamicMux {
-	return &dynamicMux{handlers: make(map[string]http.Handler)}
+	return &dynamicMux{handlers: make(map[string]*muxEntry)}
 }
 
 func (d *dynamicMux) handle(path string, h http.Handler) {
 	d.mu.Lock()
-	d.handlers[path] = h
+	d.handlers[path] = &muxEntry{h: h}
 	d.mu.Unlock()
 }
 
@@ -536,14 +701,54 @@ func (d *dynamicMux) removeHandler(path string) {
 	d.mu.Unlock()
 }
 
+// stats snapshots every mount's counters (unordered).
+func (d *dynamicMux) stats() []muxStat {
+	d.mu.RLock()
+	out := make([]muxStat, 0, len(d.handlers))
+	for p, e := range d.handlers {
+		out = append(out, muxStat{path: p, requests: e.requests.Load(), errors_: e.errors.Load()})
+	}
+	d.mu.RUnlock()
+	return out
+}
+
 // ServeHTTP implements http.Handler.
 func (d *dynamicMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	d.mu.RLock()
-	h, ok := d.handlers[r.URL.Path]
+	e, ok := d.handlers[r.URL.Path]
 	d.mu.RUnlock()
 	if !ok {
 		http.NotFound(w, r)
 		return
 	}
-	h.ServeHTTP(w, r)
+	e.requests.Add(1)
+	sw := &statusWriter{ResponseWriter: w}
+	e.h.ServeHTTP(sw, r)
+	if sw.status >= http.StatusInternalServerError {
+		e.errors.Add(1)
+	}
 }
+
+// statusWriter records the response status for the mux's error counter.
+// Unwrap keeps http.ResponseController (and so write deadlines) working
+// through the wrapper; the explicit Flush passthrough keeps handlers that
+// type-assert http.Flusher directly (streaming responses) working too.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }

@@ -173,6 +173,15 @@ type Server struct {
 	sweepMu sync.Mutex
 	sweep   *PumpSweep
 
+	// drainCtx is cancelled when a graceful Shutdown begins: parked watch
+	// polls answer immediately and held streams end with a terminal
+	// "draining" frame so clients reconnect to another replica instead of
+	// waiting out their poll windows. Lazily created so the zero-value
+	// Server keeps working.
+	drainMu     sync.Mutex
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
 	httpSrv  *http.Server
 	listener net.Listener
 	baseURL  string
@@ -208,6 +217,30 @@ func (s *Server) backing() Backing {
 
 // Store returns the backing store.
 func (s *Server) Store() Backing { return s.backing() }
+
+// drainContext returns the context cancelled when the server starts
+// draining, creating it on first use.
+func (s *Server) drainContext() context.Context {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.drainCtx == nil {
+		s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	}
+	return s.drainCtx
+}
+
+// startDrain signals every held poll and stream that the server is
+// draining. Idempotent.
+func (s *Server) startDrain() {
+	s.drainContext()
+	s.drainMu.Lock()
+	cancel := s.drainCancel
+	s.drainMu.Unlock()
+	cancel()
+}
+
+// Draining reports whether a graceful Shutdown has begun.
+func (s *Server) Draining() bool { return s.drainContext().Err() != nil }
 
 // Publish stores content under path (e.g. "/wsdl/Mail") and returns the new
 // version. Republishing the same path bumps the version even if the content
@@ -339,6 +372,11 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
+	// A drain must unpark this poll immediately: the Wait below would
+	// otherwise hold its window open and stall Shutdown for up to
+	// maxWatchWait.
+	stopDrain := context.AfterFunc(s.drainContext(), cancel)
+	defer stopDrain()
 	// Watch responses are point-in-time answers to a version question;
 	// a cached one would defeat the protocol.
 	w.Header().Set("Cache-Control", "no-store")
@@ -353,6 +391,13 @@ func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, q url.Values
 		writeDoc(w, d, gen)
 	case r.Context().Err() != nil:
 		// Client went away; nothing useful to write.
+	case s.Draining():
+		// The server is going away: answer now (instead of holding the
+		// window) with an error the watch client treats as a failed poll,
+		// so it rotates to another replica. Connection: close takes the
+		// conn off keep-alive, letting Shutdown finish promptly.
+		w.Header().Set("Connection", "close")
+		http.Error(w, "server draining; reconnect to another replica", http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		// Poll window elapsed with no newer version. The headers carry the
 		// current version, epoch, AND generation so the poller can resync
@@ -410,6 +455,25 @@ func (s *Server) Start(addr string) (string, error) {
 
 // BaseURL returns the server's base URL ("" before Start).
 func (s *Server) BaseURL() string { return s.baseURL }
+
+// Shutdown gracefully drains the server: parked watch polls answer
+// immediately, held streams end with a terminal "draining" frame so their
+// clients reconnect elsewhere, the listener stops accepting connections,
+// and in-flight requests run to completion (bounded by ctx, after which
+// remaining connections are abandoned to Close). Unlike Close it never
+// closes the backing store — draining is reversible right up to Stop.
+// Safe to call before Start (it only marks the server draining).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.startDrain()
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Shutdown(ctx)
+	if err == nil {
+		<-s.done
+	}
+	return err
+}
 
 // Close stops the HTTP server (no-op if Start was never called) and, when
 // the server owns its store (New, zero value), closes it so parked Wait

@@ -63,6 +63,13 @@ type StoreStats struct {
 	// PersistErrors counts failed persistence operations — the store keeps
 	// serving from memory, but durability of the failed batch is lost.
 	PersistErrors uint64
+	// Epoch is the current commit epoch (gauge, not cumulative).
+	Epoch uint64
+	// Generation is this store incarnation's restart generation.
+	Generation uint64
+	// JournalDepth is the number of events currently retained in the
+	// replay journal (gauge, not cumulative).
+	JournalDepth int
 	// Durability is the persistence backend's own counter block (per-shard
 	// lsns, fsyncs, group-commit batch sizes, fsync lag); nil for an
 	// in-memory store.
@@ -368,6 +375,9 @@ func (s *Store) Epoch() uint64 {
 func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	st := s.stats
+	st.Epoch = s.epoch
+	st.Generation = s.generation
+	st.JournalDepth = len(s.journal)
 	p := s.persist
 	rs := s.replStats
 	s.mu.Unlock()

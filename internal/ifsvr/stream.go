@@ -57,6 +57,14 @@ var ErrStreamUnsupported = errors.New("ifsvr: server does not support the stream
 // the error exists so clients can count the evictions they caused.
 var ErrStreamEvicted = errors.New("ifsvr: stream evicted by server backpressure")
 
+// ErrStreamDraining reports a streaming watch the server ended with a
+// terminal "draining" event because it is shutting down gracefully. The
+// stream's cursors are intact; the right response is an immediate
+// reconnect against another replica (the watch client's endpoint rotation
+// does exactly that), not a backoff — the server told us to go, we did
+// not fail.
+var ErrStreamDraining = errors.New("ifsvr: stream ended by server drain")
+
 // Journal is the optional Backing capability the streaming transport's
 // catch-up rides on; Store implements it. Without it every (re)connect
 // falls back to a full snapshot event.
@@ -262,9 +270,14 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	// context+timer allocation to every watcher on every commit, the
 	// same per-watcher multiplier the shared payloads remove.
 	hb := s.heartbeat()
+	drain := s.drainContext()
 	liveWindow := func() (expired, alive bool) {
 		wctx, cancel := context.WithTimeout(r.Context(), hb)
 		defer cancel()
+		// A drain unparks the Wait below so the stream can end with its
+		// terminal frame instead of holding Shutdown for a full window.
+		stopDrain := context.AfterFunc(drain, cancel)
+		defer stopDrain()
 		for {
 			d, err := st.Wait(wctx, path, lastVer)
 			switch {
@@ -315,6 +328,13 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request, q url.Value
 	for {
 		expired, alive := liveWindow()
 		if !alive {
+			if drain.Err() != nil && r.Context().Err() == nil {
+				// Graceful shutdown with the client still connected: the
+				// terminal frame tells it to reconnect to another replica
+				// right away instead of waiting out a broken connection.
+				_, _ = io.WriteString(w, "event: draining\ndata: {}\n\n")
+				fl.Flush()
+			}
 			return
 		}
 		if startGen != 0 && backingGeneration(st) != startGen {
@@ -489,9 +509,19 @@ func (s *Server) pumpStream(w http.ResponseWriter, r *http.Request, st *Store, p
 	}
 
 	// The pump loop: block on the wake channel, drain, repeat.
+	drained := s.drainContext().Done()
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-drained:
+			// Graceful shutdown: end the held stream with the terminal
+			// frame so the client reconnects to another replica with its
+			// cursors intact (ordinary replay catch-up) instead of timing
+			// out against a dead connection.
+			arm()
+			_, _ = io.WriteString(w, "event: draining\ndata: {}\n\n")
+			_ = rc.Flush()
 			return
 		case <-p.WakeChan():
 		}
@@ -649,6 +679,11 @@ func readStream(ctx context.Context, body io.Reader, gen uint64, fn func(StreamE
 				// same as any broken stream — the sentinel lets the caller
 				// count it.
 				return fmt.Errorf("%w: %s", ErrStreamEvicted, data)
+			}
+			if event == "draining" {
+				// Terminal graceful-shutdown event: reconnect immediately
+				// (to the next replica) with the last seen epoch.
+				return ErrStreamDraining
 			}
 			if data != "" {
 				var wire streamWire

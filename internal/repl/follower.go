@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"livedev/internal/backoff"
 	"livedev/internal/ifsvr"
 )
 
@@ -21,9 +22,11 @@ import (
 // re-fetch overlap, never loses or duplicates a commit.
 const cursorFile = "repl-state.json"
 
-// DefaultRetryDelay paces follower reconnects after a broken, torn, or
-// corrupt tail stream (and re-handshake retries while the leader is
-// unreachable).
+// DefaultRetryDelay is the base reconnect pacing after a broken, torn,
+// or corrupt tail stream (and for re-handshake retries while the leader
+// is unreachable). Consecutive failures back off exponentially from this
+// base — capped and jittered, reset by the next successful record — so a
+// follower fleet facing a dead leader does not dial in lockstep forever.
 const DefaultRetryDelay = 200 * time.Millisecond
 
 // cursorSaveEvery debounces cursor-sidecar writes on the apply path: the
@@ -300,9 +303,11 @@ func (f *Follower) signalReset() {
 	}
 }
 
-// rehandshake re-fetches the leader's Hello (retrying while it is
-// unreachable) and adopts whatever topology it names.
+// rehandshake re-fetches the leader's Hello (retrying with capped
+// exponential backoff while it is unreachable) and adopts whatever
+// topology it names.
 func (f *Follower) rehandshake(ctx context.Context) {
+	bo := f.newBackoff()
 	for ctx.Err() == nil {
 		hello, err := handshake(ctx, f.hc, f.leader)
 		if err == nil {
@@ -311,9 +316,21 @@ func (f *Follower) rehandshake(ctx context.Context) {
 		}
 		select {
 		case <-ctx.Done():
-		case <-time.After(f.retry):
+		case <-time.After(bo.Next()):
 		}
 	}
+}
+
+// newBackoff builds the retry pacer used by the tail and re-handshake
+// loops: base RetryDelay, capped at 50× the base (bounded by the global
+// default cap) so tests with tiny retry delays stay fast while production
+// followers settle near seconds, not milliseconds.
+func (f *Follower) newBackoff() *backoff.Backoff {
+	cap := 50 * f.retry
+	if cap > backoff.DefaultCap {
+		cap = backoff.DefaultCap
+	}
+	return &backoff.Backoff{Base: f.retry, Cap: cap}
 }
 
 // adopt reconciles a re-handshake's Hello: an unchanged topology was a
@@ -362,6 +379,7 @@ func (f *Follower) resetLocked(h Hello) {
 // instead: the shard may not exist on the new leader, and retrying the
 // old stream would spin hot against 400s forever.
 func (f *Follower) tailShard(ctx context.Context, shard int) {
+	bo := f.newBackoff()
 	first := true
 	for ctx.Err() == nil {
 		if !first {
@@ -371,11 +389,17 @@ func (f *Follower) tailShard(ctx context.Context, shard int) {
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(f.retry):
+			case <-time.After(bo.Next()):
 			}
 		}
 		first = false
-		if f.tailOnce(ctx, shard) == tailReset {
+		verdict, progressed := f.tailOnce(ctx, shard)
+		if progressed {
+			// The stream carried at least one good record: the next break
+			// is a fresh failure, not a continuation of this streak.
+			bo.Reset()
+		}
+		if verdict == tailReset {
 			f.signalReset()
 			return
 		}
@@ -383,32 +407,34 @@ func (f *Follower) tailShard(ctx context.Context, shard int) {
 }
 
 // tailOnce holds one tail stream until it breaks, reports a topology
-// change, or ctx ends.
-func (f *Follower) tailOnce(ctx context.Context, shard int) tailVerdict {
+// change, or ctx ends. progressed reports whether at least one record was
+// applied cleanly — the signal that resets the caller's reconnect
+// backoff (a connection that dies before carrying anything does not).
+func (f *Follower) tailOnce(ctx context.Context, shard int) (verdict tailVerdict, progressed bool) {
 	after := f.appliedLSN(shard)
 	url := fmt.Sprintf("%s%s?shard=%d&after=%d", f.leader, TailPath, shard, after)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return tailRetry
+		return tailRetry, false
 	}
 	resp, err := f.hc.Do(req)
 	if err != nil {
-		return tailRetry
+		return tailRetry, false
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode == http.StatusBadRequest {
 		// Shard out of range: the leader restarted with fewer shards.
-		return tailReset
+		return tailReset, false
 	}
 	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != TailContentType {
-		return tailRetry
+		return tailRetry, false
 	}
 	gen, shards := f.topology()
 	if g, perr := strconv.ParseUint(resp.Header.Get(GenerationHeader), 10, 64); perr == nil && g != 0 && g != gen {
-		return tailReset
+		return tailReset, false
 	}
 	if n, perr := strconv.Atoi(resp.Header.Get(ShardsHeader)); perr == nil && n > 0 && n != shards {
-		return tailReset
+		return tailReset, false
 	}
 	fr := newFrameReader(resp.Body)
 	for {
@@ -419,18 +445,19 @@ func (f *Follower) tailOnce(ctx context.Context, shard int) tailVerdict {
 				f.counters.frameErrors++
 				f.mu.Unlock()
 			}
-			return tailRetry
+			return tailRetry, progressed
 		}
 		v, err := f.applyFrame(shard, kind, payload)
 		if err != nil {
 			f.mu.Lock()
 			f.counters.frameErrors++
 			f.mu.Unlock()
-			return tailRetry
+			return tailRetry, progressed
 		}
 		if v == tailReset {
-			return tailReset
+			return tailReset, progressed
 		}
+		progressed = true
 	}
 }
 

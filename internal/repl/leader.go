@@ -80,6 +80,12 @@ type TailServer struct {
 	// with a snapshot bootstrap, not an empty stream.
 	primed bool
 
+	// drain is closed when the leader begins a graceful shutdown; held
+	// tail streams end so the HTTP server's Shutdown is not stalled by
+	// parked followers (they reconnect through their ordinary retry path).
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	mu   sync.Mutex
 	logs []*shardLog
 
@@ -139,6 +145,7 @@ func NewTailServer(st *ifsvr.Store, cfg TailConfig) *TailServer {
 		writeTimeout: wt,
 		sweep:        ifsvr.NewPumpSweep(hb / 2),
 		primed:       st.Epoch() > 0,
+		drain:        make(chan struct{}),
 		logs:         make([]*shardLog, shards),
 	}
 	for i := range t.logs {
@@ -155,6 +162,16 @@ func Attach(st *ifsvr.Store, srv *ifsvr.Server, cfg TailConfig) *TailServer {
 	t := NewTailServer(st, cfg)
 	srv.Handle(TailPath, t)
 	return t
+}
+
+// Drain ends every held tail stream so a graceful HTTP Shutdown of the
+// hosting server is not stalled by parked followers — each reconnects
+// from its durable cursor through its ordinary retry path (and finds the
+// leader gone, backing off until a new one appears). Idempotent; Drain
+// does not stop the store tap, so a leader can keep committing while its
+// HTTP plane drains.
+func (t *TailServer) Drain() {
+	t.drainOnce.Do(func() { close(t.drain) })
 }
 
 // Close stops tapping the store. Held tail streams drain when their
@@ -381,6 +398,10 @@ func (t *TailServer) serveTail(w http.ResponseWriter, r *http.Request, shard int
 		}
 		select {
 		case <-r.Context().Done():
+			return
+		case <-t.drain:
+			// Graceful shutdown: end the held tail; the follower
+			// reconnects from its durable cursor.
 			return
 		case <-wake:
 		case <-p.WakeChan():

@@ -150,6 +150,7 @@ type RTTStats struct {
 	N              int
 	Mean, Min, Max time.Duration
 	P50, P90, P99  time.Duration
+	P999           time.Duration
 	Total          time.Duration
 }
 
@@ -175,6 +176,7 @@ func Summarize(samples []time.Duration) RTTStats {
 		P50:   pct(0.50),
 		P90:   pct(0.90),
 		P99:   pct(0.99),
+		P999:  pct(0.999),
 		Total: total,
 	}
 }
